@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks of the dynamic path: functional execution,
+//! trace preparation, and the cycle model under the superscalar and the
+//! full postdominator policy (on a reduced mcf window).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyflow_core::{Policy, ProgramAnalysis};
+use polyflow_isa::execute_window;
+use polyflow_reconv::{train_on_trace, ReconvConfig};
+use polyflow_sim::{simulate, MachineConfig, NoSpawn, PreparedTrace, StaticSpawnSource};
+use std::hint::black_box;
+
+const WINDOW: u64 = 50_000;
+
+fn bench_simulator(c: &mut Criterion) {
+    let program = polyflow_workloads::by_name("mcf").unwrap().program;
+    let trace = execute_window(&program, WINDOW).unwrap().trace;
+    let analysis = ProgramAnalysis::analyze(&program);
+    let ss = MachineConfig::superscalar();
+    let pf = MachineConfig::hpca07();
+
+    c.bench_function("interpreter_50k", |b| {
+        b.iter(|| black_box(execute_window(black_box(&program), WINDOW).unwrap()))
+    });
+    c.bench_function("prepare_trace_50k", |b| {
+        b.iter(|| black_box(PreparedTrace::new(black_box(&trace), &ss)))
+    });
+
+    let prep_ss = PreparedTrace::new(&trace, &ss);
+    c.bench_function("simulate_superscalar_50k", |b| {
+        b.iter(|| black_box(simulate(black_box(&prep_ss), &ss, &mut NoSpawn)))
+    });
+
+    let prep_pf = PreparedTrace::new(&trace, &pf);
+    c.bench_function("simulate_postdoms_50k", |b| {
+        b.iter(|| {
+            let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+            black_box(simulate(black_box(&prep_pf), &pf, &mut src))
+        })
+    });
+    c.bench_function("reconv_train_50k", |b| {
+        b.iter(|| black_box(train_on_trace(black_box(&trace), ReconvConfig::default())))
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Ablation studies of the design choices DESIGN.md calls out: the spawn
+//! distance cap, the divert release delay, the spawn overhead, the
+//! profitability feedback, the two-task fetch port, and the task count.
+//!
+//! Each ablation runs the `postdoms` policy on a representative subset
+//! and reports the average speedup over the (unchanged) superscalar.
+//!
+//! Usage: `ablations [workload ...]` (default: a 4-benchmark subset).
+
+use polyflow_bench::PreparedWorkload;
+use polyflow_core::Policy;
+use polyflow_sim::{
+    simulate, DependenceMode, HintCacheSource, MachineConfig, NoSpawn, PreparedTrace,
+    StaticSpawnSource,
+};
+
+fn avg_speedup(workloads: &[PreparedWorkload], pf: &MachineConfig) -> f64 {
+    let ss = MachineConfig::superscalar();
+    let mut total = 0.0;
+    for w in workloads {
+        let prep = PreparedTrace::new(&w.trace, &ss);
+        let base = simulate(&prep, &ss, &mut NoSpawn);
+        let prep = PreparedTrace::new(&w.trace, pf);
+        let mut src = StaticSpawnSource::new(w.analysis.spawn_table(Policy::Postdoms));
+        let r = simulate(&prep, pf, &mut src);
+        total += r.speedup_percent_over(&base);
+    }
+    total / workloads.len() as f64
+}
+
+fn main() {
+    let mut filter = polyflow_bench::cli_filter();
+    if filter.is_empty() {
+        filter = ["mcf", "vortex", "twolf", "crafty"]
+            .map(String::from)
+            .to_vec();
+    }
+    let workloads = polyflow_bench::prepare_all(&filter);
+    let base_cfg = MachineConfig::hpca07();
+
+    println!("== Ablations (postdoms policy, avg speedup % over superscalar) ==");
+    println!(
+        "baseline config:                      {:6.1}%",
+        avg_speedup(&workloads, &base_cfg)
+    );
+
+    for dist in [64, 128, 320, 1024, 4096] {
+        let cfg = MachineConfig {
+            max_spawn_distance: dist,
+            ..base_cfg.clone()
+        };
+        println!(
+            "max_spawn_distance = {dist:<5}           {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+    for delay in [0, 3, 6, 12, 24] {
+        let cfg = MachineConfig {
+            divert_release_delay: delay,
+            ..base_cfg.clone()
+        };
+        println!(
+            "divert_release_delay = {delay:<3}           {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+    for overhead in [0, 3, 8, 16] {
+        let cfg = MachineConfig {
+            spawn_overhead_cycles: overhead,
+            ..base_cfg.clone()
+        };
+        println!(
+            "spawn_overhead_cycles = {overhead:<3}          {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+    for feedback in [true, false] {
+        let cfg = MachineConfig {
+            profitability_feedback: feedback,
+            ..base_cfg.clone()
+        };
+        println!(
+            "profitability_feedback = {feedback:<5}      {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+    for ports in [1, 2, 4] {
+        let cfg = MachineConfig {
+            fetch_tasks_per_cycle: ports,
+            ..base_cfg.clone()
+        };
+        println!(
+            "fetch_tasks_per_cycle = {ports}            {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+    // Hint-cache capacity (the paper idealizes this; §3.2): how many
+    // 8-byte hint entries does control-equivalent spawning need?
+    for entries in [16usize, 64, 256, 1024] {
+        let ss = MachineConfig::superscalar();
+        let mut total = 0.0;
+        for w in &workloads {
+            let prep = PreparedTrace::new(&w.trace, &ss);
+            let base = simulate(&prep, &ss, &mut NoSpawn);
+            let prep = PreparedTrace::new(&w.trace, &base_cfg);
+            let inner = StaticSpawnSource::new(w.analysis.spawn_table(Policy::Postdoms));
+            let mut src = HintCacheSource::new(inner, entries, 4);
+            let r = simulate(&prep, &base_cfg, &mut src);
+            total += r.speedup_percent_over(&base);
+        }
+        println!(
+            "hint_cache_entries = {entries:<5}          {:6.1}%",
+            total / workloads.len() as f64
+        );
+    }
+    for mode in [DependenceMode::OracleSync, DependenceMode::StoreSet] {
+        let cfg = MachineConfig {
+            memory_dependence: mode,
+            ..base_cfg.clone()
+        };
+        println!(
+            "memory_dependence = {mode:<10?}       {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+    for any in [false, true] {
+        let cfg = MachineConfig {
+            spawn_from_any_task: any,
+            ..base_cfg.clone()
+        };
+        println!(
+            "spawn_from_any_task = {any:<5}         {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+    for (rob, reclaim) in [(512, false), (128, false), (128, true)] {
+        let cfg = MachineConfig {
+            rob_entries: rob,
+            rob_reclamation: reclaim,
+            ..base_cfg.clone()
+        };
+        println!(
+            "rob = {rob:<4} reclamation = {reclaim:<5}     {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+    for tasks in [2, 4, 8, 16] {
+        let cfg = MachineConfig {
+            max_tasks: tasks,
+            ..base_cfg.clone()
+        };
+        println!(
+            "max_tasks = {tasks:<2}                       {:6.1}%",
+            avg_speedup(&workloads, &cfg)
+        );
+    }
+}

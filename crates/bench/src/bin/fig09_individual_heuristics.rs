@@ -1,0 +1,34 @@
+//! Regenerates Figure 9: speedup of each individual heuristic spawn
+//! policy (loop, loopFT, procFT, hammock, other, postdoms) over the
+//! equivalent-resource superscalar, with superscalar IPCs per benchmark.
+//!
+//! Usage: `fig09_individual_heuristics [workload ...]` (default: all 12).
+
+use polyflow_bench::{cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table};
+use polyflow_core::Policy;
+
+fn main() {
+    let workloads = prepare_all(&cli_filter());
+    let policies = Policy::figure9();
+    let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let base = w.run_baseline();
+        let speedups: Vec<f64> = policies
+            .iter()
+            .map(|&p| w.run_static(p).speedup_percent_over(&base))
+            .collect();
+        rows.push((w.name.to_string(), base.ipc(), speedups));
+        eprintln!("  [{}] done", w.name);
+    }
+    if csv_requested() {
+        print_speedup_csv(&rows, &columns);
+        return;
+    }
+    print_speedup_table(
+        "Figure 9: individual heuristic policies (speedup % over superscalar)",
+        &rows,
+        &columns,
+    );
+}

@@ -1,0 +1,47 @@
+//! Regenerates Figure 10: combinations of heuristics (loop + loopFT,
+//! loopFT + procFT, loop + procFT + loopFT) versus full postdominator
+//! spawning, as speedup over the superscalar.
+//!
+//! Usage: `fig10_combinations [workload ...]` (default: all 12).
+
+use polyflow_bench::{cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table};
+use polyflow_core::Policy;
+
+fn main() {
+    let workloads = prepare_all(&cli_filter());
+    let policies = Policy::figure10();
+    let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let base = w.run_baseline();
+        let speedups: Vec<f64> = policies
+            .iter()
+            .map(|&p| w.run_static(p).speedup_percent_over(&base))
+            .collect();
+        rows.push((w.name.to_string(), base.ipc(), speedups));
+        eprintln!("  [{}] done", w.name);
+    }
+    if csv_requested() {
+        print_speedup_csv(&rows, &columns);
+        return;
+    }
+    print_speedup_table(
+        "Figure 10: combinations of heuristics (speedup % over superscalar)",
+        &rows,
+        &columns,
+    );
+    // The paper's headline: postdoms beats the best combination by ~33%.
+    let n = rows.len() as f64;
+    let avg: Vec<f64> = (0..columns.len())
+        .map(|i| rows.iter().map(|r| r.2[i]).sum::<f64>() / n)
+        .collect();
+    let best_combo = avg[..3].iter().cloned().fold(f64::MIN, f64::max);
+    println!();
+    println!(
+        "postdoms average {:.1}% vs best combination {:.1}% => {:.0}% more speedup",
+        avg[3],
+        best_combo,
+        100.0 * (avg[3] - best_combo) / best_combo.max(1e-9)
+    );
+}

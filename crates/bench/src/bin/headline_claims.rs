@@ -1,0 +1,77 @@
+//! Checks the paper's headline claims (§1, §6) against this
+//! reproduction's measurements:
+//!
+//! 1. Control-equivalent spawning achieves, on average, **more than double
+//!    the speedup of the best individual heuristic** (Figure 9).
+//! 2. It achieves **~33% more speedup than the best heuristic
+//!    combination** (Figure 10).
+//! 3. Control-equivalent spawning either outperforms or comes close to the
+//!    best individual heuristic on each benchmark (§4.1).
+
+use polyflow_bench::{cli_filter, prepare_all};
+use polyflow_core::Policy;
+
+fn main() {
+    let workloads = prepare_all(&cli_filter());
+    let individual = Policy::figure9();
+    let combos = Policy::figure10();
+
+    let n = workloads.len() as f64;
+    let mut avg_individual = vec![0.0; individual.len()];
+    let mut avg_combo = vec![0.0; combos.len()];
+    let mut per_bench_ok = 0usize;
+
+    for w in &workloads {
+        let base = w.run_baseline();
+        let speedups: Vec<f64> = individual
+            .iter()
+            .map(|&p| w.run_static(p).speedup_percent_over(&base))
+            .collect();
+        for (i, s) in speedups.iter().enumerate() {
+            avg_individual[i] += s / n;
+        }
+        // Claim 3: postdoms ≥ best heuristic − small tolerance.
+        let postdoms = speedups[individual.len() - 1];
+        let best_heuristic = speedups[..individual.len() - 1]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        if postdoms >= best_heuristic - 5.0 {
+            per_bench_ok += 1;
+        }
+        for (i, &p) in combos.iter().enumerate() {
+            avg_combo[i] += w.run_static(p).speedup_percent_over(&base) / n;
+        }
+        eprintln!("  [{}] done", w.name);
+    }
+
+    let postdoms_avg = avg_individual[individual.len() - 1];
+    let best_ind = avg_individual[..individual.len() - 1]
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
+    let best_combo = avg_combo[..combos.len() - 1]
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max);
+
+    println!("== Headline claims (paper §1/§6 vs this reproduction) ==");
+    println!(
+        "1. postdoms avg {postdoms_avg:.1}% vs best individual heuristic {best_ind:.1}% \
+         => ratio {:.2}x (paper: >2x) {}",
+        postdoms_avg / best_ind.max(1e-9),
+        if postdoms_avg > 2.0 * best_ind { "PASS" } else { "MISS" }
+    );
+    println!(
+        "2. postdoms avg {postdoms_avg:.1}% vs best combination {best_combo:.1}% \
+         => {:.0}% more (paper: ~33%) {}",
+        100.0 * (postdoms_avg - best_combo) / best_combo.max(1e-9),
+        if postdoms_avg > best_combo { "PASS" } else { "MISS" }
+    );
+    println!(
+        "3. postdoms >= best individual heuristic (within tolerance) on \
+         {per_bench_ok}/{} benchmarks {}",
+        workloads.len(),
+        if per_bench_ok * 10 >= workloads.len() * 9 { "PASS" } else { "MISS" }
+    );
+}

@@ -1,0 +1,65 @@
+//! Diagnostic probe: detailed per-policy statistics for one workload.
+//!
+//! Usage: `probe <workload> [policy]` where policy is one of the Figure 9
+//! names (default: postdoms).
+
+use polyflow_bench::PreparedWorkload;
+use polyflow_core::Policy;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".into());
+    let w = polyflow_workloads::by_name(&name).expect("known workload");
+    let pw = PreparedWorkload::prepare(w);
+    let base = pw.run_baseline();
+    println!(
+        "{name}: {} instrs, baseline IPC {:.2}, {} cond mispredicts, {} indirect, \
+         l1i misses {}, l1d misses {}, l2 misses {}",
+        base.instructions,
+        base.ipc(),
+        base.branch_mispredicts,
+        base.indirect_mispredicts,
+        base.l1i_misses,
+        base.l1d_misses,
+        base.l2_misses
+    );
+    let dist = pw.analysis.static_distribution();
+    println!("static spawn candidates: {dist}");
+    {
+        let r = pw.run_reconv();
+        println!(
+            "{:>10}: speedup {:6.1}%  IPC {:.2}  spawns {:6} (PFT {} O {})  rej dist {} ctx {} unprofit {}  diverted {}  maxtasks {}",
+            "rec_pred",
+            r.speedup_percent_over(&base),
+            r.ipc(),
+            r.total_spawns(),
+            r.spawns.proc_ft,
+            r.spawns.other,
+            r.spawns_rejected_distance,
+            r.spawns_rejected_contexts,
+            r.spawns_rejected_unprofitable,
+            r.diverted,
+            r.max_live_tasks
+        );
+    }
+    for policy in Policy::figure9() {
+        let r = pw.run_static(policy);
+        println!(
+            "{:>10}: speedup {:6.1}%  IPC {:.2}  spawns {:6} (L {} LFT {} PFT {} H {} O {})  \
+             rej dist {} ctx {} unprofit {}  diverted {}  maxtasks {}",
+            policy.name(),
+            r.speedup_percent_over(&base),
+            r.ipc(),
+            r.total_spawns(),
+            r.spawns.loop_spawns,
+            r.spawns.loop_ft,
+            r.spawns.proc_ft,
+            r.spawns.hammocks,
+            r.spawns.other,
+            r.spawns_rejected_distance,
+            r.spawns_rejected_contexts,
+            r.spawns_rejected_unprofitable,
+            r.diverted,
+            r.max_live_tasks
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared harness for regenerating the paper's figures.
+//!
+//! Each `fig*` binary in this crate reproduces one figure of the
+//! evaluation (see DESIGN.md §4 for the experiment index). This library
+//! holds the common machinery: preparing workloads, running policy
+//! sweeps, and printing aligned tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use polyflow_core::{Policy, ProgramAnalysis};
+use polyflow_isa::{execute_window, Program, Trace};
+use polyflow_reconv::ReconvConfig;
+use polyflow_sim::{
+    simulate, DependenceMode, MachineConfig, NoSpawn, PreparedTrace, ReconvSpawnSource,
+    SimResult, StaticSpawnSource,
+};
+use polyflow_workloads::Workload;
+
+/// A workload with its trace and spawn analysis, ready for policy sweeps.
+#[derive(Debug)]
+pub struct PreparedWorkload {
+    /// Benchmark name (paper x-axis label).
+    pub name: &'static str,
+    /// The program.
+    pub program: Program,
+    /// The retired-instruction trace.
+    pub trace: Trace,
+    /// The static spawn-point analysis.
+    pub analysis: ProgramAnalysis,
+}
+
+impl PreparedWorkload {
+    /// Executes and analyzes one workload.
+    pub fn prepare(w: Workload) -> PreparedWorkload {
+        let result = execute_window(&w.program, w.window)
+            .unwrap_or_else(|e| panic!("{} failed to execute: {e}", w.name));
+        assert!(result.halted, "{} did not halt in its window", w.name);
+        let analysis = ProgramAnalysis::analyze(&w.program);
+        PreparedWorkload {
+            name: w.name,
+            program: w.program,
+            trace: result.trace,
+            analysis,
+        }
+    }
+
+    /// Runs the superscalar baseline.
+    pub fn run_baseline(&self) -> SimResult {
+        let cfg = MachineConfig::superscalar();
+        let prepared = PreparedTrace::new(&self.trace, &cfg);
+        simulate(&prepared, &cfg, &mut NoSpawn)
+    }
+
+    /// Runs one static policy on the PolyFlow machine.
+    pub fn run_static(&self, policy: Policy) -> SimResult {
+        let cfg = polyflow_config();
+        let prepared = PreparedTrace::new(&self.trace, &cfg);
+        let mut src = StaticSpawnSource::new(self.analysis.spawn_table(policy));
+        simulate(&prepared, &cfg, &mut src)
+    }
+
+    /// Runs the dynamic reconvergence-predictor policy (cold predictor,
+    /// trained online; §4.4).
+    pub fn run_reconv(&self) -> SimResult {
+        let cfg = polyflow_config();
+        let prepared = PreparedTrace::new(&self.trace, &cfg);
+        let mut src = ReconvSpawnSource::new(ReconvConfig::default());
+        simulate(&prepared, &cfg, &mut src)
+    }
+}
+
+/// The PolyFlow machine configuration used by the figure binaries:
+/// Figure 8 defaults, with environment overrides for the dependence-model
+/// experiments (`POLYFLOW_REG_HINTS=1` enables the capacity-limited
+/// hint-entry register model; `POLYFLOW_STORE_SETS=1` enables store-set
+/// memory-dependence prediction; both default to oracle synchronization).
+pub fn polyflow_config() -> MachineConfig {
+    let mut cfg = MachineConfig::hpca07();
+    if std::env::var("POLYFLOW_REG_HINTS").is_ok_and(|v| v == "1") {
+        cfg.register_dependence = DependenceMode::StoreSet;
+    }
+    if std::env::var("POLYFLOW_STORE_SETS").is_ok_and(|v| v == "1") {
+        cfg.memory_dependence = DependenceMode::StoreSet;
+    }
+    cfg
+}
+
+/// Prepares every workload (or a named subset).
+pub fn prepare_all(filter: &[String]) -> Vec<PreparedWorkload> {
+    polyflow_workloads::all()
+        .into_iter()
+        .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
+        .map(PreparedWorkload::prepare)
+        .collect()
+}
+
+/// Parses CLI args as an optional workload filter.
+pub fn cli_filter() -> Vec<String> {
+    std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect()
+}
+
+/// True if `--csv` was passed: figure binaries then emit
+/// machine-readable CSV instead of the aligned table.
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Emits a speedup table as CSV (`benchmark,ss_ipc,<columns...>`).
+pub fn print_speedup_csv(rows: &[(String, f64, Vec<f64>)], columns: &[String]) {
+    println!("benchmark,ss_ipc,{}", columns.join(","));
+    for (name, ipc, speedups) in rows {
+        let vals: Vec<String> = speedups.iter().map(|s| format!("{s:.2}")).collect();
+        println!("{name},{ipc:.3},{}", vals.join(","));
+    }
+}
+
+/// Prints a speedup table: one row per workload, one column per policy,
+/// with a geometric-mean-free arithmetic average row (the paper averages
+/// arithmetically).
+pub fn print_speedup_table(
+    title: &str,
+    rows: &[(String, f64, Vec<f64>)], // (name, baseline IPC, speedups %)
+    columns: &[String],
+) {
+    println!("== {title} ==");
+    print!("{:<12} {:>8}", "benchmark", "ss IPC");
+    for c in columns {
+        print!(" {c:>24}");
+    }
+    println!();
+    let mut sums = vec![0.0; columns.len()];
+    for (name, ipc, speedups) in rows {
+        print!("{name:<12} {ipc:>8.2}");
+        for (i, s) in speedups.iter().enumerate() {
+            print!(" {s:>23.1}%");
+            sums[i] += s;
+        }
+        println!();
+    }
+    print!("{:<12} {:>8}", "Average", "");
+    for s in &sums {
+        print!(" {:>23.1}%", s / rows.len() as f64);
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_one_workload() {
+        let w = polyflow_workloads::by_name("bzip2").unwrap();
+        let pw = PreparedWorkload::prepare(w);
+        assert_eq!(pw.name, "bzip2");
+        assert!(!pw.trace.is_empty());
+        assert!(!pw.analysis.candidates().is_empty());
+    }
+
+    #[test]
+    fn baseline_and_policy_share_work() {
+        let w = polyflow_workloads::by_name("gzip").unwrap();
+        let pw = PreparedWorkload::prepare(w);
+        let base = pw.run_baseline();
+        let pd = pw.run_static(Policy::Postdoms);
+        assert_eq!(base.instructions, pd.instructions);
+    }
+}

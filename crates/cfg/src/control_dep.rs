@@ -1,0 +1,241 @@
+//! Control dependence (Ferrante–Ottenstein–Warren).
+
+use crate::dom::DomTree;
+use crate::graph::{BlockId, Cfg, EdgeKind};
+
+/// The control-dependence relation of a CFG (paper Figure 3).
+///
+/// Block `X` is control dependent on branch block `B` if one successor edge
+/// of `B` leads to `X` on all paths to the exit while the other may bypass
+/// `X` entirely (§2.1). Computed from the postdominator tree with the
+/// standard FOW edge walk: for each edge `(u, v)` where `v` does not
+/// postdominate `u`, every block from `v` up the postdominator tree to (but
+/// excluding) `ipostdom(u)` is control dependent on `u`.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// For each block: the branch blocks it is control dependent on,
+    /// with the edge kind that leads to it.
+    deps: Vec<Vec<(BlockId, EdgeKind)>>,
+    /// For each branch block: the blocks control dependent on it.
+    dependents: Vec<Vec<BlockId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences from a CFG and its postdominator tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pdom` was not computed from `cfg` (sizes disagree) or is
+    /// a forward dominator tree.
+    pub fn compute(cfg: &Cfg, pdom: &DomTree) -> ControlDeps {
+        assert_eq!(
+            pdom.kind(),
+            crate::dom::DomKind::Postdominators,
+            "ControlDeps requires a postdominator tree"
+        );
+        let n = cfg.len();
+        let mut deps: Vec<Vec<(BlockId, EdgeKind)>> = vec![Vec::new(); n];
+        let mut dependents: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+
+        for (u, v, kind) in cfg.edges() {
+            // Skip edges whose target *strictly* postdominates the source:
+            // walking from such a target would climb away from ipostdom(u)
+            // forever. Non-strict matters: a self-loop edge (u → u) must be
+            // walked so that u becomes control dependent on itself (FOW
+            // define condition 2 with strict postdomination).
+            if pdom.strictly_dominates(v, u) {
+                continue;
+            }
+            // Walk from v up to (but not including) ipostdom(u). When
+            // ipostdom(u) is the virtual exit (None) the walk ends at the
+            // tree root.
+            let stop = pdom.idom(u);
+            let mut cur = Some(v);
+            while let Some(w) = cur {
+                if Some(w) == stop {
+                    break;
+                }
+                deps[w.index()].push((u, kind));
+                dependents[u.index()].push(w);
+                if !pdom.is_reachable(w) {
+                    // Inside an infinite loop: no postdominator chain to
+                    // follow; the dependence on the entering edge is
+                    // recorded, then stop.
+                    break;
+                }
+                cur = pdom.idom(w);
+            }
+        }
+        for d in &mut deps {
+            d.sort_by_key(|&(b, _)| b);
+            d.dedup();
+        }
+        for d in &mut dependents {
+            d.sort_unstable();
+            d.dedup();
+        }
+        ControlDeps { deps, dependents }
+    }
+
+    /// The branch blocks `b` is control dependent on, with the successor
+    /// edge kind that leads toward `b`.
+    pub fn deps_of(&self, b: BlockId) -> &[(BlockId, EdgeKind)] {
+        &self.deps[b.index()]
+    }
+
+    /// The blocks control dependent on branch block `b`.
+    pub fn dependents_of(&self, b: BlockId) -> &[BlockId] {
+        &self.dependents[b.index()]
+    }
+
+    /// True if `b` is control dependent on `branch`.
+    pub fn depends_on(&self, b: BlockId, branch: BlockId) -> bool {
+        self.deps[b.index()].iter().any(|&(d, _)| d == branch)
+    }
+
+    /// Total number of control-dependence pairs.
+    pub fn len(&self) -> usize {
+        self.deps.iter().map(Vec::len).sum()
+    }
+
+    /// True if no block is control dependent on any branch.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{AluOp, Cond, Pc, ProgramBuilder, Reg};
+
+    fn fig1_cfg() -> Cfg {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("fig1");
+        let la = b.fresh_label("A");
+        let ld = b.fresh_label("D");
+        let le = b.fresh_label("E");
+        b.bind_label(la);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Eq, Reg::R2, 0, ld);
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.jmp(le);
+        b.bind_label(ld);
+        b.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+        b.bind_label(le);
+        b.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 10, la);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        Cfg::build(&p, p.function("fig1").unwrap())
+    }
+
+    #[test]
+    fn fig1_matches_figure3() {
+        // Figure 3: A, B, E, F are control dependent on the loop branch in
+        // F; C and D are control dependent on the branch in B; E is *not*
+        // control dependent on B, C, or D.
+        let cfg = fig1_cfg();
+        let pdom = DomTree::postdominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        let ab = cfg.block_at(Pc::new(0)).unwrap();
+        let c = cfg.block_at(Pc::new(3)).unwrap();
+        let d = cfg.block_at(Pc::new(5)).unwrap();
+        let ef = cfg.block_at(Pc::new(6)).unwrap();
+
+        // C and D depend on the if-else branch (in block A+B).
+        assert!(cd.depends_on(c, ab));
+        assert!(cd.depends_on(d, ab));
+        // The join E+F does NOT depend on the if-else branch.
+        assert!(!cd.depends_on(ef, ab));
+        // The loop blocks depend on the loop branch (in block E+F).
+        assert!(cd.depends_on(ab, ef));
+        assert!(cd.depends_on(ef, ef)); // loop branch controls its own block's re-execution
+        // C is NOT control dependent on the loop branch — only on the
+        // if-else branch (Figure 3 shows exactly C, D under B).
+        assert!(!cd.depends_on(c, ef));
+        assert_eq!(cd.dependents_of(ab), &[c, d]);
+    }
+
+    #[test]
+    fn straightline_has_no_deps() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        b.nop();
+        b.nop();
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let pdom = DomTree::postdominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        assert!(cd.is_empty());
+        assert_eq!(cd.len(), 0);
+    }
+
+    #[test]
+    fn diamond_arms_depend_on_branch() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let le = b.fresh_label("else");
+        let lj = b.fresh_label("join");
+        b.br_imm(Cond::Eq, Reg::R1, 0, le);
+        b.nop();
+        b.jmp(lj);
+        b.bind_label(le);
+        b.nop();
+        b.bind_label(lj);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let pdom = DomTree::postdominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        let branch = cfg.entry();
+        let t = cfg.block_at(Pc::new(2)).unwrap();
+        let e = cfg.block_at(Pc::new(4)).unwrap();
+        let join = cfg.block_at(Pc::new(5)).unwrap();
+        assert!(cd.depends_on(t, branch));
+        assert!(cd.depends_on(e, branch));
+        assert!(!cd.depends_on(join, branch));
+        // Edge kinds: the taken edge leads to the else arm.
+        let dep = cd
+            .deps_of(e)
+            .iter()
+            .find(|&&(b, _)| b == branch)
+            .copied()
+            .unwrap();
+        assert_eq!(dep.1, EdgeKind::Taken);
+    }
+
+    #[test]
+    #[should_panic(expected = "postdominator")]
+    fn rejects_forward_dominators() {
+        let cfg = fig1_cfg();
+        let dom = DomTree::dominators(&cfg);
+        let _ = ControlDeps::compute(&cfg, &dom);
+    }
+
+    #[test]
+    fn if_then_dependence() {
+        // branch over a then-block: only the then-block is dependent.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let skip = b.fresh_label("skip");
+        b.br_imm(Cond::Eq, Reg::R1, 0, skip);
+        b.nop(); // then
+        b.bind_label(skip);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let pdom = DomTree::postdominators(&cfg);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        let branch = cfg.entry();
+        let then = cfg.block_at(Pc::new(2)).unwrap();
+        let join = cfg.block_at(Pc::new(3)).unwrap();
+        assert_eq!(cd.dependents_of(branch), &[then]);
+        assert!(!cd.depends_on(join, branch));
+    }
+}

@@ -1,0 +1,523 @@
+//! Dominator and postdominator trees (Cooper–Harvey–Kennedy).
+
+use crate::graph::{BlockId, Cfg};
+
+/// Which analysis a [`DomTree`] holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomKind {
+    /// Forward dominators rooted at the CFG entry.
+    Dominators,
+    /// Postdominators: dominators of the reverse CFG rooted at a virtual
+    /// exit that succeeds every exit block (paper §2.1).
+    Postdominators,
+}
+
+/// A dominator or postdominator tree over the blocks of one [`Cfg`].
+///
+/// For postdominators the tree root is a *virtual exit* node that is not a
+/// real block: blocks whose immediate postdominator is the virtual exit
+/// report [`DomTree::idom`] of `None` while still being
+/// [`DomTree::is_reachable`]. Blocks that cannot reach any exit (infinite
+/// loops) are unreachable in the reverse CFG and report `idom` of `None`
+/// and `is_reachable` of `false`.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    kind: DomKind,
+    /// Immediate dominator of each block, as a real block.
+    idom: Vec<Option<BlockId>>,
+    /// Whether the node was reached from the root during analysis.
+    reachable: Vec<bool>,
+    /// Depth in the tree (root-adjacent blocks have depth 1; the virtual
+    /// root has depth 0 and is not represented).
+    depth: Vec<u32>,
+    /// Children lists (real blocks only).
+    children: Vec<Vec<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes forward dominators of `cfg` from its entry block.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        // Node space: blocks only; root = entry.
+        let succs: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                cfg.succs(BlockId::new(i))
+                    .iter()
+                    .map(|&(t, _)| t.index())
+                    .collect()
+            })
+            .collect();
+        let preds: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                cfg.preds(BlockId::new(i))
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
+            })
+            .collect();
+        let root = cfg.entry().index();
+        let idom_raw = chk(n, root, &succs, &preds);
+        Self::assemble(DomKind::Dominators, n, root, None, idom_raw)
+    }
+
+    /// Computes postdominators of `cfg` using a virtual exit node.
+    pub fn postdominators(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        let virt = n; // virtual exit index
+        // Reverse graph: succ = CFG preds, preds = CFG succs; virtual exit
+        // has an edge *to* every exit block in the reverse graph.
+        let mut succs: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                cfg.preds(BlockId::new(i))
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
+            })
+            .collect();
+        let mut preds: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                cfg.succs(BlockId::new(i))
+                    .iter()
+                    .map(|&(t, _)| t.index())
+                    .collect()
+            })
+            .collect();
+        succs.push(cfg.exits().iter().map(|b| b.index()).collect());
+        preds.push(Vec::new());
+        for &e in cfg.exits() {
+            preds[e.index()].push(virt);
+        }
+        let idom_raw = chk(n + 1, virt, &succs, &preds);
+        Self::assemble(DomKind::Postdominators, n, virt, Some(virt), idom_raw)
+    }
+
+    fn assemble(
+        kind: DomKind,
+        n: usize,
+        root: usize,
+        virt: Option<usize>,
+        idom_raw: Vec<Option<usize>>,
+    ) -> DomTree {
+        let mut idom = vec![None; n];
+        let mut reachable = vec![false; n];
+        for i in 0..n {
+            if let Some(d) = idom_raw[i] {
+                reachable[i] = true;
+                if i == root {
+                    // The root's idom is itself; real roots have no parent.
+                    continue;
+                }
+                if Some(d) == virt {
+                    idom[i] = None; // parent is the virtual exit
+                } else {
+                    idom[i] = Some(BlockId::new(d));
+                }
+            }
+        }
+        if root < n {
+            reachable[root] = true;
+        }
+
+        // Depths: iterate until settled (tree, so a simple pass in any
+        // order with memoization works).
+        let mut depth = vec![0u32; n];
+        for i in 0..n {
+            if !reachable[i] {
+                continue;
+            }
+            let mut d = 0;
+            let mut cur = i;
+            loop {
+                match idom[cur] {
+                    Some(p) => {
+                        d += 1;
+                        cur = p.index();
+                    }
+                    None => break,
+                }
+            }
+            // Blocks hanging off the virtual root get +1 so the (absent)
+            // root sits at depth 0.
+            depth[i] = d + 1;
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for i in 0..n {
+            if let Some(p) = idom[i] {
+                children[p.index()].push(BlockId::new(i));
+            }
+        }
+
+        DomTree {
+            kind,
+            idom,
+            reachable,
+            depth,
+            children,
+        }
+    }
+
+    /// Which analysis this tree holds.
+    pub fn kind(&self) -> DomKind {
+        self.kind
+    }
+
+    /// The immediate (post)dominator of `b`, as a real block.
+    ///
+    /// Returns `None` for the analysis root, for blocks whose immediate
+    /// postdominator is the virtual exit, and for blocks not reached by the
+    /// analysis. Use [`DomTree::is_reachable`] to distinguish the last case.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if the analysis reached `b` from its root. Unreached blocks
+    /// (dead code for dominators; infinite loops for postdominators) have
+    /// no defined (post)dominators.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Depth of `b` below the (virtual) root; root-adjacent blocks have
+    /// depth 1. Returns 0 for unreachable blocks.
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Children of `b` in the tree.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
+    }
+
+    /// True if `a` (post)dominates `b` (reflexively).
+    ///
+    /// Unreachable nodes (post)dominate nothing and are (post)dominated by
+    /// nothing except themselves.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        if !self.reachable[a.index()] || !self.reachable[b.index()] {
+            return false;
+        }
+        let mut cur = b;
+        while self.depth(cur) > self.depth(a) {
+            match self.idom(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+        cur == a
+    }
+
+    /// True if `a` strictly (post)dominates `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Walks up the tree from `b` (exclusive) to the root, yielding real
+    /// blocks.
+    pub fn ancestors(&self, b: BlockId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: self.idom(b),
+        }
+    }
+}
+
+/// Iterator over a block's (post)dominator-tree ancestors.
+#[derive(Debug)]
+pub struct Ancestors<'a> {
+    tree: &'a DomTree,
+    cur: Option<BlockId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = BlockId;
+    fn next(&mut self) -> Option<BlockId> {
+        let c = self.cur?;
+        self.cur = self.tree.idom(c);
+        Some(c)
+    }
+}
+
+/// Cooper–Harvey–Kennedy iterative dominator computation on an abstract
+/// graph of `n` nodes rooted at `root`.
+///
+/// Returns, for each node, its immediate dominator (the root maps to
+/// itself); unreachable nodes map to `None`.
+fn chk(
+    n: usize,
+    root: usize,
+    succs: &[Vec<usize>],
+    preds: &[Vec<usize>],
+) -> Vec<Option<usize>> {
+    // Reverse postorder from root.
+    let mut order = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+    state[root] = 1;
+    while let Some(&mut (node, ref mut i)) = stack.last_mut() {
+        if *i < succs[node].len() {
+            let next = succs[node][*i];
+            *i += 1;
+            if state[next] == 0 {
+                state[next] = 1;
+                stack.push((next, 0));
+            }
+        } else {
+            state[node] = 2;
+            order.push(node);
+            stack.pop();
+        }
+    }
+    order.reverse(); // now RPO
+
+    let mut rpo_number = vec![usize::MAX; n];
+    for (i, &node) in order.iter().enumerate() {
+        rpo_number[node] = i;
+    }
+
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+
+    let intersect = |idom: &[Option<usize>], rpo: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo[a] > rpo[b] {
+                a = idom[a].expect("processed node");
+            }
+            while rpo[b] > rpo[a] {
+                b = idom[b].expect("processed node");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in &order {
+            if node == root {
+                continue;
+            }
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[node] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_number, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[node] != Some(ni) {
+                    idom[node] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{AluOp, Cond, Pc, ProgramBuilder, Reg};
+
+    /// Figure 1 graph: A+B, C, D, E+F, halt.
+    fn fig1_cfg() -> Cfg {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("fig1");
+        let la = b.fresh_label("A");
+        let ld = b.fresh_label("D");
+        let le = b.fresh_label("E");
+        b.bind_label(la);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Eq, Reg::R2, 0, ld);
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.jmp(le);
+        b.bind_label(ld);
+        b.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+        b.bind_label(le);
+        b.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 10, la);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        Cfg::build(&p, p.function("fig1").unwrap())
+    }
+
+    #[test]
+    fn fig1_dominators() {
+        let cfg = fig1_cfg();
+        let dom = DomTree::dominators(&cfg);
+        let ab = cfg.block_at(Pc::new(0)).unwrap();
+        let c = cfg.block_at(Pc::new(3)).unwrap();
+        let d = cfg.block_at(Pc::new(5)).unwrap();
+        let ef = cfg.block_at(Pc::new(6)).unwrap();
+        let halt = cfg.block_at(Pc::new(9)).unwrap();
+        assert_eq!(dom.idom(ab), None); // entry
+        assert_eq!(dom.idom(c), Some(ab));
+        assert_eq!(dom.idom(d), Some(ab));
+        assert_eq!(dom.idom(ef), Some(ab));
+        assert_eq!(dom.idom(halt), Some(ef));
+        assert!(dom.dominates(ab, halt));
+        assert!(dom.strictly_dominates(ab, ef));
+        assert!(!dom.dominates(c, ef));
+        assert!(dom.dominates(ef, ef));
+    }
+
+    #[test]
+    fn fig1_postdominators_match_figure2() {
+        let cfg = fig1_cfg();
+        let pdom = DomTree::postdominators(&cfg);
+        let ab = cfg.block_at(Pc::new(0)).unwrap();
+        let c = cfg.block_at(Pc::new(3)).unwrap();
+        let d = cfg.block_at(Pc::new(5)).unwrap();
+        let ef = cfg.block_at(Pc::new(6)).unwrap();
+        let halt = cfg.block_at(Pc::new(9)).unwrap();
+        // Figure 2: F (here E+F) is the parent of B (here A+B), C and D's
+        // parent is E, halt postdominates F.
+        assert_eq!(pdom.idom(ab), Some(ef));
+        assert_eq!(pdom.idom(c), Some(ef));
+        assert_eq!(pdom.idom(d), Some(ef));
+        assert_eq!(pdom.idom(ef), Some(halt));
+        assert_eq!(pdom.idom(halt), None); // parent is the virtual exit
+        assert!(pdom.is_reachable(halt));
+        assert!(pdom.dominates(ef, ab)); // E+F postdominates A+B
+        assert!(pdom.dominates(halt, ab));
+        assert!(!pdom.dominates(c, ab));
+    }
+
+    #[test]
+    fn dead_code_unreachable_in_dominators() {
+        // f: jmp end; dead: nop...; end: halt
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let end = b.fresh_label("end");
+        b.jmp(end);
+        b.nop(); // dead
+        b.bind_label(end);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let dead = cfg.block_at(Pc::new(1)).unwrap();
+        assert!(!dom.is_reachable(dead));
+        assert_eq!(dom.idom(dead), None);
+        assert_eq!(dom.depth(dead), 0);
+        // Unreachable blocks dominate nothing but themselves.
+        assert!(!dom.dominates(dead, cfg.entry()));
+        assert!(dom.dominates(dead, dead));
+    }
+
+    #[test]
+    fn infinite_loop_has_no_postdominators() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let top = b.fresh_label("top");
+        b.bind_label(top);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.jmp(top);
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let pdom = DomTree::postdominators(&cfg);
+        let body = cfg.entry();
+        assert!(!pdom.is_reachable(body));
+        assert_eq!(pdom.idom(body), None);
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        // entry -> (t | e) -> join -> halt
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let le = b.fresh_label("else");
+        let lj = b.fresh_label("join");
+        b.br_imm(Cond::Eq, Reg::R1, 0, le);
+        b.nop();
+        b.jmp(lj);
+        b.bind_label(le);
+        b.nop();
+        b.bind_label(lj);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let pdom = DomTree::postdominators(&cfg);
+        let entry = cfg.entry();
+        let join = cfg.block_at(Pc::new(5)).unwrap();
+        assert_eq!(pdom.idom(entry), Some(join));
+        let t = cfg.block_at(Pc::new(2)).unwrap();
+        let e = cfg.block_at(Pc::new(4)).unwrap();
+        assert_eq!(pdom.idom(t), Some(join));
+        assert_eq!(pdom.idom(e), Some(join));
+        // Ancestor iteration from entry: join, then stops at virtual root.
+        let anc: Vec<_> = pdom.ancestors(entry).collect();
+        assert_eq!(anc, vec![join]);
+    }
+
+    #[test]
+    fn multi_exit_ipostdom_is_virtual() {
+        // A branch where each arm returns separately: the branch block's
+        // ipostdom is the virtual exit (no real block).
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let le = b.fresh_label("else");
+        b.br_imm(Cond::Eq, Reg::R1, 0, le);
+        b.ret();
+        b.bind_label(le);
+        b.ret();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let pdom = DomTree::postdominators(&cfg);
+        let entry = cfg.entry();
+        assert!(pdom.is_reachable(entry));
+        assert_eq!(pdom.idom(entry), None);
+        assert_eq!(pdom.depth(entry), 1);
+    }
+
+    #[test]
+    fn dominance_is_partial_order_on_fig1() {
+        let cfg = fig1_cfg();
+        let dom = DomTree::dominators(&cfg);
+        for a in cfg.blocks() {
+            for b in cfg.blocks() {
+                for c in cfg.blocks() {
+                    if dom.dominates(a.id, b.id) && dom.dominates(b.id, c.id) {
+                        assert!(dom.dominates(a.id, c.id), "transitivity violated");
+                    }
+                }
+                if dom.dominates(a.id, b.id) && dom.dominates(b.id, a.id) {
+                    assert_eq!(a.id, b.id, "antisymmetry violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_is_reported() {
+        let cfg = fig1_cfg();
+        assert_eq!(DomTree::dominators(&cfg).kind(), DomKind::Dominators);
+        assert_eq!(
+            DomTree::postdominators(&cfg).kind(),
+            DomKind::Postdominators
+        );
+    }
+
+    #[test]
+    fn children_are_consistent_with_idom() {
+        let cfg = fig1_cfg();
+        let pdom = DomTree::postdominators(&cfg);
+        for b in cfg.blocks() {
+            for &c in pdom.children(b.id) {
+                assert_eq!(pdom.idom(c), Some(b.id));
+            }
+        }
+    }
+}

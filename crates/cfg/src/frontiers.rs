@@ -1,0 +1,179 @@
+//! Dominance and postdominance frontiers (Cooper–Harvey–Kennedy).
+//!
+//! The dominance frontier of a block `d` is the set of blocks `j` such
+//! that `d` dominates a predecessor of `j` but does not strictly dominate
+//! `j` — the classic construction behind SSA φ-placement. Computed over
+//! the *postdominator* tree it yields the control-dependence relation:
+//! `b` is control dependent on exactly the blocks in whose postdominance
+//! frontier it appears, which this module's tests use to cross-validate
+//! [`crate::ControlDeps`].
+
+use crate::dom::{DomKind, DomTree};
+use crate::graph::{BlockId, Cfg};
+use std::collections::BTreeSet;
+
+/// Per-block (post)dominance frontiers.
+#[derive(Debug, Clone)]
+pub struct Frontiers {
+    kind: DomKind,
+    sets: Vec<BTreeSet<BlockId>>,
+}
+
+impl Frontiers {
+    /// Computes frontiers for `tree` (forward or postdominators) over
+    /// `cfg` using Cooper's runner algorithm.
+    ///
+    /// For postdominators, join nodes are blocks with multiple successors
+    /// (joins of the reverse CFG), and runners climb the postdominator
+    /// tree; blocks whose walk reaches the virtual exit simply stop there.
+    pub fn compute(cfg: &Cfg, tree: &DomTree) -> Frontiers {
+        let n = cfg.len();
+        let mut sets: Vec<BTreeSet<BlockId>> = vec![BTreeSet::new(); n];
+        // The general runner walk: for each edge p -> b (in the analysis
+        // direction), climb the tree from p until reaching idom(b),
+        // inserting b into every frontier passed. Unlike the textbook
+        // shortcut that only visits multi-predecessor joins, this also
+        // captures self-frontiers of single-predecessor loop headers
+        // (e.g. a loop whose header is the function entry).
+        let walk = |b: BlockId, p: BlockId, sets: &mut Vec<BTreeSet<BlockId>>| {
+            if !tree.is_reachable(p) {
+                return;
+            }
+            let target = tree.idom(b);
+            let mut runner = Some(p);
+            while runner != target {
+                let Some(r) = runner else { break };
+                sets[r.index()].insert(b);
+                runner = tree.idom(r);
+            }
+        };
+        match tree.kind() {
+            DomKind::Dominators => {
+                for b in cfg.blocks() {
+                    for &p in cfg.preds(b.id) {
+                        walk(b.id, p, &mut sets);
+                    }
+                }
+            }
+            DomKind::Postdominators => {
+                for b in cfg.blocks() {
+                    for &(s, _) in cfg.succs(b.id) {
+                        walk(b.id, s, &mut sets);
+                    }
+                }
+            }
+        }
+        Frontiers {
+            kind: tree.kind(),
+            sets,
+        }
+    }
+
+    /// The frontier of `b`.
+    pub fn frontier(&self, b: BlockId) -> &BTreeSet<BlockId> {
+        &self.sets[b.index()]
+    }
+
+    /// True if `j` is in the frontier of `d`.
+    pub fn contains(&self, d: BlockId, j: BlockId) -> bool {
+        self.sets[d.index()].contains(&j)
+    }
+
+    /// Which analysis these frontiers belong to.
+    pub fn kind(&self) -> DomKind {
+        self.kind
+    }
+
+    /// Total frontier entries (useful in tests and benches).
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(BTreeSet::len).sum()
+    }
+
+    /// True if every frontier is empty (straight-line code).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control_dep::ControlDeps;
+    use polyflow_isa::{AluOp, Cond, Pc, ProgramBuilder, Reg};
+
+    fn fig1_cfg() -> Cfg {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("fig1");
+        let la = b.fresh_label("A");
+        let ld = b.fresh_label("D");
+        let le = b.fresh_label("E");
+        b.bind_label(la);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Eq, Reg::R2, 0, ld);
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.jmp(le);
+        b.bind_label(ld);
+        b.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+        b.bind_label(le);
+        b.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 10, la);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        Cfg::build(&p, p.function("fig1").unwrap())
+    }
+
+    #[test]
+    fn forward_frontier_of_diamond_arms_is_the_join() {
+        let cfg = fig1_cfg();
+        let dom = DomTree::dominators(&cfg);
+        let df = Frontiers::compute(&cfg, &dom);
+        assert_eq!(df.kind(), DomKind::Dominators);
+        let c = cfg.block_at(Pc::new(3)).unwrap();
+        let d = cfg.block_at(Pc::new(5)).unwrap();
+        let ef = cfg.block_at(Pc::new(6)).unwrap();
+        let ab = cfg.block_at(Pc::new(0)).unwrap();
+        // The then/else arms' dominance frontier is the join E.
+        assert!(df.contains(c, ef));
+        assert!(df.contains(d, ef));
+        // The loop: A+B's frontier contains the header itself (back edge).
+        assert!(df.contains(ab, ab));
+        assert!(!df.is_empty());
+    }
+
+    #[test]
+    fn postdominance_frontier_equals_control_dependence() {
+        // b is control dependent on exactly the blocks in whose
+        // postdominance frontier b lies.
+        let cfg = fig1_cfg();
+        let pdom = DomTree::postdominators(&cfg);
+        let pdf = Frontiers::compute(&cfg, &pdom);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        for b in cfg.blocks() {
+            for branch in cfg.blocks() {
+                assert_eq!(
+                    cd.depends_on(b.id, branch.id),
+                    pdf.contains(b.id, branch.id),
+                    "mismatch: {} on {}",
+                    b.id,
+                    branch.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straightline_frontiers_are_empty() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        b.nop();
+        b.nop();
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let df = Frontiers::compute(&cfg, &dom);
+        assert!(df.is_empty());
+    }
+}

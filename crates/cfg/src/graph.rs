@@ -1,0 +1,515 @@
+//! Per-function control-flow graphs.
+
+use polyflow_isa::{Function, Inst, Pc, Program};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies a basic block within one [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// The block's index in [`Cfg::blocks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn new(i: usize) -> BlockId {
+        BlockId(i as u32)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Why a CFG edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Taken direction of a conditional branch.
+    Taken,
+    /// Not-taken direction of a conditional branch, or plain fall-through
+    /// from a non-control instruction.
+    FallThrough,
+    /// Unconditional direct jump.
+    Jump,
+    /// One possible target of an indirect jump.
+    IndirectTarget,
+    /// Fall-through past a call site (the intraprocedural edge; the callee
+    /// is not part of this CFG).
+    CallFallThrough,
+}
+
+/// A basic block: a maximal straight-line instruction sequence.
+///
+/// Blocks additionally end at call sites (with a
+/// [`EdgeKind::CallFallThrough`] successor) so that every call instruction
+/// terminates a block — this is what gives procedure fall-throughs their own
+/// immediate postdominators (paper §2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// This block's id.
+    pub id: BlockId,
+    /// First instruction.
+    pub start: Pc,
+    /// One past the last instruction.
+    pub end: Pc,
+}
+
+impl Block {
+    /// The `Pc` of the block's final (terminator) instruction.
+    pub fn terminator_pc(&self) -> Pc {
+        Pc::new(self.end.index() as u32 - 1)
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end.index() - self.start.index()
+    }
+
+    /// Blocks are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `pc` lies in this block.
+    pub fn contains(&self, pc: Pc) -> bool {
+        self.start <= pc && pc < self.end
+    }
+}
+
+/// A control-flow graph for a single function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    function: Function,
+    blocks: Vec<Block>,
+    succs: Vec<Vec<(BlockId, EdgeKind)>>,
+    preds: Vec<Vec<BlockId>>,
+    exits: Vec<BlockId>,
+    terminators: Vec<Inst>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `function` within `program`.
+    ///
+    /// Leaders are: the function entry, every in-function target of a
+    /// branch, jump, or indirect jump (via the program's jump tables), and
+    /// every instruction following a control instruction (including calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is empty (the
+    /// [`polyflow_isa::ProgramBuilder`] never produces one).
+    pub fn build(program: &Program, function: &Function) -> Cfg {
+        let lo = function.range.start;
+        let hi = function.range.end;
+        assert!(lo < hi, "empty function `{}`", function.name);
+        let in_range = |pc: Pc| (pc.index() as u32) >= lo && (pc.index() as u32) < hi;
+
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(lo);
+        for i in lo..hi {
+            let pc = Pc::new(i);
+            let inst = program.inst(pc);
+            match inst {
+                Inst::Br { target, .. } | Inst::Jmp { target } => {
+                    if in_range(target) {
+                        leaders.insert(target.index() as u32);
+                    }
+                }
+                Inst::Jr { .. } => {
+                    for &t in program.jump_targets(pc) {
+                        if in_range(t) {
+                            leaders.insert(t.index() as u32);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if inst.is_control() && i + 1 < hi {
+                leaders.insert(i + 1);
+            }
+        }
+
+        let bounds: Vec<u32> = leaders.into_iter().collect();
+        let mut blocks = Vec::with_capacity(bounds.len());
+        for (i, &start) in bounds.iter().enumerate() {
+            let end = bounds.get(i + 1).copied().unwrap_or(hi);
+            blocks.push(Block {
+                id: BlockId::new(i),
+                start: Pc::new(start),
+                end: Pc::new(end),
+            });
+        }
+
+        let block_at = |pc: Pc| -> Option<BlockId> {
+            if !in_range(pc) {
+                return None;
+            }
+            let i = bounds.partition_point(|&s| s <= pc.index() as u32) - 1;
+            Some(BlockId::new(i))
+        };
+
+        let n = blocks.len();
+        let mut succs: Vec<Vec<(BlockId, EdgeKind)>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        let mut terminators = Vec::with_capacity(n);
+
+        for b in &blocks {
+            let tpc = b.terminator_pc();
+            let term = program.inst(tpc);
+            terminators.push(term);
+            let mut out: Vec<(BlockId, EdgeKind)> = Vec::new();
+            let mut is_exit = false;
+            let fall = || block_at(b.end);
+            match term {
+                Inst::Br { target, .. } => {
+                    match block_at(target) {
+                        Some(t) => out.push((t, EdgeKind::Taken)),
+                        None => is_exit = true,
+                    }
+                    match fall() {
+                        Some(f) => out.push((f, EdgeKind::FallThrough)),
+                        None => is_exit = true,
+                    }
+                }
+                Inst::Jmp { target } => match block_at(target) {
+                    Some(t) => out.push((t, EdgeKind::Jump)),
+                    None => is_exit = true,
+                },
+                Inst::Jr { .. } => {
+                    let targets = program.jump_targets(tpc);
+                    let mut any_out_of_range = targets.is_empty();
+                    for &t in targets {
+                        match block_at(t) {
+                            Some(tb) => out.push((tb, EdgeKind::IndirectTarget)),
+                            None => any_out_of_range = true,
+                        }
+                    }
+                    if any_out_of_range {
+                        is_exit = true;
+                    }
+                }
+                Inst::Call { .. } | Inst::CallR { .. } => match fall() {
+                    Some(f) => out.push((f, EdgeKind::CallFallThrough)),
+                    None => is_exit = true,
+                },
+                Inst::Ret | Inst::Halt => is_exit = true,
+                _ => match fall() {
+                    Some(f) => out.push((f, EdgeKind::FallThrough)),
+                    None => is_exit = true,
+                },
+            }
+            // Deduplicate parallel edges (e.g. a conditional branch whose
+            // target equals its fall-through) while keeping edge kinds.
+            out.dedup();
+            for &(t, _) in &out {
+                preds[t.index()].push(b.id);
+            }
+            if is_exit {
+                exits.push(b.id);
+            }
+            succs[b.id.index()] = out;
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+
+        Cfg {
+            function: function.clone(),
+            blocks,
+            succs,
+            preds,
+            exits,
+            terminators,
+        }
+    }
+
+    /// Builds CFGs for every function in `program`, in layout order.
+    pub fn build_all(program: &Program) -> Vec<Cfg> {
+        program
+            .functions()
+            .iter()
+            .map(|f| Cfg::build(program, f))
+            .collect()
+    }
+
+    /// The function this CFG describes.
+    pub fn function(&self) -> &Function {
+        &self.function
+    }
+
+    /// All basic blocks, in address order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of basic blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// A CFG always has at least one block.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId::new(0)
+    }
+
+    /// The block containing `pc`, if `pc` is inside this function.
+    pub fn block_at(&self, pc: Pc) -> Option<BlockId> {
+        if !self.function.contains(pc) {
+            return None;
+        }
+        let i = self
+            .blocks
+            .partition_point(|b| b.start <= pc)
+            .checked_sub(1)?;
+        Some(self.blocks[i].id)
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Successor edges of a block.
+    pub fn succs(&self, id: BlockId) -> &[(BlockId, EdgeKind)] {
+        &self.succs[id.index()]
+    }
+
+    /// Predecessor blocks of a block (deduplicated).
+    pub fn preds(&self, id: BlockId) -> &[BlockId] {
+        &self.preds[id.index()]
+    }
+
+    /// Blocks from which control leaves the function (return, halt, or a
+    /// transfer out of the function body).
+    pub fn exits(&self) -> &[BlockId] {
+        &self.exits
+    }
+
+    /// The terminator instruction of a block.
+    pub fn terminator(&self, id: BlockId) -> Inst {
+        self.terminators[id.index()]
+    }
+
+    /// Iterates over all edges as `(from, to, kind)`.
+    pub fn edges(&self) -> impl Iterator<Item = (BlockId, BlockId, EdgeKind)> + '_ {
+        self.blocks.iter().flat_map(move |b| {
+            self.succs(b.id)
+                .iter()
+                .map(move |&(t, k)| (b.id, t, k))
+        })
+    }
+
+    /// Renders the CFG in Graphviz `dot` syntax (block PCs as labels).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.function.name);
+        for b in &self.blocks {
+            let _ = writeln!(s, "  {} [label=\"{} [{}..{})\"];", b.id, b.id, b.start, b.end);
+        }
+        for (from, to, kind) in self.edges() {
+            let _ = writeln!(s, "  {from} -> {to} [label=\"{kind:?}\"];");
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{AluOp, Cond, ProgramBuilder, Reg};
+
+    /// The paper's Figure 1: a loop containing an if-then-else.
+    /// Returns (program, block ids for A..F).
+    pub(crate) fn fig1() -> (Program, Cfg) {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("fig1");
+        let la = b.fresh_label("A");
+        let ld = b.fresh_label("D");
+        let le = b.fresh_label("E");
+        b.bind_label(la);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1); // A: 0
+        b.br_imm(Cond::Eq, Reg::R2, 0, ld); // B: 1 (li), 2 (br)
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 1); // C: 3
+        b.jmp(le); // 4
+        b.bind_label(ld);
+        b.alui(AluOp::Add, Reg::R4, Reg::R4, 1); // D: 5
+        b.bind_label(le);
+        b.alui(AluOp::Add, Reg::R5, Reg::R5, 1); // E: 6
+        b.br_imm(Cond::Lt, Reg::R1, 10, la); // F: 7 (li), 8 (br)
+        b.halt(); // G: 9
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("fig1").unwrap());
+        (p, cfg)
+    }
+
+    #[test]
+    fn fig1_block_structure() {
+        let (_, cfg) = fig1();
+        // Blocks: A+B [0..3), C [3..5), D [5..6), E+F [6..9), halt [9..10)
+        assert_eq!(cfg.len(), 5);
+        let ab = cfg.block_at(Pc::new(0)).unwrap();
+        let c = cfg.block_at(Pc::new(3)).unwrap();
+        let d = cfg.block_at(Pc::new(5)).unwrap();
+        let ef = cfg.block_at(Pc::new(6)).unwrap();
+        let halt = cfg.block_at(Pc::new(9)).unwrap();
+        assert_eq!(cfg.entry(), ab);
+        // A/B branches to D (taken) and C (fall-through).
+        let succs: Vec<_> = cfg.succs(ab).iter().map(|&(t, _)| t).collect();
+        assert!(succs.contains(&c) && succs.contains(&d));
+        // C jumps to E.
+        assert_eq!(cfg.succs(c), &[(ef, EdgeKind::Jump)]);
+        // D falls through to E.
+        assert_eq!(cfg.succs(d), &[(ef, EdgeKind::FallThrough)]);
+        // E/F loops back to A/B or falls to halt.
+        let succs: Vec<_> = cfg.succs(ef).iter().map(|&(t, _)| t).collect();
+        assert!(succs.contains(&ab) && succs.contains(&halt));
+        // halt is the exit.
+        assert_eq!(cfg.exits(), &[halt]);
+        assert!(cfg.succs(halt).is_empty());
+    }
+
+    #[test]
+    fn preds_are_inverse_of_succs() {
+        let (_, cfg) = fig1();
+        for (from, to, _) in cfg.edges() {
+            assert!(cfg.preds(to).contains(&from));
+        }
+        let mut count = 0;
+        for b in cfg.blocks() {
+            count += cfg.preds(b.id).len();
+        }
+        // preds are deduplicated; fig1 has no parallel edges.
+        assert_eq!(count, cfg.edges().count());
+    }
+
+    #[test]
+    fn call_terminates_block() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.li(Reg::R1, 1); // 0
+        b.call("f"); // 1
+        b.li(Reg::R2, 2); // 2
+        b.halt(); // 3
+        b.end_function();
+        b.begin_function("f");
+        b.ret();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("main").unwrap());
+        assert_eq!(cfg.len(), 2);
+        let b0 = cfg.block_at(Pc::new(0)).unwrap();
+        let b1 = cfg.block_at(Pc::new(2)).unwrap();
+        assert_eq!(cfg.succs(b0), &[(b1, EdgeKind::CallFallThrough)]);
+        assert!(matches!(cfg.terminator(b0), Inst::Call { .. }));
+    }
+
+    #[test]
+    fn indirect_jump_edges() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let c0 = b.fresh_label("c0");
+        let c1 = b.fresh_label("c1");
+        b.li(Reg::R1, 0); // 0
+        b.jr(Reg::R1, &[c0, c1]); // 1
+        b.bind_label(c0);
+        b.li(Reg::R2, 1); // 2
+        b.halt(); // 3
+        b.bind_label(c1);
+        b.li(Reg::R3, 2); // 4
+        b.halt(); // 5
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("main").unwrap());
+        let dispatch = cfg.block_at(Pc::new(1)).unwrap();
+        let kinds: Vec<_> = cfg.succs(dispatch).iter().map(|&(_, k)| k).collect();
+        assert_eq!(kinds, vec![EdgeKind::IndirectTarget, EdgeKind::IndirectTarget]);
+        assert_eq!(cfg.exits().len(), 2);
+    }
+
+    #[test]
+    fn ret_is_exit() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        b.li(Reg::R1, 1);
+        b.ret();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.exits().len(), 1);
+    }
+
+    #[test]
+    fn block_at_rejects_foreign_pcs() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        b.ret();
+        b.end_function();
+        b.begin_function("g");
+        b.ret();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        assert!(cfg.block_at(Pc::new(0)).is_some());
+        assert!(cfg.block_at(Pc::new(1)).is_none());
+        assert!(cfg.block_at(Pc::new(99)).is_none());
+    }
+
+    #[test]
+    fn build_all_covers_functions() {
+        let mut b = ProgramBuilder::new();
+        for name in ["a", "b", "c"] {
+            b.begin_function(name);
+            b.ret();
+            b.end_function();
+        }
+        let p = b.build().unwrap();
+        let cfgs = Cfg::build_all(&p);
+        assert_eq!(cfgs.len(), 3);
+        assert_eq!(cfgs[1].function().name, "b");
+    }
+
+    #[test]
+    fn dot_output_mentions_blocks() {
+        let (_, cfg) = fig1();
+        let dot = cfg.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("B0"));
+    }
+
+    #[test]
+    fn branch_to_own_fallthrough_dedups() {
+        // bne r0, r0, next; next: halt — taken target == fall-through block.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let next = b.fresh_label("next");
+        b.br(Cond::Ne, Reg::R0, Reg::R0, next);
+        b.bind_label(next);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let b0 = cfg.entry();
+        // Both edges lead to the same block; preds deduplicated.
+        let t = cfg.succs(b0)[0].0;
+        assert_eq!(cfg.preds(t), &[b0]);
+    }
+}

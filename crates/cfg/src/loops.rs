@@ -1,0 +1,373 @@
+//! Natural loops and the loop nesting forest.
+
+use crate::dom::DomTree;
+use crate::graph::{BlockId, Cfg};
+use std::collections::BTreeSet;
+
+/// Identifies a loop within one [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(u32);
+
+impl LoopId {
+    /// Index into [`LoopForest::loops`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A natural loop: the union of all back edges sharing a header.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// This loop's id.
+    pub id: LoopId,
+    /// The unique header block (dominates every block in the body).
+    pub header: BlockId,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including header and latches.
+    pub body: BTreeSet<BlockId>,
+    /// Edges `(from, to)` leaving the loop (`from` inside, `to` outside).
+    pub exit_edges: Vec<(BlockId, BlockId)>,
+    /// The immediately enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+}
+
+impl Loop {
+    /// True if `b` is in the loop body.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// All natural loops of a CFG, with nesting information.
+///
+/// Back edges are CFG edges `u → v` where `v` dominates `u`; the natural
+/// loop of a back edge is `v` plus all blocks that reach `u` without
+/// passing through `v`. Back edges sharing a header are merged into one
+/// loop, matching the classic definition.
+///
+/// Irreducible cycles (no dominating header) are not recognized as loops;
+/// the builder-produced workloads are all reducible.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// Innermost loop containing each block.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Computes the loop forest from a CFG and its forward dominator tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dom` is a postdominator tree.
+    pub fn compute(cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        assert_eq!(
+            dom.kind(),
+            crate::dom::DomKind::Dominators,
+            "LoopForest requires forward dominators"
+        );
+        // Collect back edges grouped by header.
+        let mut by_header: std::collections::BTreeMap<BlockId, Vec<BlockId>> =
+            std::collections::BTreeMap::new();
+        for (u, v, _) in cfg.edges() {
+            if dom.dominates(v, u) {
+                by_header.entry(v).or_default().push(u);
+            }
+        }
+
+        let mut loops = Vec::new();
+        for (header, latches) in by_header {
+            // Natural loop: header + reverse-reachable from latches without
+            // passing through header.
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    for &p in cfg.preds(b) {
+                        if !body.contains(&p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            let mut exit_edges = Vec::new();
+            for &b in &body {
+                for &(t, _) in cfg.succs(b) {
+                    if !body.contains(&t) {
+                        exit_edges.push((b, t));
+                    }
+                }
+            }
+            exit_edges.sort();
+            exit_edges.dedup();
+            let id = LoopId(loops.len() as u32);
+            loops.push(Loop {
+                id,
+                header,
+                latches,
+                body,
+                exit_edges,
+                parent: None,
+                depth: 1,
+            });
+        }
+
+        // Nesting: parent of L = the smallest loop strictly containing L's
+        // header whose body is a superset of L's body.
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..loops.len()).collect();
+            idx.sort_by_key(|&i| loops[i].body.len());
+            idx
+        };
+        for (pos, &i) in order.iter().enumerate() {
+            for &j in &order[pos + 1..] {
+                if i != j
+                    && loops[j].body.len() > loops[i].body.len()
+                    && loops[j].body.is_superset(&loops[i].body)
+                {
+                    loops[i].parent = Some(LoopId(j as u32));
+                    break;
+                }
+            }
+        }
+        // Depths from parents.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // Innermost loop per block: smallest body containing the block.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; cfg.len()];
+        for &i in &order {
+            for &b in &loops[i].body {
+                if innermost[b.index()].is_none() {
+                    innermost[b.index()] = Some(LoopId(i as u32));
+                }
+            }
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// All loops (unordered).
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The loop with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.index()]
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// True if the CFG has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<&Loop> {
+        self.innermost
+            .get(b.index())
+            .copied()
+            .flatten()
+            .map(|id| self.get(id))
+    }
+
+    /// True if edge `u → v` is a back edge (v is a header and u a latch of
+    /// the same loop).
+    pub fn is_back_edge(&self, u: BlockId, v: BlockId) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.header == v && l.latches.contains(&u))
+    }
+
+    /// True if block `b` is the source of a back edge.
+    pub fn is_latch(&self, b: BlockId) -> bool {
+        self.loops.iter().any(|l| l.latches.contains(&b))
+    }
+
+    /// True if block `b` has a successor outside its innermost loop.
+    pub fn is_loop_exit_block(&self, b: BlockId) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.exit_edges.iter().any(|&(from, _)| from == b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{AluOp, Cond, Pc, Program, ProgramBuilder, Reg};
+
+    fn nested_loops() -> (Program, Cfg) {
+        // for i { for j { body } tail } after
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let outer = b.fresh_label("outer");
+        let inner = b.fresh_label("inner");
+        b.li(Reg::R1, 0); // 0
+        b.bind_label(outer); // 1:
+        b.li(Reg::R2, 0); // 1
+        b.bind_label(inner); // 2:
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 1); // 2 body
+        b.alui(AluOp::Add, Reg::R2, Reg::R2, 1); // 3
+        b.br_imm(Cond::Lt, Reg::R2, 3, inner); // 4,5
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1); // 6 tail
+        b.br_imm(Cond::Lt, Reg::R1, 3, outer); // 7,8
+        b.halt(); // 9
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        (p, cfg)
+    }
+
+    #[test]
+    fn detects_two_nested_loops() {
+        let (_, cfg) = nested_loops();
+        let dom = DomTree::dominators(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert_eq!(lf.len(), 2);
+        let inner_header = cfg.block_at(Pc::new(2)).unwrap();
+        let outer_header = cfg.block_at(Pc::new(1)).unwrap();
+        let inner = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == inner_header)
+            .unwrap();
+        let outer = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == outer_header)
+            .unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.depth, 1);
+        assert!(outer.body.is_superset(&inner.body));
+        assert!(outer.body.len() > inner.body.len());
+    }
+
+    #[test]
+    fn innermost_resolution() {
+        let (_, cfg) = nested_loops();
+        let dom = DomTree::dominators(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        let body = cfg.block_at(Pc::new(2)).unwrap();
+        let tail = cfg.block_at(Pc::new(6)).unwrap();
+        let after = cfg.block_at(Pc::new(9)).unwrap();
+        assert_eq!(lf.innermost(body).unwrap().depth, 2);
+        assert_eq!(lf.innermost(tail).unwrap().depth, 1);
+        assert!(lf.innermost(after).is_none());
+    }
+
+    #[test]
+    fn back_edges_and_latches() {
+        let (_, cfg) = nested_loops();
+        let dom = DomTree::dominators(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        // The inner loop body collapses into one block [2..6): a self-loop.
+        let inner_block = cfg.block_at(Pc::new(2)).unwrap();
+        assert_eq!(inner_block, cfg.block_at(Pc::new(4)).unwrap());
+        assert!(lf.is_back_edge(inner_block, inner_block));
+        assert!(lf.is_latch(inner_block));
+        assert!(lf.is_loop_exit_block(inner_block));
+        // The outer loop's latch is the tail block [6..9).
+        let outer_header = cfg.block_at(Pc::new(1)).unwrap();
+        let outer_latch = cfg.block_at(Pc::new(6)).unwrap();
+        assert!(lf.is_back_edge(outer_latch, outer_header));
+        assert!(!lf.is_back_edge(outer_header, outer_latch));
+    }
+
+    #[test]
+    fn exit_edges_leave_body() {
+        let (_, cfg) = nested_loops();
+        let dom = DomTree::dominators(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        for l in lf.loops() {
+            for &(from, to) in &l.exit_edges {
+                assert!(l.contains(from));
+                assert!(!l.contains(to));
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_cfg_has_no_loops() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let skip = b.fresh_label("skip");
+        b.br_imm(Cond::Eq, Reg::R1, 0, skip);
+        b.nop();
+        b.bind_label(skip);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert!(lf.is_empty());
+        assert!(lf.innermost(cfg.entry()).is_none());
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let top = b.fresh_label("top");
+        b.bind_label(top);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 5, top);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert_eq!(lf.len(), 1);
+        let l = &lf.loops()[0];
+        assert_eq!(l.header, cfg.entry());
+        assert_eq!(l.latches, vec![cfg.entry()]);
+        assert_eq!(l.body.len(), 1);
+    }
+
+    #[test]
+    fn shared_header_merges_loops() {
+        // Two back edges to the same header: continue-style flow.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let top = b.fresh_label("top");
+        let l2 = b.fresh_label("second_latch");
+        b.bind_label(top);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1); // 0 header
+        b.br_imm(Cond::Eq, Reg::R2, 0, top); // 1,2 first latch (continue)
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 1); // 3
+        b.bind_label(l2);
+        b.br_imm(Cond::Lt, Reg::R1, 9, top); // 4,5 second latch
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let dom = DomTree::dominators(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert_eq!(lf.len(), 1);
+        assert_eq!(lf.loops()[0].latches.len(), 2);
+    }
+}

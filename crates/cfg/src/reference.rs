@@ -1,0 +1,270 @@
+//! Slow, obviously-correct reference implementations used as test oracles.
+//!
+//! These compute dominance and postdominance with the textbook set-based
+//! dataflow equations:
+//!
+//! ```text
+//! dom(entry)  = {entry}
+//! dom(n)      = {n} ∪ ⋂ over preds p of dom(p)
+//! ```
+//!
+//! and postdominance as dominance over the reverse CFG with a virtual exit.
+//! Complexity is O(n² · e) in the worst case — fine for test graphs, far
+//! too slow for the workloads. Property tests compare [`crate::DomTree`]
+//! against these on randomized CFGs.
+
+use crate::graph::{BlockId, Cfg};
+use std::collections::BTreeSet;
+
+/// Computes, for each block, the full set of blocks that dominate it.
+///
+/// Unreachable blocks map to `None` (their dominator set is undefined).
+pub fn dominator_sets(cfg: &Cfg) -> Vec<Option<BTreeSet<BlockId>>> {
+    let n = cfg.len();
+    let preds: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            cfg.preds(BlockId::new(i))
+                .iter()
+                .map(|p| p.index())
+                .collect()
+        })
+        .collect();
+    sets(n, cfg.entry().index(), &preds)
+        .into_iter()
+        .map(|o| o.map(|s| s.into_iter().map(BlockId::new).collect()))
+        .collect()
+}
+
+/// Computes, for each block, the full set of blocks that postdominate it.
+///
+/// Blocks that cannot reach an exit map to `None`. The virtual exit itself
+/// is omitted from the returned sets (it is not a real block).
+pub fn postdominator_sets(cfg: &Cfg) -> Vec<Option<BTreeSet<BlockId>>> {
+    let n = cfg.len();
+    let virt = n;
+    // Reverse graph preds = CFG succs, plus virtual exit flows.
+    let mut preds: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            cfg.succs(BlockId::new(i))
+                .iter()
+                .map(|&(t, _)| t.index())
+                .collect()
+        })
+        .collect();
+    // In the reverse graph, an exit block's predecessor is the virtual exit.
+    for p in preds.iter_mut() {
+        p.dedup();
+    }
+    let mut rev_preds = vec![Vec::new(); n + 1];
+    for (i, p) in preds.iter().enumerate() {
+        // reverse graph edge i -> p? Careful: in reverse graph, the edge
+        // u->v of the CFG becomes v->u, so preds_rev(u) = succs_cfg(u).
+        rev_preds[i] = p.clone();
+    }
+    for &e in cfg.exits() {
+        rev_preds[e.index()].push(virt);
+    }
+    rev_preds[virt] = Vec::new();
+
+    let raw = sets(n + 1, virt, &rev_preds);
+    raw.into_iter()
+        .take(n)
+        .map(|o| {
+            o.map(|s| {
+                s.into_iter()
+                    .filter(|&x| x != virt)
+                    .map(BlockId::new)
+                    .collect()
+            })
+        })
+        .collect()
+}
+
+/// The immediate postdominator of each block, derived from
+/// [`postdominator_sets`]: the strict postdominator that is postdominated
+/// by every other strict postdominator.
+pub fn immediate_postdominators(cfg: &Cfg) -> Vec<Option<BlockId>> {
+    let psets = postdominator_sets(cfg);
+    let n = cfg.len();
+    (0..n)
+        .map(|i| {
+            let set = psets[i].as_ref()?;
+            let strict: Vec<BlockId> = set
+                .iter()
+                .copied()
+                .filter(|&b| b.index() != i)
+                .collect();
+            // ipdom = the strict postdominator whose own strict-postdominator
+            // count is largest minus... simpler: the one contained in every
+            // other strict postdominator's pdom set is the *farthest*; the
+            // immediate one is the strict postdominator that does NOT
+            // postdominate any other strict postdominator... Actually the
+            // immediate postdominator is the strict postdominator `d` such
+            // that every other strict postdominator postdominates `d`.
+            strict.iter().copied().find(|&d| {
+                strict.iter().all(|&other| {
+                    other == d
+                        || psets[d.index()]
+                            .as_ref()
+                            .map(|s| s.contains(&other))
+                            .unwrap_or(false)
+                })
+            })
+        })
+        .collect()
+}
+
+fn sets(n: usize, root: usize, preds: &[Vec<usize>]) -> Vec<Option<BTreeSet<usize>>> {
+    // Reachability from root along the edge direction implied by preds:
+    // node x is reachable if root == x or some pred chain links it. We
+    // compute reachability by forward propagation over the implied succs.
+    let mut succs = vec![Vec::new(); n];
+    for (v, ps) in preds.iter().enumerate() {
+        for &u in ps {
+            succs[u].push(v);
+        }
+    }
+    let mut reach = vec![false; n];
+    let mut stack = vec![root];
+    reach[root] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &succs[u] {
+            if !reach[v] {
+                reach[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+
+    let full: BTreeSet<usize> = (0..n).filter(|&i| reach[i]).collect();
+    let mut dom: Vec<Option<BTreeSet<usize>>> = (0..n)
+        .map(|i| {
+            if !reach[i] {
+                None
+            } else if i == root {
+                Some([root].into_iter().collect())
+            } else {
+                Some(full.clone())
+            }
+        })
+        .collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for v in 0..n {
+            if v == root || !reach[v] {
+                continue;
+            }
+            let mut new: Option<BTreeSet<usize>> = None;
+            for &p in &preds[v] {
+                if !reach[p] {
+                    continue;
+                }
+                let pd = dom[p].as_ref().expect("reachable");
+                new = Some(match new {
+                    None => pd.clone(),
+                    Some(acc) => acc.intersection(pd).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(v);
+            if dom[v].as_ref() != Some(&new) {
+                dom[v] = Some(new);
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::DomTree;
+    use polyflow_isa::{AluOp, Cond, Pc, ProgramBuilder, Reg};
+
+    fn fig1_cfg() -> Cfg {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("fig1");
+        let la = b.fresh_label("A");
+        let ld = b.fresh_label("D");
+        let le = b.fresh_label("E");
+        b.bind_label(la);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Eq, Reg::R2, 0, ld);
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.jmp(le);
+        b.bind_label(ld);
+        b.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+        b.bind_label(le);
+        b.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 10, la);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        Cfg::build(&p, p.function("fig1").unwrap())
+    }
+
+    #[test]
+    fn reference_agrees_with_chk_on_fig1() {
+        let cfg = fig1_cfg();
+        let fast = DomTree::postdominators(&cfg);
+        let ipdoms = immediate_postdominators(&cfg);
+        for b in cfg.blocks() {
+            assert_eq!(fast.idom(b.id), ipdoms[b.id.index()], "block {}", b.id);
+        }
+    }
+
+    #[test]
+    fn reference_dominator_sets_on_fig1() {
+        let cfg = fig1_cfg();
+        let fast = DomTree::dominators(&cfg);
+        let sets = dominator_sets(&cfg);
+        for a in cfg.blocks() {
+            for b in cfg.blocks() {
+                let slow = sets[b.id.index()]
+                    .as_ref()
+                    .map(|s| s.contains(&a.id))
+                    .unwrap_or(false);
+                assert_eq!(
+                    fast.dominates(a.id, b.id),
+                    slow || a.id == b.id && sets[b.id.index()].is_none(),
+                    "{} dom {}",
+                    a.id,
+                    b.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postdominator_sets_contain_self() {
+        let cfg = fig1_cfg();
+        for (i, s) in postdominator_sets(&cfg).iter().enumerate() {
+            let s = s.as_ref().expect("fig1 fully reaches exit");
+            assert!(s.contains(&BlockId::new(i)));
+        }
+    }
+
+    #[test]
+    fn entry_postdominated_by_join_in_diamond() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        let le = b.fresh_label("else");
+        let lj = b.fresh_label("join");
+        b.br_imm(Cond::Eq, Reg::R1, 0, le);
+        b.nop();
+        b.jmp(lj);
+        b.bind_label(le);
+        b.nop();
+        b.bind_label(lj);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("f").unwrap());
+        let join = cfg.block_at(Pc::new(5)).unwrap();
+        let ipdoms = immediate_postdominators(&cfg);
+        assert_eq!(ipdoms[cfg.entry().index()], Some(join));
+    }
+}

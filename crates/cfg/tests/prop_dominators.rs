@@ -1,0 +1,159 @@
+//! Property tests: the Cooper–Harvey–Kennedy dominator/postdominator
+//! implementation must agree with the brute-force set-based reference on
+//! arbitrary (including irreducible) control-flow graphs.
+
+use polyflow_cfg::{reference, Cfg, ControlDeps, DomTree, Frontiers};
+use polyflow_isa::{Cond, Program, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+/// Builds a program whose single function consists of `n` one-instruction
+/// regions, each terminated by an arbitrary transfer drawn from `choices`:
+/// `(kind, a, b)` where kind selects branch/jump/halt and `a`/`b` are
+/// target region indices. This generates arbitrary digraphs, including
+/// irreducible ones.
+fn arbitrary_program(choices: &[(u8, usize, usize)]) -> Program {
+    let n = choices.len();
+    let mut b = ProgramBuilder::new();
+    b.begin_function("rand");
+    let labels: Vec<_> = (0..n).map(|i| b.fresh_label(&format!("L{i}"))).collect();
+    for (i, &(kind, a, t)) in choices.iter().enumerate() {
+        b.bind_label(labels[i]);
+        b.nop();
+        match kind % 4 {
+            0 => {
+                // Conditional branch to `a`, falling through to i+1 (or halt
+                // via the trailing region).
+                b.br(Cond::Eq, Reg::R1, Reg::R2, labels[a % n]);
+                // Guard against falling off the end: region i's branch falls
+                // into region i+1; the last region is always a halt (kind 2).
+                if i + 1 == n {
+                    b.halt();
+                }
+            }
+            1 => {
+                b.jmp(labels[t % n]);
+            }
+            2 => {
+                b.halt();
+            }
+            _ => {
+                // Two-way branch to a and t (branch then jump).
+                b.br(Cond::Ne, Reg::R1, Reg::R2, labels[a % n]);
+                b.jmp(labels[t % n]);
+            }
+        }
+    }
+    // Final catch-all halt so conditional fall-through at the end is valid.
+    b.halt();
+    b.end_function();
+    b.build().expect("generated program is well formed")
+}
+
+fn cfg_of(p: &Program) -> Cfg {
+    Cfg::build(p, p.function("rand").unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dominators_match_reference(
+        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
+    ) {
+        let p = arbitrary_program(&choices);
+        let cfg = cfg_of(&p);
+        let fast = DomTree::dominators(&cfg);
+        let sets = reference::dominator_sets(&cfg);
+        for a in cfg.blocks() {
+            for b in cfg.blocks() {
+                let slow = match &sets[b.id.index()] {
+                    Some(s) => s.contains(&a.id),
+                    // Unreachable block: only reflexive dominance holds.
+                    None => a.id == b.id,
+                };
+                prop_assert_eq!(
+                    fast.dominates(a.id, b.id), slow,
+                    "{} dom {} (blocks {})", a.id, b.id, cfg.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postdominators_match_reference(
+        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
+    ) {
+        let p = arbitrary_program(&choices);
+        let cfg = cfg_of(&p);
+        let fast = DomTree::postdominators(&cfg);
+        let sets = reference::postdominator_sets(&cfg);
+        for a in cfg.blocks() {
+            for b in cfg.blocks() {
+                let slow = match &sets[b.id.index()] {
+                    Some(s) => s.contains(&a.id),
+                    None => a.id == b.id,
+                };
+                prop_assert_eq!(
+                    fast.dominates(a.id, b.id), slow,
+                    "{} pdom {}", a.id, b.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn immediate_postdominators_match_reference(
+        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
+    ) {
+        let p = arbitrary_program(&choices);
+        let cfg = cfg_of(&p);
+        let fast = DomTree::postdominators(&cfg);
+        let slow = reference::immediate_postdominators(&cfg);
+        for b in cfg.blocks() {
+            prop_assert_eq!(fast.idom(b.id), slow[b.id.index()], "block {}", b.id);
+        }
+    }
+
+    #[test]
+    fn postdominance_frontier_is_control_dependence(
+        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
+    ) {
+        // The classic identity: b is control dependent on exactly the
+        // blocks of whose postdominance frontier it is a member.
+        let p = arbitrary_program(&choices);
+        let cfg = cfg_of(&p);
+        let pdom = DomTree::postdominators(&cfg);
+        let pdf = Frontiers::compute(&cfg, &pdom);
+        let cd = ControlDeps::compute(&cfg, &pdom);
+        for b in cfg.blocks() {
+            // Skip blocks the postdominator analysis never reached
+            // (infinite loops): control dependence walks stop early there.
+            if !pdom.is_reachable(b.id) {
+                continue;
+            }
+            for branch in cfg.blocks() {
+                prop_assert_eq!(
+                    cd.depends_on(b.id, branch.id),
+                    pdf.contains(b.id, branch.id),
+                    "{} on {}", b.id, branch.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ipostdom_strictly_postdominates(
+        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
+    ) {
+        let p = arbitrary_program(&choices);
+        let cfg = cfg_of(&p);
+        let pdom = DomTree::postdominators(&cfg);
+        for b in cfg.blocks() {
+            if let Some(d) = pdom.idom(b.id) {
+                prop_assert!(pdom.strictly_dominates(d, b.id));
+                // Depth decreases by exactly one along the tree edge.
+                prop_assert_eq!(pdom.depth(b.id), pdom.depth(d) + 1);
+            }
+        }
+    }
+}

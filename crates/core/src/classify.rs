@@ -1,0 +1,85 @@
+//! Classification of spawn points into the paper's categories (§2.2).
+
+use std::fmt;
+
+/// The kind of a spawn point.
+///
+/// The first four are the categories of Figure 5 — tasks beginning at the
+/// immediate postdominators of branching instructions. [`SpawnKind::Loop`]
+/// is the classic loop-iteration heuristic (§2.3), which is *not* derived
+/// from postdominators; control-equivalent spawning recovers its benefit
+/// through hammock + loop fall-through spawns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpawnKind {
+    /// Immediate postdominator of a loop branch (latch or break): the code
+    /// after the loop. Exposes outer-loop parallelism and prefetches
+    /// distant code.
+    LoopFallThrough,
+    /// Immediate postdominator of a call instruction: the return point.
+    /// Overlaps instruction-cache misses across procedure boundaries.
+    ProcFallThrough,
+    /// Join of a simple if-then / if-then-else: jumps over hard-to-predict
+    /// branches.
+    Hammock,
+    /// Everything else: immediate postdominators of indirect jumps and of
+    /// branches with complex (heuristic-resistant) control flow.
+    Other,
+    /// Loop-iteration spawn: from the loop entry, spawn the loop's latch
+    /// block (§2.3 explains why the latch, not the next header, is the
+    /// better target — it makes the induction-variable update local to the
+    /// spawned task).
+    Loop,
+}
+
+impl SpawnKind {
+    /// The four postdominator-derived categories, in Figure 5 order.
+    pub const POSTDOM_KINDS: [SpawnKind; 4] = [
+        SpawnKind::LoopFallThrough,
+        SpawnKind::ProcFallThrough,
+        SpawnKind::Hammock,
+        SpawnKind::Other,
+    ];
+
+    /// True if this kind is derived from immediate postdominator analysis.
+    pub fn is_postdom(self) -> bool {
+        self != SpawnKind::Loop
+    }
+
+    /// Short label used in figure output (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpawnKind::LoopFallThrough => "LoopFT",
+            SpawnKind::ProcFallThrough => "ProcFT",
+            SpawnKind::Hammock => "Hammock",
+            SpawnKind::Other => "Other",
+            SpawnKind::Loop => "Loop",
+        }
+    }
+}
+
+impl fmt::Display for SpawnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn postdom_kinds_exclude_loop() {
+        assert!(!SpawnKind::POSTDOM_KINDS.contains(&SpawnKind::Loop));
+        assert!(SpawnKind::POSTDOM_KINDS.iter().all(|k| k.is_postdom()));
+        assert!(!SpawnKind::Loop.is_postdom());
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(SpawnKind::LoopFallThrough.to_string(), "LoopFT");
+        assert_eq!(SpawnKind::ProcFallThrough.to_string(), "ProcFT");
+        assert_eq!(SpawnKind::Hammock.to_string(), "Hammock");
+        assert_eq!(SpawnKind::Other.to_string(), "Other");
+        assert_eq!(SpawnKind::Loop.to_string(), "Loop");
+    }
+}

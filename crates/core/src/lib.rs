@@ -1,0 +1,58 @@
+//! Task-selection (spawn) policies based on immediate postdominance — the
+//! core contribution of *Exploiting Postdominance for Speculative
+//! Parallelization* (HPCA 2007).
+//!
+//! The paper's thesis: a speculative-parallelization system should spawn a
+//! new task at the **immediate postdominator of every conditional branch**
+//! ("control-equivalent spawning", §2). This crate implements:
+//!
+//! * [`SpawnKind`] — the four categories of postdominator-derived spawn
+//!   points (loop fall-through, procedure fall-through, simple hammock,
+//!   other; paper §2.2 / Figure 5), plus the classic *loop-iteration*
+//!   heuristic spawn (§2.3).
+//! * [`Policy`] — the task-selection policies evaluated in §4: each
+//!   individual heuristic, the heuristic combinations of Figure 10, the
+//!   exclusion ablations of Figure 11, and full control-equivalent
+//!   spawning.
+//! * [`ProgramAnalysis`] — runs the CFG/postdominator analyses over every
+//!   function of a program and extracts [`SpawnPoint`]s.
+//! * [`SpawnTable`] — the contents of the paper's *spawn hint cache*
+//!   (§2.1, §3.1): a map from trigger PC to spawn target consumed by the
+//!   Task Spawn Unit in `polyflow-sim`.
+//!
+//! # Example
+//!
+//! ```
+//! use polyflow_core::{Policy, ProgramAnalysis};
+//! use polyflow_isa::{ProgramBuilder, Reg, Cond, AluOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! b.begin_function("main");
+//! let skip = b.fresh_label("skip");
+//! b.br_imm(Cond::Eq, Reg::R1, 0, skip);   // a hammock branch
+//! b.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+//! b.bind_label(skip);
+//! b.halt();
+//! b.end_function();
+//! let program = b.build()?;
+//!
+//! let analysis = ProgramAnalysis::analyze(&program);
+//! let table = analysis.spawn_table(Policy::Postdoms);
+//! assert_eq!(table.len(), 1); // the if-then join is a hammock spawn point
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod classify;
+mod policy;
+mod spawn;
+
+pub use analysis::{FunctionAnalysis, ProgramAnalysis};
+pub use classify::SpawnKind;
+pub use policy::Policy;
+pub use spawn::{SpawnPoint, SpawnTable, StaticDistribution};

@@ -1,0 +1,207 @@
+//! The task-selection policies evaluated in the paper's §4.
+
+use crate::classify::SpawnKind;
+use std::fmt;
+
+/// A task-selection (spawn) policy: which kinds of spawn points the Task
+/// Spawn Unit may act on.
+///
+/// ```
+/// use polyflow_core::{Policy, SpawnKind};
+///
+/// assert!(Policy::Postdoms.admits(SpawnKind::Hammock));
+/// assert!(!Policy::Postdoms.admits(SpawnKind::Loop));
+/// assert_eq!(Policy::LoopFt.name(), "loopFT");
+/// ```
+///
+/// The variants map one-to-one onto the configurations in the paper's
+/// evaluation:
+///
+/// * Figure 9 (individual heuristics): [`Policy::Loop`],
+///   [`Policy::LoopFt`], [`Policy::ProcFt`], [`Policy::Hammock`],
+///   [`Policy::Other`], and [`Policy::Postdoms`].
+/// * Figure 10 (combinations): [`Policy::LoopPlusLoopFt`],
+///   [`Policy::LoopFtPlusProcFt`], [`Policy::LoopProcFtLoopFt`].
+/// * Figure 11 (exclusions): [`Policy::PostdomsWithout`].
+/// * The superscalar baseline spawns nothing: [`Policy::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// No spawning (the superscalar baseline).
+    None,
+    /// Loop-iteration spawns only.
+    Loop,
+    /// Loop fall-through spawns only.
+    LoopFt,
+    /// Procedure fall-through spawns only.
+    ProcFt,
+    /// Hammock spawns only.
+    Hammock,
+    /// "Other" postdominator spawns only.
+    Other,
+    /// All immediate-postdominator spawns (control-equivalent spawning).
+    Postdoms,
+    /// Loop + loop fall-through (Figure 10).
+    LoopPlusLoopFt,
+    /// Loop fall-through + procedure fall-through (Figure 10).
+    LoopFtPlusProcFt,
+    /// Loop + procedure fall-through + loop fall-through (Figure 10).
+    LoopProcFtLoopFt,
+    /// Full postdominator set minus one category (Figure 11).
+    PostdomsWithout(SpawnKind),
+}
+
+impl Policy {
+    /// True if this policy admits spawn points of `kind`.
+    pub fn admits(self, kind: SpawnKind) -> bool {
+        use SpawnKind::*;
+        match self {
+            Policy::None => false,
+            Policy::Loop => kind == Loop,
+            Policy::LoopFt => kind == LoopFallThrough,
+            Policy::ProcFt => kind == ProcFallThrough,
+            Policy::Hammock => kind == Hammock,
+            Policy::Other => kind == Other,
+            Policy::Postdoms => kind.is_postdom(),
+            Policy::LoopPlusLoopFt => matches!(kind, Loop | LoopFallThrough),
+            Policy::LoopFtPlusProcFt => matches!(kind, LoopFallThrough | ProcFallThrough),
+            Policy::LoopProcFtLoopFt => {
+                matches!(kind, Loop | LoopFallThrough | ProcFallThrough)
+            }
+            Policy::PostdomsWithout(excluded) => kind.is_postdom() && kind != excluded,
+        }
+    }
+
+    /// The individual-heuristic policies of Figure 9, in plot order.
+    pub fn figure9() -> [Policy; 6] {
+        [
+            Policy::Loop,
+            Policy::LoopFt,
+            Policy::ProcFt,
+            Policy::Hammock,
+            Policy::Other,
+            Policy::Postdoms,
+        ]
+    }
+
+    /// The combination policies of Figure 10, in plot order.
+    pub fn figure10() -> [Policy; 4] {
+        [
+            Policy::LoopPlusLoopFt,
+            Policy::LoopFtPlusProcFt,
+            Policy::LoopProcFtLoopFt,
+            Policy::Postdoms,
+        ]
+    }
+
+    /// The exclusion policies of Figure 11, in plot order.
+    pub fn figure11() -> [Policy; 4] {
+        [
+            Policy::PostdomsWithout(SpawnKind::LoopFallThrough),
+            Policy::PostdomsWithout(SpawnKind::ProcFallThrough),
+            Policy::PostdomsWithout(SpawnKind::Hammock),
+            Policy::PostdomsWithout(SpawnKind::Other),
+        ]
+    }
+
+    /// The policy's name as used in the paper's figure legends.
+    pub fn name(self) -> String {
+        match self {
+            Policy::None => "superscalar".into(),
+            Policy::Loop => "loop".into(),
+            Policy::LoopFt => "loopFT".into(),
+            Policy::ProcFt => "procFT".into(),
+            Policy::Hammock => "hammock".into(),
+            Policy::Other => "other".into(),
+            Policy::Postdoms => "postdoms".into(),
+            Policy::LoopPlusLoopFt => "loop + loopFT".into(),
+            Policy::LoopFtPlusProcFt => "loopFT + procFT".into(),
+            Policy::LoopProcFtLoopFt => "loop + procFT + loopFT".into(),
+            Policy::PostdomsWithout(k) => format!("postdoms - {}", k.label()),
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_admits_nothing() {
+        for k in SpawnKind::POSTDOM_KINDS {
+            assert!(!Policy::None.admits(k));
+        }
+        assert!(!Policy::None.admits(SpawnKind::Loop));
+    }
+
+    #[test]
+    fn postdoms_admits_exactly_the_four_categories() {
+        for k in SpawnKind::POSTDOM_KINDS {
+            assert!(Policy::Postdoms.admits(k));
+        }
+        assert!(!Policy::Postdoms.admits(SpawnKind::Loop));
+    }
+
+    #[test]
+    fn individual_policies_are_disjoint() {
+        let singles = [
+            (Policy::Loop, SpawnKind::Loop),
+            (Policy::LoopFt, SpawnKind::LoopFallThrough),
+            (Policy::ProcFt, SpawnKind::ProcFallThrough),
+            (Policy::Hammock, SpawnKind::Hammock),
+            (Policy::Other, SpawnKind::Other),
+        ];
+        for (p, k) in singles {
+            assert!(p.admits(k), "{p} should admit {k}");
+            for (q, j) in singles {
+                if p != q {
+                    assert!(!p.admits(j), "{p} should not admit {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exclusions_drop_exactly_one_kind() {
+        for excluded in SpawnKind::POSTDOM_KINDS {
+            let p = Policy::PostdomsWithout(excluded);
+            for k in SpawnKind::POSTDOM_KINDS {
+                assert_eq!(p.admits(k), k != excluded);
+            }
+            assert!(!p.admits(SpawnKind::Loop));
+        }
+    }
+
+    #[test]
+    fn combinations_match_figure10() {
+        assert!(Policy::LoopPlusLoopFt.admits(SpawnKind::Loop));
+        assert!(Policy::LoopPlusLoopFt.admits(SpawnKind::LoopFallThrough));
+        assert!(!Policy::LoopPlusLoopFt.admits(SpawnKind::Hammock));
+        assert!(Policy::LoopFtPlusProcFt.admits(SpawnKind::ProcFallThrough));
+        assert!(!Policy::LoopFtPlusProcFt.admits(SpawnKind::Loop));
+        assert!(Policy::LoopProcFtLoopFt.admits(SpawnKind::Loop));
+        assert!(!Policy::LoopProcFtLoopFt.admits(SpawnKind::Other));
+    }
+
+    #[test]
+    fn names_match_legends() {
+        assert_eq!(Policy::Postdoms.name(), "postdoms");
+        assert_eq!(
+            Policy::PostdomsWithout(SpawnKind::Hammock).name(),
+            "postdoms - Hammock"
+        );
+        assert_eq!(Policy::LoopProcFtLoopFt.to_string(), "loop + procFT + loopFT");
+    }
+
+    #[test]
+    fn figure_lists_have_expected_sizes() {
+        assert_eq!(Policy::figure9().len(), 6);
+        assert_eq!(Policy::figure10().len(), 4);
+        assert_eq!(Policy::figure11().len(), 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! Spawn points, the spawn table (hint cache contents), and static
+//! distribution statistics (Figure 5).
+
+use crate::classify::SpawnKind;
+use crate::policy::Policy;
+use polyflow_isa::Pc;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A static spawn opportunity.
+///
+/// When a task's fetch unit reaches `trigger`, the Task Spawn Unit may
+/// create a new task beginning at `target` (paper §2.1: the hint cache
+/// "associates control-equivalent spawn points with branch PCs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpawnPoint {
+    /// The PC whose fetch triggers the spawn (a branch, call, or — for
+    /// loop-iteration spawns — the loop entry).
+    pub trigger: Pc,
+    /// The PC at which the spawned task begins.
+    pub target: Pc,
+    /// Classification of this spawn point.
+    pub kind: SpawnKind,
+}
+
+impl fmt::Display for SpawnPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} [{}]", self.trigger, self.target, self.kind)
+    }
+}
+
+/// The spawn points admitted by one policy, indexed by trigger PC.
+///
+/// This models the contents of PolyFlow's *spawn hint cache*. Following the
+/// paper (§3.2), conflict and capacity misses in the hint cache are not
+/// modeled: lookup is by exact PC over the full table.
+#[derive(Debug, Clone, Default)]
+pub struct SpawnTable {
+    points: Vec<SpawnPoint>,
+    by_trigger: HashMap<Pc, Vec<usize>>,
+}
+
+impl SpawnTable {
+    /// Builds a table from candidates, keeping those the policy admits.
+    pub fn from_candidates<I>(candidates: I, policy: Policy) -> SpawnTable
+    where
+        I: IntoIterator<Item = SpawnPoint>,
+    {
+        let mut table = SpawnTable::default();
+        for sp in candidates {
+            if policy.admits(sp.kind) {
+                table.insert(sp);
+            }
+        }
+        table
+    }
+
+    /// Adds a spawn point.
+    pub fn insert(&mut self, sp: SpawnPoint) {
+        let idx = self.points.len();
+        self.points.push(sp);
+        self.by_trigger.entry(sp.trigger).or_default().push(idx);
+    }
+
+    /// Spawn points triggered by fetching `pc`.
+    pub fn lookup(&self, pc: Pc) -> impl Iterator<Item = &SpawnPoint> + '_ {
+        self.by_trigger
+            .get(&pc)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.points[i])
+    }
+
+    /// All spawn points, in insertion order.
+    pub fn points(&self) -> &[SpawnPoint] {
+        &self.points
+    }
+
+    /// Number of static spawn points (the totals atop Figure 5's bars).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the table is empty (e.g. the superscalar policy).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The static distribution over kinds (one Figure 5 bar).
+    pub fn distribution(&self) -> StaticDistribution {
+        let mut d = StaticDistribution::default();
+        for sp in &self.points {
+            d.add(sp.kind);
+        }
+        d
+    }
+}
+
+impl Extend<SpawnPoint> for SpawnTable {
+    fn extend<I: IntoIterator<Item = SpawnPoint>>(&mut self, iter: I) {
+        for sp in iter {
+            self.insert(sp);
+        }
+    }
+}
+
+impl FromIterator<SpawnPoint> for SpawnTable {
+    fn from_iter<I: IntoIterator<Item = SpawnPoint>>(iter: I) -> SpawnTable {
+        let mut t = SpawnTable::default();
+        t.extend(iter);
+        t
+    }
+}
+
+/// Static spawn-point counts per category — one bar of Figure 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticDistribution {
+    /// Loop fall-through count.
+    pub loop_ft: usize,
+    /// Procedure fall-through count.
+    pub proc_ft: usize,
+    /// Hammock count.
+    pub hammocks: usize,
+    /// "Other" count.
+    pub other: usize,
+    /// Loop-iteration heuristic count (not part of the Figure 5 bar).
+    pub loop_spawns: usize,
+}
+
+impl StaticDistribution {
+    /// Records one spawn point.
+    pub fn add(&mut self, kind: SpawnKind) {
+        match kind {
+            SpawnKind::LoopFallThrough => self.loop_ft += 1,
+            SpawnKind::ProcFallThrough => self.proc_ft += 1,
+            SpawnKind::Hammock => self.hammocks += 1,
+            SpawnKind::Other => self.other += 1,
+            SpawnKind::Loop => self.loop_spawns += 1,
+        }
+    }
+
+    /// Count for one postdominator category.
+    pub fn count(&self, kind: SpawnKind) -> usize {
+        match kind {
+            SpawnKind::LoopFallThrough => self.loop_ft,
+            SpawnKind::ProcFallThrough => self.proc_ft,
+            SpawnKind::Hammock => self.hammocks,
+            SpawnKind::Other => self.other,
+            SpawnKind::Loop => self.loop_spawns,
+        }
+    }
+
+    /// Total static postdominator spawns (the number atop a Figure 5 bar).
+    pub fn total_postdom(&self) -> usize {
+        self.loop_ft + self.proc_ft + self.hammocks + self.other
+    }
+
+    /// Percentage of postdominator spawns in `kind` (0–100).
+    ///
+    /// Returns 0.0 when there are no postdominator spawns.
+    pub fn percent(&self, kind: SpawnKind) -> f64 {
+        let total = self.total_postdom();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.count(kind) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for StaticDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LoopFT {:.1}% ProcFT {:.1}% Hammocks {:.1}% Other {:.1}% (total {})",
+            self.percent(SpawnKind::LoopFallThrough),
+            self.percent(SpawnKind::ProcFallThrough),
+            self.percent(SpawnKind::Hammock),
+            self.percent(SpawnKind::Other),
+            self.total_postdom()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(trigger: u32, target: u32, kind: SpawnKind) -> SpawnPoint {
+        SpawnPoint {
+            trigger: Pc::new(trigger),
+            target: Pc::new(target),
+            kind,
+        }
+    }
+
+    #[test]
+    fn table_lookup_by_trigger() {
+        let mut t = SpawnTable::default();
+        t.insert(sp(1, 5, SpawnKind::Hammock));
+        t.insert(sp(1, 9, SpawnKind::Other));
+        t.insert(sp(3, 7, SpawnKind::LoopFallThrough));
+        assert_eq!(t.lookup(Pc::new(1)).count(), 2);
+        assert_eq!(t.lookup(Pc::new(3)).count(), 1);
+        assert_eq!(t.lookup(Pc::new(2)).count(), 0);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_candidates_filters_by_policy() {
+        let candidates = vec![
+            sp(1, 2, SpawnKind::Hammock),
+            sp(3, 4, SpawnKind::Loop),
+            sp(5, 6, SpawnKind::ProcFallThrough),
+        ];
+        let t = SpawnTable::from_candidates(candidates.clone(), Policy::Hammock);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.points()[0].kind, SpawnKind::Hammock);
+        let t = SpawnTable::from_candidates(candidates.clone(), Policy::Postdoms);
+        assert_eq!(t.len(), 2); // loop heuristic excluded
+        let t = SpawnTable::from_candidates(candidates, Policy::None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn distribution_percentages() {
+        let mut d = StaticDistribution::default();
+        d.add(SpawnKind::Hammock);
+        d.add(SpawnKind::Hammock);
+        d.add(SpawnKind::LoopFallThrough);
+        d.add(SpawnKind::Other);
+        d.add(SpawnKind::Loop); // excluded from the bar
+        assert_eq!(d.total_postdom(), 4);
+        assert_eq!(d.percent(SpawnKind::Hammock), 50.0);
+        assert_eq!(d.percent(SpawnKind::LoopFallThrough), 25.0);
+        assert_eq!(d.loop_spawns, 1);
+        assert!(d.to_string().contains("total 4"));
+    }
+
+    #[test]
+    fn empty_distribution_has_zero_percent() {
+        let d = StaticDistribution::default();
+        assert_eq!(d.percent(SpawnKind::Hammock), 0.0);
+        assert_eq!(d.total_postdom(), 0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: SpawnTable = vec![sp(0, 1, SpawnKind::Other)].into_iter().collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.distribution().other, 1);
+    }
+
+    #[test]
+    fn display_spawn_point() {
+        let s = sp(1, 2, SpawnKind::Hammock).to_string();
+        assert!(s.contains("Hammock"));
+        assert!(s.contains("->"));
+    }
+}

@@ -1,0 +1,578 @@
+//! A textual assembly format: parse programs from text and render
+//! programs back to parseable text.
+//!
+//! The format is line-based:
+//!
+//! ```text
+//! .data table = [1, 2, 3]        ; named data block (64-bit words)
+//!
+//! fn main {
+//!     la   r16, table            ; load a data block's address
+//!     ld   r2, 0(r16)
+//! loop:
+//!     addi r1, r1, 1
+//!     blt  r1, r2, loop
+//!     call helper
+//!     jr   r3, [loop, done]      ; indirect jump with its jump table
+//! done:
+//!     halt
+//! }
+//!
+//! fn helper {
+//!     lfa  r4, main              ; load a function's entry address
+//!     ret
+//! }
+//! ```
+//!
+//! * registers are `r0`–`r31`;
+//! * ALU mnemonics: `add sub and or xor sll srl sra mul slt sltu`, with an
+//!   `i` suffix for the immediate form (`addi r1, r2, -3`);
+//! * branches: `beq bne blt bge bgt ble rs, rt, label`;
+//! * memory: `ld rd, off(base)` and `sd rs, off(base)`;
+//! * `;` or `#` start comments.
+//!
+//! [`parse_program`] builds through [`crate::ProgramBuilder`], so all of
+//! its validation applies; [`to_asm`] renders any [`Program`] into text
+//! that parses back to the identical instruction sequence (see the
+//! round-trip tests).
+
+use crate::builder::{Label, ProgramBuilder};
+use crate::error::BuildError;
+use crate::inst::{AluOp, Cond, Inst, Reg};
+use crate::program::{Pc, Program};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly parsing error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<BuildError> for AsmError {
+    fn from(e: BuildError) -> AsmError {
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let idx: usize = tok
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    if idx >= Reg::COUNT {
+        return Err(err(line, format!("register index {idx} out of range")));
+    }
+    Ok(Reg::from_index(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let parse = |s: &str, radix| i64::from_str_radix(s, radix).ok();
+    let v = if let Some(h) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        parse(h, 16)
+    } else if let Some(h) = tok.strip_prefix("-0x") {
+        parse(h, 16).map(|v| -v)
+    } else {
+        tok.parse().ok()
+    };
+    v.ok_or_else(|| err(line, format!("expected immediate, got `{tok}`")))
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "mul" => AluOp::Mul,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn cond(m: &str) -> Option<Cond> {
+    Some(match m {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        "bgt" => Cond::Gt,
+        "ble" => Cond::Le,
+        _ => return None,
+    })
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] for syntax errors (with the offending line) or
+/// any [`BuildError`] the underlying builder reports at finalization.
+pub fn parse_program(src: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut data_blocks: HashMap<String, u64> = HashMap::new();
+    let mut in_fn = false;
+
+    // First pass for named data sizes is unnecessary: data lines must
+    // precede their first use, which the format requires by convention;
+    // we simply process in order and resolve names as we go.
+    let get_label = |b: &mut ProgramBuilder, labels: &mut HashMap<String, Label>, name: &str| {
+        *labels
+            .entry(name.to_string())
+            .or_insert_with(|| b.fresh_label(name))
+    };
+
+    for (ln, raw) in src.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Data: `.data name = [w, w, ...]`
+        if let Some(rest) = line.strip_prefix(".data") {
+            let (name, list) = rest
+                .split_once('=')
+                .ok_or_else(|| err(line_no, ".data needs `name = [..]`"))?;
+            let name = name.trim();
+            let list = list.trim();
+            let inner = list
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| err(line_no, "data words must be `[w, w, ...]`"))?;
+            let mut words = Vec::new();
+            for tok in inner.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                // Data words are full u64s; also accept negative i64s.
+                let w = if let Some(h) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X"))
+                {
+                    u64::from_str_radix(h, 16).ok()
+                } else {
+                    tok.parse::<u64>().ok()
+                };
+                match w {
+                    Some(w) => words.push(w),
+                    None => words.push(parse_imm(tok, line_no)? as u64),
+                }
+            }
+            let addr = b.alloc_data(&words);
+            data_blocks.insert(name.to_string(), addr);
+            continue;
+        }
+
+        // Function open / close.
+        if let Some(rest) = line.strip_prefix("fn ") {
+            let name = rest
+                .strip_suffix('{')
+                .ok_or_else(|| err(line_no, "expected `fn name {`"))?
+                .trim();
+            if in_fn {
+                return Err(err(line_no, "nested `fn`"));
+            }
+            b.begin_function(name);
+            in_fn = true;
+            continue;
+        }
+        if line == "}" {
+            if !in_fn {
+                return Err(err(line_no, "unmatched `}`"));
+            }
+            b.end_function();
+            in_fn = false;
+            continue;
+        }
+
+        // Label binding.
+        if let Some(name) = line.strip_suffix(':') {
+            let l = get_label(&mut b, &mut labels, name.trim());
+            b.bind_label(l);
+            continue;
+        }
+
+        if !in_fn {
+            return Err(err(line_no, "instruction outside `fn`"));
+        }
+
+        // Instruction: mnemonic, then comma-separated operands (the
+        // jump-table bracket keeps its commas).
+        let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (line, ""),
+        };
+        let ops: Vec<String> = if let Some(i) = rest.find('[') {
+            let mut v: Vec<String> = rest[..i]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            v.push(rest[i..].to_string());
+            v
+        } else {
+            rest.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect()
+        };
+        let op = |i: usize| -> Result<&str, AsmError> {
+            ops.get(i)
+                .map(String::as_str)
+                .ok_or_else(|| err(line_no, format!("`{mnemonic}` missing operand {i}")))
+        };
+
+        match mnemonic {
+            "li" => {
+                let rd = parse_reg(op(0)?, line_no)?;
+                b.li(rd, parse_imm(op(1)?, line_no)?);
+            }
+            "la" => {
+                let rd = parse_reg(op(0)?, line_no)?;
+                let name = op(1)?;
+                if let Some(&addr) = data_blocks.get(name) {
+                    b.li(rd, addr as i64);
+                } else {
+                    let l = get_label(&mut b, &mut labels, name);
+                    b.li_label_addr(rd, l);
+                }
+            }
+            "lfa" => {
+                let rd = parse_reg(op(0)?, line_no)?;
+                b.li_fn_addr(rd, op(1)?);
+            }
+            "ld" | "sd" => {
+                let r = parse_reg(op(0)?, line_no)?;
+                let mem = op(1)?;
+                let (off, base) = mem
+                    .split_once('(')
+                    .and_then(|(o, rest)| rest.strip_suffix(')').map(|b| (o, b)))
+                    .ok_or_else(|| err(line_no, "memory operand must be `off(base)`"))?;
+                let off = if off.is_empty() { 0 } else { parse_imm(off, line_no)? };
+                let base = parse_reg(base, line_no)?;
+                if mnemonic == "ld" {
+                    b.load(r, base, off);
+                } else {
+                    b.store(r, base, off);
+                }
+            }
+            "j" => {
+                let l = get_label(&mut b, &mut labels, op(0)?);
+                b.jmp(l);
+            }
+            "jr" => {
+                let rs = parse_reg(op(0)?, line_no)?;
+                let table = op(1)?;
+                let inner = table
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| err(line_no, "jr needs a jump table `[l1, l2]`"))?;
+                let targets: Vec<Label> = inner
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|t| !t.is_empty())
+                    .map(|t| get_label(&mut b, &mut labels, t))
+                    .collect();
+                b.jr(rs, &targets);
+            }
+            "call" => {
+                b.call(op(0)?);
+            }
+            "callr" => {
+                let rs = parse_reg(op(0)?, line_no)?;
+                b.callr(rs);
+            }
+            "ret" => {
+                b.ret();
+            }
+            "halt" => {
+                b.halt();
+            }
+            "nop" => {
+                b.nop();
+            }
+            m => {
+                if let Some(c) = cond(m) {
+                    let rs = parse_reg(op(0)?, line_no)?;
+                    let rt = parse_reg(op(1)?, line_no)?;
+                    let l = get_label(&mut b, &mut labels, op(2)?);
+                    b.br(c, rs, rt, l);
+                } else if let Some(base) = m.strip_suffix('i').and_then(alu_op) {
+                    let rd = parse_reg(op(0)?, line_no)?;
+                    let rs = parse_reg(op(1)?, line_no)?;
+                    b.alui(base, rd, rs, parse_imm(op(2)?, line_no)?);
+                } else if let Some(a) = alu_op(m) {
+                    let rd = parse_reg(op(0)?, line_no)?;
+                    let rs = parse_reg(op(1)?, line_no)?;
+                    let rt = parse_reg(op(2)?, line_no)?;
+                    b.alu(a, rd, rs, rt);
+                } else {
+                    return Err(err(line_no, format!("unknown mnemonic `{m}`")));
+                }
+            }
+        }
+    }
+    if in_fn {
+        return Err(err(src.lines().count(), "unclosed `fn`"));
+    }
+    b.build().map_err(AsmError::from)
+}
+
+/// Renders `program` as assembly text accepted by [`parse_program`].
+///
+/// Control-flow targets become `L<index>` labels; initialized data is
+/// emitted as one `.data` block per contiguous run, named `d<base>` —
+/// instruction operands that referenced data addresses are emitted as raw
+/// immediates (`li`), which round-trips exactly because the builder's
+/// data layout is deterministic.
+pub fn to_asm(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    // Data: contiguous runs as .data blocks (names unused by the emitted
+    // code — immediates carry addresses — but make the text greppable).
+    let mut data = program.initial_data().to_vec();
+    data.sort_by_key(|&(a, _)| a);
+    let mut i = 0;
+    while i < data.len() {
+        let base = data[i].0;
+        let mut words = vec![data[i].1];
+        let mut j = i + 1;
+        while j < data.len() && data[j].0 == base + 8 * (j - i) as u64 {
+            words.push(data[j].1);
+            j += 1;
+        }
+        let list = words
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, ".data d{base:x} = [{list}]");
+        i = j;
+    }
+    if !data.is_empty() {
+        out.push('\n');
+    }
+
+    // Collect every referenced Pc as a label.
+    let mut targets: Vec<Pc> = Vec::new();
+    for (i, inst) in program.insts().iter().enumerate() {
+        match *inst {
+            Inst::Br { target, .. } | Inst::Jmp { target } => targets.push(target),
+            Inst::Jr { .. } => targets.extend(program.jump_targets(Pc::new(i as u32))),
+            _ => {}
+        }
+    }
+    targets.sort();
+    targets.dedup();
+    let label_of: HashMap<Pc, String> = targets
+        .iter()
+        .map(|&pc| (pc, format!("L{}", pc.index())))
+        .collect();
+
+    for f in program.functions() {
+        let _ = writeln!(out, "fn {} {{", f.name);
+        for i in f.range.clone() {
+            let pc = Pc::new(i);
+            if let Some(l) = label_of.get(&pc) {
+                let _ = writeln!(out, "{l}:");
+            }
+            let inst = program.inst(pc);
+            let line = match inst {
+                Inst::Li { rd, imm } => format!("li {rd}, {imm}"),
+                Inst::Alu { op, rd, rs, rt } => format!("{op} {rd}, {rs}, {rt}"),
+                Inst::AluI { op, rd, rs, imm } => format!("{op}i {rd}, {rs}, {imm}"),
+                Inst::Load { rd, base, off } => format!("ld {rd}, {off}({base})"),
+                Inst::Store { rs, base, off } => format!("sd {rs}, {off}({base})"),
+                Inst::Br { cond, rs, rt, target } => {
+                    format!("b{cond} {rs}, {rt}, {}", label_of[&target])
+                }
+                Inst::Jmp { target } => format!("j {}", label_of[&target]),
+                Inst::Jr { rs } => {
+                    let table = program
+                        .jump_targets(pc)
+                        .iter()
+                        .map(|t| label_of[t].clone())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("jr {rs}, [{table}]")
+                }
+                Inst::Call { target } => {
+                    let callee = program
+                        .function_at(target)
+                        .map(|f| f.name.clone())
+                        .unwrap_or_else(|| format!("fn_{}", target.index()));
+                    format!("call {callee}")
+                }
+                Inst::CallR { rs } => format!("callr {rs}"),
+                Inst::Ret => "ret".into(),
+                Inst::Halt => "halt".into(),
+                Inst::Nop => "nop".into(),
+            };
+            let _ = writeln!(out, "    {line}");
+        }
+        let _ = writeln!(out, "}}");
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute_window;
+
+    const DEMO: &str = r#"
+; a loop with a hammock and a call
+.data weights = [5, 7, 11]
+
+fn main {
+    la   r16, weights
+    ld   r2, 0(r16)
+    li   r1, 0
+loop:
+    andi r3, r1, 1
+    beq  r3, r0, even
+    addi r4, r4, 1
+even:
+    call bump
+    addi r1, r1, 1
+    blt  r1, r2, loop
+    halt
+}
+
+fn bump {
+    addi r5, r5, 2
+    ret
+}
+"#;
+
+    #[test]
+    fn parses_and_executes_demo() {
+        let p = parse_program(DEMO).expect("parses");
+        assert_eq!(p.functions().len(), 2);
+        let r = execute_window(&p, 10_000).unwrap();
+        assert!(r.halted);
+        // 5 iterations: r4 incremented on odd i (i = 1, 3), r5 on each.
+        let mut i = crate::Interpreter::new(&p);
+        i.run(10_000).unwrap();
+        assert_eq!(i.reg(Reg::R4), 2);
+        assert_eq!(i.reg(Reg::R5), 10);
+    }
+
+    #[test]
+    fn data_blocks_resolve_by_name() {
+        let p = parse_program(DEMO).unwrap();
+        assert_eq!(p.initial_data().len(), 3);
+        assert_eq!(p.initial_data()[2].1, 11);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = parse_program("fn main {\n    frob r1\n    halt\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frob"));
+        let e = parse_program("nop").unwrap_err();
+        assert!(e.message.contains("outside"));
+        let e = parse_program("fn main {\n halt\n").unwrap_err();
+        assert!(e.message.contains("unclosed"));
+    }
+
+    #[test]
+    fn bad_register_and_immediate_errors() {
+        let e = parse_program("fn main {\n li r99, 0\n halt\n}").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = parse_program("fn main {\n li r1, xyz\n halt\n}").unwrap_err();
+        assert!(e.message.contains("immediate"));
+    }
+
+    #[test]
+    fn jr_jump_table_parses() {
+        let src = r#"
+fn main {
+    la  r1, case1
+    jr  r1, [case0, case1]
+case0:
+    nop
+    halt
+case1:
+    li r2, 42
+    halt
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let mut i = crate::Interpreter::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(i.reg(Reg::R2), 42);
+    }
+
+    #[test]
+    fn roundtrip_demo_program() {
+        let p1 = parse_program(DEMO).unwrap();
+        let text = to_asm(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse: {e}\n{text}"));
+        assert_eq!(p1.insts(), p2.insts());
+        assert_eq!(p1.initial_data(), p2.initial_data());
+        assert_eq!(p1.functions().len(), p2.functions().len());
+    }
+
+    #[test]
+    fn roundtrip_every_workload_shape() {
+        // The builder-generated rich program from the analysis tests:
+        // reuse a generated program with every instruction kind.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let c0 = b.fresh_label("c0");
+        let c1 = b.fresh_label("c1");
+        let out = b.fresh_label("out");
+        let tbl = b.alloc_label_table(&[c0, c1]);
+        b.li(Reg::R1, tbl as i64);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.alu(AluOp::Mul, Reg::R3, Reg::R2, Reg::R2);
+        b.alui(AluOp::Sra, Reg::R3, Reg::R3, 1);
+        b.store(Reg::R3, Reg::R1, 8);
+        b.call("leaf");
+        b.li_fn_addr(Reg::R5, "leaf");
+        b.callr(Reg::R5);
+        b.jr(Reg::R2, &[c0, c1]);
+        b.bind_label(c0);
+        b.nop();
+        b.jmp(out);
+        b.bind_label(c1);
+        b.nop();
+        b.bind_label(out);
+        b.halt();
+        b.end_function();
+        b.begin_function("leaf");
+        b.ret();
+        b.end_function();
+        let p1 = b.build().unwrap();
+
+        let text = to_asm(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse: {e}\n{text}"));
+        assert_eq!(p1.insts(), p2.insts());
+    }
+}

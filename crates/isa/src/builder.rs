@@ -1,0 +1,762 @@
+//! Incremental program construction with symbolic labels.
+
+use crate::error::BuildError;
+use crate::inst::{AluOp, Cond, Inst, Reg};
+use crate::program::{Function, Pc, Program};
+use std::collections::BTreeMap;
+
+/// A symbolic code location, created by [`ProgramBuilder::fresh_label`] and
+/// bound to a concrete [`Pc`] by [`ProgramBuilder::bind_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+#[derive(Debug)]
+struct LabelState {
+    name: String,
+    pc: Option<Pc>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    /// Patch the `target` field of the instruction at `inst` with a label.
+    BranchTarget { inst: usize, label: Label },
+    /// Patch the `target` field of a `Call` with a function entry.
+    CallTarget { inst: usize, func: usize },
+    /// Patch the immediate of an `Li` with a label's byte address.
+    LiLabelAddr { inst: usize, label: Label },
+    /// Patch the immediate of an `Li` with a function's entry byte address.
+    LiFuncAddr { inst: usize, func: usize },
+    /// Patch a data word with a label's byte address.
+    DataLabelAddr { data: usize, label: Label },
+    /// Patch a data word with a function's entry byte address.
+    DataFuncAddr { data: usize, func: usize },
+}
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// The builder enforces the program structure the rest of the system relies
+/// on: every instruction lives inside exactly one function, every function
+/// ends in a non-fall-through terminator, every label is bound exactly once,
+/// and every indirect jump carries a jump table.
+///
+/// Register `r28` is reserved as the assembler temporary: the `*_imm`
+/// convenience emitters clobber it, mirroring the MIPS `$at` convention.
+///
+/// # Example
+///
+/// ```
+/// use polyflow_isa::{ProgramBuilder, Reg, Cond};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::named("demo");
+/// b.begin_function("main");
+/// let skip = b.fresh_label("skip");
+/// b.li(Reg::R1, 1);
+/// b.br_imm(Cond::Eq, Reg::R1, 0, skip);
+/// b.li(Reg::R2, 99);
+/// b.bind_label(skip);
+/// b.halt();
+/// b.end_function();
+/// let program = b.build()?;
+/// assert_eq!(program.name(), "demo");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: Vec<LabelState>,
+    fixups: Vec<Fixup>,
+    functions: Vec<Function>,
+    func_names: Vec<String>,
+    open: Option<(String, u32)>,
+    jump_tables: Vec<(usize, Vec<Label>)>,
+    data: Vec<(u64, u64)>,
+    data_cursor: u64,
+}
+
+/// Base byte address of the builder-managed data segment.
+pub(crate) const DATA_BASE: u64 = 0x10_000;
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder named `"program"`.
+    pub fn new() -> ProgramBuilder {
+        Self::named("program")
+    }
+
+    /// Creates an empty builder with the given program name.
+    pub fn named(name: &str) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.to_string(),
+            insts: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            functions: Vec::new(),
+            func_names: Vec::new(),
+            open: None,
+            jump_tables: Vec::new(),
+            data: Vec::new(),
+            data_cursor: DATA_BASE,
+        }
+    }
+
+    /// The `Pc` the next emitted instruction will occupy.
+    pub fn here(&self) -> Pc {
+        Pc::new(self.insts.len() as u32)
+    }
+
+    // ---- functions --------------------------------------------------------
+
+    /// Opens a new function. The next instruction is its entry point.
+    pub fn begin_function(&mut self, name: &str) {
+        assert!(
+            self.open.is_none(),
+            "begin_function(`{name}`) while `{}` is open",
+            self.open.as_ref().map(|(n, _)| n.as_str()).unwrap_or("?")
+        );
+        self.open = Some((name.to_string(), self.insts.len() as u32));
+    }
+
+    /// Closes the currently open function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is open.
+    pub fn end_function(&mut self) {
+        let (name, start) = self.open.take().expect("end_function with no open function");
+        let range = start..self.insts.len() as u32;
+        // A forward `call` may have reserved a placeholder slot; fill it.
+        let placeholder = self
+            .func_names
+            .iter()
+            .position(|n| *n == name)
+            .filter(|&i| self.functions[i].range.start == u32::MAX);
+        match placeholder {
+            Some(i) => self.functions[i].range = range,
+            None => {
+                self.functions.push(Function {
+                    name: name.clone(),
+                    range,
+                });
+                self.func_names.push(name);
+            }
+        }
+    }
+
+    fn func_index(&mut self, name: &str) -> usize {
+        if let Some(i) = self.func_names.iter().position(|n| n == name) {
+            return i;
+        }
+        // Forward reference: reserve a slot resolved at build time.
+        self.func_names.push(name.to_string());
+        self.functions.push(Function {
+            name: name.to_string(),
+            range: u32::MAX..u32::MAX,
+        });
+        self.func_names.len() - 1
+    }
+
+    // ---- labels -----------------------------------------------------------
+
+    /// Creates a new, unbound label. `name` is used in diagnostics only.
+    pub fn fresh_label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelState {
+            name: name.to_string(),
+            pc: None,
+        });
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind_label(&mut self, label: Label) {
+        let here = self.here();
+        let state = &mut self.labels[label.0 as usize];
+        assert!(
+            state.pc.is_none(),
+            "label `{}` bound twice",
+            state.name
+        );
+        state.pc = Some(here);
+    }
+
+    // ---- data segment ------------------------------------------------------
+
+    /// Allocates and initializes a run of 64-bit data words; returns the byte
+    /// address of the first word.
+    pub fn alloc_data(&mut self, words: &[u64]) -> u64 {
+        let base = self.data_cursor;
+        for (i, &w) in words.iter().enumerate() {
+            self.data.push((base + 8 * i as u64, w));
+        }
+        self.data_cursor += 8 * words.len().max(1) as u64;
+        base
+    }
+
+    /// Allocates `nwords` zeroed 64-bit words; returns the base byte address.
+    pub fn alloc_zeroed(&mut self, nwords: usize) -> u64 {
+        let base = self.data_cursor;
+        self.data_cursor += 8 * nwords.max(1) as u64;
+        base
+    }
+
+    /// Records an initialized data word at an absolute byte address.
+    ///
+    /// Used by generators that lay out structures (linked lists, graphs)
+    /// inside a region reserved with [`ProgramBuilder::alloc_zeroed`].
+    pub fn push_initialized_word(&mut self, addr: u64, value: u64) {
+        self.data.push((addr, value));
+    }
+
+    /// Allocates a table of code addresses (one word per label), patched at
+    /// build time with each label's byte address. Returns the base address.
+    pub fn alloc_label_table(&mut self, labels: &[Label]) -> u64 {
+        let base = self.data_cursor;
+        for (i, &l) in labels.iter().enumerate() {
+            let idx = self.data.len();
+            self.data.push((base + 8 * i as u64, 0));
+            self.fixups.push(Fixup::DataLabelAddr { data: idx, label: l });
+        }
+        self.data_cursor += 8 * labels.len().max(1) as u64;
+        base
+    }
+
+    /// Allocates a table of function-entry addresses, patched at build time.
+    pub fn alloc_fn_table(&mut self, names: &[&str]) -> u64 {
+        let base = self.data_cursor;
+        for (i, name) in names.iter().enumerate() {
+            let func = self.func_index(name);
+            let idx = self.data.len();
+            self.data.push((base + 8 * i as u64, 0));
+            self.fixups.push(Fixup::DataFuncAddr { data: idx, func });
+        }
+        self.data_cursor += 8 * names.len().max(1) as u64;
+        base
+    }
+
+    // ---- instruction emitters ----------------------------------------------
+
+    fn emit(&mut self, inst: Inst) -> Pc {
+        let pc = self.here();
+        self.insts.push(inst);
+        pc
+    }
+
+    /// Emits `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> Pc {
+        self.emit(Inst::Li { rd, imm })
+    }
+
+    /// Emits `li rd, <address of label>` (patched at build time).
+    pub fn li_label_addr(&mut self, rd: Reg, label: Label) -> Pc {
+        let pc = self.emit(Inst::Li { rd, imm: 0 });
+        self.fixups.push(Fixup::LiLabelAddr {
+            inst: pc.index(),
+            label,
+        });
+        pc
+    }
+
+    /// Emits `li rd, <entry address of function>` (patched at build time).
+    pub fn li_fn_addr(&mut self, rd: Reg, name: &str) -> Pc {
+        let func = self.func_index(name);
+        let pc = self.emit(Inst::Li { rd, imm: 0 });
+        self.fixups.push(Fixup::LiFuncAddr {
+            inst: pc.index(),
+            func,
+        });
+        pc
+    }
+
+    /// Emits `op rd, rs, rt`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs: Reg, rt: Reg) -> Pc {
+        self.emit(Inst::Alu { op, rd, rs, rt })
+    }
+
+    /// Emits `opi rd, rs, imm`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs: Reg, imm: i64) -> Pc {
+        self.emit(Inst::AluI { op, rd, rs, imm })
+    }
+
+    /// Emits `ld rd, off(base)`.
+    pub fn load(&mut self, rd: Reg, base: Reg, off: i64) -> Pc {
+        self.emit(Inst::Load { rd, base, off })
+    }
+
+    /// Emits `sd rs, off(base)`.
+    pub fn store(&mut self, rs: Reg, base: Reg, off: i64) -> Pc {
+        self.emit(Inst::Store { rs, base, off })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn br(&mut self, cond: Cond, rs: Reg, rt: Reg, label: Label) -> Pc {
+        let pc = self.emit(Inst::Br {
+            cond,
+            rs,
+            rt,
+            target: Pc::new(0),
+        });
+        self.fixups.push(Fixup::BranchTarget {
+            inst: pc.index(),
+            label,
+        });
+        pc
+    }
+
+    /// Emits `li r28, imm; b<cond> rs, r28, label`.
+    ///
+    /// Clobbers the assembler temporary `r28`. Returns the `Pc` of the
+    /// branch itself.
+    pub fn br_imm(&mut self, cond: Cond, rs: Reg, imm: i64, label: Label) -> Pc {
+        self.li(Reg::R28, imm);
+        self.br(cond, rs, Reg::R28, label)
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> Pc {
+        let pc = self.emit(Inst::Jmp { target: Pc::new(0) });
+        self.fixups.push(Fixup::BranchTarget {
+            inst: pc.index(),
+            label,
+        });
+        pc
+    }
+
+    /// Emits an indirect jump through `rs`, registering `targets` as its
+    /// jump table for static analysis.
+    pub fn jr(&mut self, rs: Reg, targets: &[Label]) -> Pc {
+        let pc = self.emit(Inst::Jr { rs });
+        self.jump_tables.push((pc.index(), targets.to_vec()));
+        pc
+    }
+
+    /// Emits a direct call to the named function (forward references are
+    /// allowed).
+    pub fn call(&mut self, name: &str) -> Pc {
+        let func = self.func_index(name);
+        let pc = self.emit(Inst::Call { target: Pc::new(0) });
+        self.fixups.push(Fixup::CallTarget {
+            inst: pc.index(),
+            func,
+        });
+        pc
+    }
+
+    /// Emits an indirect call through `rs`.
+    pub fn callr(&mut self, rs: Reg) -> Pc {
+        self.emit(Inst::CallR { rs })
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) -> Pc {
+        self.emit(Inst::Ret)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> Pc {
+        self.emit(Inst::Halt)
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> Pc {
+        self.emit(Inst::Nop)
+    }
+
+    // ---- finalization -------------------------------------------------------
+
+    /// Resolves labels and fixups and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if a label is unbound, a function is open,
+    /// empty or duplicated, a control transfer leaves the program, an
+    /// indirect jump lacks a jump table, or a function lacks a final
+    /// terminator.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        if let Some((name, _)) = &self.open {
+            return Err(BuildError::NestedFunction { name: name.clone() });
+        }
+
+        // Unresolved forward-referenced functions show up as empty ranges.
+        for f in &self.functions {
+            if f.range.start == u32::MAX {
+                return Err(BuildError::UnboundLabel {
+                    name: format!("function `{}`", f.name),
+                });
+            }
+            if f.range.is_empty() {
+                return Err(BuildError::EmptyFunction { name: f.name.clone() });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for f in &self.functions {
+            if !seen.insert(f.name.clone()) {
+                return Err(BuildError::DuplicateFunction { name: f.name.clone() });
+            }
+        }
+        // Every instruction must belong to a function.
+        let mut covered = vec![false; self.insts.len()];
+        for f in &self.functions {
+            for i in f.range.clone() {
+                covered[i as usize] = true;
+            }
+        }
+        if let Some(i) = covered.iter().position(|&c| !c) {
+            return Err(BuildError::InstOutsideFunction { pc: Pc::new(i as u32) });
+        }
+
+        let label_pc = |labels: &[LabelState], l: Label| -> Result<Pc, BuildError> {
+            labels[l.0 as usize].pc.ok_or_else(|| BuildError::UnboundLabel {
+                name: labels[l.0 as usize].name.clone(),
+            })
+        };
+
+        for fixup in std::mem::take(&mut self.fixups) {
+            match fixup {
+                Fixup::BranchTarget { inst, label } => {
+                    let pc = label_pc(&self.labels, label)?;
+                    match &mut self.insts[inst] {
+                        Inst::Br { target, .. } | Inst::Jmp { target } => *target = pc,
+                        other => unreachable!("branch fixup on {other:?}"),
+                    }
+                }
+                Fixup::CallTarget { inst, func } => {
+                    let entry = self.functions[func].entry();
+                    match &mut self.insts[inst] {
+                        Inst::Call { target } => *target = entry,
+                        other => unreachable!("call fixup on {other:?}"),
+                    }
+                }
+                Fixup::LiLabelAddr { inst, label } => {
+                    let pc = label_pc(&self.labels, label)?;
+                    match &mut self.insts[inst] {
+                        Inst::Li { imm, .. } => *imm = pc.to_value() as i64,
+                        other => unreachable!("li fixup on {other:?}"),
+                    }
+                }
+                Fixup::LiFuncAddr { inst, func } => {
+                    let entry = self.functions[func].entry();
+                    match &mut self.insts[inst] {
+                        Inst::Li { imm, .. } => *imm = entry.to_value() as i64,
+                        other => unreachable!("li fixup on {other:?}"),
+                    }
+                }
+                Fixup::DataLabelAddr { data, label } => {
+                    let pc = label_pc(&self.labels, label)?;
+                    self.data[data].1 = pc.to_value();
+                }
+                Fixup::DataFuncAddr { data, func } => {
+                    self.data[data].1 = self.functions[func].entry().to_value();
+                }
+            }
+        }
+
+        // Jump tables.
+        let mut jump_targets = BTreeMap::new();
+        for (inst, labels) in std::mem::take(&mut self.jump_tables) {
+            let mut targets = Vec::with_capacity(labels.len());
+            for l in labels {
+                targets.push(label_pc(&self.labels, l)?);
+            }
+            targets.sort();
+            targets.dedup();
+            jump_targets.insert(Pc::new(inst as u32), targets);
+        }
+
+        // Validate targets in range and terminators present.
+        let len = self.insts.len() as u32;
+        for (i, inst) in self.insts.iter().enumerate() {
+            let at = Pc::new(i as u32);
+            let target = match *inst {
+                Inst::Br { target, .. } | Inst::Jmp { target } | Inst::Call { target } => {
+                    Some(target)
+                }
+                Inst::Jr { .. } => {
+                    if !jump_targets.contains_key(&at) {
+                        return Err(BuildError::MissingJumpTable { at });
+                    }
+                    None
+                }
+                _ => None,
+            };
+            if let Some(t) = target {
+                if t.index() as u32 >= len {
+                    return Err(BuildError::TargetOutOfRange { at, target: t });
+                }
+            }
+        }
+        for targets in jump_targets.values() {
+            for &t in targets {
+                if t.index() as u32 >= len {
+                    return Err(BuildError::TargetOutOfRange {
+                        at: Pc::new(0),
+                        target: t,
+                    });
+                }
+            }
+        }
+        for f in &self.functions {
+            let last = self.insts[(f.range.end - 1) as usize];
+            let terminates = matches!(
+                last,
+                Inst::Jmp { .. } | Inst::Jr { .. } | Inst::Ret | Inst::Halt
+            );
+            if !terminates {
+                return Err(BuildError::MissingTerminator {
+                    function: f.name.clone(),
+                });
+            }
+        }
+
+        let mut functions = self.functions;
+        functions.sort_by_key(|f| f.range.start);
+
+        Ok(Program {
+            insts: self.insts,
+            functions,
+            jump_targets,
+            data: self.data,
+            name: self.name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b
+    }
+
+    #[test]
+    fn build_minimal_program() {
+        let mut b = minimal();
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.entry(), Pc::new(0));
+    }
+
+    #[test]
+    fn branch_label_resolution() {
+        let mut b = minimal();
+        let l = b.fresh_label("target");
+        b.br(Cond::Eq, Reg::R0, Reg::R0, l);
+        b.nop();
+        b.bind_label(l);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        match p.inst(Pc::new(0)) {
+            Inst::Br { target, .. } => assert_eq!(target, Pc::new(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backward_branch_label() {
+        let mut b = minimal();
+        let top = b.fresh_label("top");
+        b.bind_label(top);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 3, top);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        match p.inst(Pc::new(2)) {
+            Inst::Br { target, .. } => assert_eq!(target, Pc::new(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut b = minimal();
+        let l = b.fresh_label("never");
+        b.jmp(l);
+        b.end_function();
+        assert!(matches!(b.build(), Err(BuildError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = minimal();
+        let l = b.fresh_label("l");
+        b.bind_label(l);
+        b.bind_label(l);
+    }
+
+    #[test]
+    fn open_function_is_error() {
+        let mut b = minimal();
+        b.halt();
+        assert!(matches!(b.build(), Err(BuildError::NestedFunction { .. })));
+    }
+
+    #[test]
+    fn empty_function_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("empty");
+        b.end_function();
+        assert!(matches!(b.build(), Err(BuildError::EmptyFunction { .. })));
+    }
+
+    #[test]
+    fn duplicate_function_is_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("f");
+        b.halt();
+        b.end_function();
+        b.begin_function("f");
+        b.halt();
+        b.end_function();
+        assert!(matches!(b.build(), Err(BuildError::DuplicateFunction { .. })));
+    }
+
+    #[test]
+    fn missing_terminator_is_error() {
+        let mut b = minimal();
+        b.nop();
+        b.end_function();
+        assert!(matches!(b.build(), Err(BuildError::MissingTerminator { .. })));
+    }
+
+    #[test]
+    fn forward_call_resolution() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.call("callee");
+        b.halt();
+        b.end_function();
+        b.begin_function("callee");
+        b.ret();
+        b.end_function();
+        let p = b.build().unwrap();
+        match p.inst(Pc::new(0)) {
+            Inst::Call { target } => {
+                assert_eq!(target, p.function("callee").unwrap().entry());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_to_undefined_function_is_error() {
+        let mut b = minimal();
+        b.call("ghost");
+        b.halt();
+        b.end_function();
+        assert!(matches!(b.build(), Err(BuildError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn jr_requires_table_and_resolves() {
+        let mut b = minimal();
+        let a = b.fresh_label("a");
+        let t = b.fresh_label("t");
+        b.li_label_addr(Reg::R1, t);
+        b.jr(Reg::R1, &[a, t]);
+        b.bind_label(a);
+        b.nop();
+        b.bind_label(t);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let targets = p.jump_targets(Pc::new(1));
+        assert_eq!(targets, &[Pc::new(2), Pc::new(3)]);
+        match p.inst(Pc::new(0)) {
+            Inst::Li { imm, .. } => assert_eq!(imm as u64, Pc::new(3).to_value()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_allocation_addresses() {
+        let mut b = minimal();
+        let a = b.alloc_data(&[1, 2, 3]);
+        let z = b.alloc_zeroed(2);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(z, DATA_BASE + 24);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        assert_eq!(p.initial_data().len(), 3);
+        assert_eq!(p.initial_data()[2], (DATA_BASE + 16, 3));
+    }
+
+    #[test]
+    fn fn_table_patched() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let tbl = b.alloc_fn_table(&["f", "g"]);
+        b.halt();
+        b.end_function();
+        b.begin_function("f");
+        b.ret();
+        b.end_function();
+        b.begin_function("g");
+        b.ret();
+        b.end_function();
+        let p = b.build().unwrap();
+        let f = p.function("f").unwrap().entry().to_value();
+        let g = p.function("g").unwrap().entry().to_value();
+        assert_eq!(p.initial_data()[0], (tbl, f));
+        assert_eq!(p.initial_data()[1], (tbl + 8, g));
+    }
+
+    #[test]
+    fn label_table_patched() {
+        let mut b = minimal();
+        let l = b.fresh_label("l");
+        let tbl = b.alloc_label_table(&[l]);
+        b.nop();
+        b.bind_label(l);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        assert_eq!(p.initial_data()[0], (tbl, Pc::new(1).to_value()));
+    }
+
+    #[test]
+    fn br_imm_expands_to_two_insts() {
+        let mut b = minimal();
+        let l = b.fresh_label("l");
+        let pc = b.br_imm(Cond::Eq, Reg::R1, 7, l);
+        assert_eq!(pc, Pc::new(1)); // li at 0, branch at 1
+        b.bind_label(l);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        assert!(matches!(p.inst(Pc::new(0)), Inst::Li { rd: Reg::R28, imm: 7 }));
+    }
+
+    #[test]
+    fn target_out_of_range_checked() {
+        // A jmp to a label bound past the final instruction: bind the label
+        // at the very end, after the last instruction.
+        let mut b = minimal();
+        let l = b.fresh_label("end");
+        b.jmp(l);
+        b.end_function();
+        b.bind_label(l); // binds at index 1, but program has only 1 inst
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::TargetOutOfRange { .. }) | Err(BuildError::InstOutsideFunction { .. })
+        ));
+    }
+}

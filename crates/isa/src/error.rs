@@ -1,0 +1,153 @@
+//! Error types for program construction and execution.
+
+use crate::program::Pc;
+use std::fmt;
+
+/// An error detected while building a [`crate::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound.
+    UnboundLabel {
+        /// The label's debug name.
+        name: String,
+    },
+    /// A label was bound twice.
+    DuplicateLabel {
+        /// The label's debug name.
+        name: String,
+    },
+    /// Two functions share a name.
+    DuplicateFunction {
+        /// The duplicated function name.
+        name: String,
+    },
+    /// An instruction was emitted outside any function.
+    InstOutsideFunction {
+        /// Location of the offending instruction.
+        pc: Pc,
+    },
+    /// `begin_function` was called while a function was still open.
+    NestedFunction {
+        /// Name of the function being opened.
+        name: String,
+    },
+    /// `end_function` / `build` was called with no open function.
+    NoOpenFunction,
+    /// A function has no instructions.
+    EmptyFunction {
+        /// The empty function's name.
+        name: String,
+    },
+    /// A control transfer targets a `Pc` outside the program.
+    TargetOutOfRange {
+        /// The site of the control transfer.
+        at: Pc,
+        /// The invalid target.
+        target: Pc,
+    },
+    /// A jump table was registered for a `Pc` that is not an indirect jump.
+    JumpTableNotIndirect {
+        /// The offending `Pc`.
+        at: Pc,
+    },
+    /// An indirect jump has no registered targets.
+    MissingJumpTable {
+        /// The `Pc` of the indirect jump.
+        at: Pc,
+    },
+    /// A function falls through its end without a terminator.
+    MissingTerminator {
+        /// The function that falls off its end.
+        function: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            BuildError::DuplicateLabel { name } => write!(f, "label `{name}` bound twice"),
+            BuildError::DuplicateFunction { name } => {
+                write!(f, "function `{name}` defined twice")
+            }
+            BuildError::InstOutsideFunction { pc } => {
+                write!(f, "instruction at {pc} emitted outside any function")
+            }
+            BuildError::NestedFunction { name } => {
+                write!(f, "begin_function(`{name}`) while another function is open")
+            }
+            BuildError::NoOpenFunction => write!(f, "no function is open"),
+            BuildError::EmptyFunction { name } => write!(f, "function `{name}` is empty"),
+            BuildError::TargetOutOfRange { at, target } => {
+                write!(f, "control transfer at {at} targets out-of-range {target}")
+            }
+            BuildError::JumpTableNotIndirect { at } => {
+                write!(f, "jump table registered at {at}, which is not an indirect jump")
+            }
+            BuildError::MissingJumpTable { at } => {
+                write!(f, "indirect jump at {at} has no registered targets")
+            }
+            BuildError::MissingTerminator { function } => {
+                write!(f, "function `{function}` falls through its final instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// An error raised during functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program counter left the program text.
+    PcOutOfRange {
+        /// The invalid `Pc`.
+        pc: Pc,
+    },
+    /// An indirect jump produced a target that is not a valid `Pc`.
+    BadIndirectTarget {
+        /// The site of the indirect jump.
+        at: Pc,
+        /// The register value that failed to decode.
+        value: u64,
+    },
+    /// The step budget was exhausted before `halt`.
+    StepLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
+            ExecError::BadIndirectTarget { at, value } => {
+                write!(f, "indirect jump at {at} to invalid address {value:#x}")
+            }
+            ExecError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} exceeded before halt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BuildError::UnboundLabel { name: "x".into() };
+        assert_eq!(e.to_string(), "label `x` was never bound");
+        let e = ExecError::StepLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = ExecError::BadIndirectTarget {
+            at: Pc::new(1),
+            value: 3,
+        };
+        assert!(e.to_string().contains("0x3"));
+    }
+}

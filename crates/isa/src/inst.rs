@@ -1,0 +1,525 @@
+//! Instruction and register definitions.
+
+use crate::program::Pc;
+use std::fmt;
+
+/// A general-purpose register.
+///
+/// The machine has 32 architectural registers. `R0` is hardwired to zero
+/// (writes are discarded), matching MIPS convention. `R31` is the link
+/// register written by [`Inst::Call`] and read by [`Inst::Ret`]. `R29` is
+/// used as the stack pointer by the program-builder conventions in
+/// `polyflow-workloads`, but the hardware attaches no special meaning to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23,
+    R24, R25, R26, R27, R28, R29, R30, R31,
+}
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The stack-pointer register by software convention.
+    pub const SP: Reg = Reg::R29;
+    /// The link register written by `Call`.
+    pub const RA: Reg = Reg::R31;
+
+    /// Returns the register with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn from_index(idx: usize) -> Reg {
+        Self::ALL[idx]
+    }
+
+    /// The index of this register in the register file (0..32).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All registers, in index order.
+    pub const ALL: [Reg; 32] = [
+        Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
+        Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
+        Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23,
+        Reg::R24, Reg::R25, Reg::R26, Reg::R27, Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+    ];
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Arithmetic / logic operations for [`Inst::Alu`] and [`Inst::AluI`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Sll,
+    /// Logical shift right (shift amount masked to 6 bits).
+    Srl,
+    /// Arithmetic shift right (shift amount masked to 6 bits).
+    Sra,
+    /// Wrapping multiplication (long latency in the timing model).
+    Mul,
+    /// Set if less than, signed (`rd = (rs < rt) as u64`).
+    Slt,
+    /// Set if less than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+
+    /// True for long-latency operations (multiply).
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, AluOp::Mul)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Mul => "mul",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions comparing two registers (signed comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed greater or equal.
+    Ge,
+    /// Signed greater than.
+    Gt,
+    /// Signed less or equal.
+    Le,
+}
+
+impl Cond {
+    /// Evaluates the condition on two register values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (a, b) = (a as i64, b as i64);
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Gt => a > b,
+            Cond::Le => a <= b,
+        }
+    }
+
+    /// The condition with inverted sense.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A machine instruction.
+///
+/// All control transfers name absolute [`Pc`]s; the [`crate::ProgramBuilder`]
+/// resolves symbolic labels to `Pc`s at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `rd <- imm`.
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `rd <- rs op rt`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs: Reg,
+        /// Second source.
+        rt: Reg,
+    },
+    /// `rd <- rs op imm`.
+    AluI {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// `rd <- mem64[rs + off]`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// `mem64[base + off] <- rs`.
+    Store {
+        /// Value register.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Conditional branch: `if rs cond rt goto target`.
+    Br {
+        /// Condition.
+        cond: Cond,
+        /// First comparison source.
+        rs: Reg,
+        /// Second comparison source.
+        rt: Reg,
+        /// Branch target.
+        target: Pc,
+    },
+    /// Unconditional direct jump.
+    Jmp {
+        /// Jump target.
+        target: Pc,
+    },
+    /// Indirect jump through a register (e.g. switch dispatch).
+    ///
+    /// The set of possible targets is recorded in
+    /// [`Program::jump_targets`](crate::Program::jump_targets).
+    Jr {
+        /// Register holding the target address (a `Pc` value).
+        rs: Reg,
+    },
+    /// Direct call: `r31 <- pc + 1; goto target`.
+    Call {
+        /// Callee entry point.
+        target: Pc,
+    },
+    /// Indirect call through a register.
+    CallR {
+        /// Register holding the callee entry (a `Pc` value).
+        rs: Reg,
+    },
+    /// Return: `goto r31`.
+    Ret,
+    /// Stop the machine.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Coarse classification of an instruction, used by the CFG layer and the
+/// timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Single-cycle integer operation (including `Li` and `Nop`).
+    Alu,
+    /// Long-latency integer operation (multiply).
+    Mul,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional branch.
+    CondBranch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Indirect jump.
+    IndirectJump,
+    /// Direct or indirect procedure call.
+    Call,
+    /// Procedure return.
+    Ret,
+    /// Machine halt.
+    Halt,
+}
+
+impl Inst {
+    /// The coarse class of this instruction.
+    pub fn class(self) -> InstClass {
+        match self {
+            Inst::Li { .. } | Inst::Nop => InstClass::Alu,
+            Inst::Alu { op, .. } | Inst::AluI { op, .. } => {
+                if op.is_long_latency() {
+                    InstClass::Mul
+                } else {
+                    InstClass::Alu
+                }
+            }
+            Inst::Load { .. } => InstClass::Load,
+            Inst::Store { .. } => InstClass::Store,
+            Inst::Br { .. } => InstClass::CondBranch,
+            Inst::Jmp { .. } => InstClass::Jump,
+            Inst::Jr { .. } => InstClass::IndirectJump,
+            Inst::Call { .. } | Inst::CallR { .. } => InstClass::Call,
+            Inst::Ret => InstClass::Ret,
+            Inst::Halt => InstClass::Halt,
+        }
+    }
+
+    /// True if this instruction may redirect control flow.
+    pub fn is_control(self) -> bool {
+        !matches!(
+            self.class(),
+            InstClass::Alu | InstClass::Mul | InstClass::Load | InstClass::Store
+        )
+    }
+
+    /// True if this is a conditional branch.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Inst::Br { .. })
+    }
+
+    /// Destination register, if this instruction writes one.
+    ///
+    /// Writes to `r0` are reported as `None` because they are discarded.
+    pub fn dst(self) -> Option<Reg> {
+        let d = match self {
+            Inst::Li { rd, .. }
+            | Inst::Alu { rd, .. }
+            | Inst::AluI { rd, .. }
+            | Inst::Load { rd, .. } => Some(rd),
+            Inst::Call { .. } | Inst::CallR { .. } => Some(Reg::RA),
+            _ => None,
+        };
+        d.filter(|&r| r != Reg::R0)
+    }
+
+    /// Source registers read by this instruction (up to two).
+    ///
+    /// Reads of `r0` are included (they are trivially ready in the timing
+    /// model because `r0` is a constant).
+    pub fn srcs(self) -> [Option<Reg>; 2] {
+        match self {
+            Inst::Li { .. } | Inst::Jmp { .. } | Inst::Call { .. } | Inst::Halt | Inst::Nop => {
+                [None, None]
+            }
+            Inst::Alu { rs, rt, .. } | Inst::Br { rs, rt, .. } => [Some(rs), Some(rt)],
+            Inst::AluI { rs, .. } | Inst::Jr { rs } | Inst::CallR { rs } => [Some(rs), None],
+            Inst::Load { base, .. } => [Some(base), None],
+            Inst::Store { rs, base, .. } => [Some(rs), Some(base)],
+            Inst::Ret => [Some(Reg::RA), None],
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Li { rd, imm } => write!(f, "li    {rd}, {imm}"),
+            Inst::Alu { op, rd, rs, rt } => write!(f, "{op:<5} {rd}, {rs}, {rt}"),
+            Inst::AluI { op, rd, rs, imm } => write!(f, "{op}i  {rd}, {rs}, {imm}"),
+            Inst::Load { rd, base, off } => write!(f, "ld    {rd}, {off}({base})"),
+            Inst::Store { rs, base, off } => write!(f, "sd    {rs}, {off}({base})"),
+            Inst::Br {
+                cond,
+                rs,
+                rt,
+                target,
+            } => write!(f, "b{cond}   {rs}, {rt}, {target}"),
+            Inst::Jmp { target } => write!(f, "j     {target}"),
+            Inst::Jr { rs } => write!(f, "jr    {rs}"),
+            Inst::Call { target } => write!(f, "call  {target}"),
+            Inst::CallR { rs } => write!(f, "callr {rs}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..Reg::COUNT {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R31.to_string(), "r31");
+        assert_eq!(Reg::SP, Reg::R29);
+        assert_eq!(Reg::RA, Reg::R31);
+    }
+
+    #[test]
+    fn alu_ops_basic() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u64::MAX); // wraps
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.apply(1, 4), 16);
+        assert_eq!(AluOp::Srl.apply(16, 4), 1);
+        assert_eq!(AluOp::Sra.apply(-16i64 as u64, 4), -1i64 as u64);
+        assert_eq!(AluOp::Mul.apply(7, 6), 42);
+        assert_eq!(AluOp::Slt.apply(-1i64 as u64, 1), 1);
+        assert_eq!(AluOp::Sltu.apply(-1i64 as u64, 1), 0);
+    }
+
+    #[test]
+    fn alu_shift_amount_masked() {
+        assert_eq!(AluOp::Sll.apply(1, 64), 1); // 64 & 63 == 0
+        assert_eq!(AluOp::Srl.apply(8, 65), 4); // 65 & 63 == 1
+    }
+
+    #[test]
+    fn cond_eval_and_negate() {
+        let cases = [
+            (Cond::Eq, 3i64, 3i64, true),
+            (Cond::Ne, 3, 3, false),
+            (Cond::Lt, -2, 1, true),
+            (Cond::Ge, -2, 1, false),
+            (Cond::Gt, 5, 5, false),
+            (Cond::Le, 5, 5, true),
+        ];
+        for (c, a, b, expect) in cases {
+            assert_eq!(c.eval(a as u64, b as u64), expect, "{c} {a} {b}");
+            assert_eq!(c.negate().eval(a as u64, b as u64), !expect);
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn inst_dst_filters_r0() {
+        let i = Inst::Li { rd: Reg::R0, imm: 5 };
+        assert_eq!(i.dst(), None);
+        let i = Inst::Li { rd: Reg::R4, imm: 5 };
+        assert_eq!(i.dst(), Some(Reg::R4));
+    }
+
+    #[test]
+    fn call_writes_link_register() {
+        let i = Inst::Call { target: Pc::new(7) };
+        assert_eq!(i.dst(), Some(Reg::RA));
+        assert_eq!(i.class(), InstClass::Call);
+        let i = Inst::CallR { rs: Reg::R5 };
+        assert_eq!(i.dst(), Some(Reg::RA));
+        assert_eq!(i.srcs(), [Some(Reg::R5), None]);
+    }
+
+    #[test]
+    fn ret_reads_link_register() {
+        assert_eq!(Inst::Ret.srcs(), [Some(Reg::RA), None]);
+        assert_eq!(Inst::Ret.class(), InstClass::Ret);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Inst::Nop.class(), InstClass::Alu);
+        assert_eq!(
+            Inst::Alu {
+                op: AluOp::Mul,
+                rd: Reg::R1,
+                rs: Reg::R2,
+                rt: Reg::R3
+            }
+            .class(),
+            InstClass::Mul
+        );
+        assert!(Inst::Halt.is_control());
+        assert!(Inst::Jr { rs: Reg::R1 }.is_control());
+        assert!(!Inst::Nop.is_control());
+        assert!(Inst::Br {
+            cond: Cond::Eq,
+            rs: Reg::R0,
+            rt: Reg::R0,
+            target: Pc::new(0)
+        }
+        .is_cond_branch());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Inst::Load {
+            rd: Reg::R3,
+            base: Reg::R4,
+            off: 16,
+        };
+        assert_eq!(i.to_string(), "ld    r3, 16(r4)");
+        let i = Inst::Br {
+            cond: Cond::Ne,
+            rs: Reg::R1,
+            rt: Reg::R0,
+            target: Pc::new(3),
+        };
+        assert!(i.to_string().starts_with("bne"));
+    }
+}

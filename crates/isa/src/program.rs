@@ -1,0 +1,257 @@
+//! Program container: instructions, functions, and indirect-jump metadata.
+
+use crate::inst::Inst;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+
+/// A program counter: the index of an instruction in the program.
+///
+/// Displayed as a hex byte address (`pc * 4`) to match the paper's listings
+/// (e.g. `0x9d60`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u32);
+
+impl Pc {
+    /// Creates a `Pc` from an instruction index.
+    pub const fn new(index: u32) -> Pc {
+        Pc(index)
+    }
+
+    /// The instruction index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The byte address (`index * 4`), as the paper prints PCs.
+    pub const fn byte_addr(self) -> u64 {
+        (self.0 as u64) * 4
+    }
+
+    /// The next sequential `Pc`.
+    pub const fn next(self) -> Pc {
+        Pc(self.0 + 1)
+    }
+
+    /// Encodes this `Pc` as a register value (its byte address).
+    pub const fn to_value(self) -> u64 {
+        self.byte_addr()
+    }
+
+    /// Decodes a register value (byte address) back into a `Pc`.
+    ///
+    /// Returns `None` if the value is not 4-aligned or out of `u32` range.
+    pub fn from_value(v: u64) -> Option<Pc> {
+        if v % 4 != 0 {
+            return None;
+        }
+        u32::try_from(v / 4).ok().map(Pc)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.byte_addr())
+    }
+}
+
+/// A function: a named contiguous instruction range with a single entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (unique within a program).
+    pub name: String,
+    /// Instruction index range `[start, end)`.
+    pub range: Range<u32>,
+}
+
+impl Function {
+    /// The entry `Pc` of the function.
+    pub fn entry(&self) -> Pc {
+        Pc::new(self.range.start)
+    }
+
+    /// True if `pc` lies within this function's body.
+    pub fn contains(&self, pc: Pc) -> bool {
+        self.range.contains(&(pc.index() as u32))
+    }
+
+    /// Number of instructions in the function.
+    pub fn len(&self) -> usize {
+        (self.range.end - self.range.start) as usize
+    }
+
+    /// True if the function has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// A complete program: instructions, function table, indirect-jump target
+/// metadata, and initial data memory.
+///
+/// Construct programs with [`crate::ProgramBuilder`]; the builder validates
+/// label resolution, function boundaries and jump-table sanity.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub(crate) insts: Vec<Inst>,
+    pub(crate) functions: Vec<Function>,
+    pub(crate) jump_targets: BTreeMap<Pc, Vec<Pc>>,
+    pub(crate) data: Vec<(u64, u64)>,
+    pub(crate) name: String,
+}
+
+impl Program {
+    /// The program's name (defaults to `"program"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn inst(&self, pc: Pc) -> Inst {
+        self.insts[pc.index()]
+    }
+
+    /// The instruction at `pc`, or `None` if out of range.
+    pub fn get(&self, pc: Pc) -> Option<Inst> {
+        self.insts.get(pc.index()).copied()
+    }
+
+    /// All instructions in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The function table, in layout order.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// The function containing `pc`, if any.
+    pub fn function_at(&self, pc: Pc) -> Option<&Function> {
+        self.functions.iter().find(|f| f.contains(pc))
+    }
+
+    /// Possible targets of the indirect jump or indirect call at `pc`.
+    ///
+    /// Returns an empty slice for PCs without registered targets. The CFG
+    /// layer uses this to resolve `Jr`/`CallR` control flow statically.
+    pub fn jump_targets(&self, pc: Pc) -> &[Pc] {
+        self.jump_targets.get(&pc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Initial data memory as `(byte address, 64-bit value)` pairs.
+    pub fn initial_data(&self) -> &[(u64, u64)] {
+        &self.data
+    }
+
+    /// The entry point: the start of the first function, or `Pc(0)`.
+    pub fn entry(&self) -> Pc {
+        self.functions.first().map(Function::entry).unwrap_or(Pc::new(0))
+    }
+
+    /// Renders the program as an assembly listing with function headers.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let pc = Pc::new(i as u32);
+            if let Some(f) = self.functions.iter().find(|f| f.entry() == pc) {
+                let _ = writeln!(out, "{}:", f.name);
+            }
+            let _ = writeln!(out, "  {pc}: {inst}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Reg;
+
+    #[test]
+    fn pc_byte_addr_roundtrip() {
+        let pc = Pc::new(10);
+        assert_eq!(pc.byte_addr(), 40);
+        assert_eq!(Pc::from_value(pc.to_value()), Some(pc));
+        assert_eq!(Pc::from_value(41), None);
+        assert_eq!(pc.next(), Pc::new(11));
+        assert_eq!(pc.to_string(), "0x0028");
+    }
+
+    #[test]
+    fn function_contains() {
+        let f = Function {
+            name: "f".into(),
+            range: 2..5,
+        };
+        assert!(f.contains(Pc::new(2)));
+        assert!(f.contains(Pc::new(4)));
+        assert!(!f.contains(Pc::new(5)));
+        assert_eq!(f.entry(), Pc::new(2));
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn program_accessors() {
+        let p = Program {
+            insts: vec![Inst::Nop, Inst::Halt],
+            functions: vec![Function {
+                name: "main".into(),
+                range: 0..2,
+            }],
+            jump_targets: BTreeMap::new(),
+            data: vec![(8, 42)],
+            name: "t".into(),
+        };
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.inst(Pc::new(0)), Inst::Nop);
+        assert_eq!(p.get(Pc::new(5)), None);
+        assert_eq!(p.entry(), Pc::new(0));
+        assert!(p.function("main").is_some());
+        assert!(p.function("nope").is_none());
+        assert_eq!(p.function_at(Pc::new(1)).unwrap().name, "main");
+        assert_eq!(p.jump_targets(Pc::new(0)), &[]);
+        assert_eq!(p.initial_data(), &[(8, 42)]);
+        assert!(p.listing().contains("main:"));
+    }
+
+    #[test]
+    fn listing_shows_instructions() {
+        let p = Program {
+            insts: vec![Inst::Li { rd: Reg::R1, imm: 3 }],
+            functions: vec![],
+            jump_targets: BTreeMap::new(),
+            data: vec![],
+            name: "t".into(),
+        };
+        assert!(p.to_string().contains("li"));
+    }
+}

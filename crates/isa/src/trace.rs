@@ -1,0 +1,401 @@
+//! Retired-instruction traces and derived oracle information.
+//!
+//! The functional interpreter emits a [`Trace`]: the exact sequence of
+//! retired instructions with their branch outcomes and memory addresses.
+//! The timing simulator replays this trace (trace-driven simulation, see
+//! DESIGN.md §3) and uses two derived oracles:
+//!
+//! * [`Dataflow`] — for every trace entry, the index of the producing entry
+//!   for each register source and (for loads) the producing store, and
+//! * [`PcIndex`] — for every static `Pc`, the sorted list of dynamic
+//!   occurrences, supporting the Task Spawn Unit's "is the spawn target
+//!   reached soon?" check (paper §3.2).
+
+use crate::inst::{Inst, InstClass, Reg};
+use crate::program::Pc;
+use std::collections::HashMap;
+
+/// One retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Static program counter.
+    pub pc: Pc,
+    /// The instruction itself (carried for convenient decoding).
+    pub inst: Inst,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: bool,
+    /// The `Pc` of the next retired instruction (the actual successor).
+    pub next_pc: Pc,
+    /// Effective byte address for loads and stores.
+    pub mem_addr: Option<u64>,
+}
+
+impl TraceEntry {
+    /// Coarse class of the retired instruction.
+    pub fn class(&self) -> InstClass {
+        self.inst.class()
+    }
+
+    /// True if control left the fall-through path at this entry.
+    pub fn redirected(&self) -> bool {
+        self.next_pc != self.pc.next()
+    }
+}
+
+/// A retired-instruction trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, e: TraceEntry) {
+        self.entries.push(e);
+    }
+
+    /// Number of retired instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no instructions were retired.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in retirement order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The entry at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn entry(&self, idx: usize) -> &TraceEntry {
+        &self.entries[idx]
+    }
+
+    /// Iterates over entries in retirement order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Computes the dataflow oracle for this trace.
+    pub fn dataflow(&self) -> Dataflow {
+        Dataflow::compute(self)
+    }
+
+    /// Builds the per-`Pc` occurrence index for this trace.
+    pub fn pc_index(&self) -> PcIndex {
+        PcIndex::build(self)
+    }
+
+    /// Counts retired conditional branches.
+    pub fn cond_branches(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.class() == InstClass::CondBranch)
+            .count()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEntry;
+    type IntoIter = std::slice::Iter<'a, TraceEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl FromIterator<TraceEntry> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEntry>>(iter: I) -> Trace {
+        Trace {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Per-entry producer information derived from a [`Trace`].
+///
+/// `reg_producer[i][s]` is the trace index of the instruction that produced
+/// the value read by source slot `s` of entry `i` (`None` if the value
+/// predates the trace or the slot is unused / reads `r0`).
+/// `mem_producer[i]` is, for a load, the index of the most recent prior
+/// store to the same word (`None` if the location predates the trace).
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    reg_producer: Vec<[Option<u32>; 2]>,
+    mem_producer: Vec<Option<u32>>,
+}
+
+impl Dataflow {
+    /// Computes producers with a single forward pass.
+    pub fn compute(trace: &Trace) -> Dataflow {
+        let n = trace.len();
+        let mut reg_producer = vec![[None, None]; n];
+        let mut mem_producer = vec![None; n];
+        let mut last_writer: [Option<u32>; Reg::COUNT] = [None; Reg::COUNT];
+        let mut last_store: HashMap<u64, u32> = HashMap::new();
+
+        for (i, e) in trace.iter().enumerate() {
+            let srcs = e.inst.srcs();
+            for (s, src) in srcs.into_iter().enumerate() {
+                if let Some(r) = src {
+                    if r != Reg::R0 {
+                        reg_producer[i][s] = last_writer[r.index()];
+                    }
+                }
+            }
+            if e.class() == InstClass::Load {
+                if let Some(addr) = e.mem_addr {
+                    mem_producer[i] = last_store.get(&crate::Memory::align(addr)).copied();
+                }
+            }
+            if e.class() == InstClass::Store {
+                if let Some(addr) = e.mem_addr {
+                    last_store.insert(crate::Memory::align(addr), i as u32);
+                }
+            }
+            if let Some(d) = e.inst.dst() {
+                last_writer[d.index()] = Some(i as u32);
+            }
+        }
+        Dataflow {
+            reg_producer,
+            mem_producer,
+        }
+    }
+
+    /// Register producers for entry `i` (one per source slot).
+    pub fn reg_producers(&self, i: usize) -> [Option<u32>; 2] {
+        self.reg_producer[i]
+    }
+
+    /// Producing store for the load at entry `i`, if any.
+    pub fn mem_producer(&self, i: usize) -> Option<u32> {
+        self.mem_producer[i]
+    }
+
+    /// All producers of entry `i` (registers plus memory), deduplicated.
+    pub fn producers(&self, i: usize) -> impl Iterator<Item = u32> + '_ {
+        let [a, b] = self.reg_producer[i];
+        let m = self.mem_producer[i];
+        let mut v: Vec<u32> = [a, b, m].into_iter().flatten().collect();
+        v.sort_unstable();
+        v.dedup();
+        v.into_iter()
+    }
+
+    /// Number of entries covered.
+    pub fn len(&self) -> usize {
+        self.reg_producer.len()
+    }
+
+    /// True if the trace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.reg_producer.is_empty()
+    }
+}
+
+/// Sorted dynamic occurrences of each static `Pc` in a trace.
+#[derive(Debug, Clone, Default)]
+pub struct PcIndex {
+    occurrences: HashMap<Pc, Vec<u32>>,
+}
+
+impl PcIndex {
+    /// Builds the index with a single pass over the trace.
+    pub fn build(trace: &Trace) -> PcIndex {
+        let mut occurrences: HashMap<Pc, Vec<u32>> = HashMap::new();
+        for (i, e) in trace.iter().enumerate() {
+            occurrences.entry(e.pc).or_default().push(i as u32);
+        }
+        PcIndex { occurrences }
+    }
+
+    /// The first dynamic occurrence of `pc` at trace index `from` or later.
+    pub fn next_at_or_after(&self, pc: Pc, from: u32) -> Option<u32> {
+        let occ = self.occurrences.get(&pc)?;
+        let i = occ.partition_point(|&x| x < from);
+        occ.get(i).copied()
+    }
+
+    /// Total dynamic occurrences of `pc`.
+    pub fn count(&self, pc: Pc) -> usize {
+        self.occurrences.get(&pc).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of distinct static PCs that appear in the trace.
+    pub fn distinct_pcs(&self) -> usize {
+        self.occurrences.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Cond};
+
+    fn entry(pc: u32, inst: Inst, next: u32) -> TraceEntry {
+        TraceEntry {
+            pc: Pc::new(pc),
+            inst,
+            taken: false,
+            next_pc: Pc::new(next),
+            mem_addr: None,
+        }
+    }
+
+    #[test]
+    fn redirected_detection() {
+        let e = entry(0, Inst::Nop, 1);
+        assert!(!e.redirected());
+        let e = entry(0, Inst::Jmp { target: Pc::new(5) }, 5);
+        assert!(e.redirected());
+    }
+
+    #[test]
+    fn dataflow_register_chain() {
+        // 0: li r1, 1
+        // 1: li r2, 2
+        // 2: add r3, r1, r2
+        // 3: add r4, r3, r3
+        let mut t = Trace::new();
+        t.push(entry(0, Inst::Li { rd: Reg::R1, imm: 1 }, 1));
+        t.push(entry(1, Inst::Li { rd: Reg::R2, imm: 2 }, 2));
+        t.push(entry(
+            2,
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::R3,
+                rs: Reg::R1,
+                rt: Reg::R2,
+            },
+            3,
+        ));
+        t.push(entry(
+            3,
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::R4,
+                rs: Reg::R3,
+                rt: Reg::R3,
+            },
+            4,
+        ));
+        let df = t.dataflow();
+        assert_eq!(df.reg_producers(2), [Some(0), Some(1)]);
+        assert_eq!(df.reg_producers(3), [Some(2), Some(2)]);
+        assert_eq!(df.producers(3).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(df.len(), 4);
+        assert!(!df.is_empty());
+    }
+
+    #[test]
+    fn dataflow_r0_has_no_producer() {
+        let mut t = Trace::new();
+        t.push(entry(0, Inst::Li { rd: Reg::R0, imm: 9 }, 1)); // discarded
+        t.push(entry(
+            1,
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs: Reg::R0,
+                rt: Reg::R0,
+            },
+            2,
+        ));
+        let df = t.dataflow();
+        assert_eq!(df.reg_producers(1), [None, None]);
+    }
+
+    #[test]
+    fn dataflow_memory_chain() {
+        let mut t = Trace::new();
+        let mut st = entry(
+            0,
+            Inst::Store {
+                rs: Reg::R1,
+                base: Reg::R0,
+                off: 0,
+            },
+            1,
+        );
+        st.mem_addr = Some(100);
+        t.push(st);
+        let mut ld = entry(
+            1,
+            Inst::Load {
+                rd: Reg::R2,
+                base: Reg::R0,
+                off: 0,
+            },
+            2,
+        );
+        ld.mem_addr = Some(101); // same aligned word as 100
+        t.push(ld);
+        let mut ld2 = entry(
+            2,
+            Inst::Load {
+                rd: Reg::R3,
+                base: Reg::R0,
+                off: 0,
+            },
+            3,
+        );
+        ld2.mem_addr = Some(200); // untouched word
+        t.push(ld2);
+        let df = t.dataflow();
+        assert_eq!(df.mem_producer(1), Some(0));
+        assert_eq!(df.mem_producer(2), None);
+    }
+
+    #[test]
+    fn pc_index_queries() {
+        let mut t = Trace::new();
+        for (i, pc) in [0u32, 1, 2, 1, 2, 1, 3].into_iter().enumerate() {
+            t.push(entry(pc, Inst::Nop, i as u32 + 1));
+        }
+        let idx = t.pc_index();
+        assert_eq!(idx.count(Pc::new(1)), 3);
+        assert_eq!(idx.next_at_or_after(Pc::new(1), 0), Some(1));
+        assert_eq!(idx.next_at_or_after(Pc::new(1), 2), Some(3));
+        assert_eq!(idx.next_at_or_after(Pc::new(1), 6), None);
+        assert_eq!(idx.next_at_or_after(Pc::new(9), 0), None);
+        assert_eq!(idx.distinct_pcs(), 4);
+    }
+
+    #[test]
+    fn cond_branch_count() {
+        let mut t = Trace::new();
+        t.push(entry(0, Inst::Nop, 1));
+        t.push(entry(
+            1,
+            Inst::Br {
+                cond: Cond::Eq,
+                rs: Reg::R0,
+                rt: Reg::R0,
+                target: Pc::new(0),
+            },
+            0,
+        ));
+        assert_eq!(t.cond_branches(), 1);
+    }
+
+    #[test]
+    fn trace_collect_and_iter() {
+        let t: Trace = (0..3).map(|i| entry(i, Inst::Nop, i + 1)).collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.iter().count(), 3);
+        assert_eq!((&t).into_iter().count(), 3);
+        assert_eq!(t.entry(1).pc, Pc::new(1));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property test: any well-formed program round-trips through the
+//! assembly text format unchanged.
+
+use polyflow_isa::{parse_program, to_asm, Cond, Program, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+/// Same arbitrary-digraph generator as the CFG property tests: `n`
+/// one-instruction regions with arbitrary terminators.
+fn arbitrary_program(choices: &[(u8, usize, usize)]) -> Program {
+    let n = choices.len();
+    let mut b = ProgramBuilder::new();
+    b.begin_function("rand");
+    let labels: Vec<_> = (0..n).map(|i| b.fresh_label(&format!("L{i}"))).collect();
+    for (i, &(kind, a, t)) in choices.iter().enumerate() {
+        b.bind_label(labels[i]);
+        b.nop();
+        match kind % 5 {
+            0 => {
+                b.br(Cond::Eq, Reg::R1, Reg::R2, labels[a % n]);
+                if i + 1 == n {
+                    b.halt();
+                }
+            }
+            1 => {
+                b.jmp(labels[t % n]);
+            }
+            2 => {
+                b.halt();
+            }
+            3 => {
+                // Indirect jump with a two-entry table.
+                b.li(Reg::R3, 0);
+                b.jr(Reg::R3, &[labels[a % n], labels[t % n]]);
+            }
+            _ => {
+                b.br(Cond::Ne, Reg::R1, Reg::R2, labels[a % n]);
+                b.jmp(labels[t % n]);
+            }
+        }
+    }
+    b.halt();
+    b.end_function();
+    b.build().expect("generated program is well formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn assembly_roundtrip_is_identity(
+        choices in prop::collection::vec((0u8..5, 0usize..10, 0usize..10), 1..10),
+    ) {
+        let p1 = arbitrary_program(&choices);
+        let text = to_asm(&p1);
+        let p2 = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(p1.insts(), p2.insts());
+        prop_assert_eq!(p1.functions().len(), p2.functions().len());
+        // Jump tables survive.
+        for (i, inst) in p1.insts().iter().enumerate() {
+            if matches!(inst, polyflow_isa::Inst::Jr { .. }) {
+                let pc = polyflow_isa::Pc::new(i as u32);
+                prop_assert_eq!(p1.jump_targets(pc), p2.jump_targets(pc));
+            }
+        }
+    }
+
+    #[test]
+    fn data_blocks_roundtrip(words in prop::collection::vec(any::<u64>(), 1..20)) {
+        let mut b = ProgramBuilder::new();
+        b.alloc_data(&words);
+        b.begin_function("main");
+        b.halt();
+        b.end_function();
+        let p1 = b.build().unwrap();
+        let p2 = parse_program(&to_asm(&p1)).unwrap();
+        prop_assert_eq!(p1.initial_data(), p2.initial_data());
+    }
+}

@@ -1,0 +1,153 @@
+//! The PolyFlow timing simulator and its equivalent-resource superscalar
+//! baseline (paper §3, Figures 7–8).
+//!
+//! PolyFlow is a speculative-parallelization machine built on a
+//! simultaneously multithreaded core: a Task Spawn Unit splits the fetch
+//! stream into control-equivalent tasks, a shared out-of-order backend
+//! (512-entry ROB, 64-entry scheduler, 8 FUs) executes them, and a divert
+//! queue conservatively synchronizes inter-task register and memory
+//! dependences — no value prediction, no selective re-execution (§3.1).
+//!
+//! # Trace-driven model
+//!
+//! The paper's simulator is execution-driven; ours replays the retirement
+//! trace produced by [`polyflow_isa::execute_window`] (see DESIGN.md §3
+//! for the substitution argument). Wrong-path effects appear as per-task
+//! fetch stalls: a mispredicted branch freezes only its own task's fetch
+//! until resolution, so control-equivalent tasks keep the backend fed —
+//! the paper's central effect.
+//!
+//! # Example
+//!
+//! ```
+//! use polyflow_sim::{run_policy, MachineConfig};
+//! use polyflow_core::Policy;
+//! use polyflow_isa::{ProgramBuilder, Reg, Cond, AluOp, execute_window};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! b.begin_function("main");
+//! let top = b.fresh_label("top");
+//! b.li(Reg::R1, 0);
+//! b.bind_label(top);
+//! b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+//! b.br_imm(Cond::Lt, Reg::R1, 100, top);
+//! b.halt();
+//! b.end_function();
+//! let program = b.build()?;
+//! let trace = execute_window(&program, 100_000)?.trace;
+//!
+//! let baseline = run_policy(&program, &trace, Policy::None);
+//! let postdoms = run_policy(&program, &trace, Policy::Postdoms);
+//! assert_eq!(baseline.instructions, postdoms.instructions);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod branch_pred;
+mod cache;
+mod config;
+mod machine;
+mod metrics;
+mod spawn_source;
+mod store_set;
+pub mod timeline;
+
+pub use branch_pred::{Gshare, PredictionTrace, ReturnStack};
+pub use cache::{Cache, Hierarchy};
+pub use config::{CacheConfig, MachineConfig};
+pub use machine::{simulate, PreparedTrace};
+pub use metrics::{SimResult, SpawnCounts, SpawnEvent};
+pub use spawn_source::{HintCacheSource, NoSpawn, ReconvSpawnSource, SpawnSource, StaticSpawnSource};
+pub use store_set::{DependenceMode, StoreSetPredictor};
+
+use polyflow_core::{Policy, ProgramAnalysis};
+use polyflow_isa::{Program, Trace};
+use polyflow_reconv::ReconvConfig;
+
+/// Simulates `trace` under a static task-selection `policy`, using the
+/// Figure 8 machine (superscalar geometry when the policy is
+/// [`Policy::None`]).
+///
+/// Convenience wrapper: analyzes the program, builds the spawn table, and
+/// runs the cycle model. For sweeps over many policies, precompute the
+/// analysis and [`PreparedTrace`] yourself and call [`simulate`].
+pub fn run_policy(program: &Program, trace: &Trace, policy: Policy) -> SimResult {
+    let config = if policy == Policy::None {
+        MachineConfig::superscalar()
+    } else {
+        MachineConfig::hpca07()
+    };
+    let prepared = PreparedTrace::new(trace, &config);
+    if policy == Policy::None {
+        simulate(&prepared, &config, &mut NoSpawn)
+    } else {
+        let analysis = ProgramAnalysis::analyze(program);
+        let mut source = StaticSpawnSource::new(analysis.spawn_table(policy));
+        simulate(&prepared, &config, &mut source)
+    }
+}
+
+/// Simulates `trace` with the dynamic reconvergence-predictor spawn source
+/// of §4.4 (cold predictor, trained online on the retirement stream).
+pub fn run_reconvergence(trace: &Trace, reconv: ReconvConfig) -> SimResult {
+    let config = MachineConfig::hpca07();
+    let prepared = PreparedTrace::new(trace, &config);
+    let mut source = ReconvSpawnSource::new(reconv);
+    simulate(&prepared, &config, &mut source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{execute_window, AluOp, Cond, ProgramBuilder, Reg};
+
+    #[test]
+    fn run_policy_baseline_vs_postdoms() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let top = b.fresh_label("top");
+        let skip = b.fresh_label("skip");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R10, 99991);
+        b.bind_label(top);
+        b.li(Reg::R11, 2654435761);
+        b.alu(AluOp::Mul, Reg::R10, Reg::R10, Reg::R11);
+        b.alui(AluOp::Srl, Reg::R12, Reg::R10, 13);
+        b.alui(AluOp::And, Reg::R12, Reg::R12, 1);
+        b.br_imm(Cond::Eq, Reg::R12, 0, skip);
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 7);
+        b.bind_label(skip);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 300, top);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+
+        let base = run_policy(&p, &trace, Policy::None);
+        let pd = run_policy(&p, &trace, Policy::Postdoms);
+        assert_eq!(base.instructions, pd.instructions);
+        assert!(pd.total_spawns() > 0);
+    }
+
+    #[test]
+    fn run_reconvergence_executes() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.bind_label(top);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 200, top);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let r = run_reconvergence(&trace, polyflow_reconv::ReconvConfig::default());
+        assert_eq!(r.instructions as usize, trace.len());
+    }
+}

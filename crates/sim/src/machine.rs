@@ -1,0 +1,1438 @@
+//! The trace-driven cycle model: fetch, dispatch, divert, issue, retire.
+//!
+//! One [`Machine::run`] replays a retirement [`Trace`] through the
+//! PolyFlow microarchitecture of Figure 7:
+//!
+//! * **Tasks** partition the trace into contiguous intervals, oldest first.
+//!   The tail (youngest) task may spawn: when it fetches a trigger PC its
+//!   [`SpawnSource`] knows, and the target PC occurs in the trace within
+//!   `max_spawn_distance` instructions, the tail task is split there
+//!   (§3.2: spawning only from the tail task, oracle distance check).
+//! * **Fetch** selects up to `fetch_tasks_per_cycle` stall-free tasks by
+//!   biased ICount (fewest in-flight instructions first, §3.2) and fetches
+//!   up to `width` instructions total, at most one taken control transfer
+//!   per task per cycle. A mispredicted branch stalls *only its own task's
+//!   fetch* until the branch resolves — control-equivalent tasks keep
+//!   fetching, which is exactly the control-independence benefit the paper
+//!   exploits. Instruction-cache misses stall the fetching task for the
+//!   fill latency.
+//! * **Dispatch** moves decoded instructions, oldest task first, into the
+//!   shared ROB. Instructions with an inter-task source operand that has
+//!   not yet been produced go to the **divert queue** instead of the
+//!   scheduler (§3.1); they enter the scheduler once their producers have
+//!   dispatched. No value prediction, no selective re-execution.
+//! * **Issue** selects ready scheduler entries oldest-first onto the 8
+//!   functional units; loads/stores access the cache hierarchy at issue.
+//! * **Retire** drains up to `width` completed instructions per cycle in
+//!   global trace order (the shared ROB retires architecturally in order)
+//!   and feeds the retirement stream to the spawn source (training the
+//!   reconvergence predictor online, §4.4).
+
+use crate::branch_pred::PredictionTrace;
+use crate::cache::Hierarchy;
+use crate::config::MachineConfig;
+use crate::metrics::SimResult;
+use crate::spawn_source::SpawnSource;
+use crate::store_set::{DependenceMode, StoreSetPredictor};
+use polyflow_isa::{Dataflow, InstClass, Trace};
+use std::collections::VecDeque;
+
+const NOT_YET: u64 = u64::MAX;
+const OPEN_END: u32 = u32::MAX;
+/// Saturation ceiling of the spawn-profitability counters.
+const PROFIT_MAX: i8 = 7;
+
+/// Analyses of a trace that are shared by every policy run: dataflow
+/// producers, the PC occurrence index, and branch-prediction outcomes.
+#[derive(Debug)]
+pub struct PreparedTrace<'t> {
+    /// The trace being replayed.
+    pub trace: &'t Trace,
+    /// Oracle dataflow (register and memory producers).
+    pub dataflow: Dataflow,
+    /// Dynamic occurrences of each static PC.
+    pub pc_index: polyflow_isa::PcIndex,
+    /// Replayed branch-prediction outcomes.
+    pub predictions: PredictionTrace,
+}
+
+impl<'t> PreparedTrace<'t> {
+    /// Precomputes everything `simulate` needs.
+    pub fn new(trace: &'t Trace, config: &MachineConfig) -> PreparedTrace<'t> {
+        PreparedTrace {
+            trace,
+            dataflow: trace.dataflow(),
+            pc_index: trace.pc_index(),
+            predictions: PredictionTrace::compute(trace, config),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InstState {
+    fetched_at: u64,
+    dispatched_at: u64,
+    done_at: u64,
+    task_start: u32,
+    dispatched: bool,
+    in_divert: bool,
+    issued: bool,
+    /// Load dispatched ignoring its (predicted-independent) inter-task
+    /// memory producer; a violation occurs if it issues first.
+    mem_speculative: bool,
+    /// Register source slots dispatched ignoring their inter-task
+    /// producer (hint-entry model): a violation occurs if the instruction
+    /// issues before the producer completes.
+    reg_speculative: [bool; 2],
+}
+
+impl Default for InstState {
+    fn default() -> Self {
+        InstState {
+            fetched_at: NOT_YET,
+            dispatched_at: NOT_YET,
+            done_at: NOT_YET,
+            task_start: 0,
+            dispatched: false,
+            in_divert: false,
+            issued: false,
+            mem_speculative: false,
+            reg_speculative: [false, false],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Task {
+    start: u32,
+    end: u32,
+    fetch_next: u32,
+    fetch_resume_at: u64,
+    waiting_branch: Option<u32>,
+    fq: VecDeque<u32>,
+    inflight: usize,
+    last_fetch_line: u64,
+    /// Trigger PC of the spawn this task performed as tail, if any; used
+    /// by the profitability feedback.
+    spawn_trigger: Option<polyflow_isa::Pc>,
+    /// Trigger PC of the spawn that *created* this task (None for the
+    /// initial task); keys the hint-entry register set.
+    created_by: Option<polyflow_isa::Pc>,
+    /// After a dependence-violation squash the task refetches in safe
+    /// mode: every inter-task register dependence synchronizes, whether or
+    /// not the hint entry names it. Prevents livelock when the entry's
+    /// capacity cannot cover the task's dependence set.
+    safe_mode: bool,
+    /// Fetch-stall cycles accumulated since this task spawned.
+    stall_since_spawn: u64,
+    /// Whether the spawn's profitability has been evaluated.
+    profit_evaluated: bool,
+}
+
+impl Task {
+    fn new(start: u32) -> Task {
+        Task {
+            start,
+            end: OPEN_END,
+            fetch_next: start,
+            fetch_resume_at: 0,
+            waiting_branch: None,
+            fq: VecDeque::new(),
+            inflight: 0,
+            last_fetch_line: u64::MAX,
+            spawn_trigger: None,
+            created_by: None,
+            safe_mode: false,
+            stall_since_spawn: 0,
+            profit_evaluated: false,
+        }
+    }
+}
+
+/// The cycle-level machine. Create one per run via [`simulate`].
+struct Machine<'a, 't> {
+    cfg: &'a MachineConfig,
+    pt: &'a PreparedTrace<'t>,
+    hier: Hierarchy,
+    state: Vec<InstState>,
+    tasks: Vec<Task>,
+    retire_ptr: usize,
+    rob_used: usize,
+    sched: Vec<u32>,
+    divert: VecDeque<u32>,
+    cycle: u64,
+    stats: SimResult,
+    last_retire_cycle: u64,
+    /// Profitability feedback state per trigger PC: a saturating counter
+    /// (0..=PROFIT_MAX, optimistically initialized) and a suppression
+    /// count used to periodically probe throttled spawn points.
+    profit: std::collections::HashMap<polyflow_isa::Pc, (i8, u32)>,
+    /// Store-set memory-dependence predictor (store-set mode only).
+    ssit: StoreSetPredictor,
+    /// Consecutive cycles the oldest task has been blocked on a full ROB
+    /// (drives the §6 reclamation extension).
+    rob_blocked_streak: u64,
+    /// Per-spawn-point register hint entries (hint-entry model): which
+    /// architectural registers tasks from this trigger synchronize on,
+    /// plus a saturation flag — once the dependence set overflows the
+    /// entry, tasks from this trigger synchronize *everything* (they
+    /// start in safe mode).
+    hints: std::collections::HashMap<polyflow_isa::Pc, (Vec<polyflow_isa::Reg>, bool)>,
+}
+
+/// Runs `prepared` through the machine described by `config`, spawning
+/// tasks according to `source`. Returns the run's statistics.
+///
+/// # Panics
+///
+/// Panics if the machine makes no retirement progress for an extended
+/// period (an internal deadlock — indicates a simulator bug, never a
+/// property of the workload).
+pub fn simulate(
+    prepared: &PreparedTrace<'_>,
+    config: &MachineConfig,
+    source: &mut dyn SpawnSource,
+) -> SimResult {
+    let n = prepared.trace.len();
+    if n == 0 {
+        return SimResult::default();
+    }
+    let mut m = Machine {
+        cfg: config,
+        pt: prepared,
+        hier: Hierarchy::new(config),
+        state: vec![InstState::default(); n],
+        tasks: vec![Task::new(0)],
+        retire_ptr: 0,
+        rob_used: 0,
+        sched: Vec::with_capacity(config.scheduler_entries),
+        divert: VecDeque::with_capacity(config.divert_entries),
+        cycle: 0,
+        stats: SimResult::default(),
+        last_retire_cycle: 0,
+        profit: std::collections::HashMap::new(),
+        ssit: StoreSetPredictor::new(config.store_set_index_bits),
+        rob_blocked_streak: 0,
+        hints: std::collections::HashMap::new(),
+    };
+    m.run(source);
+    m.finish()
+}
+
+impl Machine<'_, '_> {
+    fn run(&mut self, source: &mut dyn SpawnSource) {
+        let n = self.pt.trace.len();
+        while self.retire_ptr < n {
+            self.retire(source);
+            if self.retire_ptr >= n {
+                break;
+            }
+            self.issue();
+            self.drain_divert();
+            self.dispatch();
+            // §6 extension: reclaim ROB entries from the youngest task if
+            // the oldest has been starved long enough.
+            if self.cfg.rob_reclamation
+                && self.rob_blocked_streak >= self.cfg.rob_reclaim_after
+                && self.tasks.len() > 1
+            {
+                self.reclaim_youngest();
+                self.rob_blocked_streak = 0;
+            }
+            self.fetch(source);
+            self.cycle += 1;
+            if self.cycle - self.last_retire_cycle >= 500_000 {
+                let s = self.state[self.retire_ptr];
+                let owner = self
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .find(|(_, t)| t.start as usize <= self.retire_ptr
+                        && (self.retire_ptr as u32) < t.end)
+                    .map(|(i, t)| format!(
+                        "task {i} [{}..{}) fetch_next {} fq {} wait {:?} resume {} safe {}",
+                        t.start, t.end, t.fetch_next, t.fq.len(), t.waiting_branch,
+                        t.fetch_resume_at, t.safe_mode))
+                    .unwrap_or_else(|| "NO TASK".into());
+                let mut dump = String::new();
+                for &idx in self.sched.iter().take(6) {
+                    let st = self.state[idx as usize];
+                    let prods: Vec<String> = self
+                        .producers(idx as usize)
+                        .map(|p| {
+                            let ps = self.state[p as usize];
+                            format!(
+                                "{p}(d{} v{} done{})",
+                                ps.dispatched as u8, ps.in_divert as u8,
+                                (ps.done_at <= self.cycle) as u8
+                            )
+                        })
+                        .collect();
+                    dump.push_str(&format!(
+                        "  sched {idx} spec{:?}/{} <- {:?}\n",
+                        st.reg_speculative, st.mem_speculative as u8, prods
+                    ));
+                }
+                for &idx in self.divert.iter().take(4) {
+                    dump.push_str(&format!("  divert {idx}\n"));
+                }
+                panic!(
+                    "simulator deadlock at cycle {} (retire_ptr {}, rob {}, sched {}, divert {}, tasks {})\n                     stuck inst: fetched_at {} dispatched {} in_divert {} issued {} done_at {} spec {:?}/{}\n                     owner: {owner}\n{dump}",
+                    self.cycle, self.retire_ptr, self.rob_used, self.sched.len(),
+                    self.divert.len(), self.tasks.len(),
+                    s.fetched_at, s.dispatched, s.in_divert, s.issued, s.done_at,
+                    s.reg_speculative, s.mem_speculative,
+                );
+            }
+        }
+    }
+
+    fn finish(self) -> SimResult {
+        let mut stats = self.stats;
+        stats.cycles = self.cycle.max(1);
+        stats.instructions = self.pt.trace.len() as u64;
+        stats.branch_mispredicts = self.pt.predictions.cond_mispredicts();
+        stats.indirect_mispredicts = self.pt.predictions.indirect_mispredicts();
+        stats.l1i_misses = self.hier.l1i().misses();
+        stats.l1d_misses = self.hier.l1d().misses();
+        stats.l2_misses = self.hier.l2().misses();
+        stats
+    }
+
+    /// All producers of `idx` (register sources plus, for loads, the
+    /// producing store).
+    fn producers(&self, idx: usize) -> impl Iterator<Item = u32> + '_ {
+        let [a, b] = self.pt.dataflow.reg_producers(idx);
+        let m = self.pt.dataflow.mem_producer(idx);
+        [a, b, m].into_iter().flatten()
+    }
+
+    // ---- retire ------------------------------------------------------------
+
+    fn retire(&mut self, source: &mut dyn SpawnSource) {
+        let n = self.pt.trace.len();
+        let mut retired = 0;
+        while retired < self.cfg.width && self.retire_ptr < n {
+            let s = &self.state[self.retire_ptr];
+            if !(s.dispatched && s.done_at <= self.cycle) {
+                break;
+            }
+            source.on_retire(self.pt.trace.entry(self.retire_ptr));
+            self.rob_used -= 1;
+            self.tasks[0].inflight -= 1;
+            self.retire_ptr += 1;
+            retired += 1;
+            self.last_retire_cycle = self.cycle;
+            // Pop tasks whose interval is fully retired.
+            while self.tasks.len() > 1 && self.retire_ptr as u32 >= self.tasks[0].end {
+                debug_assert_eq!(self.tasks[0].inflight, 0);
+                self.tasks.remove(0);
+            }
+        }
+    }
+
+    // ---- issue ---------------------------------------------------------------
+
+    fn issue(&mut self) {
+        // Collect ready entries, oldest first. Speculative loads ignore
+        // their (unsynchronized) memory producer for readiness.
+        let mut ready: Vec<u32> = self
+            .sched
+            .iter()
+            .copied()
+            .filter(|&idx| {
+                let st = self.state[idx as usize];
+                let [ra, rb] = self.pt.dataflow.reg_producers(idx as usize);
+                let mem = self.pt.dataflow.mem_producer(idx as usize);
+                let slot_ready = |p: Option<u32>, spec: bool| {
+                    spec || p
+                        .map(|p| self.state[p as usize].done_at <= self.cycle)
+                        .unwrap_or(true)
+                };
+                slot_ready(ra, st.reg_speculative[0])
+                    && slot_ready(rb, st.reg_speculative[1])
+                    && slot_ready(mem, st.mem_speculative)
+            })
+            .collect();
+        ready.sort_unstable();
+        ready.truncate(self.cfg.fn_units.min(self.cfg.width));
+        if ready.is_empty() {
+            return;
+        }
+        for &idx in &ready {
+            // A speculative load issuing before its true producer store is
+            // a dependence violation: squash its task and all younger
+            // tasks, train the predictor, and stop issuing this cycle
+            // (younger scheduler entries may have just been squashed).
+            if self.state[idx as usize].mem_speculative {
+                if let Some(p) = self.pt.dataflow.mem_producer(idx as usize) {
+                    if self.state[p as usize].done_at > self.cycle {
+                        let pc = self.pt.trace.entry(idx as usize).pc;
+                        self.ssit.train_violation(pc);
+                        self.squash_task_containing(idx);
+                        return;
+                    }
+                }
+            }
+            // Register-dependence violation (hint-entry model): an
+            // unsynchronized inter-task register source whose producer is
+            // still in flight.
+            let reg_spec = self.state[idx as usize].reg_speculative;
+            if reg_spec[0] || reg_spec[1] {
+                let [ra, rb] = self.pt.dataflow.reg_producers(idx as usize);
+                let srcs = self.pt.trace.entry(idx as usize).inst.srcs();
+                for (slot, p) in [(0, ra), (1, rb)] {
+                    if !reg_spec[slot] {
+                        continue;
+                    }
+                    let Some(p) = p else { continue };
+                    if self.state[p as usize].done_at > self.cycle {
+                        self.stats.register_violations += 1;
+                        self.train_hint(idx, srcs[slot]);
+                        self.squash_task_containing(idx);
+                        return;
+                    }
+                }
+            }
+            let e = self.pt.trace.entry(idx as usize);
+            let latency = match e.class() {
+                InstClass::Load => self.hier.access_data(e.mem_addr.unwrap_or(0)),
+                InstClass::Store => {
+                    // Warm the line so later loads hit (implicit
+                    // store-to-load forwarding through the L1).
+                    self.hier.access_data(e.mem_addr.unwrap_or(0));
+                    1
+                }
+                InstClass::Mul => self.cfg.mul_latency,
+                _ => 1,
+            };
+            let s = &mut self.state[idx as usize];
+            s.issued = true;
+            s.done_at = self.cycle + latency;
+        }
+        self.sched.retain(|idx| !self.state[*idx as usize].issued);
+    }
+
+    // ---- divert queue ---------------------------------------------------------
+
+    /// An instruction leaves the divert queue once every inter-task
+    /// producer has been dispatched into the scheduler (§3.1).
+    fn drain_divert(&mut self) {
+        let mut released = 0;
+        let mut i = 0;
+        while i < self.divert.len() {
+            if released >= self.cfg.width || self.sched.len() >= self.cfg.scheduler_entries {
+                break;
+            }
+            let idx = self.divert[i];
+            let task_start = self.state[idx as usize].task_start;
+            let gate_open = self.producers(idx as usize).all(|p| {
+                let ps = &self.state[p as usize];
+                if ps.in_divert {
+                    // A producer still in the divert queue blocks release
+                    // regardless of task: releasing early would recreate
+                    // the consumer-camps-in-scheduler deadlock.
+                    return false;
+                }
+                if p >= task_start {
+                    return true; // intra-task: ordinary scheduler wakeup
+                }
+                // Inter-task: release "some time after" the producer's
+                // dispatch (§3.1) — the synchronization overhead of the
+                // conservative dependence handling.
+                ps.dispatched && ps.dispatched_at + self.cfg.divert_release_delay <= self.cycle
+            });
+            if gate_open {
+                self.divert.remove(i);
+                let s = &mut self.state[idx as usize];
+                s.in_divert = false;
+                self.sched.push(idx);
+                if cfg!(debug_assertions) {
+                    self.assert_sched_entry_sane(idx, "divert-release");
+                }
+                released += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // ---- dispatch ---------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let mut budget = self.cfg.width;
+        let ntasks = self.tasks.len();
+        for ti in 0..ntasks {
+            if budget == 0 {
+                break;
+            }
+            loop {
+                let Some(&idx) = self.tasks[ti].fq.front() else { break };
+                let s = self.state[idx as usize];
+                if s.fetched_at + self.cfg.decode_latency > self.cycle {
+                    break; // still decoding
+                }
+                // ROB space, reserving `width` entries for the oldest task
+                // so retirement can always make progress.
+                let rob_limit = if ti == 0 {
+                    self.cfg.rob_entries
+                } else {
+                    self.cfg.rob_entries.saturating_sub(self.cfg.width)
+                };
+                if self.rob_used >= rob_limit {
+                    if ti == 0 {
+                        self.rob_blocked_streak += 1;
+                    }
+                    break;
+                }
+                // Divert if any inter-task producer has not yet produced
+                // its value (§3.1). Dependents of diverted instructions
+                // chain into the divert queue as well: this keeps the
+                // scheduler self-draining (every scheduler entry's
+                // producers are in the scheduler, issued, or done, so the
+                // oldest unissued entry is always eventually ready).
+                //
+                // In store-set mode the memory producer of a load only
+                // gates dispatch when the predictor says so; otherwise
+                // the load proceeds speculatively and may be squashed.
+                let task_start = self.tasks[ti].start;
+                let e = self.pt.trace.entry(idx as usize);
+                let mem_producer = self.pt.dataflow.mem_producer(idx as usize);
+                let predict_mem_sync = match self.cfg.memory_dependence {
+                    DependenceMode::OracleSync => true,
+                    DependenceMode::StoreSet => self.ssit.predicts_dependent(e.pc),
+                };
+                // The divert-chaining term is unconditional (a producer in
+                // the divert queue always gates, or the scheduler stops
+                // self-draining); prediction only modulates whether an
+                // *inter-task* dependence synchronizes.
+                let gates = |p: u32, sync: bool, state: &[InstState]| {
+                    state[p as usize].in_divert
+                        || (sync && p < task_start && state[p as usize].done_at > self.cycle)
+                };
+                let [ra, rb] = self.pt.dataflow.reg_producers(idx as usize);
+                // Hint-entry register model: an inter-task register
+                // dependence only synchronizes when the creating spawn
+                // point's hint entry names the register.
+                let srcs = e.inst.srcs();
+                let reg_sync = |slot: usize, this: &Self| -> bool {
+                    if this.cfg.register_dependence == DependenceMode::OracleSync
+                        || this.tasks[ti].safe_mode
+                    {
+                        return true;
+                    }
+                    let Some(trigger) = this.tasks[ti].created_by else {
+                        return true; // the initial task never speculates
+                    };
+                    let Some(r) = srcs[slot] else { return true };
+                    this.hints
+                        .get(&trigger)
+                        .map(|(set, saturated)| *saturated || set.contains(&r))
+                        .unwrap_or(false)
+                };
+                let ra_sync = reg_sync(0, self);
+                let rb_sync = reg_sync(1, self);
+                // A register slot gates dispatch when its producer is in
+                // the divert queue (the chaining rule — unconditional, or
+                // the scheduler stops self-draining) or when it is an
+                // inter-task dependence the hint entry says to synchronize.
+                let reg_gate = |p: u32, sync: bool, this: &Self| -> bool {
+                    this.state[p as usize].in_divert
+                        || (sync
+                            && p < task_start
+                            && this.state[p as usize].done_at > this.cycle)
+                };
+                let needs_divert = ra
+                    .map(|p| reg_gate(p, ra_sync, self))
+                    .unwrap_or(false)
+                    || rb
+                        .map(|p| reg_gate(p, rb_sync, self))
+                        .unwrap_or(false)
+                    || mem_producer
+                        .map(|p| gates(p, predict_mem_sync, &self.state))
+                        .unwrap_or(false);
+                // Register slots proceeding despite an unresolved
+                // inter-task producer are speculative.
+                let task_start_now = self.tasks[ti].start;
+                let reg_spec = |sync: bool, p: Option<u32>, this: &Self| -> bool {
+                    !sync
+                        && p.map(|p| {
+                            p < task_start_now
+                                && !this.state[p as usize].in_divert
+                                && this.state[p as usize].done_at > this.cycle
+                        })
+                        .unwrap_or(false)
+                };
+                let reg_speculative = [reg_spec(ra_sync, ra, self), reg_spec(rb_sync, rb, self)];
+                // Speculative load: an inter-task memory producer exists,
+                // is not done, and the predictor chose not to synchronize.
+                let mem_speculative = self.cfg.memory_dependence == DependenceMode::StoreSet
+                    && !predict_mem_sync
+                    && mem_producer
+                        .map(|p| {
+                            p < task_start
+                                && !self.state[p as usize].in_divert
+                                && self.state[p as usize].done_at > self.cycle
+                        })
+                        .unwrap_or(false);
+                // Train down predicted syncs whose producer was long done.
+                if self.cfg.memory_dependence == DependenceMode::StoreSet && predict_mem_sync {
+                    if let Some(p) = mem_producer {
+                        if p < task_start && self.state[p as usize].done_at <= self.cycle {
+                            self.ssit.train_unnecessary(e.pc);
+                        }
+                    }
+                }
+                if needs_divert {
+                    if self.divert.len() >= self.cfg.divert_entries {
+                        break;
+                    }
+                    self.divert.push_back(idx);
+                    let st = &mut self.state[idx as usize];
+                    st.dispatched = true;
+                    st.dispatched_at = self.cycle;
+                    st.in_divert = true;
+                    st.task_start = task_start;
+                    st.mem_speculative = mem_speculative;
+                    st.reg_speculative = reg_speculative;
+                    self.stats.diverted += 1;
+                } else {
+                    // Reserve scheduler slots: one for divert release, one
+                    // for the oldest task.
+                    let sched_limit = if ti == 0 {
+                        self.cfg.scheduler_entries.saturating_sub(1)
+                    } else {
+                        self.cfg.scheduler_entries.saturating_sub(2)
+                    };
+                    if self.sched.len() >= sched_limit {
+                        break;
+                    }
+                    self.sched.push(idx);
+                    let st = &mut self.state[idx as usize];
+                    st.dispatched = true;
+                    st.dispatched_at = self.cycle;
+                    st.task_start = task_start;
+                    st.mem_speculative = mem_speculative;
+                    st.reg_speculative = reg_speculative;
+                    if cfg!(debug_assertions) {
+                        self.assert_sched_entry_sane(idx, "dispatch");
+                    }
+                }
+                self.rob_used += 1;
+                self.tasks[ti].fq.pop_front();
+                budget -= 1;
+                if budget == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- fetch ---------------------------------------------------------------
+
+    fn fetch(&mut self, source: &mut dyn SpawnSource) {
+        let n = self.pt.trace.len() as u32;
+        // Determine eligibility and clear resolved branch waits.
+        let mut eligible: Vec<usize> = Vec::with_capacity(self.tasks.len());
+        for ti in 0..self.tasks.len() {
+            let end = self.tasks[ti].end.min(n);
+            if self.tasks[ti].fetch_next >= end {
+                self.evaluate_profit(ti);
+                continue;
+            }
+            if let Some(b) = self.tasks[ti].waiting_branch {
+                let bs = self.state[b as usize];
+                let resolved = bs.done_at <= self.cycle
+                    && self.cycle >= bs.fetched_at + self.cfg.misprediction_penalty;
+                if resolved {
+                    self.tasks[ti].waiting_branch = None;
+                } else {
+                    self.stats.fetch_stall_branch_cycles += 1;
+                    self.tasks[ti].stall_since_spawn += 1;
+                    continue;
+                }
+            }
+            if self.cycle < self.tasks[ti].fetch_resume_at {
+                self.stats.fetch_stall_icache_cycles += 1;
+                self.tasks[ti].stall_since_spawn += 1;
+                continue;
+            }
+            if self.tasks[ti].fq.len() >= self.cfg.fetch_queue_entries {
+                continue;
+            }
+            eligible.push(ti);
+        }
+        // Biased ICount: fewest in-flight instructions first (§3.2).
+        eligible.sort_by_key(|&ti| self.tasks[ti].inflight);
+        eligible.truncate(self.cfg.fetch_tasks_per_cycle);
+
+        let mut budget = self.cfg.width;
+        let line_bytes = self.cfg.l1i.line_bytes as u64;
+        let mut queue = eligible;
+        while let Some(ti) = if queue.is_empty() { None } else { Some(queue.remove(0)) } {
+            let eligible_rest = &mut queue;
+            while budget > 0 && self.tasks[ti].fq.len() < self.cfg.fetch_queue_entries {
+                let idx = self.tasks[ti].fetch_next;
+                if idx >= self.tasks[ti].end.min(n) {
+                    break;
+                }
+                let e = self.pt.trace.entry(idx as usize);
+                // Instruction cache: access per line transition.
+                let line = e.pc.byte_addr() / line_bytes;
+                if line != self.tasks[ti].last_fetch_line {
+                    let lat = self.hier.access_ifetch(e.pc.byte_addr());
+                    if lat > self.cfg.l1_hit_latency {
+                        self.tasks[ti].fetch_resume_at = self.cycle + lat;
+                        self.tasks[ti].last_fetch_line = line;
+                        break;
+                    }
+                    self.tasks[ti].last_fetch_line = line;
+                }
+                // Fetch the instruction.
+                {
+                    let s = &mut self.state[idx as usize];
+                    s.fetched_at = self.cycle;
+                    s.task_start = self.tasks[ti].start;
+                }
+                self.tasks[ti].fq.push_back(idx);
+                self.tasks[ti].inflight += 1;
+                self.tasks[ti].fetch_next += 1;
+                budget -= 1;
+
+                // Task Spawn Unit: only the tail task spawns (§3.2),
+                // unless the §6 any-task extension is enabled.
+                if ti == self.tasks.len() - 1 || self.cfg.spawn_from_any_task {
+                    if self.try_spawn(ti, idx, source) {
+                        // A non-tail insertion at ti+1 shifts every later
+                        // task index; fix up the rest of this cycle's
+                        // fetch schedule.
+                        for e in eligible_rest.iter_mut() {
+                            if *e > ti {
+                                *e += 1;
+                            }
+                        }
+                    }
+                }
+
+                // Control flow: at most one taken transfer per task per
+                // cycle; mispredictions stall this task until resolution.
+                match e.class() {
+                    InstClass::CondBranch => {
+                        if self.pt.predictions.mispredicted(idx as usize) {
+                            self.tasks[ti].waiting_branch = Some(idx);
+                            break;
+                        }
+                        if e.taken {
+                            break;
+                        }
+                    }
+                    InstClass::Ret | InstClass::IndirectJump => {
+                        if self.pt.predictions.mispredicted(idx as usize) {
+                            self.tasks[ti].waiting_branch = Some(idx);
+                        }
+                        break;
+                    }
+                    InstClass::Call => {
+                        if self.pt.predictions.mispredicted(idx as usize) {
+                            self.tasks[ti].waiting_branch = Some(idx);
+                        }
+                        break;
+                    }
+                    InstClass::Jump | InstClass::Halt => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Debug invariant: a scheduler entry must never wait on a producer
+    /// that sits in the divert queue unless the corresponding slot is
+    /// speculative (otherwise the scheduler stops self-draining).
+    #[allow(dead_code)]
+    fn assert_sched_entry_sane(&self, idx: u32, site: &str) {
+        let st = self.state[idx as usize];
+        let [ra, rb] = self.pt.dataflow.reg_producers(idx as usize);
+        let mem = self.pt.dataflow.mem_producer(idx as usize);
+        let check = |p: Option<u32>, spec: bool, what: &str| {
+            if let Some(p) = p {
+                assert!(
+                    spec || !self.state[p as usize].in_divert,
+                    "cycle {}: sched entry {idx} ({site}) waits on {what} producer {p}                      which is in the divert queue (consumer spec {:?}/{})",
+                    self.cycle,
+                    st.reg_speculative,
+                    st.mem_speculative
+                );
+            }
+        };
+        check(ra, st.reg_speculative[0], "reg0");
+        check(rb, st.reg_speculative[1], "reg1");
+        check(mem, st.mem_speculative, "mem");
+    }
+
+    /// Adds `reg` to the hint entry of the spawn point that created the
+    /// task containing `idx` (capacity-limited: a full entry records a
+    /// capacity miss instead — the spawn point will keep violating until
+    /// the profitability feedback throttles it).
+    fn train_hint(&mut self, idx: u32, reg: Option<polyflow_isa::Reg>) {
+        let Some(reg) = reg else { return };
+        let Some(task) = self
+            .tasks
+            .iter()
+            .find(|t| t.start <= idx && idx < t.end)
+        else {
+            return;
+        };
+        let Some(trigger) = task.created_by else { return };
+        let entry = self.hints.entry(trigger).or_default();
+        if entry.0.contains(&reg) {
+            return;
+        }
+        if entry.0.len() >= self.cfg.hint_register_slots {
+            // The 8-byte entry cannot name another register: saturate it
+            // so future tasks from this trigger synchronize conservatively
+            // (and pay the full divert serialization for every inter-task
+            // register — the hint-capacity cost of dependence-rich spawn
+            // points such as loop iterations).
+            self.stats.hint_capacity_misses += 1;
+            entry.1 = true;
+            return;
+        }
+        entry.0.push(reg);
+    }
+
+    /// Drops the youngest task entirely, refunding its ROB/scheduler/
+    /// divert occupancy; the new tail's interval reopens so the discarded
+    /// region is refetched later. This is the §6 "reclaim resources from
+    /// younger threads" extension.
+    fn reclaim_youngest(&mut self) {
+        let last = self.tasks.len() - 1;
+        debug_assert!(last > 0);
+        let start = self.tasks[last].start;
+        let max_fetched = self
+            .tasks
+            .iter()
+            .map(|t| t.fetch_next)
+            .max()
+            .unwrap_or(start);
+        for i in start..max_fetched {
+            let st = &mut self.state[i as usize];
+            if st.fetched_at != NOT_YET {
+                if st.dispatched {
+                    self.rob_used -= 1;
+                }
+                *st = InstState::default();
+            }
+        }
+        self.sched.retain(|&i| i < start);
+        self.divert.retain(|&i| i < start);
+        self.tasks.pop();
+        let tail = self.tasks.last_mut().expect("older task remains");
+        tail.end = OPEN_END;
+        self.stats.rob_reclaims += 1;
+    }
+
+    /// Squashes the task containing trace index `idx` and every younger
+    /// task (§3.1: "data-dependence violations lead to squashes of the
+    /// violating task, as well as all tasks beyond it"). The violating
+    /// task refetches from its start after the recovery penalty.
+    fn squash_task_containing(&mut self, idx: u32) {
+        let ti = self
+            .tasks
+            .iter()
+            .position(|t| t.start <= idx && idx < t.end.min(u32::MAX))
+            .expect("in-flight instruction belongs to a task");
+        assert!(ti > 0, "a speculative load's task is never the oldest");
+        let start = self.tasks[ti].start;
+        // Discard all in-flight state at or beyond the violating task.
+        let max_fetched = self
+            .tasks
+            .iter()
+            .map(|t| t.fetch_next)
+            .max()
+            .unwrap_or(start);
+        let mut discarded = 0u64;
+        for i in start..max_fetched {
+            let st = &mut self.state[i as usize];
+            if st.fetched_at != NOT_YET {
+                if st.dispatched {
+                    self.rob_used -= 1;
+                }
+                *st = InstState::default();
+                discarded += 1;
+            }
+        }
+        self.sched.retain(|&i| i < start);
+        self.divert.retain(|&i| i < start);
+        // Drop younger tasks entirely; reset the violating task.
+        self.tasks.truncate(ti + 1);
+        let t = &mut self.tasks[ti];
+        t.fetch_next = t.start;
+        t.end = OPEN_END; // it is the tail again
+        t.safe_mode = true; // conservative refetch: no more speculation
+        t.fq.clear();
+        t.inflight = 0;
+        t.waiting_branch = None;
+        t.fetch_resume_at = self.cycle + self.cfg.squash_penalty;
+        t.last_fetch_line = u64::MAX;
+        t.spawn_trigger = None;
+        t.stall_since_spawn = 0;
+        t.profit_evaluated = false;
+        self.stats.squashes += 1;
+        self.stats.squashed_instructions += discarded;
+    }
+
+    /// Scores a completed spawner: if it stalled while its spawned task
+    /// ran, the spawn hid latency (profitable); if it sailed through, the
+    /// spawn only fragmented the fetch stream.
+    fn evaluate_profit(&mut self, ti: usize) {
+        if !self.cfg.profitability_feedback || self.tasks[ti].profit_evaluated {
+            return;
+        }
+        let Some(trigger) = self.tasks[ti].spawn_trigger else {
+            return;
+        };
+        self.tasks[ti].profit_evaluated = true;
+        let profitable = self.tasks[ti].stall_since_spawn >= self.cfg.profit_stall_threshold;
+        let entry = self.profit.entry(trigger).or_insert((PROFIT_MAX, 0));
+        if profitable {
+            // One latency-hiding instance outweighs several quiet ones: a
+            // spawn point that pays off on mispredicted instances must
+            // stay armed even when the branch usually predicts well.
+            entry.0 = (entry.0 + 4).min(PROFIT_MAX);
+        } else {
+            entry.0 = (entry.0 - 1).max(0);
+        }
+    }
+
+    /// Attempts a spawn from task `ti` at the fetch of trace index `idx`.
+    /// Returns true if a new task was inserted (always directly after
+    /// `ti`).
+    fn try_spawn(&mut self, ti: usize, idx: u32, source: &mut dyn SpawnSource) -> bool {
+        let e = self.pt.trace.entry(idx as usize);
+        let Some((target, kind)) = source.spawn_at(e) else {
+            return false;
+        };
+        if self.tasks.len() >= self.cfg.max_tasks {
+            self.stats.spawns_rejected_contexts += 1;
+            return false;
+        }
+        // Dynamic profitability feedback (§3.1): throttle spawn points
+        // whose spawners never stall afterwards, probing occasionally so
+        // phase changes can re-enable them.
+        if self.cfg.profitability_feedback {
+            let entry = self.profit.entry(e.pc).or_insert((PROFIT_MAX, 0));
+            if entry.0 == 0 {
+                entry.1 += 1;
+                if entry.1 % 16 != 0 {
+                    self.stats.spawns_rejected_unprofitable += 1;
+                    return false;
+                }
+            }
+        }
+        let n = self.pt.trace.len() as u32;
+        let Some(tidx) = self.pt.pc_index.next_at_or_after(target, idx + 1) else {
+            self.stats.spawns_rejected_distance += 1;
+            return false;
+        };
+        if tidx >= n
+            || tidx - idx > self.cfg.max_spawn_distance
+            || tidx - idx < self.cfg.min_spawn_distance
+        {
+            self.stats.spawns_rejected_distance += 1;
+            return false;
+        }
+        // A non-tail spawner (any-task extension) may only split its own
+        // interval: the target must fall before the spawner's current end,
+        // otherwise the region already belongs to a younger task.
+        let old_end = self.tasks[ti].end;
+        if tidx >= old_end {
+            self.stats.spawns_rejected_distance += 1;
+            return false;
+        }
+        // Split the spawner's interval at `tidx`; the new context becomes
+        // fetchable after the spawn overhead elapses.
+        self.tasks[ti].end = tidx;
+        self.tasks[ti].spawn_trigger = Some(e.pc);
+        self.tasks[ti].stall_since_spawn = 0;
+        self.tasks[ti].profit_evaluated = false;
+        let mut t = Task::new(tidx);
+        t.end = old_end;
+        t.created_by = Some(e.pc);
+        // Tasks from a saturated hint entry synchronize everything.
+        t.safe_mode = self
+            .hints
+            .get(&e.pc)
+            .map(|(_, saturated)| *saturated)
+            .unwrap_or(false);
+        t.fetch_resume_at = self.cycle + self.cfg.spawn_overhead_cycles;
+        self.tasks.insert(ti + 1, t);
+        self.stats.spawns.add(kind);
+        self.stats.max_live_tasks = self.stats.max_live_tasks.max(self.tasks.len());
+        self.stats.spawn_log.push(crate::metrics::SpawnEvent {
+            cycle: self.cycle,
+            trigger: e.pc,
+            target,
+            target_index: tidx,
+            kind,
+            live_tasks: self.tasks.len() as u8,
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawn_source::{NoSpawn, StaticSpawnSource};
+    use polyflow_core::{Policy, ProgramAnalysis};
+    use polyflow_isa::{execute_window, AluOp, Cond, Program, ProgramBuilder, Reg};
+
+    fn counted_loop(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.bind_label(top);
+        b.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, iters, top);
+        b.halt();
+        b.end_function();
+        b.build().unwrap()
+    }
+
+    fn sim_baseline(p: &Program, window: u64) -> SimResult {
+        let trace = execute_window(p, window).unwrap().trace;
+        let cfg = MachineConfig::superscalar();
+        let prepared = PreparedTrace::new(&trace, &cfg);
+        simulate(&prepared, &cfg, &mut NoSpawn)
+    }
+
+    #[test]
+    fn empty_trace_is_trivial() {
+        let trace = Trace::new();
+        let cfg = MachineConfig::superscalar();
+        let prepared = PreparedTrace::new(&trace, &cfg);
+        let r = simulate(&prepared, &cfg, &mut NoSpawn);
+        assert_eq!(r.instructions, 0);
+    }
+
+    #[test]
+    fn superscalar_retires_everything() {
+        let p = counted_loop(100);
+        let r = sim_baseline(&p, 100_000);
+        // li + 100 iterations x (add, add, li r28, br) + halt.
+        assert_eq!(r.instructions, 402);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.1, "IPC {}", r.ipc());
+        assert!(r.ipc() <= 8.0, "IPC cannot exceed width");
+        assert_eq!(r.total_spawns(), 0);
+    }
+
+    #[test]
+    fn ipc_is_plausible_for_serial_dependence_chain() {
+        // Every instruction depends on the previous: IPC near (just above) 1
+        // is impossible to beat... actually the increments of r2 and r1
+        // are two independent chains, so IPC can approach 2-3.
+        let p = counted_loop(500);
+        let r = sim_baseline(&p, 100_000);
+        assert!(r.ipc() > 0.5 && r.ipc() < 8.0, "IPC {}", r.ipc());
+    }
+
+    #[test]
+    fn polyflow_with_no_spawns_matches_superscalar_cycles_closely() {
+        let p = counted_loop(200);
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let ss_cfg = MachineConfig::superscalar();
+        let pf_cfg = MachineConfig::hpca07();
+        let prep_ss = PreparedTrace::new(&trace, &ss_cfg);
+        let prep_pf = PreparedTrace::new(&trace, &pf_cfg);
+        let a = simulate(&prep_ss, &ss_cfg, &mut NoSpawn);
+        let b = simulate(&prep_pf, &pf_cfg, &mut NoSpawn);
+        // One task, no spawns: the machines are identical.
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    /// A loop whose body contains a hard-to-predict hammock: postdominator
+    /// spawning should beat the superscalar.
+    fn hard_hammock_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let top = b.fresh_label("top");
+        let els = b.fresh_label("els");
+        let join = b.fresh_label("join");
+        // r10 = pseudo-random via LCG; branch on low bit.
+        b.li(Reg::R10, 12345);
+        b.li(Reg::R1, 0);
+        b.bind_label(top);
+        b.li(Reg::R11, 1103515245);
+        b.alu(AluOp::Mul, Reg::R10, Reg::R10, Reg::R11);
+        b.alui(AluOp::Add, Reg::R10, Reg::R10, 12345);
+        b.alui(AluOp::Srl, Reg::R12, Reg::R10, 16);
+        b.alui(AluOp::And, Reg::R12, Reg::R12, 1);
+        b.br_imm(Cond::Eq, Reg::R12, 0, els);
+        // then: long-ish computation
+        for _ in 0..6 {
+            b.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+        }
+        b.jmp(join);
+        b.bind_label(els);
+        for _ in 0..6 {
+            b.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+        }
+        b.bind_label(join);
+        // independent work after the join
+        for _ in 0..4 {
+            b.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+        }
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 400, top);
+        b.halt();
+        b.end_function();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hammock_spawning_beats_superscalar_on_hard_branches() {
+        let p = hard_hammock_program();
+        let trace = execute_window(&p, 200_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+
+        let ss_cfg = MachineConfig::superscalar();
+        let prep = PreparedTrace::new(&trace, &ss_cfg);
+        let base = simulate(&prep, &ss_cfg, &mut NoSpawn);
+
+        let pf_cfg = MachineConfig::hpca07();
+        let prep_pf = PreparedTrace::new(&trace, &pf_cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        let pf = simulate(&prep_pf, &pf_cfg, &mut src);
+
+        assert!(pf.total_spawns() > 0, "no spawns happened");
+        let speedup = pf.speedup_percent_over(&base);
+        assert!(
+            speedup > 5.0,
+            "expected speedup from hammock spawning, got {speedup:.1}% \
+             (base {} cycles, pf {} cycles, {} spawns)",
+            base.cycles,
+            pf.cycles,
+            pf.total_spawns()
+        );
+    }
+
+    #[test]
+    fn task_contexts_are_bounded() {
+        let p = hard_hammock_program();
+        let trace = execute_window(&p, 200_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig::hpca07();
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert!(r.max_live_tasks <= cfg.max_tasks);
+        assert!(r.max_live_tasks >= 2, "spawning should create tasks");
+    }
+
+    #[test]
+    fn spawn_distance_cap_rejects_far_targets() {
+        let p = hard_hammock_program();
+        let trace = execute_window(&p, 200_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig {
+            max_spawn_distance: 0,
+            ..MachineConfig::hpca07()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert_eq!(r.total_spawns(), 0);
+        assert!(r.spawns_rejected_distance > 0);
+    }
+
+    #[test]
+    fn divert_queue_sees_inter_task_dependences() {
+        // Loop spawning creates induction-variable dependences between
+        // tasks: diverted instructions must appear.
+        // A loop whose iterations are chained through a slow multiply:
+        // the next task's consumer dispatches while the producer is still
+        // executing, so it must divert.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 3);
+        b.bind_label(top);
+        for _ in 0..4 {
+            b.alu(AluOp::Mul, Reg::R2, Reg::R2, Reg::R2);
+        }
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 300, top);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        // Disable the profitability throttle: this test wants the spawns
+        // (and their diverted consumers) to keep happening even though a
+        // predictable loop makes them unprofitable.
+        let cfg = MachineConfig {
+            profitability_feedback: false,
+            ..MachineConfig::hpca07()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert!(r.total_spawns() > 0);
+        assert!(r.diverted > 0, "loop spawns must divert the multiply chain");
+    }
+
+    /// A loop whose iterations communicate through memory with the store
+    /// late and the load early: spawned next-iteration tasks speculate on
+    /// the dependence and must be squashed in store-set mode.
+    fn memory_chained_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let shared = b.alloc_data(&[3]);
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R20, shared as i64);
+        b.bind_label(top);
+        b.load(Reg::R2, Reg::R20, 0); // early load of last iteration's value
+        for _ in 0..4 {
+            b.alu(AluOp::Mul, Reg::R2, Reg::R2, Reg::R2); // slow
+        }
+        b.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+        b.store(Reg::R2, Reg::R20, 0); // late store
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 300, top);
+        b.halt();
+        b.end_function();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn store_set_mode_squashes_speculative_loads() {
+        let p = memory_chained_loop();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig {
+            memory_dependence: crate::store_set::DependenceMode::StoreSet,
+            profitability_feedback: false,
+            ..MachineConfig::hpca07()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert!(r.total_spawns() > 0, "loop spawns must fire");
+        assert!(r.squashes > 0, "speculative loads must violate at least once");
+        assert!(r.squashed_instructions > 0);
+        assert_eq!(r.instructions as usize, trace.len(), "everything retires");
+        // The predictor learns: squashes stay far below the spawn count.
+        assert!(
+            r.squashes < r.total_spawns(),
+            "{} squashes vs {} spawns — predictor never learned",
+            r.squashes,
+            r.total_spawns()
+        );
+    }
+
+    #[test]
+    fn oracle_mode_never_squashes() {
+        let p = memory_chained_loop();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig {
+            profitability_feedback: false,
+            ..MachineConfig::hpca07()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert!(r.total_spawns() > 0);
+        assert_eq!(r.squashes, 0);
+        assert_eq!(r.squashed_instructions, 0);
+    }
+
+    #[test]
+    fn store_set_results_match_oracle_work() {
+        // Same retired work either way; squashing only costs cycles.
+        let p = memory_chained_loop();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let mk = |mode| MachineConfig {
+            memory_dependence: mode,
+            profitability_feedback: false,
+            ..MachineConfig::hpca07()
+        };
+        let oracle_cfg = mk(crate::store_set::DependenceMode::OracleSync);
+        let ss_cfg = mk(crate::store_set::DependenceMode::StoreSet);
+        let prep = PreparedTrace::new(&trace, &oracle_cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let oracle = simulate(&prep, &oracle_cfg, &mut src);
+        let prep = PreparedTrace::new(&trace, &ss_cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let ss = simulate(&prep, &ss_cfg, &mut src);
+        assert_eq!(oracle.instructions, ss.instructions);
+    }
+
+    #[test]
+    fn hint_entry_model_squashes_then_learns() {
+        // A loop carrying one register chain: the first spawned instance
+        // violates (empty hint entry), trains the entry, and later
+        // instances divert cleanly.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 3);
+        b.bind_label(top);
+        for _ in 0..4 {
+            b.alu(AluOp::Mul, Reg::R2, Reg::R2, Reg::R2);
+        }
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 300, top);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig {
+            register_dependence: crate::store_set::DependenceMode::StoreSet,
+            profitability_feedback: false,
+            ..MachineConfig::hpca07()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert!(r.total_spawns() > 0);
+        assert!(r.register_violations > 0, "cold hint entries must violate");
+        assert!(
+            r.register_violations < r.total_spawns(),
+            "the hint entry must learn ({} violations / {} spawns)",
+            r.register_violations,
+            r.total_spawns()
+        );
+        assert_eq!(r.instructions as usize, trace.len());
+    }
+
+    #[test]
+    fn hint_entry_capacity_limits_wide_dependence_sets() {
+        // Six live loop-carried chains exceed the 4-slot hint entry: the
+        // spawn point keeps violating and records capacity misses.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.bind_label(top);
+        for r in [Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7] {
+            b.alu(AluOp::Mul, r, r, r);
+            b.alui(AluOp::Add, r, r, 1);
+        }
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 300, top);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig {
+            register_dependence: crate::store_set::DependenceMode::StoreSet,
+            profitability_feedback: false,
+            ..MachineConfig::hpca07()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert!(r.hint_capacity_misses > 0, "entry capacity must bind");
+        assert_eq!(r.instructions as usize, trace.len());
+    }
+
+    #[test]
+    fn any_task_spawning_splits_inner_intervals() {
+        // The §6 extension: with nested hammocks, the inner join can be
+        // spawned even though the spawner is no longer the tail.
+        let p = hard_hammock_program();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let mk = |any| MachineConfig {
+            spawn_from_any_task: any,
+            ..MachineConfig::hpca07()
+        };
+        let run = |cfg: &MachineConfig| {
+            let prep = PreparedTrace::new(&trace, cfg);
+            let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+            simulate(&prep, cfg, &mut src)
+        };
+        let tail_only = run(&mk(false));
+        let any_task = run(&mk(true));
+        assert_eq!(tail_only.instructions, any_task.instructions);
+        // Any-task spawning can only add opportunities.
+        assert!(any_task.total_spawns() >= tail_only.total_spawns());
+        // Non-tail spawns appear as out-of-order target indices in the log.
+        let monotone = any_task
+            .spawn_log
+            .windows(2)
+            .all(|w| w[0].target_index < w[1].target_index);
+        if any_task.total_spawns() > tail_only.total_spawns() {
+            assert!(!monotone, "extra spawns should include interval splits");
+        }
+    }
+
+    #[test]
+    fn rob_reclamation_frees_entries_under_pressure() {
+        // A tiny ROB plus a long-latency oldest task forces reclamation.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let region = b.alloc_zeroed(64 * 1024); // L2-missing region
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0);
+        b.li(Reg::R20, region as i64);
+        b.bind_label(top);
+        // A slow load the oldest task stalls retirement on.
+        b.alui(AluOp::Sll, Reg::R2, Reg::R1, 9);
+        b.alu(AluOp::Add, Reg::R3, Reg::R20, Reg::R2);
+        b.load(Reg::R4, Reg::R3, 0);
+        b.alu(AluOp::Add, Reg::R5, Reg::R5, Reg::R4);
+        for _ in 0..20 {
+            b.alui(AluOp::Add, Reg::R6, Reg::R6, 1);
+        }
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 400, top);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig {
+            rob_entries: 48,
+            rob_reclamation: true,
+            rob_reclaim_after: 4,
+            profitability_feedback: false,
+            ..MachineConfig::hpca07()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert_eq!(r.instructions as usize, trace.len());
+        assert!(r.rob_reclaims > 0, "pressure should trigger reclamation");
+        // Default configuration never reclaims.
+        let dflt = MachineConfig::hpca07();
+        let prep = PreparedTrace::new(&trace, &dflt);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
+        let r2 = simulate(&prep, &dflt, &mut src);
+        assert_eq!(r2.rob_reclaims, 0);
+    }
+
+    #[test]
+    fn retirement_is_complete_and_in_order() {
+        // The machine retires exactly trace.len() instructions; IPC bounded.
+        let p = hard_hammock_program();
+        let trace = execute_window(&p, 50_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig::hpca07();
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        let r = simulate(&prep, &cfg, &mut src);
+        assert_eq!(r.instructions as usize, trace.len());
+        assert!(r.ipc() <= cfg.width as f64);
+    }
+}

@@ -1,0 +1,145 @@
+//! ASCII rendering of a run's task structure — a textual version of the
+//! paper's Figure 4, where the "degree of speculation" runs downward and
+//! program order runs to the right.
+
+use crate::metrics::SimResult;
+use std::fmt::Write as _;
+
+/// Renders the spawn log of `result` as an ASCII timeline.
+///
+/// ```
+/// use polyflow_sim::{timeline, SimResult};
+///
+/// let quiet = SimResult::default();
+/// assert!(timeline::render(&quiet, 80).contains("no spawns"));
+/// ```
+///
+/// Each spawn becomes one row; the bar spans the trace (scaled to
+/// `width` columns) with `#` marking where the spawned task begins.
+/// Rows read top to bottom in spawn order, so the picture shows the
+/// machine unfolding the control-dependence graph: every row is a fetch
+/// stream that ran concurrently with the ones above it.
+///
+/// Returns a note instead of a chart when the run performed no spawns.
+pub fn render(result: &SimResult, width: usize) -> String {
+    let width = width.clamp(20, 200);
+    if result.spawn_log.is_empty() {
+        return "(no spawns: superscalar-equivalent execution)\n".to_string();
+    }
+    let total = result.instructions.max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace position 0 {:->w$} {}",
+        ">",
+        total,
+        w = width.saturating_sub(4)
+    );
+    for ev in &result.spawn_log {
+        let pos = ((ev.target_index as u64 * width as u64) / total) as usize;
+        let pos = pos.min(width - 1);
+        let mut bar = vec![b'-'; width];
+        bar[pos] = b'#';
+        let _ = writeln!(
+            out,
+            "|{}| cycle {:>8} {} {} -> {} ({} live)",
+            String::from_utf8_lossy(&bar),
+            ev.cycle,
+            ev.kind,
+            ev.trigger,
+            ev.target,
+            ev.live_tasks
+        );
+    }
+    out
+}
+
+/// Summarizes spawn activity: counts per kind plus first/last cycle.
+pub fn summary(result: &SimResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} spawns (loop {}, loopFT {}, procFT {}, hammock {}, other {}), max {} live tasks",
+        result.total_spawns(),
+        result.spawns.loop_spawns,
+        result.spawns.loop_ft,
+        result.spawns.proc_ft,
+        result.spawns.hammocks,
+        result.spawns.other,
+        result.max_live_tasks
+    );
+    if let (Some(first), Some(last)) = (result.spawn_log.first(), result.spawn_log.last()) {
+        let _ = writeln!(
+            out,
+            "first spawn at cycle {}, last at cycle {} (of {})",
+            first.cycle, last.cycle, result.cycles
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SpawnEvent;
+    use polyflow_core::SpawnKind;
+    use polyflow_isa::Pc;
+
+    fn result_with_spawns(n: u32) -> SimResult {
+        let mut r = SimResult {
+            cycles: 1000,
+            instructions: 500,
+            max_live_tasks: 3,
+            ..SimResult::default()
+        };
+        for i in 0..n {
+            r.spawns.add(SpawnKind::Hammock);
+            r.spawn_log.push(SpawnEvent {
+                cycle: 10 * (i as u64 + 1),
+                trigger: Pc::new(i),
+                target: Pc::new(i + 5),
+                target_index: 100 * (i + 1),
+                kind: SpawnKind::Hammock,
+                live_tasks: 2,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn empty_run_renders_a_note() {
+        let r = SimResult::default();
+        assert!(render(&r, 80).contains("no spawns"));
+    }
+
+    #[test]
+    fn rows_match_spawns_and_marks_scale() {
+        let r = result_with_spawns(4);
+        let text = render(&r, 100);
+        assert_eq!(text.matches('#').count(), 4);
+        assert_eq!(text.lines().count(), 5); // header + 4 rows
+        // Marks move rightward with target_index.
+        let cols: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.find('#').unwrap())
+            .collect();
+        assert!(cols.windows(2).all(|w| w[0] < w[1]), "{cols:?}");
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let r = result_with_spawns(1);
+        let narrow = render(&r, 1);
+        assert!(narrow.lines().nth(1).unwrap().len() >= 20);
+    }
+
+    #[test]
+    fn summary_reports_counts() {
+        let r = result_with_spawns(2);
+        let s = summary(&r);
+        assert!(s.contains("2 spawns"));
+        assert!(s.contains("hammock 2"));
+        assert!(s.contains("first spawn at cycle 10"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Code-generation helpers shared by the workload stand-ins.
+//!
+//! Register conventions used by all workloads:
+//!
+//! * `r1`–`r9`: loop counters and locals of the current function,
+//! * `r10`: the LCG pseudo-random state (never clobbered by leaves),
+//! * `r11`–`r15`: LCG scratch / extracted random values,
+//! * `r16`–`r25`: data-structure pointers,
+//! * `r26`, `r27`: leaf-function scratch,
+//! * `r28`: assembler temporary (`br_imm` clobbers it),
+//! * `r29`: stack pointer, `r31`: link register.
+
+use polyflow_isa::{AluOp, Label, Pc, ProgramBuilder, Reg};
+
+/// The LCG state register.
+pub const RNG: Reg = Reg::R10;
+/// Multiplier scratch used by [`emit_rng_next`].
+pub const RNG_TMP: Reg = Reg::R11;
+
+/// Seeds the pseudo-random state register.
+pub fn emit_rng_init(b: &mut ProgramBuilder, seed: i64) {
+    b.li(RNG, seed);
+}
+
+/// Advances the LCG: `r10 = r10 * 6364136223846793005 + 1442695040888963407`
+/// (Knuth's MMIX constants). Three instructions; clobbers `r11`.
+pub fn emit_rng_next(b: &mut ProgramBuilder) {
+    b.li(RNG_TMP, 6364136223846793005u64 as i64);
+    b.alu(AluOp::Mul, RNG, RNG, RNG_TMP);
+    b.li(RNG_TMP, 1442695040888963407u64 as i64);
+    b.alu(AluOp::Add, RNG, RNG, RNG_TMP);
+}
+
+/// Extracts `(r10 >> shift) & mask` into `dst` (two instructions).
+/// High bits of the LCG are the random ones; use `shift >= 32`.
+pub fn emit_rng_bits(b: &mut ProgramBuilder, dst: Reg, shift: i64, mask: i64) {
+    b.alui(AluOp::Srl, dst, RNG, shift);
+    b.alui(AluOp::And, dst, dst, mask);
+}
+
+/// Emits `count` dependent single-cycle ALU instructions on `reg`
+/// (a serial chain — models address arithmetic and the like).
+pub fn emit_serial_work(b: &mut ProgramBuilder, reg: Reg, count: usize) {
+    for _ in 0..count {
+        b.alui(AluOp::Add, reg, reg, 1);
+    }
+}
+
+/// Emits `count` independent single-cycle ALU instructions spread over
+/// `regs` (ILP-rich filler).
+pub fn emit_parallel_work(b: &mut ProgramBuilder, regs: &[Reg], count: usize) {
+    for i in 0..count {
+        let r = regs[i % regs.len()];
+        b.alui(AluOp::Add, r, r, 1);
+    }
+}
+
+/// Emits a counted loop: `body` runs `iters` times using `counter`.
+/// The loop branch is the final instruction emitted.
+pub fn emit_counted_loop<F>(b: &mut ProgramBuilder, counter: Reg, iters: i64, body: F)
+where
+    F: FnOnce(&mut ProgramBuilder),
+{
+    let top = b.fresh_label("loop_top");
+    b.li(counter, 0);
+    b.bind_label(top);
+    body(b);
+    b.alui(AluOp::Add, counter, counter, 1);
+    b.br_imm(polyflow_isa::Cond::Lt, counter, iters, top);
+}
+
+/// Allocates a table of `n` pseudo-random words in `lo..hi` (host-side
+/// generation). Workloads index it with their loop counter to obtain
+/// *data-dependent* unpredictability — like SPEC inputs, the randomness
+/// lives in memory, not in a serial register chain.
+pub fn alloc_random_words(b: &mut ProgramBuilder, n: usize, lo: u64, hi: u64, seed: u64) -> u64 {
+    assert!(hi > lo);
+    let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let words: Vec<u64> = (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lo + (s >> 33) % (hi - lo)
+        })
+        .collect();
+    b.alloc_data(&words)
+}
+
+/// Emits `dst = mem[base + (index & mask) * 8]` (four instructions,
+/// clobbers `r28` via none — uses `dst` as scratch). `mask` must be a
+/// power of two minus one matching the table length.
+pub fn emit_load_indexed(b: &mut ProgramBuilder, dst: Reg, base: u64, index: Reg, mask: i64) {
+    b.alui(AluOp::And, dst, index, mask);
+    b.alui(AluOp::Sll, dst, dst, 3);
+    b.alui(AluOp::Add, dst, dst, base as i64);
+    b.load(dst, dst, 0);
+}
+
+/// Builds a singly linked list of `nodes` nodes in the data segment.
+///
+/// Node layout: word 0 = byte address of the next node (0 terminates),
+/// word 1 = payload. Nodes are laid out in an LCG-shuffled order so a
+/// traversal strides unpredictably across `nodes * 16` bytes of memory —
+/// the pointer-chasing pattern of `mcf`/`twolf`.
+///
+/// Returns the byte address of the head node.
+pub fn alloc_linked_list(
+    b: &mut ProgramBuilder,
+    nodes: usize,
+    payload: impl Fn(usize) -> u64,
+    seed: u64,
+) -> u64 {
+    assert!(nodes > 0, "list must have at least one node");
+    // Shuffle 0..nodes with a Fisher–Yates driven by a splitmix-style
+    // generator (host-side; this is data-layout randomness, not simulated
+    // randomness).
+    let mut order: Vec<usize> = (0..nodes).collect();
+    let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    for i in (1..nodes).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    // Reserve the region, then write node words.
+    let base = b.alloc_zeroed(nodes * 2);
+    let addr_of = |slot: usize| base + (slot * 16) as u64;
+    let mut data = Vec::with_capacity(nodes * 2);
+    for (rank, &slot) in order.iter().enumerate() {
+        let next_addr = if rank + 1 < nodes {
+            addr_of(order[rank + 1])
+        } else {
+            0
+        };
+        data.push((addr_of(slot), next_addr));
+        data.push((addr_of(slot) + 8, payload(rank)));
+    }
+    // alloc_zeroed reserved the space; now emit the initializers.
+    for (addr, value) in data {
+        push_data(b, addr, value);
+    }
+    addr_of(order[0])
+}
+
+/// Adds one initialized word at an absolute address (used for structures
+/// built on top of `alloc_zeroed` regions).
+fn push_data(b: &mut ProgramBuilder, addr: u64, value: u64) {
+    // ProgramBuilder has no absolute-address API; emulate by recording via
+    // alloc_data? Instead we expose this through a small extension below.
+    b.push_initialized_word(addr, value);
+}
+
+/// Generates `count` leaf functions named `"{prefix}{i}"`, each `body_len`
+/// single-cycle instructions followed by `ret`. Functions touch their own
+/// data word so they are not trivially dead.
+///
+/// Used to create large instruction footprints (vortex/gap/gcc).
+pub fn emit_leaf_functions(
+    b: &mut ProgramBuilder,
+    prefix: &str,
+    count: usize,
+    body_len: usize,
+) -> Vec<String> {
+    let mut names = Vec::with_capacity(count);
+    for i in 0..count {
+        let name = format!("{prefix}{i}");
+        let data = b.alloc_data(&[i as u64]);
+        b.begin_function(&name);
+        b.li(Reg::R26, data as i64);
+        b.load(Reg::R27, Reg::R26, 0);
+        for j in 0..body_len {
+            // Mostly serial work on the loaded object field.
+            if j % 4 == 0 {
+                b.alui(AluOp::Mul, Reg::R27, Reg::R27, 3);
+            } else {
+                b.alui(AluOp::Add, Reg::R27, Reg::R27, 1);
+            }
+        }
+        b.store(Reg::R27, Reg::R26, 0);
+        b.ret();
+        b.end_function();
+        names.push(name);
+    }
+    names
+}
+
+/// Emits an if-then-else hammock: `cond_reg != 0` runs `then_len`
+/// instructions on `r3`, otherwise `else_len` instructions on `r4`;
+/// both fall into the join. Returns the Pc of the branch.
+pub fn emit_hammock(
+    b: &mut ProgramBuilder,
+    cond_reg: Reg,
+    then_len: usize,
+    else_len: usize,
+) -> Pc {
+    let els = b.fresh_label("h_else");
+    let join = b.fresh_label("h_join");
+    let br = b.br_imm(polyflow_isa::Cond::Eq, cond_reg, 0, els);
+    emit_serial_work(b, Reg::R3, then_len);
+    b.jmp(join);
+    b.bind_label(els);
+    emit_serial_work(b, Reg::R4, else_len);
+    b.bind_label(join);
+    br
+}
+
+/// Emits a call-site saving/restoring the link register on the stack, so
+/// non-leaf functions can call others.
+pub fn emit_call_saved(b: &mut ProgramBuilder, callee: &str) {
+    b.alui(AluOp::Add, Reg::SP, Reg::SP, -8);
+    b.store(Reg::RA, Reg::SP, 0);
+    b.call(callee);
+    b.load(Reg::RA, Reg::SP, 0);
+    b.alui(AluOp::Add, Reg::SP, Reg::SP, 8);
+}
+
+/// Emits an indirect dispatch through a label table: selects one of
+/// `cases.len()` labels using `sel_reg` (must hold `0..cases.len()`),
+/// loading the target from the table and `jr`-ing to it.
+pub fn emit_dispatch(b: &mut ProgramBuilder, sel_reg: Reg, cases: &[Label]) {
+    let table = b.alloc_label_table(cases);
+    b.alui(AluOp::Sll, Reg::R14, sel_reg, 3);
+    b.li(Reg::R15, table as i64);
+    b.alu(AluOp::Add, Reg::R15, Reg::R15, Reg::R14);
+    b.load(Reg::R15, Reg::R15, 0);
+    b.jr(Reg::R15, cases);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{execute_window, Cond, Interpreter};
+
+    #[test]
+    fn rng_emits_deterministic_stream() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        emit_rng_init(&mut b, 42);
+        emit_rng_next(&mut b);
+        emit_rng_bits(&mut b, Reg::R12, 33, 0xff);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(100).unwrap();
+        let expected = 42u64
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        assert_eq!(i.reg(RNG), expected);
+        assert_eq!(i.reg(Reg::R12), (expected >> 33) & 0xff);
+    }
+
+    #[test]
+    fn counted_loop_runs_n_times() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        emit_counted_loop(&mut b, Reg::R1, 7, |b| {
+            b.alui(AluOp::Add, Reg::R2, Reg::R2, 2);
+        });
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(1000).unwrap();
+        assert_eq!(i.reg(Reg::R2), 14);
+    }
+
+    #[test]
+    fn linked_list_traversal_visits_all_nodes() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let head = alloc_linked_list(&mut b, 10, |i| i as u64 + 1, 99);
+        let top = b.fresh_label("walk");
+        let done = b.fresh_label("done");
+        b.li(Reg::R16, head as i64);
+        b.bind_label(top);
+        b.br_imm(Cond::Eq, Reg::R16, 0, done);
+        b.load(Reg::R2, Reg::R16, 8); // payload
+        b.alu(AluOp::Add, Reg::R3, Reg::R3, Reg::R2);
+        b.load(Reg::R16, Reg::R16, 0); // next
+        b.jmp(top);
+        b.bind_label(done);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(10_000).unwrap();
+        // payloads 1..=10 sum to 55
+        assert_eq!(i.reg(Reg::R3), 55);
+    }
+
+    #[test]
+    fn leaf_functions_execute_and_return() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.call("leaf0");
+        b.call("leaf1");
+        b.halt();
+        b.end_function();
+        let names = emit_leaf_functions(&mut b, "leaf", 2, 5);
+        assert_eq!(names, vec!["leaf0", "leaf1"]);
+        let p = b.build().unwrap();
+        let r = execute_window(&p, 10_000).unwrap();
+        assert!(r.halted);
+    }
+
+    #[test]
+    fn hammock_takes_both_arms() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.li(Reg::R5, 1);
+        emit_hammock(&mut b, Reg::R5, 3, 2); // then arm
+        b.li(Reg::R5, 0);
+        emit_hammock(&mut b, Reg::R5, 3, 2); // else arm
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(1000).unwrap();
+        assert_eq!(i.reg(Reg::R3), 3);
+        assert_eq!(i.reg(Reg::R4), 2);
+    }
+
+    #[test]
+    fn dispatch_reaches_selected_case() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let c0 = b.fresh_label("c0");
+        let c1 = b.fresh_label("c1");
+        let out = b.fresh_label("out");
+        b.li(Reg::R5, 1);
+        emit_dispatch(&mut b, Reg::R5, &[c0, c1]);
+        b.bind_label(c0);
+        b.li(Reg::R6, 100);
+        b.jmp(out);
+        b.bind_label(c1);
+        b.li(Reg::R6, 200);
+        b.bind_label(out);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let mut i = Interpreter::new(&p);
+        i.run(1000).unwrap();
+        assert_eq!(i.reg(Reg::R6), 200);
+    }
+
+    #[test]
+    fn call_saved_preserves_nesting() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        emit_call_saved(&mut b, "mid");
+        b.halt();
+        b.end_function();
+        b.begin_function("mid");
+        emit_call_saved(&mut b, "leafx0");
+        b.ret();
+        b.end_function();
+        emit_leaf_functions(&mut b, "leafx", 1, 3);
+        let p = b.build().unwrap();
+        let r = execute_window(&p, 10_000).unwrap();
+        assert!(r.halted);
+    }
+}

@@ -1,0 +1,136 @@
+//! SPEC2000 integer benchmark stand-ins.
+//!
+//! The paper evaluates on the SPEC2000 integer suite (MinneSPEC reduced
+//! inputs, eon excluded). We cannot ship SPEC, so each benchmark is
+//! replaced by a synthetic program **with the control-flow character the
+//! paper itself reports for it** (see DESIGN.md §5):
+//!
+//! | stand-in    | engineered character |
+//! |-------------|----------------------|
+//! | `bzip2`     | predictable buffer loops, high baseline IPC |
+//! | `crafty`    | deep 50/50 if-else chains + switches (hammock/other) |
+//! | `gap`       | indirect-call interpreter, large I-footprint (procFT) |
+//! | `gcc`       | many mixed functions, largest static spawn count |
+//! | `gzip`      | predictable compression loops |
+//! | `mcf`       | pointer chasing with data-dependent hammocks |
+//! | `parser`    | recursive descent with medium branches |
+//! | `perlbmk`   | hard indirect-jump opcode dispatch ("other") |
+//! | `twolf`     | the `new_dbox_a` nested-loop kernel of Figure 6 |
+//! | `vortex`    | dense small procedures across a wide I-footprint |
+//! | `vpr.place` | move/accept loops with 50/50 metropolis hammock |
+//! | `vpr.route` | short inner waves inside independent outer routes (loopFT) |
+//!
+//! # Example
+//!
+//! ```
+//! use polyflow_workloads::{all, by_name};
+//!
+//! let twolf = by_name("twolf").unwrap();
+//! assert_eq!(twolf.name, "twolf");
+//! assert!(twolf.program.len() > 0);
+//! assert_eq!(all().len(), 12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dsl;
+mod programs;
+pub mod synth;
+
+use polyflow_isa::Program;
+
+/// A benchmark stand-in: a program plus its simulation window.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The benchmark name (matches the paper's x-axis labels).
+    pub name: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Instructions to simulate (the paper fast-forwards and runs 100M;
+    /// our kernels have no init phase and use smaller windows).
+    pub window: u64,
+}
+
+/// The benchmark names, in the paper's plotting order.
+pub const NAMES: [&str; 12] = [
+    "bzip2",
+    "crafty",
+    "gap",
+    "gcc",
+    "gzip",
+    "mcf",
+    "parser",
+    "perlbmk",
+    "twolf",
+    "vortex",
+    "vpr.place",
+    "vpr.route",
+];
+
+/// Builds every workload, in the paper's plotting order.
+pub fn all() -> Vec<Workload> {
+    NAMES.iter().map(|n| by_name(n).expect("known name")).collect()
+}
+
+/// Builds one workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    let (program, window) = match name {
+        "bzip2" => (programs::bzip2::build(), 400_000),
+        "crafty" => (programs::crafty::build(), 400_000),
+        "gap" => (programs::gap::build(), 400_000),
+        "gcc" => (programs::gcc::build(), 400_000),
+        "gzip" => (programs::gzip::build(), 400_000),
+        "mcf" => (programs::mcf::build(), 500_000),
+        "parser" => (programs::parser::build(), 400_000),
+        "perlbmk" => (programs::perlbmk::build(), 400_000),
+        "twolf" => (programs::twolf::build(), 400_000),
+        "vortex" => (programs::vortex::build(), 400_000),
+        "vpr.place" => (programs::vpr_place::build(), 400_000),
+        "vpr.route" => (programs::vpr_route::build(), 400_000),
+        _ => return None,
+    };
+    Some(Workload {
+        name: NAMES.iter().find(|n| **n == name)?,
+        program,
+        window,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::execute_window;
+
+    #[test]
+    fn all_has_twelve_in_paper_order() {
+        let ws = all();
+        assert_eq!(ws.len(), 12);
+        let names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(names, NAMES.to_vec());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("eon").is_none(), "eon is excluded, as in the paper");
+    }
+
+    #[test]
+    fn every_workload_executes_to_halt_within_window() {
+        for w in all() {
+            let r = execute_window(&w.program, w.window)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            assert!(
+                r.halted,
+                "{} did not halt within {} instructions (ran {})",
+                w.name, w.window, r.steps
+            );
+            assert!(
+                r.steps > 50_000,
+                "{} trace too short: {} instructions",
+                w.name,
+                r.steps
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! `crafty` stand-in: call-structured evaluation with hard branches.
+//!
+//! Chess evaluation in crafty is a tree of procedure calls (pawn
+//! structure, king safety, mobility), each full of moderately
+//! hard-to-predict conditionals over board state, plus switch dispatch.
+//! One position's evaluation is several hundred dynamic instructions, so
+//! whole-iteration loop spawns exceed the Task Spawn Unit's range — the
+//! paper reports crafty responding to hammock and "other" spawns where
+//! loop/procedure heuristics find nothing (§4.1, §4.3).
+
+use crate::dsl;
+use polyflow_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Evaluated positions.
+const POSITIONS: i64 = 550;
+/// Random board-feature table (words).
+const FEATURES: usize = 2_048;
+
+/// Emits a small board-scan loop (predictable; dilutes branch density as
+/// real evaluation code does).
+fn emit_scan(b: &mut ProgramBuilder, iters: i64) {
+    let top = b.fresh_label("scan");
+    b.li(Reg::R25, 0);
+    b.bind_label(top);
+    b.alui(AluOp::Add, Reg::R26, Reg::R26, 3);
+    b.alui(AluOp::Xor, Reg::R27, Reg::R26, 0x11);
+    b.alui(AluOp::Add, Reg::R26, Reg::R27, 1);
+    b.alui(AluOp::Add, Reg::R25, Reg::R25, 1);
+    b.br_imm(Cond::Lt, Reg::R25, iters, top);
+}
+
+/// Builds the program.
+pub fn build() -> Program {
+    let mut b = ProgramBuilder::named("crafty");
+    let board = b.alloc_zeroed(128);
+    let features = dsl::alloc_random_words(&mut b, FEATURES, 0, 1 << 20, 0xc4af7);
+
+    b.begin_function("main");
+    b.li(Reg::R20, board as i64);
+    dsl::emit_counted_loop(&mut b, Reg::R9, POSITIONS, |b| {
+        // Load this position's feature word (independent across
+        // positions); the eval procedures branch on its bits via r11.
+        dsl::emit_load_indexed(b, Reg::R11, features, Reg::R9, (FEATURES as i64) - 1);
+        dsl::emit_call_saved(b, "eval_pawns");
+        dsl::emit_call_saved(b, "eval_king");
+        dsl::emit_call_saved(b, "eval_mobility");
+        // Score accumulation after all the control flow.
+        b.alu(AluOp::Add, Reg::R6, Reg::R3, Reg::R4);
+        b.alu(AluOp::Add, Reg::R6, Reg::R6, Reg::R5);
+        b.store(Reg::R6, Reg::R20, 0);
+        dsl::emit_parallel_work(b, &[Reg::R7, Reg::R8], 6);
+    });
+    b.halt();
+    b.end_function();
+
+    // eval_pawns: three hammocks (~25%, 50%, 50%) over a board scan.
+    b.begin_function("eval_pawns");
+    emit_scan(&mut b, 6);
+    b.alui(AluOp::And, Reg::R13, Reg::R11, 3);
+    dsl::emit_hammock(&mut b, Reg::R13, 7, 3); // else arm ~25%
+    emit_scan(&mut b, 6);
+    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 2);
+    b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+    dsl::emit_hammock(&mut b, Reg::R13, 4, 8); // 50/50
+    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 12);
+    b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+    dsl::emit_hammock(&mut b, Reg::R13, 6, 6); // 50/50
+    b.ret();
+    b.end_function();
+
+    // eval_king: a nested if inside an if (the paper's §6 nested-hammock
+    // case), plus a 50/50 hammock.
+    b.begin_function("eval_king");
+    emit_scan(&mut b, 6);
+    let deep_skip = b.fresh_label("deep_skip");
+    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 7);
+    b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+    b.br_imm(Cond::Eq, Reg::R13, 0, deep_skip);
+    b.alui(AluOp::Srl, Reg::R14, Reg::R11, 8);
+    b.alui(AluOp::And, Reg::R14, Reg::R14, 1);
+    dsl::emit_hammock(&mut b, Reg::R14, 4, 4); // inner hammock
+    b.bind_label(deep_skip);
+    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 3);
+    b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+    dsl::emit_hammock(&mut b, Reg::R13, 6, 5);
+    b.ret();
+    b.end_function();
+
+    // eval_mobility: switch over piece type (an "other" source: indirect
+    // jump) plus a 50/50 hammock.
+    b.begin_function("eval_mobility");
+    let sw: Vec<_> = (0..4).map(|i| b.fresh_label(&format!("piece{i}"))).collect();
+    let sw_join = b.fresh_label("sw_join");
+    emit_scan(&mut b, 6);
+    b.alui(AluOp::Srl, Reg::R12, Reg::R11, 10);
+    b.alui(AluOp::And, Reg::R12, Reg::R12, 3);
+    dsl::emit_dispatch(&mut b, Reg::R12, &sw);
+    for (i, &l) in sw.iter().enumerate() {
+        b.bind_label(l);
+        b.load(Reg::R5, Reg::R20, 8 * (i as i64 + 1));
+        b.alui(AluOp::Add, Reg::R5, Reg::R5, i as i64 + 1);
+        b.store(Reg::R5, Reg::R20, 8 * (i as i64 + 1));
+        b.jmp(sw_join);
+    }
+    b.bind_label(sw_join);
+    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 5);
+    b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+    dsl::emit_hammock(&mut b, Reg::R13, 3, 9);
+    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 14);
+    b.alui(AluOp::And, Reg::R13, Reg::R13, 3);
+    dsl::emit_hammock(&mut b, Reg::R13, 8, 4); // else arm ~25%
+    b.ret();
+    b.end_function();
+
+    b.build().expect("crafty builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::execute_window;
+
+    #[test]
+    fn builds_and_halts() {
+        let p = build();
+        let r = execute_window(&p, 1_000_000).unwrap();
+        assert!(r.halted);
+        assert!(r.steps > 100_000, "only {} steps", r.steps);
+    }
+
+    #[test]
+    fn branches_are_hard() {
+        // Several hammock branches should be substantially mixed.
+        let p = build();
+        let r = execute_window(&p, 300_000).unwrap();
+        let mut by_pc: std::collections::HashMap<_, (u64, u64)> = Default::default();
+        for e in &r.trace {
+            if e.inst.is_cond_branch() {
+                let c = by_pc.entry(e.pc).or_default();
+                if e.taken {
+                    c.0 += 1
+                } else {
+                    c.1 += 1
+                }
+            }
+        }
+        let hard = by_pc
+            .values()
+            .filter(|&&(t, n)| {
+                let total = t + n;
+                total > 500 && (0.2..=0.8).contains(&(t as f64 / total as f64))
+            })
+            .count();
+        assert!(hard >= 4, "only {hard} hard branches");
+    }
+
+    #[test]
+    fn iterations_are_long() {
+        // A position evaluation should span a few hundred dynamic
+        // instructions (beyond the default max spawn distance), so
+        // whole-iteration loop spawns are out of the spawn unit's range.
+        let p = build();
+        let r = execute_window(&p, 500_000).unwrap();
+        let per_pos = r.steps as i64 / POSITIONS;
+        assert!(per_pos > 150, "iteration too short: {per_pos}");
+    }
+}

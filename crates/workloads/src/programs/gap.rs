@@ -1,0 +1,116 @@
+//! `gap` stand-in: an interpreter dispatching through indirect calls.
+//!
+//! GAP (a computer-algebra interpreter) alternates between a dispatch
+//! loop and medium-sized handler routines chosen by the input expression
+//! stream. Indirect calls mispredict when the handler changes, and the
+//! handler space is bigger than the L1 I-cache — procedure fall-through
+//! spawns recover both costs (§4.1 shows gap responding strongly to
+//! procFT).
+
+use crate::dsl;
+use polyflow_isa::{AluOp, Program, ProgramBuilder, Reg};
+
+/// Handler routines (56 x ~45 instructions plus dispatch ≈ 2 500+
+/// instructions of live code).
+const HANDLERS: usize = 56;
+/// Interpreted operations.
+const OPS: i64 = 3_000;
+/// Input expression stream length (words).
+const STREAM: usize = 2_048;
+
+/// Builds the program.
+pub fn build() -> Program {
+    let mut b = ProgramBuilder::named("gap");
+
+    // Function-pointer table, patched with handler entry addresses.
+    let names: Vec<String> = (0..HANDLERS).map(|i| format!("eval{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let table = b.alloc_fn_table(&name_refs);
+    // The input expression stream: which handler each op needs.
+    let stream = dsl::alloc_random_words(&mut b, STREAM, 0, HANDLERS as u64, 0x6a9);
+    let interp_state = b.alloc_data(&[0]);
+
+    b.begin_function("main");
+    b.li(Reg::R22, interp_state as i64);
+    dsl::emit_counted_loop(&mut b, Reg::R9, OPS, |b| {
+        // Interpreter value-stack depth: a genuine serial dependence
+        // carried through memory from op to op.
+        b.load(Reg::R23, Reg::R22, 0);
+        b.alui(AluOp::Mul, Reg::R23, Reg::R23, 31);
+        b.alui(AluOp::Mul, Reg::R23, Reg::R23, 17);
+        b.alui(AluOp::And, Reg::R23, Reg::R23, 0xffff);
+        b.alui(AluOp::Add, Reg::R23, Reg::R23, 1);
+        // Read the next op from the input stream: the indirect call
+        // target is data-dependent and unpredictable.
+        dsl::emit_load_indexed(b, Reg::R12, stream, Reg::R9, (STREAM as i64) - 1);
+        b.alui(AluOp::Sll, Reg::R12, Reg::R12, 3);
+        b.li(Reg::R13, table as i64);
+        b.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R12);
+        b.load(Reg::R13, Reg::R13, 0);
+        // Indirect call with RA saved around it.
+        b.alui(AluOp::Add, Reg::SP, Reg::SP, -8);
+        b.store(Reg::RA, Reg::SP, 0);
+        b.callr(Reg::R13);
+        b.load(Reg::RA, Reg::SP, 0);
+        b.alui(AluOp::Add, Reg::SP, Reg::SP, 8);
+        // Interpreter bookkeeping between ops (independent of the handler).
+        dsl::emit_parallel_work(b, &[Reg::R5, Reg::R6, Reg::R7], 6);
+        b.store(Reg::R23, Reg::R22, 0);
+    });
+    b.halt();
+    b.end_function();
+
+    // Handlers: mixed ALU/memory bodies with a small internal loop every
+    // fourth handler.
+    for (i, name) in names.iter().enumerate() {
+        let data = b.alloc_data(&[i as u64 + 1]);
+        b.begin_function(name);
+        b.li(Reg::R26, data as i64);
+        b.load(Reg::R27, Reg::R26, 0);
+        if i % 4 == 0 {
+            let top = b.fresh_label("h_loop");
+            b.li(Reg::R25, 0);
+            b.bind_label(top);
+            b.alui(AluOp::Add, Reg::R27, Reg::R27, 3);
+            b.alui(AluOp::Add, Reg::R25, Reg::R25, 1);
+            b.br_imm(polyflow_isa::Cond::Lt, Reg::R25, 4, top);
+            dsl::emit_serial_work(&mut b, Reg::R27, 24);
+        } else {
+            dsl::emit_serial_work(&mut b, Reg::R27, 24);
+            dsl::emit_parallel_work(&mut b, &[Reg::R24, Reg::R25, Reg::R23], 20);
+        }
+        b.store(Reg::R27, Reg::R26, 0);
+        b.ret();
+        b.end_function();
+    }
+
+    b.build().expect("gap builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::execute_window;
+
+    #[test]
+    fn builds_and_halts() {
+        let p = build();
+        assert!(p.len() > 2_000, "footprint {} too small", p.len());
+        let r = execute_window(&p, 2_000_000).unwrap();
+        assert!(r.halted);
+        assert!(r.steps > 100_000);
+    }
+
+    #[test]
+    fn indirect_calls_change_targets() {
+        let p = build();
+        let r = execute_window(&p, 150_000).unwrap();
+        let mut targets = std::collections::HashSet::new();
+        for e in &r.trace {
+            if matches!(e.inst, polyflow_isa::Inst::CallR { .. }) {
+                targets.insert(e.next_pc);
+            }
+        }
+        assert!(targets.len() > HANDLERS / 2, "only {} targets", targets.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! `gcc` stand-in: a large, heterogeneous code base.
+//!
+//! gcc is the paper's biggest benchmark by static spawn count (13 707 in
+//! Figure 5) and responds moderately to every spawn category. The
+//! stand-in is the largest of ours: dozens of mixed "pass" functions —
+//! loops, hammocks, switches, calls — driven in rotation.
+
+use crate::dsl;
+use polyflow_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Pass functions of each flavor.
+const PASSES_PER_FLAVOR: usize = 20;
+/// Driver iterations.
+const UNITS: i64 = 110;
+
+/// Builds the program.
+pub fn build() -> Program {
+    let mut b = ProgramBuilder::named("gcc");
+    let symtab = b.alloc_zeroed(1024);
+    // Source-token stream: drives every data-dependent branch. `r21` is a
+    // global stream cursor advanced by each pass function.
+    let tokens = dsl::alloc_random_words(&mut b, 4_096, 0, u64::MAX / 2, 0x6cc);
+
+    b.begin_function("main");
+    b.li(Reg::R20, symtab as i64);
+    b.li(Reg::R21, 0);
+    dsl::emit_counted_loop(&mut b, Reg::R9, UNITS, |b| {
+        for i in 0..PASSES_PER_FLAVOR {
+            dsl::emit_call_saved(b, &format!("scan{i}"));
+            dsl::emit_call_saved(b, &format!("fold{i}"));
+            dsl::emit_call_saved(b, &format!("emit{i}"));
+        }
+    });
+    b.halt();
+    b.end_function();
+
+    // scanN: tokenizing loop with a biased branch and a hammock.
+    for i in 0..PASSES_PER_FLAVOR {
+        b.begin_function(&format!("scan{i}"));
+        let top = b.fresh_label("scan_top");
+        b.li(Reg::R1, 0);
+        b.bind_label(top);
+        dsl::emit_load_indexed(&mut b, Reg::R11, tokens, Reg::R21, 4_095);
+        b.alui(AluOp::Add, Reg::R21, Reg::R21, 1);
+        b.alui(AluOp::And, Reg::R13, Reg::R11, 7);
+        // ~12% taken "rare token" branch.
+        let rare = b.fresh_label("rare");
+        let merge = b.fresh_label("merge");
+        b.br_imm(Cond::Eq, Reg::R13, 0, rare);
+        b.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+        b.jmp(merge);
+        b.bind_label(rare);
+        dsl::emit_serial_work(&mut b, Reg::R3, 6);
+        b.bind_label(merge);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 6, top);
+        b.ret();
+        b.end_function();
+    }
+
+    // foldN: constant folding with 50/50 hammocks over symbol data.
+    for i in 0..PASSES_PER_FLAVOR {
+        b.begin_function(&format!("fold{i}"));
+        b.li(Reg::R26, symtab as i64);
+        b.load(Reg::R27, Reg::R26, 8 * (i as i64));
+        dsl::emit_load_indexed(&mut b, Reg::R11, tokens, Reg::R21, 4_095);
+        b.alui(AluOp::Add, Reg::R21, Reg::R21, 1);
+        b.alui(AluOp::Srl, Reg::R13, Reg::R11, 8);
+        b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+        dsl::emit_hammock(&mut b, Reg::R13, 5, 5);
+        b.alui(AluOp::Srl, Reg::R13, Reg::R11, 9);
+        b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+        dsl::emit_hammock(&mut b, Reg::R13, 3, 7);
+        b.alu(AluOp::Add, Reg::R27, Reg::R27, Reg::R3);
+        b.store(Reg::R27, Reg::R26, 8 * (i as i64));
+        b.ret();
+        b.end_function();
+    }
+
+    // emitN: switch-driven code emission (indirect jump) + serial tail.
+    for i in 0..PASSES_PER_FLAVOR {
+        b.begin_function(&format!("emit{i}"));
+        let cases: Vec<_> = (0..4).map(|c| b.fresh_label(&format!("e{c}"))).collect();
+        let join = b.fresh_label("e_join");
+        dsl::emit_load_indexed(&mut b, Reg::R11, tokens, Reg::R21, 4_095);
+        b.alui(AluOp::Add, Reg::R21, Reg::R21, 1);
+        b.alui(AluOp::Srl, Reg::R12, Reg::R11, 12);
+        b.alui(AluOp::And, Reg::R12, Reg::R12, 3);
+        dsl::emit_dispatch(&mut b, Reg::R12, &cases);
+        for (c, &l) in cases.iter().enumerate() {
+            b.bind_label(l);
+            dsl::emit_serial_work(&mut b, Reg::R4, 3 + c);
+            b.jmp(join);
+        }
+        b.bind_label(join);
+        dsl::emit_parallel_work(&mut b, &[Reg::R5, Reg::R6], 4);
+        b.ret();
+        b.end_function();
+        let _ = i;
+    }
+
+    b.build().expect("gcc builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::execute_window;
+
+    #[test]
+    fn builds_and_halts() {
+        let p = build();
+        assert!(p.len() > 1_500, "gcc should be large, got {}", p.len());
+        let r = execute_window(&p, 2_000_000).unwrap();
+        assert!(r.halted);
+        assert!(r.steps > 100_000);
+    }
+
+    #[test]
+    fn has_many_functions() {
+        let p = build();
+        assert_eq!(p.functions().len(), 1 + 3 * PASSES_PER_FLAVOR);
+    }
+}

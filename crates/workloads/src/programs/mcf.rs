@@ -1,0 +1,119 @@
+//! `mcf` stand-in: pointer chasing under hard-to-predict branches.
+//!
+//! The real mcf spends its time walking arc lists whose nodes miss the
+//! data caches, with branches that depend on the loaded values. The
+//! stand-in chases a shuffled linked list whose footprint exceeds the L1
+//! D-cache (and partially the L2), and wraps a data-dependent if-then-else
+//! around each visit. Branch resolution therefore waits on cache misses —
+//! precisely the case where hammock spawns shine (paper §4.1).
+
+use crate::dsl;
+use polyflow_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Arc-list length. 14_000 nodes x 16 B = 224 KB: far beyond the 16 KB
+/// L1D, comfortably inside L2 after the first pass.
+const NODES: usize = 3_500;
+/// Passes over the arc list.
+const PASSES: i64 = 6;
+
+/// Builds the program.
+pub fn build() -> Program {
+    let mut b = ProgramBuilder::named("mcf");
+
+    // Payloads are pseudo-random so `payload < threshold` is a 50/50
+    // data-dependent branch.
+    let head = dsl::alloc_linked_list(
+        &mut b,
+        NODES,
+        |i| {
+            let mut s = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            s ^= s >> 31;
+            s % 1000
+        },
+        0xAC5,
+    );
+    let out = b.alloc_zeroed(8);
+
+    b.begin_function("main");
+    let walk = b.fresh_label("walk");
+    let list_done = b.fresh_label("list_done");
+    let cheap = b.fresh_label("cheap");
+    let join = b.fresh_label("join");
+
+    b.li(Reg::R19, out as i64);
+    dsl::emit_counted_loop(&mut b, Reg::R9, PASSES, |b| {
+        b.li(Reg::R16, head as i64); // arc pointer
+        b.bind_label(walk);
+        b.br_imm(Cond::Eq, Reg::R16, 0, list_done);
+        b.load(Reg::R1, Reg::R16, 8); // cost (misses L1D)
+        // if (cost < 500) { expensive reduced-cost update } else { cheap }
+        b.br_imm(Cond::Lt, Reg::R1, 500, cheap);
+        // "expensive" arm: serial arithmetic on the loaded cost
+        b.alui(AluOp::Add, Reg::R2, Reg::R1, 17);
+        b.alui(AluOp::Mul, Reg::R2, Reg::R2, 3);
+        b.alui(AluOp::Sub, Reg::R2, Reg::R2, 5);
+        b.alui(AluOp::Sra, Reg::R2, Reg::R2, 1);
+        b.alu(AluOp::Add, Reg::R3, Reg::R3, Reg::R2);
+        b.jmp(join);
+        b.bind_label(cheap);
+        b.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+        b.bind_label(join);
+        // Independent bookkeeping after the join (what a hammock spawn
+        // overlaps with the mispredicted arm).
+        b.alu(AluOp::Add, Reg::R5, Reg::R3, Reg::R4);
+        b.alui(AluOp::Xor, Reg::R6, Reg::R5, 0x55);
+        b.alui(AluOp::Add, Reg::R7, Reg::R7, 1);
+        b.alui(AluOp::Add, Reg::R8, Reg::R8, 1);
+        b.store(Reg::R5, Reg::R19, 0);
+        b.load(Reg::R16, Reg::R16, 0); // next arc (misses)
+        b.jmp(walk);
+        b.bind_label(list_done);
+    });
+    b.halt();
+    b.end_function();
+
+    b.build().expect("mcf builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{execute_window, InstClass};
+
+    #[test]
+    fn builds_and_halts() {
+        let p = build();
+        let r = execute_window(&p, 1_000_000).unwrap();
+        assert!(r.halted);
+        assert!(r.steps > 100_000);
+    }
+
+    #[test]
+    fn loads_stride_widely() {
+        // The shuffled list makes consecutive next-pointer loads far apart:
+        // the mean absolute address delta should exceed many cache lines.
+        let p = build();
+        let r = execute_window(&p, 200_000).unwrap();
+        let addrs: Vec<u64> = r
+            .trace
+            .iter()
+            .filter(|e| {
+                e.class() == InstClass::Load
+                    && matches!(e.inst, polyflow_isa::Inst::Load { rd: Reg::R16, off: 0, .. })
+            })
+            .filter_map(|e| e.mem_addr)
+            .collect();
+        assert!(addrs.len() > 1000);
+        let mut big_jumps = 0;
+        for w in addrs.windows(2) {
+            if w[0].abs_diff(w[1]) > 4096 {
+                big_jumps += 1;
+            }
+        }
+        assert!(
+            big_jumps * 2 > addrs.len(),
+            "pointer chase is too sequential: {big_jumps}/{}",
+            addrs.len()
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per benchmark stand-in. Each exposes `build() -> Program`.
+
+pub mod bzip2;
+pub mod crafty;
+pub mod gap;
+pub mod gcc;
+pub mod gzip;
+pub mod mcf;
+pub mod parser;
+pub mod perlbmk;
+pub mod twolf;
+pub mod vortex;
+pub mod vpr_place;
+pub mod vpr_route;

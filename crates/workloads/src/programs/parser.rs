@@ -1,0 +1,123 @@
+//! `parser` stand-in: recursive-descent parsing with medium-bias
+//! branches.
+//!
+//! The link-grammar parser mixes procedure recursion with moderately
+//! predictable (~70/30) alternatives. Both procFT and hammock spawns find
+//! work; no single heuristic dominates.
+
+use crate::dsl;
+use polyflow_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Sentences parsed.
+const SENTENCES: i64 = 1_600;
+
+/// Builds the program.
+pub fn build() -> Program {
+    let mut b = ProgramBuilder::named("parser");
+    let dict = b.alloc_zeroed(512);
+    // Sentence-token stream; `r21` is the global cursor.
+    let tokens = dsl::alloc_random_words(&mut b, 4_096, 0, u64::MAX / 2, 0x9a45e4);
+    let tokens_mask = 4_095i64;
+
+    b.begin_function("main");
+    b.li(Reg::R20, dict as i64);
+    b.li(Reg::R21, 0);
+    dsl::emit_counted_loop(&mut b, Reg::R9, SENTENCES, |b| {
+        dsl::emit_call_saved(b, "parse_expr");
+        dsl::emit_parallel_work(b, &[Reg::R7, Reg::R8], 4);
+    });
+    b.halt();
+    b.end_function();
+
+    // parse_expr -> parse_term -> parse_factor: a fixed three-deep
+    // "recursion" (real recursion depth is data-bounded; three levels
+    // keep the call stack live without risking non-termination).
+    b.begin_function("parse_expr");
+    dsl::emit_load_indexed(&mut b, Reg::R11, tokens, Reg::R21, tokens_mask);
+    b.alui(AluOp::Add, Reg::R21, Reg::R21, 1);
+    b.alui(AluOp::And, Reg::R13, Reg::R11, 3);
+    // ~75% taken: most expressions are sums.
+    let simple = b.fresh_label("simple_expr");
+    let done = b.fresh_label("expr_done");
+    b.br_imm(Cond::Eq, Reg::R13, 0, simple);
+    dsl::emit_call_saved(&mut b, "parse_term");
+    dsl::emit_call_saved(&mut b, "parse_term");
+    b.jmp(done);
+    b.bind_label(simple);
+    dsl::emit_call_saved(&mut b, "parse_term");
+    b.bind_label(done);
+    b.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+    b.ret();
+    b.end_function();
+
+    b.begin_function("parse_term");
+    dsl::emit_load_indexed(&mut b, Reg::R11, tokens, Reg::R21, tokens_mask);
+    b.alui(AluOp::Add, Reg::R21, Reg::R21, 1);
+    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 4);
+    b.alui(AluOp::And, Reg::R13, Reg::R13, 3);
+    let unary = b.fresh_label("unary");
+    let tdone = b.fresh_label("term_done");
+    b.br_imm(Cond::Gt, Reg::R13, 0, unary); // ~75% taken
+    dsl::emit_call_saved(&mut b, "parse_factor");
+    dsl::emit_call_saved(&mut b, "parse_factor");
+    b.jmp(tdone);
+    b.bind_label(unary);
+    dsl::emit_call_saved(&mut b, "parse_factor");
+    b.bind_label(tdone);
+    b.ret();
+    b.end_function();
+
+    b.begin_function("parse_factor");
+    // Dictionary probe: load, 50/50 hammock on the value, store.
+    dsl::emit_load_indexed(&mut b, Reg::R11, tokens, Reg::R21, tokens_mask);
+    b.alui(AluOp::Add, Reg::R21, Reg::R21, 1);
+    b.alui(AluOp::Srl, Reg::R14, Reg::R11, 8);
+    b.alui(AluOp::And, Reg::R14, Reg::R14, 63);
+    b.alui(AluOp::Sll, Reg::R14, Reg::R14, 3);
+    // `r20` holds the dictionary base (set once in main and never
+    // clobbered by the parse functions).
+    b.alu(AluOp::Add, Reg::R26, Reg::R20, Reg::R14);
+    b.load(Reg::R27, Reg::R26, 0);
+    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 16);
+    b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+    dsl::emit_hammock(&mut b, Reg::R13, 4, 2);
+    b.alui(AluOp::Add, Reg::R27, Reg::R27, 1);
+    b.store(Reg::R27, Reg::R26, 0);
+    b.ret();
+    b.end_function();
+
+    b.build().expect("parser builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{execute_window, InstClass};
+
+    #[test]
+    fn builds_and_halts() {
+        let p = build();
+        let r = execute_window(&p, 2_000_000).unwrap();
+        assert!(r.halted);
+        assert!(r.steps > 100_000);
+    }
+
+    #[test]
+    fn nested_calls_occur() {
+        let p = build();
+        let r = execute_window(&p, 100_000).unwrap();
+        let mut depth = 0usize;
+        let mut max_depth = 0;
+        for e in &r.trace {
+            match e.class() {
+                InstClass::Call => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                InstClass::Ret => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        assert!(max_depth >= 3, "max call depth {max_depth}");
+    }
+}

@@ -1,0 +1,122 @@
+//! `perlbmk` stand-in: a hard indirect-jump opcode dispatch loop.
+//!
+//! Perl's interpreter dispatches opcodes through an indirect jump whose
+//! target is effectively unpredictable. The "other" spawn category — the
+//! immediate postdominator of the indirect jump — lets fetch run ahead to
+//! the next dispatch while the jump resolves. The paper singles out
+//! perlbmk as the benchmark where "other" spawns beat all heuristics
+//! (§4.1) and reports a 21% loss when hammocks are removed (§4.3), so the
+//! cases also contain hammocks.
+
+use crate::dsl;
+use polyflow_isa::{AluOp, Program, ProgramBuilder, Reg};
+
+/// Dispatched opcodes.
+const OPS: i64 = 7_000;
+/// Opcode case count (power of two).
+const CASES: usize = 8;
+/// Bytecode stream length (words).
+const BYTECODE: usize = 2_048;
+
+/// Builds the program.
+pub fn build() -> Program {
+    let mut b = ProgramBuilder::named("perlbmk");
+    let state = b.alloc_zeroed(64);
+    // The "compiled script": a stream of random opcodes. Dispatch reads
+    // it by program counter, so opcode choice is data, not a serial
+    // register chain.
+    let bytecode = dsl::alloc_random_words(&mut b, BYTECODE, 0, 1 << 16, 0x9e71);
+
+    b.begin_function("main");
+    let case_labels: Vec<_> = (0..CASES)
+        .map(|i| b.fresh_label(&format!("op{i}")))
+        .collect();
+    let continue_l = b.fresh_label("continue");
+
+    b.li(Reg::R20, state as i64);
+    dsl::emit_counted_loop(&mut b, Reg::R9, OPS, |b| {
+        // The interpreter's stack-depth word: a serial memory dependence
+        // carried from op to op (as in the real runloop).
+        b.load(Reg::R21, Reg::R20, 56);
+        b.alui(AluOp::Mul, Reg::R21, Reg::R21, 31);
+        b.alui(AluOp::Mul, Reg::R21, Reg::R21, 17);
+        b.alui(AluOp::And, Reg::R21, Reg::R21, 0xffff);
+        b.alui(AluOp::Add, Reg::R21, Reg::R21, 1);
+        // Fetch the next opcode word: the jr target is unpredictable.
+        dsl::emit_load_indexed(b, Reg::R11, bytecode, Reg::R9, (BYTECODE as i64) - 1);
+        b.alui(AluOp::And, Reg::R12, Reg::R11, (CASES as i64) - 1);
+        dsl::emit_dispatch(b, Reg::R12, &case_labels);
+        // ---- opcode bodies -------------------------------------------------
+        for (i, &l) in case_labels.iter().enumerate() {
+            b.bind_label(l);
+            match i % 4 {
+                0 => {
+                    // Arithmetic op: serial chain.
+                    dsl::emit_serial_work(b, Reg::R2, 8);
+                }
+                1 => {
+                    // Memory op: touch interpreter state.
+                    b.load(Reg::R3, Reg::R20, 8 * (i as i64));
+                    b.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+                    b.store(Reg::R3, Reg::R20, 8 * (i as i64));
+                    dsl::emit_serial_work(b, Reg::R4, 4);
+                }
+                2 => {
+                    // Conditional op: a 50/50 hammock on an operand bit.
+                    b.alui(AluOp::Srl, Reg::R13, Reg::R11, 5);
+                    b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+                    dsl::emit_hammock(b, Reg::R13, 5, 3);
+                }
+                _ => {
+                    // String-ish op: parallel work.
+                    dsl::emit_parallel_work(b, &[Reg::R5, Reg::R6, Reg::R7], 9);
+                }
+            }
+            b.jmp(continue_l);
+        }
+        b.bind_label(continue_l);
+        // Common interpreter bookkeeping (the reconvergence region).
+        b.alu(AluOp::Add, Reg::R8, Reg::R8, Reg::R12);
+        b.alui(AluOp::Xor, Reg::R8, Reg::R8, 3);
+        b.store(Reg::R21, Reg::R20, 56);
+    });
+    b.halt();
+    b.end_function();
+
+    b.build().expect("perlbmk builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{execute_window, InstClass};
+
+    #[test]
+    fn builds_and_halts() {
+        let p = build();
+        let r = execute_window(&p, 1_000_000).unwrap();
+        assert!(r.halted);
+        assert!(r.steps > 100_000);
+    }
+
+    #[test]
+    fn dispatch_targets_are_spread() {
+        let p = build();
+        let r = execute_window(&p, 200_000).unwrap();
+        let mut targets = std::collections::HashMap::new();
+        for e in &r.trace {
+            if e.class() == InstClass::IndirectJump {
+                *targets.entry(e.next_pc).or_insert(0u64) += 1;
+            }
+        }
+        assert_eq!(targets.len(), CASES, "all cases reached");
+        let total: u64 = targets.values().sum();
+        for (&t, &n) in &targets {
+            let frac = n as f64 / total as f64;
+            assert!(
+                (0.05..=0.25).contains(&frac),
+                "case {t} frequency {frac:.2} is too skewed"
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! `vpr.place` stand-in: simulated-annealing placement moves.
+//!
+//! Each move computes the cost delta of a swap over a handful of nets
+//! (a short inner loop), then accepts or rejects it — a 50/50 metropolis
+//! hammock. Loop and hammock spawns both find work.
+
+use crate::dsl;
+use polyflow_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Placement grid words.
+const GRID_WORDS: usize = 2_048;
+/// Annealing moves.
+const MOVES: i64 = 2_600;
+
+/// Builds the program.
+pub fn build() -> Program {
+    let mut b = ProgramBuilder::named("vpr.place");
+    let grid = b.alloc_zeroed(GRID_WORDS);
+
+    b.begin_function("main");
+    let net_top = b.fresh_label("net");
+    let reject = b.fresh_label("reject");
+    let decided = b.fresh_label("decided");
+
+    // Move descriptors: net positions and the accept bit come from the
+    // (random) netlist data, indexed by the move number.
+    let moves_tbl = dsl::alloc_random_words(&mut b, 4_096, 0, u64::MAX / 2, 0x0e9);
+    b.li(Reg::R20, grid as i64);
+    dsl::emit_counted_loop(&mut b, Reg::R9, MOVES, |b| {
+        dsl::emit_load_indexed(b, Reg::R11, moves_tbl, Reg::R9, 4_095);
+        // Cost loop over 5 connected nets.
+        b.li(Reg::R1, 0);
+        b.li(Reg::R3, 0);
+        b.bind_label(net_top);
+        // Net index: mix the move word with the net counter.
+        b.alui(AluOp::Sll, Reg::R12, Reg::R1, 4);
+        b.alu(AluOp::Xor, Reg::R12, Reg::R12, Reg::R11);
+        b.alui(AluOp::And, Reg::R12, Reg::R12, (GRID_WORDS as i64) - 1);
+        b.alui(AluOp::Sll, Reg::R12, Reg::R12, 3);
+        b.alu(AluOp::Add, Reg::R16, Reg::R20, Reg::R12);
+        b.load(Reg::R2, Reg::R16, 0);
+        // Bounding-box update: serial through the nets of this move.
+        b.alu(AluOp::Add, Reg::R3, Reg::R3, Reg::R2);
+        b.alui(AluOp::Mul, Reg::R3, Reg::R3, 3);
+        b.alui(AluOp::And, Reg::R3, Reg::R3, 0xffff);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.br_imm(Cond::Lt, Reg::R1, 5, net_top);
+        // Metropolis accept/reject on a move bit (50/50, hard).
+        b.alui(AluOp::Srl, Reg::R13, Reg::R11, 30);
+        b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+        b.br_imm(Cond::Eq, Reg::R13, 0, reject);
+        // Accept: commit the swap (stores).
+        b.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.store(Reg::R3, Reg::R16, 0);
+        dsl::emit_serial_work(b, Reg::R4, 5);
+        b.jmp(decided);
+        b.bind_label(reject);
+        dsl::emit_serial_work(b, Reg::R5, 3);
+        b.bind_label(decided);
+        // Temperature bookkeeping (independent tail).
+        dsl::emit_parallel_work(b, &[Reg::R6, Reg::R7], 6);
+    });
+    b.halt();
+    b.end_function();
+
+    b.build().expect("vpr.place builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::execute_window;
+
+    #[test]
+    fn builds_and_halts() {
+        let p = build();
+        let r = execute_window(&p, 2_000_000).unwrap();
+        assert!(r.halted);
+        assert!(r.steps > 100_000);
+    }
+
+    #[test]
+    fn accept_reject_is_balanced() {
+        let p = build();
+        let r = execute_window(&p, 200_000).unwrap();
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for e in &r.trace {
+            if let polyflow_isa::Inst::Br {
+                rs: Reg::R13,
+                ..
+            } = e.inst
+            {
+                total += 1;
+                if e.taken {
+                    taken += 1;
+                }
+            }
+        }
+        assert!(total > 500);
+        let frac = taken as f64 / total as f64;
+        assert!((0.4..0.6).contains(&frac), "accept rate {frac:.2}");
+    }
+}

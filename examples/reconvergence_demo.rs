@@ -1,0 +1,66 @@
+//! Demonstrates the dynamic reconvergence predictor (§2.4/§4.4): trains
+//! it on a retirement stream and compares its predictions against the
+//! compiler-computed immediate postdominators.
+//!
+//! Run with: `cargo run --release --example reconvergence_demo -- [workload]`
+
+use polyflow::core::{ProgramAnalysis, SpawnKind};
+use polyflow::isa::{execute_window, Pc};
+use polyflow::reconv::{train_on_trace, ReconvConfig};
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".into());
+    let workload = polyflow::workloads::by_name(&name).expect("known workload");
+
+    // Ground truth: the compiler's immediate postdominators per branch.
+    let analysis = ProgramAnalysis::analyze(&workload.program);
+    let truth: HashMap<Pc, Pc> = analysis
+        .candidates()
+        .iter()
+        .filter(|sp| sp.kind != SpawnKind::Loop && sp.kind != SpawnKind::ProcFallThrough)
+        .map(|sp| (sp.trigger, sp.target))
+        .collect();
+
+    // Train the predictor on the retirement stream.
+    let trace = execute_window(&workload.program, workload.window)?.trace;
+    let predictor = train_on_trace(&trace, ReconvConfig::default());
+    println!(
+        "{name}: trained on {} retired instructions; {} branches tracked, {} fully trained",
+        predictor.observed(),
+        predictor.trained_branches(),
+        predictor.fully_trained_branches()
+    );
+
+    // Score predictions against the static analysis.
+    let mut exact = 0;
+    let mut predicted = 0;
+    let mut missed = 0;
+    for (&branch, &ipostdom) in &truth {
+        match predictor.predict(branch) {
+            Some(p) if p == ipostdom => {
+                exact += 1;
+                predicted += 1;
+            }
+            Some(p) => {
+                predicted += 1;
+                println!("  {branch}: predicted {p}, ipostdom is {ipostdom}");
+            }
+            None => {
+                missed += 1;
+                println!("  {branch}: no prediction (ipostdom {ipostdom})");
+            }
+        }
+    }
+    println!(
+        "\n{exact}/{} branch reconvergence points predicted exactly \
+         ({predicted} predicted, {missed} unpredicted)",
+        truth.len()
+    );
+    println!(
+        "The paper (§4.4) finds the predictor approximates immediate postdominators\n\
+         'with reasonable accuracy'; the residue is warm-up plus reconvergences a\n\
+         forward analysis cannot see."
+    );
+    Ok(())
+}

@@ -1,43 +1,52 @@
-//! Criterion microbenchmarks of the static analyses: CFG construction,
-//! dominators/postdominators, control dependence, loop detection, and
-//! spawn-point extraction — on `gcc`, the largest stand-in.
+//! Microbenchmarks of the static analyses: CFG construction,
+//! dominators/postdominators, control dependence, loop detection,
+//! dataflow (liveness/reaching defs), and spawn-point extraction — on
+//! `gcc`, the largest stand-in.
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); the workspace
+//! builds hermetically, so no criterion. Run with
+//! `cargo bench -p polyflow-bench --bench analyses`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use polyflow_bench::stopwatch::bench;
 use polyflow_cfg::{Cfg, ControlDeps, DomTree, LoopForest};
 use polyflow_core::{Policy, ProgramAnalysis};
+use polyflow_dataflow::{LiveSets, ReachingDefs};
 use std::hint::black_box;
 
-fn bench_analyses(c: &mut Criterion) {
+fn main() {
     let program = polyflow_workloads::by_name("gcc").unwrap().program;
     let main_fn = program.functions()[0].clone();
     let cfg = Cfg::build(&program, &main_fn);
     let dom = DomTree::dominators(&cfg);
     let pdom = DomTree::postdominators(&cfg);
 
-    c.bench_function("cfg_build_all", |b| {
-        b.iter(|| black_box(Cfg::build_all(black_box(&program))))
+    bench("cfg_build_all", || {
+        black_box(Cfg::build_all(black_box(&program)))
     });
-    c.bench_function("dominators", |b| {
-        b.iter(|| black_box(DomTree::dominators(black_box(&cfg))))
+    bench("dominators", || {
+        black_box(DomTree::dominators(black_box(&cfg)))
     });
-    c.bench_function("postdominators", |b| {
-        b.iter(|| black_box(DomTree::postdominators(black_box(&cfg))))
+    bench("postdominators", || {
+        black_box(DomTree::postdominators(black_box(&cfg)))
     });
-    c.bench_function("control_deps", |b| {
-        b.iter(|| black_box(ControlDeps::compute(black_box(&cfg), black_box(&pdom))))
+    bench("control_deps", || {
+        black_box(ControlDeps::compute(black_box(&cfg), black_box(&pdom)))
     });
-    c.bench_function("loop_forest", |b| {
-        b.iter(|| black_box(LoopForest::compute(black_box(&cfg), black_box(&dom))))
+    bench("loop_forest", || {
+        black_box(LoopForest::compute(black_box(&cfg), black_box(&dom)))
     });
-    c.bench_function("program_analysis_full", |b| {
-        b.iter(|| black_box(ProgramAnalysis::analyze(black_box(&program))))
+    bench("liveness", || {
+        black_box(LiveSets::compute(black_box(&program), black_box(&cfg)))
+    });
+    bench("reaching_defs", || {
+        black_box(ReachingDefs::compute(black_box(&program), black_box(&cfg)))
+    });
+    bench("program_analysis_full", || {
+        black_box(ProgramAnalysis::analyze(black_box(&program)))
     });
 
     let analysis = ProgramAnalysis::analyze(&program);
-    c.bench_function("spawn_table_postdoms", |b| {
-        b.iter(|| black_box(analysis.spawn_table(black_box(Policy::Postdoms))))
+    bench("spawn_table_postdoms", || {
+        black_box(analysis.spawn_table(black_box(Policy::Postdoms)))
     });
 }
-
-criterion_group!(benches, bench_analyses);
-criterion_main!(benches);

@@ -1,8 +1,12 @@
-//! Criterion microbenchmarks of the dynamic path: functional execution,
-//! trace preparation, and the cycle model under the superscalar and the
-//! full postdominator policy (on a reduced mcf window).
+//! Microbenchmarks of the dynamic path: functional execution, trace
+//! preparation, and the cycle model under the superscalar and the full
+//! postdominator policy (on a reduced mcf window).
+//!
+//! Plain `std::time::Instant` harness (`harness = false`); the workspace
+//! builds hermetically, so no criterion. Run with
+//! `cargo bench -p polyflow-bench --bench simulator`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use polyflow_bench::stopwatch::bench;
 use polyflow_core::{Policy, ProgramAnalysis};
 use polyflow_isa::execute_window;
 use polyflow_reconv::{train_on_trace, ReconvConfig};
@@ -11,36 +15,31 @@ use std::hint::black_box;
 
 const WINDOW: u64 = 50_000;
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
     let program = polyflow_workloads::by_name("mcf").unwrap().program;
     let trace = execute_window(&program, WINDOW).unwrap().trace;
     let analysis = ProgramAnalysis::analyze(&program);
     let ss = MachineConfig::superscalar();
     let pf = MachineConfig::hpca07();
 
-    c.bench_function("interpreter_50k", |b| {
-        b.iter(|| black_box(execute_window(black_box(&program), WINDOW).unwrap()))
+    bench("interpreter_50k", || {
+        black_box(execute_window(black_box(&program), WINDOW).unwrap())
     });
-    c.bench_function("prepare_trace_50k", |b| {
-        b.iter(|| black_box(PreparedTrace::new(black_box(&trace), &ss)))
+    bench("prepare_trace_50k", || {
+        black_box(PreparedTrace::new(black_box(&trace), &ss))
     });
 
     let prep_ss = PreparedTrace::new(&trace, &ss);
-    c.bench_function("simulate_superscalar_50k", |b| {
-        b.iter(|| black_box(simulate(black_box(&prep_ss), &ss, &mut NoSpawn)))
+    bench("simulate_superscalar_50k", || {
+        black_box(simulate(black_box(&prep_ss), &ss, &mut NoSpawn))
     });
 
     let prep_pf = PreparedTrace::new(&trace, &pf);
-    c.bench_function("simulate_postdoms_50k", |b| {
-        b.iter(|| {
-            let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
-            black_box(simulate(black_box(&prep_pf), &pf, &mut src))
-        })
+    bench("simulate_postdoms_50k", || {
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        black_box(simulate(black_box(&prep_pf), &pf, &mut src))
     });
-    c.bench_function("reconv_train_50k", |b| {
-        b.iter(|| black_box(train_on_trace(black_box(&trace), ReconvConfig::default())))
+    bench("reconv_train_50k", || {
+        black_box(train_on_trace(black_box(&trace), ReconvConfig::default()))
     });
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

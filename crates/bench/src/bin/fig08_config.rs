@@ -73,9 +73,21 @@ fn main() {
     }
     println!();
     println!("Model-specific parameters (see DESIGN.md):");
-    println!("  max spawn distance       {} instructions", c.max_spawn_distance);
-    println!("  min spawn distance       {} instructions", c.min_spawn_distance);
-    println!("  divert release delay     {} cycles", c.divert_release_delay);
-    println!("  spawn overhead           {} cycles", c.spawn_overhead_cycles);
+    println!(
+        "  max spawn distance       {} instructions",
+        c.max_spawn_distance
+    );
+    println!(
+        "  min spawn distance       {} instructions",
+        c.min_spawn_distance
+    );
+    println!(
+        "  divert release delay     {} cycles",
+        c.divert_release_delay
+    );
+    println!(
+        "  spawn overhead           {} cycles",
+        c.spawn_overhead_cycles
+    );
     println!("  profitability feedback   {}", c.profitability_feedback);
 }

@@ -4,7 +4,9 @@
 //!
 //! Usage: `fig10_combinations [workload ...]` (default: all 12).
 
-use polyflow_bench::{cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table};
+use polyflow_bench::{
+    cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table,
+};
 use polyflow_core::Policy;
 
 fn main() {

@@ -4,7 +4,9 @@
 //!
 //! Usage: `fig12_reconvergence [workload ...]` (default: all 12).
 
-use polyflow_bench::{cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table};
+use polyflow_bench::{
+    cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table,
+};
 use polyflow_core::Policy;
 
 fn main() {
@@ -15,9 +17,7 @@ fn main() {
     for w in &workloads {
         let base = w.run_baseline();
         let rec = w.run_reconv().speedup_percent_over(&base);
-        let pd = w
-            .run_static(Policy::Postdoms)
-            .speedup_percent_over(&base);
+        let pd = w.run_static(Policy::Postdoms).speedup_percent_over(&base);
         rows.push((w.name.to_string(), base.ipc(), vec![rec, pd]));
         eprintln!("  [{}] done", w.name);
     }

@@ -60,18 +60,30 @@ fn main() {
         "1. postdoms avg {postdoms_avg:.1}% vs best individual heuristic {best_ind:.1}% \
          => ratio {:.2}x (paper: >2x) {}",
         postdoms_avg / best_ind.max(1e-9),
-        if postdoms_avg > 2.0 * best_ind { "PASS" } else { "MISS" }
+        if postdoms_avg > 2.0 * best_ind {
+            "PASS"
+        } else {
+            "MISS"
+        }
     );
     println!(
         "2. postdoms avg {postdoms_avg:.1}% vs best combination {best_combo:.1}% \
          => {:.0}% more (paper: ~33%) {}",
         100.0 * (postdoms_avg - best_combo) / best_combo.max(1e-9),
-        if postdoms_avg > best_combo { "PASS" } else { "MISS" }
+        if postdoms_avg > best_combo {
+            "PASS"
+        } else {
+            "MISS"
+        }
     );
     println!(
         "3. postdoms >= best individual heuristic (within tolerance) on \
          {per_bench_ok}/{} benchmarks {}",
         workloads.len(),
-        if per_bench_ok * 10 >= workloads.len() * 9 { "PASS" } else { "MISS" }
+        if per_bench_ok * 10 >= workloads.len() * 9 {
+            "PASS"
+        } else {
+            "MISS"
+        }
     );
 }

@@ -12,7 +12,10 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
     let function_filter = std::env::args().nth(2);
     let Some(w) = polyflow_workloads::by_name(&name) else {
-        eprintln!("unknown workload `{name}`; one of {:?}", polyflow_workloads::NAMES);
+        eprintln!(
+            "unknown workload `{name}`; one of {:?}",
+            polyflow_workloads::NAMES
+        );
         std::process::exit(1);
     };
     let analysis = ProgramAnalysis::analyze(&w.program);

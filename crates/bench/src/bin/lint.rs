@@ -1,0 +1,78 @@
+//! Static verifier over the bundled workloads.
+//!
+//! Runs every check in `polyflow_core::verify` — unreachable blocks,
+//! undefined register uses, malformed terminators, irreducible loops, the
+//! immediate-postdominator cross-check against the set-based reference,
+//! and spawn-table legality — over each bundled workload, and prints a
+//! hint-capacity report: spawn targets whose statically predicted live-in
+//! set exceeds the hint entry's register slots (§3.1).
+//!
+//! Exit status is 0 iff no workload produced a diagnostic; hint-capacity
+//! overflow is a report, not an error (the hardware degrades gracefully).
+//!
+//! Usage: `lint [workload...]` (default: all workloads)
+
+use polyflow_core::{verify, ProgramAnalysis, VerifyOptions};
+use polyflow_sim::MachineConfig;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<_> = polyflow_workloads::all()
+        .into_iter()
+        .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
+        .collect();
+    if workloads.is_empty() {
+        eprintln!(
+            "no matching workloads; names: {:?}",
+            polyflow_workloads::NAMES
+        );
+        std::process::exit(2);
+    }
+
+    let opts = VerifyOptions {
+        hint_register_slots: MachineConfig::hpca07().hint_register_slots,
+        ..VerifyOptions::default()
+    };
+    let mut total_diags = 0usize;
+    let mut total_overflows = 0usize;
+
+    for w in &workloads {
+        let analysis = ProgramAnalysis::analyze(&w.program);
+        let report = verify(&w.program, &analysis, &opts);
+
+        let overflows: Vec<_> = report.hint_overflows().collect();
+        println!(
+            "{:<10} {:>5} insts {:>4} spawn points {:>3} diagnostics {:>3} hint overflows",
+            w.name,
+            w.program.len(),
+            analysis.candidates().len(),
+            report.diagnostics.len(),
+            overflows.len(),
+        );
+        for d in &report.diagnostics {
+            println!("  {d}");
+        }
+        for h in &overflows {
+            let regs: Vec<String> = h.live_in.iter().map(|r| r.to_string()).collect();
+            println!(
+                "  [hint-capacity] {} needs {} live-in regs ({}) > {} slots",
+                h.spawn,
+                h.live_in.len(),
+                regs.join(","),
+                h.slots,
+            );
+        }
+        total_diags += report.diagnostics.len();
+        total_overflows += overflows.len();
+    }
+
+    println!(
+        "\n{} workloads: {} diagnostics, {} hint-capacity overflows",
+        workloads.len(),
+        total_diags,
+        total_overflows,
+    );
+    if total_diags > 0 {
+        std::process::exit(1);
+    }
+}

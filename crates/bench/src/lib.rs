@@ -12,10 +12,12 @@ use polyflow_core::{Policy, ProgramAnalysis};
 use polyflow_isa::{execute_window, Program, Trace};
 use polyflow_reconv::ReconvConfig;
 use polyflow_sim::{
-    simulate, DependenceMode, MachineConfig, NoSpawn, PreparedTrace, ReconvSpawnSource,
-    SimResult, StaticSpawnSource,
+    simulate, DependenceMode, MachineConfig, NoSpawn, PreparedTrace, ReconvSpawnSource, SimResult,
+    StaticSpawnSource,
 };
 use polyflow_workloads::Workload;
+
+pub mod stopwatch;
 
 /// A workload with its trace and spawn analysis, ready for policy sweeps.
 #[derive(Debug)]
@@ -97,7 +99,10 @@ pub fn prepare_all(filter: &[String]) -> Vec<PreparedWorkload> {
 
 /// Parses CLI args as an optional workload filter.
 pub fn cli_filter() -> Vec<String> {
-    std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect()
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect()
 }
 
 /// True if `--csv` was passed: figure binaries then emit

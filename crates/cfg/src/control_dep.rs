@@ -152,8 +152,8 @@ mod tests {
         // The loop blocks depend on the loop branch (in block E+F).
         assert!(cd.depends_on(ab, ef));
         assert!(cd.depends_on(ef, ef)); // loop branch controls its own block's re-execution
-        // C is NOT control dependent on the loop branch — only on the
-        // if-else branch (Figure 3 shows exactly C, D under B).
+                                        // C is NOT control dependent on the loop branch — only on the
+                                        // if-else branch (Figure 3 shows exactly C, D under B).
         assert!(!cd.depends_on(c, ef));
         assert_eq!(cd.dependents_of(ab), &[c, d]);
     }

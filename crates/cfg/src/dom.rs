@@ -64,8 +64,8 @@ impl DomTree {
     pub fn postdominators(cfg: &Cfg) -> DomTree {
         let n = cfg.len();
         let virt = n; // virtual exit index
-        // Reverse graph: succ = CFG preds, preds = CFG succs; virtual exit
-        // has an edge *to* every exit block in the reverse graph.
+                      // Reverse graph: succ = CFG preds, preds = CFG succs; virtual exit
+                      // has an edge *to* every exit block in the reverse graph.
         let mut succs: Vec<Vec<usize>> = (0..n)
             .map(|i| {
                 cfg.preds(BlockId::new(i))
@@ -127,14 +127,9 @@ impl DomTree {
             }
             let mut d = 0;
             let mut cur = i;
-            loop {
-                match idom[cur] {
-                    Some(p) => {
-                        d += 1;
-                        cur = p.index();
-                    }
-                    None => break,
-                }
+            while let Some(p) = idom[cur] {
+                d += 1;
+                cur = p.index();
             }
             // Blocks hanging off the virtual root get +1 so the (absent)
             // root sits at depth 0.
@@ -142,8 +137,8 @@ impl DomTree {
         }
 
         let mut children = vec![Vec::new(); n];
-        for i in 0..n {
-            if let Some(p) = idom[i] {
+        for (i, parent) in idom.iter().enumerate() {
+            if let Some(p) = parent {
                 children[p.index()].push(BlockId::new(i));
             }
         }
@@ -246,12 +241,7 @@ impl Iterator for Ancestors<'_> {
 ///
 /// Returns, for each node, its immediate dominator (the root maps to
 /// itself); unreachable nodes map to `None`.
-fn chk(
-    n: usize,
-    root: usize,
-    succs: &[Vec<usize>],
-    preds: &[Vec<usize>],
-) -> Vec<Option<usize>> {
+fn chk(n: usize, root: usize, succs: &[Vec<usize>], preds: &[Vec<usize>]) -> Vec<Option<usize>> {
     // Reverse postorder from root.
     let mut order = Vec::with_capacity(n);
     let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done

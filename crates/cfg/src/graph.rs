@@ -14,6 +14,14 @@ impl BlockId {
         self.0 as usize
     }
 
+    /// The id of the block at `index` in [`Cfg::blocks`] order.
+    ///
+    /// Useful for clients (e.g. dataflow solvers) that flatten a CFG into
+    /// index-addressed arrays and need to map back.
+    pub fn from_index(index: usize) -> BlockId {
+        BlockId(index as u32)
+    }
+
     pub(crate) fn new(i: usize) -> BlockId {
         BlockId(i as u32)
     }
@@ -114,10 +122,8 @@ impl Cfg {
             let pc = Pc::new(i);
             let inst = program.inst(pc);
             match inst {
-                Inst::Br { target, .. } | Inst::Jmp { target } => {
-                    if in_range(target) {
-                        leaders.insert(target.index() as u32);
-                    }
+                Inst::Br { target, .. } | Inst::Jmp { target } if in_range(target) => {
+                    leaders.insert(target.index() as u32);
                 }
                 Inst::Jr { .. } => {
                     for &t in program.jump_targets(pc) {
@@ -307,11 +313,9 @@ impl Cfg {
 
     /// Iterates over all edges as `(from, to, kind)`.
     pub fn edges(&self) -> impl Iterator<Item = (BlockId, BlockId, EdgeKind)> + '_ {
-        self.blocks.iter().flat_map(move |b| {
-            self.succs(b.id)
-                .iter()
-                .map(move |&(t, k)| (b.id, t, k))
-        })
+        self.blocks
+            .iter()
+            .flat_map(move |b| self.succs(b.id).iter().map(move |&(t, k)| (b.id, t, k)))
     }
 
     /// Renders the CFG in Graphviz `dot` syntax (block PCs as labels).
@@ -320,7 +324,11 @@ impl Cfg {
         let mut s = String::new();
         let _ = writeln!(s, "digraph \"{}\" {{", self.function.name);
         for b in &self.blocks {
-            let _ = writeln!(s, "  {} [label=\"{} [{}..{})\"];", b.id, b.id, b.start, b.end);
+            let _ = writeln!(
+                s,
+                "  {} [label=\"{} [{}..{})\"];",
+                b.id, b.id, b.start, b.end
+            );
         }
         for (from, to, kind) in self.edges() {
             let _ = writeln!(s, "  {from} -> {to} [label=\"{kind:?}\"];");
@@ -440,7 +448,10 @@ mod tests {
         let cfg = Cfg::build(&p, p.function("main").unwrap());
         let dispatch = cfg.block_at(Pc::new(1)).unwrap();
         let kinds: Vec<_> = cfg.succs(dispatch).iter().map(|&(_, k)| k).collect();
-        assert_eq!(kinds, vec![EdgeKind::IndirectTarget, EdgeKind::IndirectTarget]);
+        assert_eq!(
+            kinds,
+            vec![EdgeKind::IndirectTarget, EdgeKind::IndirectTarget]
+        );
         assert_eq!(cfg.exits().len(), 2);
     }
 

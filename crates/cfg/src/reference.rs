@@ -89,11 +89,7 @@ pub fn immediate_postdominators(cfg: &Cfg) -> Vec<Option<BlockId>> {
     (0..n)
         .map(|i| {
             let set = psets[i].as_ref()?;
-            let strict: Vec<BlockId> = set
-                .iter()
-                .copied()
-                .filter(|&b| b.index() != i)
-                .collect();
+            let strict: Vec<BlockId> = set.iter().copied().filter(|&b| b.index() != i).collect();
             // ipdom = the strict postdominator whose own strict-postdominator
             // count is largest minus... simpler: the one contained in every
             // other strict postdominator's pdom set is the *farthest*; the

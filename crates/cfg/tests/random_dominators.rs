@@ -1,10 +1,17 @@
-//! Property tests: the Cooper–Harvey–Kennedy dominator/postdominator
-//! implementation must agree with the brute-force set-based reference on
-//! arbitrary (including irreducible) control-flow graphs.
+//! Randomized differential tests: the Cooper–Harvey–Kennedy
+//! dominator/postdominator implementation must agree with the brute-force
+//! set-based reference on arbitrary (including irreducible) control-flow
+//! graphs.
+//!
+//! Cases are generated from a fixed-seed [`SplitMix64`] stream, so every
+//! run checks the same graphs and failures reproduce exactly (print the
+//! case index to replay one graph).
 
 use polyflow_cfg::{reference, Cfg, ControlDeps, DomTree, Frontiers};
+use polyflow_isa::rng::SplitMix64;
 use polyflow_isa::{Cond, Program, ProgramBuilder, Reg};
-use proptest::prelude::*;
+
+const CASES: u64 = 256;
 
 /// Builds a program whose single function consists of `n` one-instruction
 /// regions, each terminated by an arbitrary transfer drawn from `choices`:
@@ -49,21 +56,30 @@ fn arbitrary_program(choices: &[(u8, usize, usize)]) -> Program {
     b.build().expect("generated program is well formed")
 }
 
-fn cfg_of(p: &Program) -> Cfg {
-    Cfg::build(p, p.function("rand").unwrap())
+/// One random `choices` vector per case, mirroring the old proptest
+/// strategy `vec((0u8..4, 0usize..12, 0usize..12), 1..12)`.
+fn random_choices(rng: &mut SplitMix64) -> Vec<(u8, usize, usize)> {
+    let len = 1 + rng.index(11);
+    (0..len)
+        .map(|_| (rng.below(4) as u8, rng.index(12), rng.index(12)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn dominators_match_reference(
-        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
-    ) {
+fn for_each_case(mut check: impl FnMut(usize, &Cfg)) {
+    let mut rng = SplitMix64::new(0x90d5);
+    for case in 0..CASES {
+        let choices = random_choices(&mut rng);
         let p = arbitrary_program(&choices);
-        let cfg = cfg_of(&p);
-        let fast = DomTree::dominators(&cfg);
-        let sets = reference::dominator_sets(&cfg);
+        let cfg = Cfg::build(&p, p.function("rand").unwrap());
+        check(case as usize, &cfg);
+    }
+}
+
+#[test]
+fn dominators_match_reference() {
+    for_each_case(|case, cfg| {
+        let fast = DomTree::dominators(cfg);
+        let sets = reference::dominator_sets(cfg);
         for a in cfg.blocks() {
             for b in cfg.blocks() {
                 let slow = match &sets[b.id.index()] {
@@ -71,60 +87,66 @@ proptest! {
                     // Unreachable block: only reflexive dominance holds.
                     None => a.id == b.id,
                 };
-                prop_assert_eq!(
-                    fast.dominates(a.id, b.id), slow,
-                    "{} dom {} (blocks {})", a.id, b.id, cfg.len()
+                assert_eq!(
+                    fast.dominates(a.id, b.id),
+                    slow,
+                    "case {case}: {} dom {} (blocks {})",
+                    a.id,
+                    b.id,
+                    cfg.len()
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn postdominators_match_reference(
-        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
-    ) {
-        let p = arbitrary_program(&choices);
-        let cfg = cfg_of(&p);
-        let fast = DomTree::postdominators(&cfg);
-        let sets = reference::postdominator_sets(&cfg);
+#[test]
+fn postdominators_match_reference() {
+    for_each_case(|case, cfg| {
+        let fast = DomTree::postdominators(cfg);
+        let sets = reference::postdominator_sets(cfg);
         for a in cfg.blocks() {
             for b in cfg.blocks() {
                 let slow = match &sets[b.id.index()] {
                     Some(s) => s.contains(&a.id),
                     None => a.id == b.id,
                 };
-                prop_assert_eq!(
-                    fast.dominates(a.id, b.id), slow,
-                    "{} pdom {}", a.id, b.id
+                assert_eq!(
+                    fast.dominates(a.id, b.id),
+                    slow,
+                    "case {case}: {} pdom {}",
+                    a.id,
+                    b.id
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn immediate_postdominators_match_reference(
-        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
-    ) {
-        let p = arbitrary_program(&choices);
-        let cfg = cfg_of(&p);
-        let fast = DomTree::postdominators(&cfg);
-        let slow = reference::immediate_postdominators(&cfg);
+#[test]
+fn immediate_postdominators_match_reference() {
+    for_each_case(|case, cfg| {
+        let fast = DomTree::postdominators(cfg);
+        let slow = reference::immediate_postdominators(cfg);
         for b in cfg.blocks() {
-            prop_assert_eq!(fast.idom(b.id), slow[b.id.index()], "block {}", b.id);
+            assert_eq!(
+                fast.idom(b.id),
+                slow[b.id.index()],
+                "case {case}: block {}",
+                b.id
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn postdominance_frontier_is_control_dependence(
-        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
-    ) {
-        // The classic identity: b is control dependent on exactly the
-        // blocks of whose postdominance frontier it is a member.
-        let p = arbitrary_program(&choices);
-        let cfg = cfg_of(&p);
-        let pdom = DomTree::postdominators(&cfg);
-        let pdf = Frontiers::compute(&cfg, &pdom);
-        let cd = ControlDeps::compute(&cfg, &pdom);
+#[test]
+fn postdominance_frontier_is_control_dependence() {
+    // The classic identity: b is control dependent on exactly the
+    // blocks of whose postdominance frontier it is a member.
+    for_each_case(|case, cfg| {
+        let pdom = DomTree::postdominators(cfg);
+        let pdf = Frontiers::compute(cfg, &pdom);
+        let cd = ControlDeps::compute(cfg, &pdom);
         for b in cfg.blocks() {
             // Skip blocks the postdominator analysis never reached
             // (infinite loops): control dependence walks stop early there.
@@ -132,28 +154,28 @@ proptest! {
                 continue;
             }
             for branch in cfg.blocks() {
-                prop_assert_eq!(
+                assert_eq!(
                     cd.depends_on(b.id, branch.id),
                     pdf.contains(b.id, branch.id),
-                    "{} on {}", b.id, branch.id
+                    "case {case}: {} on {}",
+                    b.id,
+                    branch.id
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ipostdom_strictly_postdominates(
-        choices in prop::collection::vec((0u8..4, 0usize..12, 0usize..12), 1..12)
-    ) {
-        let p = arbitrary_program(&choices);
-        let cfg = cfg_of(&p);
-        let pdom = DomTree::postdominators(&cfg);
+#[test]
+fn ipostdom_strictly_postdominates() {
+    for_each_case(|case, cfg| {
+        let pdom = DomTree::postdominators(cfg);
         for b in cfg.blocks() {
             if let Some(d) = pdom.idom(b.id) {
-                prop_assert!(pdom.strictly_dominates(d, b.id));
+                assert!(pdom.strictly_dominates(d, b.id), "case {case}: {}", b.id);
                 // Depth decreases by exactly one along the tree edge.
-                prop_assert_eq!(pdom.depth(b.id), pdom.depth(d) + 1);
+                assert_eq!(pdom.depth(b.id), pdom.depth(d) + 1, "case {case}");
             }
         }
-    }
+    });
 }

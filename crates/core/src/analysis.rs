@@ -4,7 +4,8 @@ use crate::classify::SpawnKind;
 use crate::policy::Policy;
 use crate::spawn::{SpawnPoint, SpawnTable, StaticDistribution};
 use polyflow_cfg::{Cfg, DomTree, LoopForest};
-use polyflow_isa::{Inst, Program};
+use polyflow_dataflow::InterLiveness;
+use polyflow_isa::{Inst, Pc, Program, Reg};
 
 /// CFG analyses for one function: the graph, both dominator trees, and the
 /// loop forest.
@@ -56,7 +57,9 @@ impl FunctionAnalysis {
         for block in self.cfg.blocks() {
             let b = block.id;
             let tpc = block.terminator_pc();
-            let Some(ip) = self.pdom.idom(b) else { continue };
+            let Some(ip) = self.pdom.idom(b) else {
+                continue;
+            };
             let target = self.cfg.block(ip).start;
             let kind = match self.cfg.terminator(b) {
                 Inst::Br { .. } => {
@@ -85,10 +88,7 @@ impl FunctionAnalysis {
         // Loop-iteration heuristic spawns (§2.3): spawn the loop's last
         // latch block from the loop entry.
         for l in self.loops.loops() {
-            let Some(&last_latch) = l
-                .latches
-                .iter()
-                .max_by_key(|&&b| self.cfg.block(b).start)
+            let Some(&last_latch) = l.latches.iter().max_by_key(|&&b| self.cfg.block(b).start)
             else {
                 continue;
             };
@@ -115,6 +115,7 @@ impl FunctionAnalysis {
 pub struct ProgramAnalysis {
     functions: Vec<FunctionAnalysis>,
     candidates: Vec<SpawnPoint>,
+    liveness: InterLiveness,
 }
 
 impl ProgramAnalysis {
@@ -125,10 +126,15 @@ impl ProgramAnalysis {
             .iter()
             .map(|f| FunctionAnalysis::analyze(program, f))
             .collect();
-        let candidates = functions.iter().flat_map(FunctionAnalysis::candidates).collect();
+        let candidates = functions
+            .iter()
+            .flat_map(FunctionAnalysis::candidates)
+            .collect();
+        let liveness = InterLiveness::compute(program);
         ProgramAnalysis {
             functions,
             candidates,
+            liveness,
         }
     }
 
@@ -147,6 +153,25 @@ impl ProgramAnalysis {
     /// Every spawn candidate in the program (all kinds).
     pub fn candidates(&self) -> &[SpawnPoint] {
         &self.candidates
+    }
+
+    /// The whole-program liveness analysis.
+    pub fn liveness(&self) -> &InterLiveness {
+        &self.liveness
+    }
+
+    /// Registers live immediately before `pc`, in the whole-program sense.
+    ///
+    /// For a spawn target this is the set of registers the spawned task may
+    /// read before writing — exactly what the Task Spawn Unit's hint
+    /// entries (§3.1) must forward from the parent. Never includes `r0`.
+    pub fn live_in_regs(&self, pc: Pc) -> Vec<Reg> {
+        self.liveness.live_regs(pc)
+    }
+
+    /// [`ProgramAnalysis::live_in_regs`] as a bit mask (bit `i` = `ri`).
+    pub fn live_in_mask(&self, pc: Pc) -> u64 {
+        self.liveness.live_mask(pc)
     }
 
     /// The spawn table for a policy (the hint-cache contents).
@@ -191,9 +216,9 @@ mod tests {
         b.bind_label(join);
         b.alui(AluOp::Add, Reg::R1, Reg::R1, 1); // 6 join
         b.br_imm(Cond::Lt, Reg::R1, 10, top); // 7,8 loop branch
-        // Call.
+                                              // Call.
         b.call("callee"); // 9
-        // Indirect dispatch.
+                          // Indirect dispatch.
         let tbl = b.alloc_label_table(&[c0, c1]);
         b.li(Reg::R5, tbl as i64); // 10
         b.load(Reg::R6, Reg::R5, 0); // 11
@@ -317,7 +342,8 @@ mod tests {
         assert_eq!(a.spawn_table(Policy::Loop).len(), 1);
         assert_eq!(a.spawn_table(Policy::None).len(), 0);
         assert_eq!(
-            a.spawn_table(Policy::PostdomsWithout(SpawnKind::Hammock)).len(),
+            a.spawn_table(Policy::PostdomsWithout(SpawnKind::Hammock))
+                .len(),
             3
         );
     }

@@ -51,8 +51,12 @@ mod analysis;
 mod classify;
 mod policy;
 mod spawn;
+mod verify;
 
 pub use analysis::{FunctionAnalysis, ProgramAnalysis};
 pub use classify::SpawnKind;
 pub use policy::Policy;
 pub use spawn::{SpawnPoint, SpawnTable, StaticDistribution};
+pub use verify::{
+    check_spawn_points, verify, CheckKind, Diagnostic, HintPressure, VerifyOptions, VerifyReport,
+};

@@ -195,7 +195,10 @@ mod tests {
             Policy::PostdomsWithout(SpawnKind::Hammock).name(),
             "postdoms - Hammock"
         );
-        assert_eq!(Policy::LoopProcFtLoopFt.to_string(), "loop + procFT + loopFT");
+        assert_eq!(
+            Policy::LoopProcFtLoopFt.to_string(),
+            "loop + procFT + loopFT"
+        );
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Reaching definitions and the use-of-undefined-register check.
+//!
+//! The domain has one bit per *definition site* plus one pseudo-definition
+//! per register modeling the machine state at function entry. A use is
+//! "undefined" when **no** definition of its register reaches it — a
+//! must-undefined criterion, so every report is a genuine
+//! reads-garbage-on-all-paths bug rather than a maybe.
+
+use crate::bitset::BitSet;
+use crate::solver::{solve, Direction, GenKill, Problem, Solution};
+use polyflow_cfg::{BlockId, Cfg};
+use polyflow_isa::{Pc, Program, Reg};
+
+/// Which registers count as defined when a function is entered.
+///
+/// The choice is a *policy*, because it encodes an assumption about the
+/// caller (or the machine) rather than a program fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryDefs {
+    /// Every register is defined at entry. This matches the interpreter,
+    /// which zero-initializes the whole register file (and sets `sp`), and
+    /// is always correct for non-entry functions, whose callers arrive
+    /// with a fully materialized register state.
+    All,
+    /// Only `r0` (hardwired zero) and `sp` (set by the machine before the
+    /// first instruction) are defined. Strict mode flags reads of any
+    /// other register before a write — useful as a lint on the entry
+    /// function, where "reads the zeroed register file" usually means
+    /// "forgot to initialize".
+    Strict,
+}
+
+/// A definition site: instruction `pc` writes register `reg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefSite {
+    /// The defining instruction.
+    pub pc: Pc,
+    /// The register it writes.
+    pub reg: Reg,
+}
+
+/// A read of a register no definition reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndefinedUse {
+    /// The reading instruction.
+    pub pc: Pc,
+    /// The register read before any write.
+    pub reg: Reg,
+}
+
+/// Reaching definitions for one [`Cfg`].
+///
+/// Domain layout: indices `0..32` are the per-register entry
+/// pseudo-definitions; `32..` are the real [`DefSite`]s in program order.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    defs: Vec<DefSite>,
+    reach_in: Vec<BitSet>,
+    reach_out: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// Solves reaching definitions over `cfg` with the [`EntryDefs::All`]
+    /// policy (the machine-honest default).
+    pub fn compute(program: &Program, cfg: &Cfg) -> ReachingDefs {
+        ReachingDefs::compute_with(program, cfg, EntryDefs::All)
+    }
+
+    /// Solves reaching definitions under an explicit entry policy.
+    pub fn compute_with(program: &Program, cfg: &Cfg, entry: EntryDefs) -> ReachingDefs {
+        let func = cfg.function();
+        let mut defs = Vec::new();
+        let func_start = func.range.start as usize;
+        let mut def_index_at = vec![usize::MAX; func.range.end as usize - func_start];
+        for i in func_start..func.range.end as usize {
+            if let Some(reg) = program.inst(Pc::new(i as u32)).dst() {
+                def_index_at[i - func_start] = defs.len();
+                defs.push(DefSite {
+                    pc: Pc::new(i as u32),
+                    reg,
+                });
+            }
+        }
+        let domain = Reg::COUNT + defs.len();
+        // All definition indices of each register, pseudo-def included.
+        let mut defs_of_reg: Vec<BitSet> =
+            (0..Reg::COUNT).map(|r| BitSet::of(domain, &[r])).collect();
+        for (i, d) in defs.iter().enumerate() {
+            defs_of_reg[d.reg.index()].insert(Reg::COUNT + i);
+        }
+
+        let n = cfg.len();
+        let mut transfer = Vec::with_capacity(n);
+        for block in cfg.blocks() {
+            let mut t = GenKill::identity(domain);
+            for i in block.start.index()..block.end.index() {
+                if let Some(reg) = program.inst(Pc::new(i as u32)).dst() {
+                    let di = Reg::COUNT + def_index_at[i - func_start];
+                    t.kill.union_with(&defs_of_reg[reg.index()]);
+                    t.gen.subtract(&defs_of_reg[reg.index()]);
+                    t.gen.insert(di);
+                    t.kill.remove(di);
+                }
+            }
+            transfer.push(t);
+        }
+        let succs: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                cfg.succs(BlockId::from_index(i))
+                    .iter()
+                    .map(|&(t, _)| t.index())
+                    .collect()
+            })
+            .collect();
+        let entry_defined: u32 = match entry {
+            EntryDefs::All => u32::MAX,
+            EntryDefs::Strict => (1 << Reg::R0.index()) | (1 << Reg::SP.index()),
+        };
+        let mut boundary_value = BitSet::new(domain);
+        for r in 0..Reg::COUNT {
+            if entry_defined & (1 << r) != 0 {
+                boundary_value.insert(r);
+            }
+        }
+        let Solution { entry, exit } = solve(&Problem {
+            direction: Direction::Forward,
+            domain,
+            transfer: &transfer,
+            succs: &succs,
+            boundary_nodes: &[cfg.entry().index()],
+            boundary_value,
+        });
+        ReachingDefs {
+            defs,
+            reach_in: entry,
+            reach_out: exit,
+        }
+    }
+
+    /// The real definition sites of this function, in program order.
+    /// Domain index `32 + i` corresponds to `def_sites()[i]`.
+    pub fn def_sites(&self) -> &[DefSite] {
+        &self.defs
+    }
+
+    /// Definitions reaching the start of `b`.
+    pub fn reach_in(&self, b: BlockId) -> &BitSet {
+        &self.reach_in[b.index()]
+    }
+
+    /// Definitions reaching the end of `b`.
+    pub fn reach_out(&self, b: BlockId) -> &BitSet {
+        &self.reach_out[b.index()]
+    }
+
+    /// True if some definition of `reg` (pseudo-defs included) reaches the
+    /// start of `b`.
+    pub fn reg_defined_at_entry(&self, b: BlockId, reg: Reg) -> bool {
+        let set = &self.reach_in[b.index()];
+        if set.contains(reg.index()) {
+            return true;
+        }
+        self.defs
+            .iter()
+            .enumerate()
+            .any(|(i, d)| d.reg == reg && set.contains(Reg::COUNT + i))
+    }
+
+    /// Scans every reachable block for reads of registers that no
+    /// definition reaches. `r0` reads are never reported.
+    pub fn undefined_uses(
+        &self,
+        program: &Program,
+        cfg: &Cfg,
+        reachable: &[bool],
+    ) -> Vec<UndefinedUse> {
+        let mut out = Vec::new();
+        for block in cfg.blocks() {
+            if !reachable[block.id.index()] {
+                continue;
+            }
+            // Registers with at least one reaching definition, updated as
+            // we walk the block.
+            let mut defined: u32 = 0;
+            for r in 0..Reg::COUNT {
+                if self.reg_defined_at_entry(block.id, Reg::from_index(r)) {
+                    defined |= 1 << r;
+                }
+            }
+            for i in block.start.index()..block.end.index() {
+                let inst = program.inst(Pc::new(i as u32));
+                for src in inst.srcs().into_iter().flatten() {
+                    if src != Reg::R0 && defined & (1 << src.index()) == 0 {
+                        out.push(UndefinedUse {
+                            pc: Pc::new(i as u32),
+                            reg: src,
+                        });
+                        defined |= 1 << src.index(); // report each reg once per block
+                    }
+                }
+                if let Some(d) = inst.dst() {
+                    defined |= 1 << d.index();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyflow_isa::{AluOp, Cond, ProgramBuilder};
+
+    /// main: r1 = r2 + 1 (r2 read before any write); r3 = 5; if r1 < r3
+    /// then r4 = 1 else (r4 undefined on this path); r5 = r4; halt
+    fn program_with_partial_def() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let then = b.fresh_label("then");
+        let join = b.fresh_label("join");
+        b.alui(AluOp::Add, Reg::R1, Reg::R2, 1); // 0: reads r2
+        b.li(Reg::R3, 5); // 1
+        b.br(Cond::Lt, Reg::R1, Reg::R3, then); // 2
+        b.jmp(join); // 3: else arm, r4 not written
+        b.bind_label(then);
+        b.li(Reg::R4, 1); // 4
+        b.jmp(join); // 5
+        b.bind_label(join);
+        b.alu(AluOp::Add, Reg::R5, Reg::R4, Reg::R0); // 6: reads r4
+        b.halt(); // 7
+        b.end_function();
+        b.build().unwrap()
+    }
+
+    fn all_reachable(cfg: &Cfg) -> Vec<bool> {
+        vec![true; cfg.len()]
+    }
+
+    #[test]
+    fn all_policy_reports_nothing() {
+        let p = program_with_partial_def();
+        let cfg = Cfg::build(&p, p.function("main").unwrap());
+        let rd = ReachingDefs::compute(&p, &cfg);
+        assert!(rd.undefined_uses(&p, &cfg, &all_reachable(&cfg)).is_empty());
+    }
+
+    #[test]
+    fn strict_policy_flags_read_before_write_but_not_may_defs() {
+        let p = program_with_partial_def();
+        let cfg = Cfg::build(&p, p.function("main").unwrap());
+        let rd = ReachingDefs::compute_with(&p, &cfg, EntryDefs::Strict);
+        let uses = rd.undefined_uses(&p, &cfg, &all_reachable(&cfg));
+        // r2 at pc 0 is read before ANY definition — flagged.
+        assert!(uses.contains(&UndefinedUse {
+            pc: Pc::new(0),
+            reg: Reg::R2
+        }));
+        // r4 at pc 6 has a reaching definition on the then-path, so the
+        // must-undefined criterion does NOT flag it.
+        assert!(!uses.iter().any(|u| u.reg == Reg::R4));
+    }
+
+    #[test]
+    fn kills_are_per_register() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.li(Reg::R1, 1); // 0: def A of r1
+        b.li(Reg::R1, 2); // 1: def B of r1 kills A
+        b.li(Reg::R2, 3); // 2: def of r2
+        b.halt(); // 3
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("main").unwrap());
+        let rd = ReachingDefs::compute(&p, &cfg);
+        assert_eq!(rd.def_sites().len(), 3);
+        let exit_block = cfg.exits()[0];
+        let out = rd.reach_out(exit_block);
+        // Def A (index 32) killed; B (33) and the r2 def (34) reach the end.
+        assert!(!out.contains(Reg::COUNT));
+        assert!(out.contains(Reg::COUNT + 1));
+        assert!(out.contains(Reg::COUNT + 2));
+        // r1/r2 pseudo-defs killed, untouched registers' pseudo-defs remain.
+        assert!(!out.contains(Reg::R1.index()));
+        assert!(!out.contains(Reg::R2.index()));
+        assert!(out.contains(Reg::R7.index()));
+    }
+
+    #[test]
+    fn loop_carried_defs_reach_the_header() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        let top = b.fresh_label("top");
+        b.li(Reg::R1, 0); // 0
+        b.bind_label(top);
+        b.alui(AluOp::Add, Reg::R1, Reg::R1, 1); // 1: loop def
+        b.br_imm(Cond::Lt, Reg::R1, 10, top); // 2,3
+        b.halt(); // 4
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p, p.function("main").unwrap());
+        let rd = ReachingDefs::compute(&p, &cfg);
+        let header = cfg.block_at(Pc::new(1)).unwrap();
+        // Both the init (pc 0) and the loop def (pc 1) reach the header.
+        let defs: Vec<Pc> = rd
+            .reach_in(header)
+            .iter()
+            .filter(|&i| i >= Reg::COUNT)
+            .map(|i| rd.def_sites()[i - Reg::COUNT].pc)
+            .filter(|pc| {
+                rd.def_sites()
+                    .iter()
+                    .any(|d| d.pc == *pc && d.reg == Reg::R1)
+            })
+            .collect();
+        assert!(defs.contains(&Pc::new(0)) && defs.contains(&Pc::new(1)));
+    }
+}

@@ -170,8 +170,7 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
             let mut words = Vec::new();
             for tok in inner.split(',').map(str::trim).filter(|t| !t.is_empty()) {
                 // Data words are full u64s; also accept negative i64s.
-                let w = if let Some(h) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X"))
-                {
+                let w = if let Some(h) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
                     u64::from_str_radix(h, 16).ok()
                 } else {
                     tok.parse::<u64>().ok()
@@ -271,7 +270,11 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                     .split_once('(')
                     .and_then(|(o, rest)| rest.strip_suffix(')').map(|b| (o, b)))
                     .ok_or_else(|| err(line_no, "memory operand must be `off(base)`"))?;
-                let off = if off.is_empty() { 0 } else { parse_imm(off, line_no)? };
+                let off = if off.is_empty() {
+                    0
+                } else {
+                    parse_imm(off, line_no)?
+                };
                 let base = parse_reg(base, line_no)?;
                 if mnemonic == "ld" {
                     b.load(r, base, off);
@@ -407,7 +410,12 @@ pub fn to_asm(program: &Program) -> String {
                 Inst::AluI { op, rd, rs, imm } => format!("{op}i {rd}, {rs}, {imm}"),
                 Inst::Load { rd, base, off } => format!("ld {rd}, {off}({base})"),
                 Inst::Store { rs, base, off } => format!("sd {rs}, {off}({base})"),
-                Inst::Br { cond, rs, rt, target } => {
+                Inst::Br {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                } => {
                     format!("b{cond} {rs}, {rt}, {}", label_of[&target])
                 }
                 Inst::Jmp { target } => format!("j {}", label_of[&target]),

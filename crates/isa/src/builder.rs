@@ -130,7 +130,10 @@ impl ProgramBuilder {
     ///
     /// Panics if no function is open.
     pub fn end_function(&mut self) {
-        let (name, start) = self.open.take().expect("end_function with no open function");
+        let (name, start) = self
+            .open
+            .take()
+            .expect("end_function with no open function");
         let range = start..self.insts.len() as u32;
         // A forward `call` may have reserved a placeholder slot; fill it.
         let placeholder = self
@@ -182,11 +185,7 @@ impl ProgramBuilder {
     pub fn bind_label(&mut self, label: Label) {
         let here = self.here();
         let state = &mut self.labels[label.0 as usize];
-        assert!(
-            state.pc.is_none(),
-            "label `{}` bound twice",
-            state.name
-        );
+        assert!(state.pc.is_none(), "label `{}` bound twice", state.name);
         state.pc = Some(here);
     }
 
@@ -225,7 +224,10 @@ impl ProgramBuilder {
         for (i, &l) in labels.iter().enumerate() {
             let idx = self.data.len();
             self.data.push((base + 8 * i as u64, 0));
-            self.fixups.push(Fixup::DataLabelAddr { data: idx, label: l });
+            self.fixups.push(Fixup::DataLabelAddr {
+                data: idx,
+                label: l,
+            });
         }
         self.data_cursor += 8 * labels.len().max(1) as u64;
         base
@@ -395,13 +397,17 @@ impl ProgramBuilder {
                 });
             }
             if f.range.is_empty() {
-                return Err(BuildError::EmptyFunction { name: f.name.clone() });
+                return Err(BuildError::EmptyFunction {
+                    name: f.name.clone(),
+                });
             }
         }
         let mut seen = std::collections::HashSet::new();
         for f in &self.functions {
             if !seen.insert(f.name.clone()) {
-                return Err(BuildError::DuplicateFunction { name: f.name.clone() });
+                return Err(BuildError::DuplicateFunction {
+                    name: f.name.clone(),
+                });
             }
         }
         // Every instruction must belong to a function.
@@ -412,13 +418,17 @@ impl ProgramBuilder {
             }
         }
         if let Some(i) = covered.iter().position(|&c| !c) {
-            return Err(BuildError::InstOutsideFunction { pc: Pc::new(i as u32) });
+            return Err(BuildError::InstOutsideFunction {
+                pc: Pc::new(i as u32),
+            });
         }
 
         let label_pc = |labels: &[LabelState], l: Label| -> Result<Pc, BuildError> {
-            labels[l.0 as usize].pc.ok_or_else(|| BuildError::UnboundLabel {
-                name: labels[l.0 as usize].name.clone(),
-            })
+            labels[l.0 as usize]
+                .pc
+                .ok_or_else(|| BuildError::UnboundLabel {
+                    name: labels[l.0 as usize].name.clone(),
+                })
         };
 
         for fixup in std::mem::take(&mut self.fixups) {
@@ -625,7 +635,10 @@ mod tests {
         b.begin_function("f");
         b.halt();
         b.end_function();
-        assert!(matches!(b.build(), Err(BuildError::DuplicateFunction { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::DuplicateFunction { .. })
+        ));
     }
 
     #[test]
@@ -633,7 +646,10 @@ mod tests {
         let mut b = minimal();
         b.nop();
         b.end_function();
-        assert!(matches!(b.build(), Err(BuildError::MissingTerminator { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::MissingTerminator { .. })
+        ));
     }
 
     #[test]
@@ -742,7 +758,13 @@ mod tests {
         b.halt();
         b.end_function();
         let p = b.build().unwrap();
-        assert!(matches!(p.inst(Pc::new(0)), Inst::Li { rd: Reg::R28, imm: 7 }));
+        assert!(matches!(
+            p.inst(Pc::new(0)),
+            Inst::Li {
+                rd: Reg::R28,
+                imm: 7
+            }
+        ));
     }
 
     #[test]

@@ -82,13 +82,19 @@ impl fmt::Display for BuildError {
                 write!(f, "control transfer at {at} targets out-of-range {target}")
             }
             BuildError::JumpTableNotIndirect { at } => {
-                write!(f, "jump table registered at {at}, which is not an indirect jump")
+                write!(
+                    f,
+                    "jump table registered at {at}, which is not an indirect jump"
+                )
             }
             BuildError::MissingJumpTable { at } => {
                 write!(f, "indirect jump at {at} has no registered targets")
             }
             BuildError::MissingTerminator { function } => {
-                write!(f, "function `{function}` falls through its final instruction")
+                write!(
+                    f,
+                    "function `{function}` falls through its final instruction"
+                )
             }
         }
     }

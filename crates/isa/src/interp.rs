@@ -118,10 +118,7 @@ impl<'p> Interpreter<'p> {
             return Ok(None);
         }
         let pc = self.pc;
-        let inst = self
-            .program
-            .get(pc)
-            .ok_or(ExecError::PcOutOfRange { pc })?;
+        let inst = self.program.get(pc).ok_or(ExecError::PcOutOfRange { pc })?;
 
         let mut taken = false;
         let mut mem_addr = None;
@@ -250,7 +247,6 @@ impl<'p> Interpreter<'p> {
         }
         Err(ExecError::StepLimitExceeded { limit: max_steps })
     }
-
 }
 
 /// Executes `program` for at most `window` instructions, returning the trace
@@ -355,7 +351,10 @@ mod tests {
         assert_eq!(i.reg(Reg::R1), 10);
         // Trace visits: li, call, add, ret, halt.
         assert_eq!(r.trace.len(), 5);
-        assert_eq!(r.trace.entry(1).next_pc, p.function("double").unwrap().entry());
+        assert_eq!(
+            r.trace.entry(1).next_pc,
+            p.function("double").unwrap().entry()
+        );
     }
 
     #[test]
@@ -408,11 +407,7 @@ mod tests {
     fn branch_trace_records_direction() {
         let p = simple_loop();
         let r = execute_window(&p, 10_000).unwrap();
-        let branches: Vec<_> = r
-            .trace
-            .iter()
-            .filter(|e| e.inst.is_cond_branch())
-            .collect();
+        let branches: Vec<_> = r.trace.iter().filter(|e| e.inst.is_cond_branch()).collect();
         assert_eq!(branches.len(), 10);
         assert!(branches[..9].iter().all(|e| e.taken));
         assert!(!branches[9].taken);

@@ -56,6 +56,7 @@ mod inst;
 mod interp;
 mod memory;
 mod program;
+pub mod rng;
 mod trace;
 
 pub use asm::{parse_program, to_asm, AsmError};

@@ -42,7 +42,7 @@ impl Pc {
     ///
     /// Returns `None` if the value is not 4-aligned or out of `u32` range.
     pub fn from_value(v: u64) -> Option<Pc> {
-        if v % 4 != 0 {
+        if !v.is_multiple_of(4) {
             return None;
         }
         u32::try_from(v / 4).ok().map(Pc)
@@ -165,7 +165,10 @@ impl Program {
 
     /// The entry point: the start of the first function, or `Pc(0)`.
     pub fn entry(&self) -> Pc {
-        self.functions.first().map(Function::entry).unwrap_or(Pc::new(0))
+        self.functions
+            .first()
+            .map(Function::entry)
+            .unwrap_or(Pc::new(0))
     }
 
     /// Renders the program as an assembly listing with function headers.
@@ -246,7 +249,10 @@ mod tests {
     #[test]
     fn listing_shows_instructions() {
         let p = Program {
-            insts: vec![Inst::Li { rd: Reg::R1, imm: 3 }],
+            insts: vec![Inst::Li {
+                rd: Reg::R1,
+                imm: 3,
+            }],
             functions: vec![],
             jump_targets: BTreeMap::new(),
             data: vec![],

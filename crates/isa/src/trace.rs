@@ -269,8 +269,22 @@ mod tests {
         // 2: add r3, r1, r2
         // 3: add r4, r3, r3
         let mut t = Trace::new();
-        t.push(entry(0, Inst::Li { rd: Reg::R1, imm: 1 }, 1));
-        t.push(entry(1, Inst::Li { rd: Reg::R2, imm: 2 }, 2));
+        t.push(entry(
+            0,
+            Inst::Li {
+                rd: Reg::R1,
+                imm: 1,
+            },
+            1,
+        ));
+        t.push(entry(
+            1,
+            Inst::Li {
+                rd: Reg::R2,
+                imm: 2,
+            },
+            2,
+        ));
         t.push(entry(
             2,
             Inst::Alu {
@@ -302,7 +316,14 @@ mod tests {
     #[test]
     fn dataflow_r0_has_no_producer() {
         let mut t = Trace::new();
-        t.push(entry(0, Inst::Li { rd: Reg::R0, imm: 9 }, 1)); // discarded
+        t.push(entry(
+            0,
+            Inst::Li {
+                rd: Reg::R0,
+                imm: 9,
+            },
+            1,
+        )); // discarded
         t.push(entry(
             1,
             Inst::Alu {

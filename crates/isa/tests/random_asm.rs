@@ -1,10 +1,11 @@
-//! Property test: any well-formed program round-trips through the
-//! assembly text format unchanged.
+//! Randomized tests: any well-formed program round-trips through the
+//! assembly text format unchanged. Cases come from a fixed-seed
+//! [`SplitMix64`] stream so runs are reproducible.
 
+use polyflow_isa::rng::SplitMix64;
 use polyflow_isa::{parse_program, to_asm, Cond, Program, ProgramBuilder, Reg};
-use proptest::prelude::*;
 
-/// Same arbitrary-digraph generator as the CFG property tests: `n`
+/// Same arbitrary-digraph generator as the CFG randomized tests: `n`
 /// one-instruction regions with arbitrary terminators.
 fn arbitrary_program(choices: &[(u8, usize, usize)]) -> Program {
     let n = choices.len();
@@ -43,30 +44,36 @@ fn arbitrary_program(choices: &[(u8, usize, usize)]) -> Program {
     b.build().expect("generated program is well formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn assembly_roundtrip_is_identity(
-        choices in prop::collection::vec((0u8..5, 0usize..10, 0usize..10), 1..10),
-    ) {
+#[test]
+fn assembly_roundtrip_is_identity() {
+    let mut rng = SplitMix64::new(0xa53);
+    for case in 0..256 {
+        let len = 1 + rng.index(9);
+        let choices: Vec<(u8, usize, usize)> = (0..len)
+            .map(|_| (rng.below(5) as u8, rng.index(10), rng.index(10)))
+            .collect();
         let p1 = arbitrary_program(&choices);
         let text = to_asm(&p1);
         let p2 = parse_program(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(p1.insts(), p2.insts());
-        prop_assert_eq!(p1.functions().len(), p2.functions().len());
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{text}"));
+        assert_eq!(p1.insts(), p2.insts(), "case {case}");
+        assert_eq!(p1.functions().len(), p2.functions().len(), "case {case}");
         // Jump tables survive.
         for (i, inst) in p1.insts().iter().enumerate() {
             if matches!(inst, polyflow_isa::Inst::Jr { .. }) {
                 let pc = polyflow_isa::Pc::new(i as u32);
-                prop_assert_eq!(p1.jump_targets(pc), p2.jump_targets(pc));
+                assert_eq!(p1.jump_targets(pc), p2.jump_targets(pc), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn data_blocks_roundtrip(words in prop::collection::vec(any::<u64>(), 1..20)) {
+#[test]
+fn data_blocks_roundtrip() {
+    let mut rng = SplitMix64::new(0xda7a);
+    for case in 0..64 {
+        let len = 1 + rng.index(19);
+        let words: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
         let mut b = ProgramBuilder::new();
         b.alloc_data(&words);
         b.begin_function("main");
@@ -74,6 +81,6 @@ proptest! {
         b.end_function();
         let p1 = b.build().unwrap();
         let p2 = parse_program(&to_asm(&p1)).unwrap();
-        prop_assert_eq!(p1.initial_data(), p2.initial_data());
+        assert_eq!(p1.initial_data(), p2.initial_data(), "case {case}");
     }
 }

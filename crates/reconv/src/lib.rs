@@ -348,10 +348,7 @@ impl ReconvergencePredictor {
 /// Trains a predictor over a full trace (convenience for offline use; the
 /// timing simulator instead calls [`ReconvergencePredictor::observe`] at
 /// retire time to model warm-up).
-pub fn train_on_trace(
-    trace: &polyflow_isa::Trace,
-    config: ReconvConfig,
-) -> ReconvergencePredictor {
+pub fn train_on_trace(trace: &polyflow_isa::Trace, config: ReconvConfig) -> ReconvergencePredictor {
     let mut p = ReconvergencePredictor::new(config);
     for e in trace {
         p.observe(e);

@@ -40,7 +40,10 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Accesses the line containing `addr`; returns `true` on hit.
@@ -222,8 +225,8 @@ mod tests {
         let cfg = MachineConfig::hpca07();
         let mut h = Hierarchy::new(&cfg);
         h.access_data(0x4000); // L2 + L1D now hold the line
-        // Thrash L1D set: L1D is 16KB 4-way 64B lines -> 64 sets; lines
-        // mapping to the same set are 64*64=4096 bytes apart.
+                               // Thrash L1D set: L1D is 16KB 4-way 64B lines -> 64 sets; lines
+                               // mapping to the same set are 64*64=4096 bytes apart.
         for i in 1..=4 {
             h.access_data(0x4000 + i * 4096);
         }

@@ -61,7 +61,9 @@ pub use cache::{Cache, Hierarchy};
 pub use config::{CacheConfig, MachineConfig};
 pub use machine::{simulate, PreparedTrace};
 pub use metrics::{SimResult, SpawnCounts, SpawnEvent};
-pub use spawn_source::{HintCacheSource, NoSpawn, ReconvSpawnSource, SpawnSource, StaticSpawnSource};
+pub use spawn_source::{
+    HintCacheSource, NoSpawn, ReconvSpawnSource, SpawnSource, StaticSpawnSource,
+};
 pub use store_set::{DependenceMode, StoreSetPredictor};
 
 use polyflow_core::{Policy, ProgramAnalysis};

@@ -247,12 +247,21 @@ impl Machine<'_, '_> {
                     .tasks
                     .iter()
                     .enumerate()
-                    .find(|(_, t)| t.start as usize <= self.retire_ptr
-                        && (self.retire_ptr as u32) < t.end)
-                    .map(|(i, t)| format!(
-                        "task {i} [{}..{}) fetch_next {} fq {} wait {:?} resume {} safe {}",
-                        t.start, t.end, t.fetch_next, t.fq.len(), t.waiting_branch,
-                        t.fetch_resume_at, t.safe_mode))
+                    .find(|(_, t)| {
+                        t.start as usize <= self.retire_ptr && (self.retire_ptr as u32) < t.end
+                    })
+                    .map(|(i, t)| {
+                        format!(
+                            "task {i} [{}..{}) fetch_next {} fq {} wait {:?} resume {} safe {}",
+                            t.start,
+                            t.end,
+                            t.fetch_next,
+                            t.fq.len(),
+                            t.waiting_branch,
+                            t.fetch_resume_at,
+                            t.safe_mode
+                        )
+                    })
                     .unwrap_or_else(|| "NO TASK".into());
                 let mut dump = String::new();
                 for &idx in self.sched.iter().take(6) {
@@ -263,7 +272,8 @@ impl Machine<'_, '_> {
                             let ps = self.state[p as usize];
                             format!(
                                 "{p}(d{} v{} done{})",
-                                ps.dispatched as u8, ps.in_divert as u8,
+                                ps.dispatched as u8,
+                                ps.in_divert as u8,
                                 (ps.done_at <= self.cycle) as u8
                             )
                         })
@@ -466,8 +476,7 @@ impl Machine<'_, '_> {
             if budget == 0 {
                 break;
             }
-            loop {
-                let Some(&idx) = self.tasks[ti].fq.front() else { break };
+            while let Some(&idx) = self.tasks[ti].fq.front() {
                 let s = self.state[idx as usize];
                 if s.fetched_at + self.cfg.decode_latency > self.cycle {
                     break; // still decoding
@@ -538,16 +547,10 @@ impl Machine<'_, '_> {
                 // inter-task dependence the hint entry says to synchronize.
                 let reg_gate = |p: u32, sync: bool, this: &Self| -> bool {
                     this.state[p as usize].in_divert
-                        || (sync
-                            && p < task_start
-                            && this.state[p as usize].done_at > this.cycle)
+                        || (sync && p < task_start && this.state[p as usize].done_at > this.cycle)
                 };
-                let needs_divert = ra
-                    .map(|p| reg_gate(p, ra_sync, self))
-                    .unwrap_or(false)
-                    || rb
-                        .map(|p| reg_gate(p, rb_sync, self))
-                        .unwrap_or(false)
+                let needs_divert = ra.map(|p| reg_gate(p, ra_sync, self)).unwrap_or(false)
+                    || rb.map(|p| reg_gate(p, rb_sync, self)).unwrap_or(false)
                     || mem_producer
                         .map(|p| gates(p, predict_mem_sync, &self.state))
                         .unwrap_or(false);
@@ -669,7 +672,11 @@ impl Machine<'_, '_> {
         let mut budget = self.cfg.width;
         let line_bytes = self.cfg.l1i.line_bytes as u64;
         let mut queue = eligible;
-        while let Some(ti) = if queue.is_empty() { None } else { Some(queue.remove(0)) } {
+        while let Some(ti) = if queue.is_empty() {
+            None
+        } else {
+            Some(queue.remove(0))
+        } {
             let eligible_rest = &mut queue;
             while budget > 0 && self.tasks[ti].fq.len() < self.cfg.fetch_queue_entries {
                 let idx = self.tasks[ti].fetch_next;
@@ -701,15 +708,15 @@ impl Machine<'_, '_> {
 
                 // Task Spawn Unit: only the tail task spawns (§3.2),
                 // unless the §6 any-task extension is enabled.
-                if ti == self.tasks.len() - 1 || self.cfg.spawn_from_any_task {
-                    if self.try_spawn(ti, idx, source) {
-                        // A non-tail insertion at ti+1 shifts every later
-                        // task index; fix up the rest of this cycle's
-                        // fetch schedule.
-                        for e in eligible_rest.iter_mut() {
-                            if *e > ti {
-                                *e += 1;
-                            }
+                if (ti == self.tasks.len() - 1 || self.cfg.spawn_from_any_task)
+                    && self.try_spawn(ti, idx, source)
+                {
+                    // A non-tail insertion at ti+1 shifts every later
+                    // task index; fix up the rest of this cycle's
+                    // fetch schedule.
+                    for e in eligible_rest.iter_mut() {
+                        if *e > ti {
+                            *e += 1;
                         }
                     }
                 }
@@ -775,14 +782,12 @@ impl Machine<'_, '_> {
     /// the profitability feedback throttles it).
     fn train_hint(&mut self, idx: u32, reg: Option<polyflow_isa::Reg>) {
         let Some(reg) = reg else { return };
-        let Some(task) = self
-            .tasks
-            .iter()
-            .find(|t| t.start <= idx && idx < t.end)
-        else {
+        let Some(task) = self.tasks.iter().find(|t| t.start <= idx && idx < t.end) else {
             return;
         };
-        let Some(trigger) = task.created_by else { return };
+        let Some(trigger) = task.created_by else {
+            return;
+        };
         let entry = self.hints.entry(trigger).or_default();
         if entry.0.contains(&reg) {
             return;
@@ -839,7 +844,7 @@ impl Machine<'_, '_> {
         let ti = self
             .tasks
             .iter()
-            .position(|t| t.start <= idx && idx < t.end.min(u32::MAX))
+            .position(|t| t.start <= idx && idx < t.end)
             .expect("in-flight instruction belongs to a task");
         assert!(ti > 0, "a speculative load's task is never the oldest");
         let start = self.tasks[ti].start;
@@ -923,7 +928,7 @@ impl Machine<'_, '_> {
             let entry = self.profit.entry(e.pc).or_insert((PROFIT_MAX, 0));
             if entry.0 == 0 {
                 entry.1 += 1;
-                if entry.1 % 16 != 0 {
+                if !entry.1.is_multiple_of(16) {
                     self.stats.spawns_rejected_unprofitable += 1;
                     return false;
                 }
@@ -1223,7 +1228,10 @@ mod tests {
         let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
         let r = simulate(&prep, &cfg, &mut src);
         assert!(r.total_spawns() > 0, "loop spawns must fire");
-        assert!(r.squashes > 0, "speculative loads must violate at least once");
+        assert!(
+            r.squashes > 0,
+            "speculative loads must violate at least once"
+        );
         assert!(r.squashed_instructions > 0);
         assert_eq!(r.instructions as usize, trace.len(), "everything retires");
         // The predictor learns: squashes stay far below the spawn count.

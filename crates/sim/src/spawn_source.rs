@@ -231,7 +231,12 @@ mod tests {
     #[test]
     fn reconv_source_spawns_call_fallthrough_immediately() {
         let mut src = ReconvSpawnSource::new(ReconvConfig::default());
-        let call = entry(7, Inst::Call { target: Pc::new(100) });
+        let call = entry(
+            7,
+            Inst::Call {
+                target: Pc::new(100),
+            },
+        );
         assert_eq!(
             src.spawn_at(&call),
             Some((Pc::new(8), SpawnKind::ProcFallThrough))
@@ -333,7 +338,12 @@ mod tests {
     fn suppression_blocks_spawns() {
         let mut src = ReconvSpawnSource::new(ReconvConfig::default());
         src.suppress(Pc::new(7));
-        let call = entry(7, Inst::Call { target: Pc::new(100) });
+        let call = entry(
+            7,
+            Inst::Call {
+                target: Pc::new(100),
+            },
+        );
         assert_eq!(src.spawn_at(&call), None);
     }
 }

@@ -118,12 +118,8 @@ mod tests {
         let text = render(&r, 100);
         assert_eq!(text.matches('#').count(), 4);
         assert_eq!(text.lines().count(), 5); // header + 4 rows
-        // Marks move rightward with target_index.
-        let cols: Vec<usize> = text
-            .lines()
-            .skip(1)
-            .map(|l| l.find('#').unwrap())
-            .collect();
+                                             // Marks move rightward with target_index.
+        let cols: Vec<usize> = text.lines().skip(1).map(|l| l.find('#').unwrap()).collect();
         assert!(cols.windows(2).all(|w| w[0] < w[1]), "{cols:?}");
     }
 

@@ -1,15 +1,18 @@
-//! Property tests: the cycle model must uphold its invariants on
+//! Randomized tests: the cycle model must uphold its invariants on
 //! arbitrary (bounded, terminating) structured programs under every
 //! policy and dependence mode — no deadlocks, full retirement, bounded
 //! IPC and task counts, and a coherent spawn log.
+//!
+//! Programs are generated from a fixed-seed [`SplitMix64`] stream so
+//! every run exercises the same cases and failures reproduce exactly.
 
 use polyflow_core::{Policy, ProgramAnalysis};
+use polyflow_isa::rng::SplitMix64;
 use polyflow_isa::{execute_window, AluOp, Cond, Program, ProgramBuilder, Reg};
 use polyflow_sim::{
     simulate, DependenceMode, MachineConfig, NoSpawn, PreparedTrace, ReconvSpawnSource,
     StaticSpawnSource,
 };
-use proptest::prelude::*;
 
 /// One structured statement of the generated program.
 #[derive(Debug, Clone)]
@@ -26,14 +29,19 @@ enum Stmt {
     Shared,
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (1u8..8).prop_map(Stmt::Work),
-        ((1u8..6), (1u8..6)).prop_map(|(a, b)| Stmt::Hammock(a, b)),
-        ((1u8..5), (1u8..5)).prop_map(|(a, b)| Stmt::Loop(a, b)),
-        Just(Stmt::Call),
-        Just(Stmt::Shared),
-    ]
+fn random_stmt(rng: &mut SplitMix64) -> Stmt {
+    match rng.below(5) {
+        0 => Stmt::Work(1 + rng.below(7) as u8),
+        1 => Stmt::Hammock(1 + rng.below(5) as u8, 1 + rng.below(5) as u8),
+        2 => Stmt::Loop(1 + rng.below(4) as u8, 1 + rng.below(4) as u8),
+        3 => Stmt::Call,
+        _ => Stmt::Shared,
+    }
+}
+
+fn random_stmts(rng: &mut SplitMix64, max_len: usize) -> Vec<Stmt> {
+    let len = 1 + rng.index(max_len - 1);
+    (0..len).map(|_| random_stmt(rng)).collect()
 }
 
 /// Emits the statement list inside a bounded outer loop so spawning has
@@ -110,49 +118,61 @@ fn build_program(stmts: &[Stmt], outer_iters: i64) -> Program {
     b.build().expect("generated program is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn machine_invariants_hold_for_all_policies(
-        stmts in prop::collection::vec(stmt_strategy(), 1..8),
-        outer in 5i64..40,
-    ) {
+#[test]
+fn machine_invariants_hold_for_all_policies() {
+    let mut rng = SplitMix64::new(0x51f7);
+    for case in 0..48 {
+        let stmts = random_stmts(&mut rng, 8);
+        let outer = rng.range_i64(5, 40);
         let program = build_program(&stmts, outer);
         let exec = execute_window(&program, 200_000).expect("executes");
-        prop_assert!(exec.halted, "bounded program must halt");
+        assert!(exec.halted, "case {case}: bounded program must halt");
         let analysis = ProgramAnalysis::analyze(&program);
 
         let ss = MachineConfig::superscalar();
         let prep = PreparedTrace::new(&exec.trace, &ss);
         let base = simulate(&prep, &ss, &mut NoSpawn);
-        prop_assert_eq!(base.instructions as usize, exec.trace.len());
-        prop_assert!(base.ipc() <= ss.width as f64);
+        assert_eq!(base.instructions as usize, exec.trace.len(), "case {case}");
+        assert!(base.ipc() <= ss.width as f64, "case {case}");
 
         let pf = MachineConfig::hpca07();
         let prep = PreparedTrace::new(&exec.trace, &pf);
-        for policy in [Policy::Loop, Policy::Hammock, Policy::ProcFt, Policy::Postdoms] {
+        for policy in [
+            Policy::Loop,
+            Policy::Hammock,
+            Policy::ProcFt,
+            Policy::Postdoms,
+        ] {
             let mut src = StaticSpawnSource::new(analysis.spawn_table(policy));
             let r = simulate(&prep, &pf, &mut src);
-            prop_assert_eq!(r.instructions, base.instructions);
-            prop_assert!(r.ipc() <= pf.width as f64, "{}: IPC {}", policy, r.ipc());
-            prop_assert!(r.max_live_tasks <= pf.max_tasks);
-            prop_assert_eq!(r.total_spawns(), r.spawn_log.len() as u64);
+            assert_eq!(r.instructions, base.instructions, "case {case}");
+            assert!(
+                r.ipc() <= pf.width as f64,
+                "case {case}: {}: IPC {}",
+                policy,
+                r.ipc()
+            );
+            assert!(r.max_live_tasks <= pf.max_tasks, "case {case}");
+            assert_eq!(r.total_spawns(), r.spawn_log.len() as u64, "case {case}");
             // The spawn log is temporally and spatially coherent.
             for w in r.spawn_log.windows(2) {
-                prop_assert!(w[0].cycle <= w[1].cycle);
-                prop_assert!(w[0].target_index < w[1].target_index,
-                    "tail-task spawning splits strictly forward");
+                assert!(w[0].cycle <= w[1].cycle, "case {case}");
+                assert!(
+                    w[0].target_index < w[1].target_index,
+                    "case {case}: tail-task spawning splits strictly forward"
+                );
             }
-            prop_assert_eq!(r.squashes, 0, "oracle mode never squashes");
+            assert_eq!(r.squashes, 0, "case {case}: oracle mode never squashes");
         }
     }
+}
 
-    #[test]
-    fn store_set_mode_retires_everything(
-        stmts in prop::collection::vec(stmt_strategy(), 1..8),
-        outer in 5i64..30,
-    ) {
+#[test]
+fn store_set_mode_retires_everything() {
+    let mut rng = SplitMix64::new(0x570e);
+    for case in 0..24 {
+        let stmts = random_stmts(&mut rng, 8);
+        let outer = rng.range_i64(5, 30);
         let program = build_program(&stmts, outer);
         let exec = execute_window(&program, 200_000).expect("executes");
         let analysis = ProgramAnalysis::analyze(&program);
@@ -163,22 +183,24 @@ proptest! {
         let prep = PreparedTrace::new(&exec.trace, &cfg);
         let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
         let r = simulate(&prep, &cfg, &mut src);
-        prop_assert_eq!(r.instructions as usize, exec.trace.len());
-        prop_assert!(r.ipc() <= cfg.width as f64);
+        assert_eq!(r.instructions as usize, exec.trace.len(), "case {case}");
+        assert!(r.ipc() <= cfg.width as f64, "case {case}");
     }
+}
 
-    #[test]
-    fn reconvergence_source_upholds_invariants(
-        stmts in prop::collection::vec(stmt_strategy(), 1..6),
-        outer in 5i64..25,
-    ) {
+#[test]
+fn reconvergence_source_upholds_invariants() {
+    let mut rng = SplitMix64::new(0x2ec0);
+    for case in 0..24 {
+        let stmts = random_stmts(&mut rng, 6);
+        let outer = rng.range_i64(5, 25);
         let program = build_program(&stmts, outer);
         let exec = execute_window(&program, 200_000).expect("executes");
         let cfg = MachineConfig::hpca07();
         let prep = PreparedTrace::new(&exec.trace, &cfg);
         let mut src = ReconvSpawnSource::new(polyflow_reconv::ReconvConfig::default());
         let r = simulate(&prep, &cfg, &mut src);
-        prop_assert_eq!(r.instructions as usize, exec.trace.len());
-        prop_assert!(r.max_live_tasks <= cfg.max_tasks);
+        assert_eq!(r.instructions as usize, exec.trace.len(), "case {case}");
+        assert!(r.max_live_tasks <= cfg.max_tasks, "case {case}");
     }
 }

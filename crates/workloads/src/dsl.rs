@@ -78,7 +78,9 @@ pub fn alloc_random_words(b: &mut ProgramBuilder, n: usize, lo: u64, hi: u64, se
     let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
     let words: Vec<u64> = (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             lo + (s >> 33) % (hi - lo)
         })
         .collect();
@@ -116,7 +118,9 @@ pub fn alloc_linked_list(
     let mut order: Vec<usize> = (0..nodes).collect();
     let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
     let mut next = || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         s >> 33
     };
     for i in (1..nodes).rev() {
@@ -188,12 +192,7 @@ pub fn emit_leaf_functions(
 /// Emits an if-then-else hammock: `cond_reg != 0` runs `then_len`
 /// instructions on `r3`, otherwise `else_len` instructions on `r4`;
 /// both fall into the join. Returns the Pc of the branch.
-pub fn emit_hammock(
-    b: &mut ProgramBuilder,
-    cond_reg: Reg,
-    then_len: usize,
-    else_len: usize,
-) -> Pc {
+pub fn emit_hammock(b: &mut ProgramBuilder, cond_reg: Reg, then_len: usize, else_len: usize) -> Pc {
     let els = b.fresh_label("h_else");
     let join = b.fresh_label("h_join");
     let br = b.br_imm(polyflow_isa::Cond::Eq, cond_reg, 0, els);

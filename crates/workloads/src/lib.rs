@@ -70,7 +70,10 @@ pub const NAMES: [&str; 12] = [
 
 /// Builds every workload, in the paper's plotting order.
 pub fn all() -> Vec<Workload> {
-    NAMES.iter().map(|n| by_name(n).expect("known name")).collect()
+    NAMES
+        .iter()
+        .map(|n| by_name(n).expect("known name"))
+        .collect()
 }
 
 /// Builds one workload by name.

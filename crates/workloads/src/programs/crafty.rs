@@ -89,7 +89,9 @@ pub fn build() -> Program {
     // eval_mobility: switch over piece type (an "other" source: indirect
     // jump) plus a 50/50 hammock.
     b.begin_function("eval_mobility");
-    let sw: Vec<_> = (0..4).map(|i| b.fresh_label(&format!("piece{i}"))).collect();
+    let sw: Vec<_> = (0..4)
+        .map(|i| b.fresh_label(&format!("piece{i}")))
+        .collect();
     let sw_join = b.fresh_label("sw_join");
     emit_scan(&mut b, 6);
     b.alui(AluOp::Srl, Reg::R12, Reg::R11, 10);

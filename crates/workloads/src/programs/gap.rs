@@ -111,6 +111,10 @@ mod tests {
                 targets.insert(e.next_pc);
             }
         }
-        assert!(targets.len() > HANDLERS / 2, "only {} targets", targets.len());
+        assert!(
+            targets.len() > HANDLERS / 2,
+            "only {} targets",
+            targets.len()
+        );
     }
 }

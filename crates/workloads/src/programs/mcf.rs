@@ -46,7 +46,7 @@ pub fn build() -> Program {
         b.bind_label(walk);
         b.br_imm(Cond::Eq, Reg::R16, 0, list_done);
         b.load(Reg::R1, Reg::R16, 8); // cost (misses L1D)
-        // if (cost < 500) { expensive reduced-cost update } else { cheap }
+                                      // if (cost < 500) { expensive reduced-cost update } else { cheap }
         b.br_imm(Cond::Lt, Reg::R1, 500, cheap);
         // "expensive" arm: serial arithmetic on the loaded cost
         b.alui(AluOp::Add, Reg::R2, Reg::R1, 17);
@@ -99,7 +99,14 @@ mod tests {
             .iter()
             .filter(|e| {
                 e.class() == InstClass::Load
-                    && matches!(e.inst, polyflow_isa::Inst::Load { rd: Reg::R16, off: 0, .. })
+                    && matches!(
+                        e.inst,
+                        polyflow_isa::Inst::Load {
+                            rd: Reg::R16,
+                            off: 0,
+                            ..
+                        }
+                    )
             })
             .filter_map(|e| e.mem_addr)
             .collect();

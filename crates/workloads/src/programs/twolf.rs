@@ -26,7 +26,9 @@ pub fn build() -> Program {
     // Host-side RNG for data generation.
     let mut s = SEED;
     let mut rand = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         s >> 33
     };
     let mut inner_heads = Vec::with_capacity(TERMS);
@@ -48,11 +50,11 @@ pub fn build() -> Program {
     }
     // Outer terminal list: [0]=next, [8]=net head.
     let outer = b.alloc_zeroed(TERMS * 2);
-    for t in 0..TERMS {
+    for (t, &head) in inner_heads.iter().enumerate().take(TERMS) {
         let addr = outer + (t * 16) as u64;
         let next = if t + 1 < TERMS { addr + 16 } else { 0 };
         b.push_initialized_word(addr, next);
-        b.push_initialized_word(addr + 8, inner_heads[t]);
+        b.push_initialized_word(addr + 8, head);
     }
     let cost = b.alloc_data(&[0]);
 
@@ -88,7 +90,7 @@ pub fn build() -> Program {
     b.br_imm(Cond::Eq, Reg::R17, 0, inner_done); // inner loop condition
     b.load(Reg::R1, Reg::R17, 16); // oldx = netptr->xpos
     b.load(Reg::R2, Reg::R17, 8); // flag
-    // if (netptr->flag == 1) { newx = netptr->newx; flag = 0 } else { newx = oldx }
+                                  // if (netptr->flag == 1) { newx = netptr->newx; flag = 0 } else { newx = oldx }
     b.br_imm(Cond::Ne, Reg::R2, 1, else_arm);
     b.load(Reg::R3, Reg::R17, 24); // newx = netptr->newx
     b.store(Reg::R0, Reg::R17, 8); // netptr->flag = 0

@@ -8,7 +8,7 @@
 //! spawns are removed (§4.3).
 
 use crate::dsl;
-use polyflow_isa::{Program, ProgramBuilder, Reg, AluOp};
+use polyflow_isa::{AluOp, Program, ProgramBuilder, Reg};
 
 /// Leaf procedures (70 x ~40 instructions ≈ 2 800 instructions: larger
 /// than the 2 048-instruction L1I).

@@ -86,11 +86,7 @@ mod tests {
         let mut taken = 0u64;
         let mut total = 0u64;
         for e in &r.trace {
-            if let polyflow_isa::Inst::Br {
-                rs: Reg::R13,
-                ..
-            } = e.inst
-            {
+            if let polyflow_isa::Inst::Br { rs: Reg::R13, .. } = e.inst {
                 total += 1;
                 if e.taken {
                     taken += 1;

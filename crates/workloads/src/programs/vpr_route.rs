@@ -82,7 +82,12 @@ mod tests {
         let mut current = 0u32;
         for e in &r.trace {
             if e.inst.is_cond_branch() {
-                if let polyflow_isa::Inst::Br { rs: Reg::R1, rt: Reg::R12, .. } = e.inst {
+                if let polyflow_isa::Inst::Br {
+                    rs: Reg::R1,
+                    rt: Reg::R12,
+                    ..
+                } = e.inst
+                {
                     if e.taken {
                         current += 1;
                     } else {

@@ -39,17 +39,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         std::process::exit(1);
     };
-    println!("workload: {name} ({} static instructions)", workload.program.len());
+    println!(
+        "workload: {name} ({} static instructions)",
+        workload.program.len()
+    );
 
     let trace = execute_window(&workload.program, workload.window)?.trace;
     println!("trace: {} retired instructions", trace.len());
     let analysis = ProgramAnalysis::analyze(&workload.program);
-    println!("static spawn candidates: {}", analysis.static_distribution());
+    println!(
+        "static spawn candidates: {}",
+        analysis.static_distribution()
+    );
 
     let ss = MachineConfig::superscalar();
     let prepared_ss = PreparedTrace::new(&trace, &ss);
     let base = simulate(&prepared_ss, &ss, &mut NoSpawn);
-    println!("\nsuperscalar baseline: IPC {:.2} ({} cycles)", base.ipc(), base.cycles);
+    println!(
+        "\nsuperscalar baseline: IPC {:.2} ({} cycles)",
+        base.ipc(),
+        base.cycles
+    );
 
     let pf = MachineConfig::hpca07();
     let prepared = PreparedTrace::new(&trace, &pf);

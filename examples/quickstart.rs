@@ -75,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== Control-equivalent spawn points (enable Figure 4's fetch order) ===");
     let analysis = ProgramAnalysis::analyze(&program);
     for sp in analysis.spawn_table(Policy::Postdoms).points() {
-        println!("  fetch {} => may spawn a task at {} [{}]", sp.trigger, sp.target, sp.kind);
+        println!(
+            "  fetch {} => may spawn a task at {} [{}]",
+            sp.trigger, sp.target, sp.kind
+        );
     }
     println!(
         "\nWhen the fetch unit reaches the branch in B it can spawn E: E is\n\

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for sp in &candidates {
         println!("  {sp}");
     }
-    let hammocks = candidates.iter().filter(|s| s.kind == SpawnKind::Hammock).count();
+    let hammocks = candidates
+        .iter()
+        .filter(|s| s.kind == SpawnKind::Hammock)
+        .count();
     let loop_fts = candidates
         .iter()
         .filter(|s| s.kind == SpawnKind::LoopFallThrough)
@@ -42,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pf = MachineConfig::hpca07();
     let prepared = PreparedTrace::new(&trace, &pf);
-    for policy in [Policy::Loop, Policy::Hammock, Policy::LoopFt, Policy::Postdoms] {
+    for policy in [
+        Policy::Loop,
+        Policy::Hammock,
+        Policy::LoopFt,
+        Policy::Postdoms,
+    ] {
         let mut src = StaticSpawnSource::new(analysis.spawn_table(policy));
         let r = simulate(&prepared, &pf, &mut src);
         println!(

@@ -39,7 +39,10 @@ fn mcf_responds_to_hammocks() {
     let hammock = speedup("mcf", Policy::Hammock, W);
     let loop_ft = speedup("mcf", Policy::LoopFt, W);
     assert!(hammock > 10.0, "hammock speedup {hammock:.1}%");
-    assert!(hammock > loop_ft + 5.0, "hammock {hammock:.1} vs loopFT {loop_ft:.1}");
+    assert!(
+        hammock > loop_ft + 5.0,
+        "hammock {hammock:.1} vs loopFT {loop_ft:.1}"
+    );
 }
 
 /// Figure 9, vortex: procedure fall-throughs dominate.

@@ -122,6 +122,10 @@ fn classification_is_exhaustive_and_indexed() {
             .iter()
             .filter(|s| s.kind == kind)
             .count();
-        assert_eq!(without + only, full, "excluding {kind} must remove exactly its kind");
+        assert_eq!(
+            without + only,
+            full,
+            "excluding {kind} must remove exactly its kind"
+        );
     }
 }

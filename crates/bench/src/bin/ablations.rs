@@ -3,29 +3,45 @@
 //! profitability feedback, the two-task fetch port, and the task count.
 //!
 //! Each ablation runs the `postdoms` policy on a representative subset
-//! and reports the average speedup over the (unchanged) superscalar.
+//! and reports the average speedup over the (unchanged) superscalar. The
+//! whole variant grid executes on the sweep engine's worker pool; every
+//! variant shares one prepared trace per workload (the ablations only
+//! vary task geometry, never the branch predictors).
 //!
-//! Usage: `ablations [workload ...]` (default: a 4-benchmark subset).
+//! Usage: `ablations [--jobs N] [workload ...]` (default: a 4-benchmark
+//! subset).
 
-use polyflow_bench::PreparedWorkload;
+use polyflow_bench::sweep::run_grid_with;
+use polyflow_bench::{pool, PreparedWorkload};
 use polyflow_core::Policy;
 use polyflow_sim::{
-    simulate, DependenceMode, HintCacheSource, MachineConfig, NoSpawn, PreparedTrace,
-    StaticSpawnSource,
+    simulate_with, DependenceMode, HintCacheSource, MachineConfig, SimScratch, StaticSpawnSource,
 };
 
-fn avg_speedup(workloads: &[PreparedWorkload], pf: &MachineConfig) -> f64 {
-    let ss = MachineConfig::superscalar();
-    let mut total = 0.0;
-    for w in workloads {
-        let prep = PreparedTrace::new(&w.trace, &ss);
-        let base = simulate(&prep, &ss, &mut NoSpawn);
-        let prep = PreparedTrace::new(&w.trace, pf);
-        let mut src = StaticSpawnSource::new(w.analysis.spawn_table(Policy::Postdoms));
-        let r = simulate(&prep, pf, &mut src);
-        total += r.speedup_percent_over(&base);
+/// One ablation row: a machine-config variant, or the hint-cache capacity
+/// model layered on the unmodified Figure 8 config.
+enum Variant {
+    Config(Box<MachineConfig>),
+    HintCache(usize),
+}
+
+fn run_variant(
+    w: &PreparedWorkload,
+    v: &Variant,
+    scratch: &mut SimScratch,
+) -> polyflow_sim::SimResult {
+    let inner = StaticSpawnSource::new(w.analysis.spawn_table(Policy::Postdoms));
+    match v {
+        Variant::Config(cfg) => {
+            let mut src = inner;
+            simulate_with(&w.prepared(cfg), cfg, &mut src, scratch)
+        }
+        Variant::HintCache(entries) => {
+            let cfg = MachineConfig::hpca07();
+            let mut src = HintCacheSource::new(inner, *entries, 4);
+            simulate_with(&w.prepared(&cfg), &cfg, &mut src, scratch)
+        }
     }
-    total / workloads.len() as f64
 }
 
 fn main() {
@@ -38,120 +54,136 @@ fn main() {
     let workloads = polyflow_bench::prepare_all(&filter);
     let base_cfg = MachineConfig::hpca07();
 
-    println!("== Ablations (postdoms policy, avg speedup % over superscalar) ==");
-    println!(
-        "baseline config:                      {:6.1}%",
-        avg_speedup(&workloads, &base_cfg)
-    );
-
+    // Build the full variant list up front (labels carry the exact column
+    // formatting of the report), then run the whole (workload × variant)
+    // grid in one parallel sweep.
+    let mut rows: Vec<(String, Variant)> = Vec::new();
+    let cfg_row = |label: String, cfg: MachineConfig| (label, Variant::Config(Box::new(cfg)));
+    rows.push(cfg_row(
+        "baseline config:                      ".to_string(),
+        base_cfg.clone(),
+    ));
     for dist in [64, 128, 320, 1024, 4096] {
-        let cfg = MachineConfig {
-            max_spawn_distance: dist,
-            ..base_cfg.clone()
-        };
-        println!(
-            "max_spawn_distance = {dist:<5}           {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("max_spawn_distance = {dist:<5}           "),
+            MachineConfig {
+                max_spawn_distance: dist,
+                ..base_cfg.clone()
+            },
+        ));
     }
     for delay in [0, 3, 6, 12, 24] {
-        let cfg = MachineConfig {
-            divert_release_delay: delay,
-            ..base_cfg.clone()
-        };
-        println!(
-            "divert_release_delay = {delay:<3}           {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("divert_release_delay = {delay:<3}           "),
+            MachineConfig {
+                divert_release_delay: delay,
+                ..base_cfg.clone()
+            },
+        ));
     }
     for overhead in [0, 3, 8, 16] {
-        let cfg = MachineConfig {
-            spawn_overhead_cycles: overhead,
-            ..base_cfg.clone()
-        };
-        println!(
-            "spawn_overhead_cycles = {overhead:<3}          {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("spawn_overhead_cycles = {overhead:<3}          "),
+            MachineConfig {
+                spawn_overhead_cycles: overhead,
+                ..base_cfg.clone()
+            },
+        ));
     }
     for feedback in [true, false] {
-        let cfg = MachineConfig {
-            profitability_feedback: feedback,
-            ..base_cfg.clone()
-        };
-        println!(
-            "profitability_feedback = {feedback:<5}      {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("profitability_feedback = {feedback:<5}      "),
+            MachineConfig {
+                profitability_feedback: feedback,
+                ..base_cfg.clone()
+            },
+        ));
     }
     for ports in [1, 2, 4] {
-        let cfg = MachineConfig {
-            fetch_tasks_per_cycle: ports,
-            ..base_cfg.clone()
-        };
-        println!(
-            "fetch_tasks_per_cycle = {ports}            {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("fetch_tasks_per_cycle = {ports}            "),
+            MachineConfig {
+                fetch_tasks_per_cycle: ports,
+                ..base_cfg.clone()
+            },
+        ));
     }
     // Hint-cache capacity (the paper idealizes this; §3.2): how many
     // 8-byte hint entries does control-equivalent spawning need?
     for entries in [16usize, 64, 256, 1024] {
-        let ss = MachineConfig::superscalar();
-        let mut total = 0.0;
-        for w in &workloads {
-            let prep = PreparedTrace::new(&w.trace, &ss);
-            let base = simulate(&prep, &ss, &mut NoSpawn);
-            let prep = PreparedTrace::new(&w.trace, &base_cfg);
-            let inner = StaticSpawnSource::new(w.analysis.spawn_table(Policy::Postdoms));
-            let mut src = HintCacheSource::new(inner, entries, 4);
-            let r = simulate(&prep, &base_cfg, &mut src);
-            total += r.speedup_percent_over(&base);
-        }
-        println!(
-            "hint_cache_entries = {entries:<5}          {:6.1}%",
-            total / workloads.len() as f64
-        );
+        rows.push((
+            format!("hint_cache_entries = {entries:<5}          "),
+            Variant::HintCache(entries),
+        ));
     }
     for mode in [DependenceMode::OracleSync, DependenceMode::StoreSet] {
-        let cfg = MachineConfig {
-            memory_dependence: mode,
-            ..base_cfg.clone()
-        };
-        println!(
-            "memory_dependence = {mode:<10?}       {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("memory_dependence = {mode:<10?}       "),
+            MachineConfig {
+                memory_dependence: mode,
+                ..base_cfg.clone()
+            },
+        ));
     }
     for any in [false, true] {
-        let cfg = MachineConfig {
-            spawn_from_any_task: any,
-            ..base_cfg.clone()
-        };
-        println!(
-            "spawn_from_any_task = {any:<5}         {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("spawn_from_any_task = {any:<5}         "),
+            MachineConfig {
+                spawn_from_any_task: any,
+                ..base_cfg.clone()
+            },
+        ));
     }
     for (rob, reclaim) in [(512, false), (128, false), (128, true)] {
-        let cfg = MachineConfig {
-            rob_entries: rob,
-            rob_reclamation: reclaim,
-            ..base_cfg.clone()
-        };
-        println!(
-            "rob = {rob:<4} reclamation = {reclaim:<5}     {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("rob = {rob:<4} reclamation = {reclaim:<5}     "),
+            MachineConfig {
+                rob_entries: rob,
+                rob_reclamation: reclaim,
+                ..base_cfg.clone()
+            },
+        ));
     }
     for tasks in [2, 4, 8, 16] {
-        let cfg = MachineConfig {
-            max_tasks: tasks,
-            ..base_cfg.clone()
-        };
-        println!(
-            "max_tasks = {tasks:<2}                       {:6.1}%",
-            avg_speedup(&workloads, &cfg)
-        );
+        rows.push(cfg_row(
+            format!("max_tasks = {tasks:<2}                       "),
+            MachineConfig {
+                max_tasks: tasks,
+                ..base_cfg.clone()
+            },
+        ));
     }
+
+    // Cell 0 is the shared superscalar baseline; cell i+1 is rows[i].
+    let cells: Vec<usize> = (0..=rows.len()).collect();
+    let (grid, report) = run_grid_with(
+        "ablations",
+        &workloads,
+        &cells,
+        pool::resolve_jobs(),
+        |w, &ci, scratch| {
+            if ci == 0 {
+                w.run_baseline_with(scratch)
+            } else {
+                run_variant(w, &rows[ci - 1].1, scratch)
+            }
+        },
+        |&ci| {
+            if ci == 0 {
+                "baseline".to_string()
+            } else {
+                rows[ci - 1].0.trim().trim_end_matches(':').to_string()
+            }
+        },
+    );
+
+    println!("== Ablations (postdoms policy, avg speedup % over superscalar) ==");
+    for (ci, (label, _)) in rows.iter().enumerate() {
+        let mut total = 0.0;
+        for row in &grid {
+            total += row[ci + 1].speedup_percent_over(&row[0]);
+        }
+        println!("{label}{:6.1}%", total / workloads.len() as f64);
+    }
+    report.emit();
 }

@@ -2,8 +2,10 @@
 //! policy (loop, loopFT, procFT, hammock, other, postdoms) over the
 //! equivalent-resource superscalar, with superscalar IPCs per benchmark.
 //!
-//! Usage: `fig09_individual_heuristics [workload ...]` (default: all 12).
+//! Usage: `fig09_individual_heuristics [--jobs N] [--csv] [workload ...]`
+//! (default: all 12 workloads, one worker per available CPU).
 
+use polyflow_bench::sweep::{figure9_cells, sweep};
 use polyflow_bench::{
     cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table,
 };
@@ -11,26 +13,30 @@ use polyflow_core::Policy;
 
 fn main() {
     let workloads = prepare_all(&cli_filter());
-    let policies = Policy::figure9();
-    let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
+    let columns: Vec<String> = Policy::figure9().iter().map(|p| p.name()).collect();
 
-    let mut rows = Vec::new();
-    for w in &workloads {
-        let base = w.run_baseline();
-        let speedups: Vec<f64> = policies
-            .iter()
-            .map(|&p| w.run_static(p).speedup_percent_over(&base))
-            .collect();
-        rows.push((w.name.to_string(), base.ipc(), speedups));
-        eprintln!("  [{}] done", w.name);
-    }
+    let cells = figure9_cells();
+    let (grid, report) = sweep("fig09_individual_heuristics", &workloads, &cells);
+    let rows: Vec<(String, f64, Vec<f64>)> = workloads
+        .iter()
+        .zip(&grid)
+        .map(|(w, row)| {
+            let base = &row[0];
+            let speedups: Vec<f64> = row[1..]
+                .iter()
+                .map(|r| r.speedup_percent_over(base))
+                .collect();
+            (w.name.to_string(), base.ipc(), speedups)
+        })
+        .collect();
     if csv_requested() {
         print_speedup_csv(&rows, &columns);
-        return;
+    } else {
+        print_speedup_table(
+            "Figure 9: individual heuristic policies (speedup % over superscalar)",
+            &rows,
+            &columns,
+        );
     }
-    print_speedup_table(
-        "Figure 9: individual heuristic policies (speedup % over superscalar)",
-        &rows,
-        &columns,
-    );
+    report.emit();
 }

@@ -2,8 +2,10 @@
 //! loopFT + procFT, loop + procFT + loopFT) versus full postdominator
 //! spawning, as speedup over the superscalar.
 //!
-//! Usage: `fig10_combinations [workload ...]` (default: all 12).
+//! Usage: `fig10_combinations [--jobs N] [--csv] [workload ...]`
+//! (default: all 12).
 
+use polyflow_bench::sweep::{sweep, Cell};
 use polyflow_bench::{
     cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table,
 };
@@ -14,18 +16,25 @@ fn main() {
     let policies = Policy::figure10();
     let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
 
-    let mut rows = Vec::new();
-    for w in &workloads {
-        let base = w.run_baseline();
-        let speedups: Vec<f64> = policies
-            .iter()
-            .map(|&p| w.run_static(p).speedup_percent_over(&base))
-            .collect();
-        rows.push((w.name.to_string(), base.ipc(), speedups));
-        eprintln!("  [{}] done", w.name);
-    }
+    let cells: Vec<Cell> = std::iter::once(Cell::Baseline)
+        .chain(policies.iter().map(|&p| Cell::Static(p)))
+        .collect();
+    let (grid, report) = sweep("fig10_combinations", &workloads, &cells);
+    let rows: Vec<(String, f64, Vec<f64>)> = workloads
+        .iter()
+        .zip(&grid)
+        .map(|(w, row)| {
+            let base = &row[0];
+            let speedups: Vec<f64> = row[1..]
+                .iter()
+                .map(|r| r.speedup_percent_over(base))
+                .collect();
+            (w.name.to_string(), base.ipc(), speedups)
+        })
+        .collect();
     if csv_requested() {
         print_speedup_csv(&rows, &columns);
+        report.emit();
         return;
     }
     print_speedup_table(
@@ -46,4 +55,5 @@ fn main() {
         best_combo,
         100.0 * (avg[3] - best_combo) / best_combo.max(1e-9)
     );
+    report.emit();
 }

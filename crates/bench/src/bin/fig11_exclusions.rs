@@ -2,14 +2,21 @@
 //! superscalar) when one spawn category is excluded from the full
 //! postdominator set. Positive loss = the excluded category mattered.
 //!
-//! Usage: `fig11_exclusions [workload ...]` (default: all 12).
+//! Usage: `fig11_exclusions [--jobs N] [workload ...]` (default: all 12).
 
+use polyflow_bench::sweep::{sweep, Cell};
 use polyflow_bench::{cli_filter, prepare_all};
 use polyflow_core::Policy;
 
 fn main() {
     let workloads = prepare_all(&cli_filter());
     let policies = Policy::figure11();
+
+    let cells: Vec<Cell> = [Cell::Baseline, Cell::Static(Policy::Postdoms)]
+        .into_iter()
+        .chain(policies.iter().map(|&p| Cell::Static(p)))
+        .collect();
+    let (grid, report) = sweep("fig11_exclusions", &workloads, &cells);
 
     println!("== Figure 11: loss in speedup vs full postdominator set (percentage points) ==");
     print!("{:<12}", "benchmark");
@@ -18,12 +25,12 @@ fn main() {
     }
     println!();
     let mut sums = [0.0f64; 4];
-    for w in &workloads {
-        let base = w.run_baseline();
-        let full = w.run_static(Policy::Postdoms).speedup_percent_over(&base);
+    for (w, row) in workloads.iter().zip(&grid) {
+        let base = &row[0];
+        let full = row[1].speedup_percent_over(base);
         print!("{:<12}", w.name);
-        for (i, &p) in policies.iter().enumerate() {
-            let without = w.run_static(p).speedup_percent_over(&base);
+        for (i, r) in row[2..].iter().enumerate() {
+            let without = r.speedup_percent_over(base);
             // Loss normalized to superscalar IPC, as in the paper: the
             // drop in speedup percentage points.
             let loss = full - without;
@@ -31,7 +38,6 @@ fn main() {
             print!(" {loss:>21.1}%");
         }
         println!();
-        eprintln!("  [{}] done", w.name);
     }
     print!("{:<12}", "Average");
     for s in sums {
@@ -45,4 +51,5 @@ fn main() {
          \"other\". Small negative losses are possible: restricting the spawn set\n\
          occasionally helps a benchmark that is receptive to one kind, §4.3.)"
     );
+    report.emit();
 }

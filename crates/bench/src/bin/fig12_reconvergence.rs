@@ -2,8 +2,10 @@
 //! predictor (trained online on the retirement stream, §4.4) versus
 //! compiler-generated immediate postdominators.
 //!
-//! Usage: `fig12_reconvergence [workload ...]` (default: all 12).
+//! Usage: `fig12_reconvergence [--jobs N] [--csv] [workload ...]`
+//! (default: all 12).
 
+use polyflow_bench::sweep::{sweep, Cell};
 use polyflow_bench::{
     cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table,
 };
@@ -13,16 +15,21 @@ fn main() {
     let workloads = prepare_all(&cli_filter());
     let columns = vec!["rec_pred".to_string(), "postdoms".to_string()];
 
-    let mut rows = Vec::new();
-    for w in &workloads {
-        let base = w.run_baseline();
-        let rec = w.run_reconv().speedup_percent_over(&base);
-        let pd = w.run_static(Policy::Postdoms).speedup_percent_over(&base);
-        rows.push((w.name.to_string(), base.ipc(), vec![rec, pd]));
-        eprintln!("  [{}] done", w.name);
-    }
+    let cells = [Cell::Baseline, Cell::Reconv, Cell::Static(Policy::Postdoms)];
+    let (grid, report) = sweep("fig12_reconvergence", &workloads, &cells);
+    let rows: Vec<(String, f64, Vec<f64>)> = workloads
+        .iter()
+        .zip(&grid)
+        .map(|(w, row)| {
+            let base = &row[0];
+            let rec = row[1].speedup_percent_over(base);
+            let pd = row[2].speedup_percent_over(base);
+            (w.name.to_string(), base.ipc(), vec![rec, pd])
+        })
+        .collect();
     if csv_requested() {
         print_speedup_csv(&rows, &columns);
+        report.emit();
         return;
     }
     print_speedup_table(
@@ -36,4 +43,5 @@ fn main() {
          appreciably on crafty, mcf and twolf — warm-up effects plus reconvergences\n\
          the forward-analysis predictor cannot learn, §4.4.)"
     );
+    report.emit();
 }

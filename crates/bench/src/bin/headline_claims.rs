@@ -8,6 +8,7 @@
 //! 3. Control-equivalent spawning either outperforms or comes close to the
 //!    best individual heuristic on each benchmark (§4.1).
 
+use polyflow_bench::sweep::{sweep, Cell};
 use polyflow_bench::{cli_filter, prepare_all};
 use polyflow_core::Policy;
 
@@ -16,16 +17,24 @@ fn main() {
     let individual = Policy::figure9();
     let combos = Policy::figure10();
 
+    // One grid covers both figures; `postdoms` (the last entry of each
+    // policy list) is simulated once and reused for both averages.
+    let cells: Vec<Cell> = std::iter::once(Cell::Baseline)
+        .chain(individual.iter().map(|&p| Cell::Static(p)))
+        .chain(combos[..combos.len() - 1].iter().map(|&p| Cell::Static(p)))
+        .collect();
+    let (grid, report) = sweep("headline_claims", &workloads, &cells);
+
     let n = workloads.len() as f64;
     let mut avg_individual = vec![0.0; individual.len()];
     let mut avg_combo = vec![0.0; combos.len()];
     let mut per_bench_ok = 0usize;
 
-    for w in &workloads {
-        let base = w.run_baseline();
-        let speedups: Vec<f64> = individual
+    for row in &grid {
+        let base = &row[0];
+        let speedups: Vec<f64> = row[1..=individual.len()]
             .iter()
-            .map(|&p| w.run_static(p).speedup_percent_over(&base))
+            .map(|r| r.speedup_percent_over(base))
             .collect();
         for (i, s) in speedups.iter().enumerate() {
             avg_individual[i] += s / n;
@@ -39,10 +48,10 @@ fn main() {
         if postdoms >= best_heuristic - 5.0 {
             per_bench_ok += 1;
         }
-        for (i, &p) in combos.iter().enumerate() {
-            avg_combo[i] += w.run_static(p).speedup_percent_over(&base) / n;
+        for (i, r) in row[individual.len() + 1..].iter().enumerate() {
+            avg_combo[i] += r.speedup_percent_over(base) / n;
         }
-        eprintln!("  [{}] done", w.name);
+        avg_combo[combos.len() - 1] += postdoms / n;
     }
 
     let postdoms_avg = avg_individual[individual.len() - 1];
@@ -86,4 +95,5 @@ fn main() {
             "MISS"
         }
     );
+    report.emit();
 }

@@ -9,27 +9,41 @@
 #![forbid(unsafe_code)]
 
 use polyflow_core::{Policy, ProgramAnalysis};
-use polyflow_isa::{execute_window, Program, Trace};
+use polyflow_isa::{execute_window, Dataflow, PcIndex, Program, Trace};
 use polyflow_reconv::ReconvConfig;
 use polyflow_sim::{
-    simulate, DependenceMode, MachineConfig, NoSpawn, PreparedTrace, ReconvSpawnSource, SimResult,
-    StaticSpawnSource,
+    simulate_with, DependenceMode, MachineConfig, NoSpawn, PreparedTrace, ReconvSpawnSource,
+    SimResult, SimScratch, StaticSpawnSource,
 };
 use polyflow_workloads::Workload;
+use std::sync::{Arc, Mutex, OnceLock};
 
+pub mod pool;
 pub mod stopwatch;
+pub mod sweep;
+
+/// A predictor configuration fingerprint ([`MachineConfig::predictor_key`]).
+type PredictorKey = (usize, usize, usize);
 
 /// A workload with its trace and spawn analysis, ready for policy sweeps.
+///
+/// The trace and its config-independent oracles (dataflow, PC index) are
+/// computed once at preparation and shared read-only (`Arc`) by every
+/// policy cell; per-predictor-configuration [`PreparedTrace`]s are built
+/// lazily and cached, so no run ever re-derives them (the seed harness
+/// rebuilt all of it on every `run_*` call).
 #[derive(Debug)]
 pub struct PreparedWorkload {
     /// Benchmark name (paper x-axis label).
     pub name: &'static str,
     /// The program.
     pub program: Program,
-    /// The retired-instruction trace.
-    pub trace: Trace,
     /// The static spawn-point analysis.
     pub analysis: ProgramAnalysis,
+    trace: Arc<Trace>,
+    dataflow: Arc<Dataflow>,
+    pc_index: Arc<PcIndex>,
+    preps: Mutex<Vec<(PredictorKey, PreparedTrace)>>,
 }
 
 impl PreparedWorkload {
@@ -39,36 +53,85 @@ impl PreparedWorkload {
             .unwrap_or_else(|e| panic!("{} failed to execute: {e}", w.name));
         assert!(result.halted, "{} did not halt in its window", w.name);
         let analysis = ProgramAnalysis::analyze(&w.program);
+        let trace = Arc::new(result.trace);
+        let dataflow = Arc::new(trace.dataflow());
+        let pc_index = Arc::new(trace.pc_index());
         PreparedWorkload {
             name: w.name,
             program: w.program,
-            trace: result.trace,
             analysis,
+            trace,
+            dataflow,
+            pc_index,
+            preps: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The retired-instruction trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The dynamic occurrences of each static PC (shared oracle).
+    pub fn pc_index(&self) -> &PcIndex {
+        &self.pc_index
+    }
+
+    /// The prepared trace for `cfg`: built once per predictor
+    /// configuration ([`MachineConfig::predictor_key`]) on first use and
+    /// shared (cheap `Arc` clones) by every subsequent run, across
+    /// threads. The superscalar baseline and the PolyFlow machine share a
+    /// key, so a full figure grid prepares each workload exactly once.
+    pub fn prepared(&self, cfg: &MachineConfig) -> PreparedTrace {
+        let key = cfg.predictor_key();
+        let mut cache = self.preps.lock().unwrap();
+        if let Some((_, p)) = cache.iter().find(|(k, _)| *k == key) {
+            return p.clone();
+        }
+        let p = PreparedTrace::with_oracles(
+            Arc::clone(&self.trace),
+            Arc::clone(&self.dataflow),
+            Arc::clone(&self.pc_index),
+            cfg,
+        );
+        cache.push((key, p.clone()));
+        p
     }
 
     /// Runs the superscalar baseline.
     pub fn run_baseline(&self) -> SimResult {
+        self.run_baseline_with(&mut SimScratch::default())
+    }
+
+    /// [`run_baseline`](Self::run_baseline) with a reusable scratch arena.
+    pub fn run_baseline_with(&self, scratch: &mut SimScratch) -> SimResult {
         let cfg = MachineConfig::superscalar();
-        let prepared = PreparedTrace::new(&self.trace, &cfg);
-        simulate(&prepared, &cfg, &mut NoSpawn)
+        simulate_with(&self.prepared(&cfg), &cfg, &mut NoSpawn, scratch)
     }
 
     /// Runs one static policy on the PolyFlow machine.
     pub fn run_static(&self, policy: Policy) -> SimResult {
+        self.run_static_with(policy, &mut SimScratch::default())
+    }
+
+    /// [`run_static`](Self::run_static) with a reusable scratch arena.
+    pub fn run_static_with(&self, policy: Policy, scratch: &mut SimScratch) -> SimResult {
         let cfg = polyflow_config();
-        let prepared = PreparedTrace::new(&self.trace, &cfg);
         let mut src = StaticSpawnSource::new(self.analysis.spawn_table(policy));
-        simulate(&prepared, &cfg, &mut src)
+        simulate_with(&self.prepared(&cfg), &cfg, &mut src, scratch)
     }
 
     /// Runs the dynamic reconvergence-predictor policy (cold predictor,
     /// trained online; §4.4).
     pub fn run_reconv(&self) -> SimResult {
+        self.run_reconv_with(&mut SimScratch::default())
+    }
+
+    /// [`run_reconv`](Self::run_reconv) with a reusable scratch arena.
+    pub fn run_reconv_with(&self, scratch: &mut SimScratch) -> SimResult {
         let cfg = polyflow_config();
-        let prepared = PreparedTrace::new(&self.trace, &cfg);
         let mut src = ReconvSpawnSource::new(ReconvConfig::default());
-        simulate(&prepared, &cfg, &mut src)
+        simulate_with(&self.prepared(&cfg), &cfg, &mut src, scratch)
     }
 }
 
@@ -77,32 +140,58 @@ impl PreparedWorkload {
 /// experiments (`POLYFLOW_REG_HINTS=1` enables the capacity-limited
 /// hint-entry register model; `POLYFLOW_STORE_SETS=1` enables store-set
 /// memory-dependence prediction; both default to oracle synchronization).
+/// The environment is read once per process.
 pub fn polyflow_config() -> MachineConfig {
-    let mut cfg = MachineConfig::hpca07();
-    if std::env::var("POLYFLOW_REG_HINTS").is_ok_and(|v| v == "1") {
-        cfg.register_dependence = DependenceMode::StoreSet;
-    }
-    if std::env::var("POLYFLOW_STORE_SETS").is_ok_and(|v| v == "1") {
-        cfg.memory_dependence = DependenceMode::StoreSet;
-    }
-    cfg
+    static CONFIG: OnceLock<MachineConfig> = OnceLock::new();
+    CONFIG
+        .get_or_init(|| {
+            let mut cfg = MachineConfig::hpca07();
+            if std::env::var("POLYFLOW_REG_HINTS").is_ok_and(|v| v == "1") {
+                cfg.register_dependence = DependenceMode::StoreSet;
+            }
+            if std::env::var("POLYFLOW_STORE_SETS").is_ok_and(|v| v == "1") {
+                cfg.memory_dependence = DependenceMode::StoreSet;
+            }
+            cfg
+        })
+        .clone()
 }
 
-/// Prepares every workload (or a named subset).
+/// Prepares every workload (or a named subset), fanning the interpret +
+/// analyze work out across the pool ([`pool::resolve_jobs`] workers).
 pub fn prepare_all(filter: &[String]) -> Vec<PreparedWorkload> {
-    polyflow_workloads::all()
+    prepare_all_jobs(filter, pool::resolve_jobs())
+}
+
+/// [`prepare_all`] with an explicit worker count.
+pub fn prepare_all_jobs(filter: &[String], jobs: usize) -> Vec<PreparedWorkload> {
+    let selected: Vec<Workload> = polyflow_workloads::all()
         .into_iter()
         .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
-        .map(PreparedWorkload::prepare)
-        .collect()
+        .collect();
+    pool::parallel_map(selected, jobs, |_, w| PreparedWorkload::prepare(w))
 }
 
-/// Parses CLI args as an optional workload filter.
+/// Parses CLI args as an optional workload filter (flags and the value of
+/// `--jobs` are not workload names).
 pub fn cli_filter() -> Vec<String> {
-    std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with('-'))
-        .collect()
+    let mut filter = Vec::new();
+    let mut skip_value = false;
+    for a in std::env::args().skip(1) {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--jobs" {
+            skip_value = true;
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        filter.push(a);
+    }
+    filter
 }
 
 /// True if `--csv` was passed: figure binaries then emit
@@ -111,13 +200,19 @@ pub fn csv_requested() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
-/// Emits a speedup table as CSV (`benchmark,ss_ipc,<columns...>`).
-pub fn print_speedup_csv(rows: &[(String, f64, Vec<f64>)], columns: &[String]) {
-    println!("benchmark,ss_ipc,{}", columns.join(","));
+/// Renders a speedup table as CSV (`benchmark,ss_ipc,<columns...>`).
+pub fn speedup_csv(rows: &[(String, f64, Vec<f64>)], columns: &[String]) -> String {
+    let mut out = format!("benchmark,ss_ipc,{}\n", columns.join(","));
     for (name, ipc, speedups) in rows {
         let vals: Vec<String> = speedups.iter().map(|s| format!("{s:.2}")).collect();
-        println!("{name},{ipc:.3},{}", vals.join(","));
+        out.push_str(&format!("{name},{ipc:.3},{}\n", vals.join(",")));
     }
+    out
+}
+
+/// Emits a speedup table as CSV (`benchmark,ss_ipc,<columns...>`).
+pub fn print_speedup_csv(rows: &[(String, f64, Vec<f64>)], columns: &[String]) {
+    print!("{}", speedup_csv(rows, columns));
 }
 
 /// Prints a speedup table: one row per workload, one column per policy,
@@ -159,7 +254,7 @@ mod tests {
         let w = polyflow_workloads::by_name("bzip2").unwrap();
         let pw = PreparedWorkload::prepare(w);
         assert_eq!(pw.name, "bzip2");
-        assert!(!pw.trace.is_empty());
+        assert!(!pw.trace().is_empty());
         assert!(!pw.analysis.candidates().is_empty());
     }
 

@@ -56,7 +56,8 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> T {
     f()
 }
 
-fn fmt_duration(d: Duration) -> String {
+/// Formats a duration at the scale-appropriate unit (ns/us/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns < 1_000 {
         format!("{ns} ns")

@@ -1,0 +1,243 @@
+//! The parallel (workload × policy) sweep engine.
+//!
+//! Every figure binary is a grid of independent simulator runs. This
+//! module executes such grids on the work-stealing pool ([`crate::pool`])
+//! with per-worker [`SimScratch`] reuse, collects results into
+//! deterministic `[workload][cell]` order (byte-identical output at any
+//! `--jobs`), and reports per-cell wall-clock: a cells/sec throughput
+//! line on stderr plus a `BENCH_sweep.json` perf-trajectory file
+//! (override the path with `POLYFLOW_BENCH_JSON`; set it empty or to `0`
+//! to disable).
+
+use crate::{pool, PreparedWorkload};
+use polyflow_core::Policy;
+use polyflow_sim::{SimResult, SimScratch};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// One cell of a figure's (workload × policy) grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// The equivalent-resource superscalar baseline.
+    Baseline,
+    /// One static spawn policy on the PolyFlow machine.
+    Static(Policy),
+    /// The dynamic reconvergence-predictor source (§4.4).
+    Reconv,
+}
+
+impl Cell {
+    /// Short label used in the timing report.
+    pub fn label(&self) -> String {
+        match self {
+            Cell::Baseline => "baseline".to_string(),
+            Cell::Static(p) => p.name(),
+            Cell::Reconv => "rec_pred".to_string(),
+        }
+    }
+}
+
+/// Timing record of one executed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The sweep's name (conventionally the figure binary's).
+    pub name: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock of the whole grid.
+    pub wall: Duration,
+    /// Per-cell label and wall-clock, in deterministic grid order.
+    pub cells: Vec<(String, Duration)>,
+}
+
+impl SweepReport {
+    /// Grid throughput in cells per second of wall-clock.
+    pub fn cells_per_second(&self) -> f64 {
+        self.cells.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Prints the throughput line to stderr and writes the JSON report
+    /// (unless disabled via `POLYFLOW_BENCH_JSON`).
+    pub fn emit(&self) {
+        eprintln!(
+            "[sweep] {}: {} cells in {} on {} worker{} ({:.1} cells/sec)",
+            self.name,
+            self.cells.len(),
+            crate::stopwatch::fmt_duration(self.wall),
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" },
+            self.cells_per_second(),
+        );
+        let path = match std::env::var("POLYFLOW_BENCH_JSON") {
+            Ok(v) if v.is_empty() || v == "0" => return,
+            Ok(v) => v,
+            Err(_) => "BENCH_sweep.json".to_string(),
+        };
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => eprintln!("[sweep] wrote {path}"),
+            Err(e) => eprintln!("[sweep] could not write {path}: {e}"),
+        }
+    }
+
+    /// Renders the report as JSON (hand-rolled — the workspace takes no
+    /// serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"cells\": {},\n", self.cells.len()));
+        out.push_str(&format!(
+            "  \"wall_seconds\": {:.6},\n",
+            self.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"cells_per_second\": {:.3},\n",
+            self.cells_per_second()
+        ));
+        out.push_str("  \"cell_seconds\": [\n");
+        for (i, (label, d)) in self.cells.iter().enumerate() {
+            let comma = if i + 1 == self.cells.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"cell\": \"{}\", \"seconds\": {:.6}}}{comma}\n",
+                escape(label),
+                d.as_secs_f64()
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+thread_local! {
+    /// One reusable simulation arena per worker thread (the main thread
+    /// counts as a worker when `jobs == 1`).
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::default());
+}
+
+/// Runs an arbitrary `(workload × cell)` grid on the pool and returns
+/// results grouped as `[workload][cell]`, plus the timing report.
+///
+/// `run` executes one cell; it receives the worker's reusable
+/// [`SimScratch`]. `label` names a cell for the report. Cells are
+/// independent, so any interleaving is allowed — results are reassembled
+/// in grid order, making the caller's output identical for every `jobs`.
+pub fn run_grid_with<C, F, L>(
+    name: &str,
+    workloads: &[PreparedWorkload],
+    cells: &[C],
+    jobs: usize,
+    run: F,
+    label: L,
+) -> (Vec<Vec<SimResult>>, SweepReport)
+where
+    C: Sync,
+    F: Fn(&PreparedWorkload, &C, &mut SimScratch) -> SimResult + Sync,
+    L: Fn(&C) -> String,
+{
+    let grid: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|wi| (0..cells.len()).map(move |ci| (wi, ci)))
+        .collect();
+    let started = Instant::now();
+    let timed = pool::parallel_map(grid, jobs, |_, (wi, ci)| {
+        let t0 = Instant::now();
+        let r = SCRATCH.with(|s| run(&workloads[wi], &cells[ci], &mut s.borrow_mut()));
+        (r, t0.elapsed())
+    });
+    let wall = started.elapsed();
+    let mut cell_times = Vec::with_capacity(timed.len());
+    let mut results: Vec<Vec<SimResult>> = Vec::with_capacity(workloads.len());
+    let mut it = timed.into_iter();
+    for w in workloads {
+        let mut row = Vec::with_capacity(cells.len());
+        for c in cells {
+            let (r, d) = it.next().expect("one result per grid cell");
+            cell_times.push((format!("{}/{}", w.name, label(c)), d));
+            row.push(r);
+        }
+        results.push(row);
+    }
+    let report = SweepReport {
+        name: name.to_string(),
+        jobs,
+        wall,
+        cells: cell_times,
+    };
+    (results, report)
+}
+
+/// Runs the standard figure grid (`cells` per workload) with the
+/// process-wide worker count ([`pool::resolve_jobs`]).
+pub fn sweep(
+    name: &str,
+    workloads: &[PreparedWorkload],
+    cells: &[Cell],
+) -> (Vec<Vec<SimResult>>, SweepReport) {
+    sweep_with_jobs(name, workloads, cells, pool::resolve_jobs())
+}
+
+/// [`sweep`] with an explicit worker count.
+pub fn sweep_with_jobs(
+    name: &str,
+    workloads: &[PreparedWorkload],
+    cells: &[Cell],
+    jobs: usize,
+) -> (Vec<Vec<SimResult>>, SweepReport) {
+    run_grid_with(
+        name,
+        workloads,
+        cells,
+        jobs,
+        |w, cell, scratch| match cell {
+            Cell::Baseline => w.run_baseline_with(scratch),
+            Cell::Static(p) => w.run_static_with(*p, scratch),
+            Cell::Reconv => w.run_reconv_with(scratch),
+        },
+        Cell::label,
+    )
+}
+
+/// The Figure 9 grid: baseline plus every individual-heuristic policy.
+/// Shared by the figure binary and the determinism test.
+pub fn figure9_cells() -> Vec<Cell> {
+    std::iter::once(Cell::Baseline)
+        .chain(Policy::figure9().iter().map(|&p| Cell::Static(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let report = SweepReport {
+            name: "unit \"test\"".to_string(),
+            jobs: 3,
+            wall: Duration::from_millis(1500),
+            cells: vec![
+                ("a/baseline".to_string(), Duration::from_millis(700)),
+                ("a/loop".to_string(), Duration::from_millis(800)),
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"name\": \"unit \\\"test\\\"\""));
+        assert!(json.contains("\"jobs\": 3"));
+        assert!(json.contains("\"cells\": 2"));
+        assert!(json.contains("\"wall_seconds\": 1.500000"));
+        assert!(json.contains("{\"cell\": \"a/loop\", \"seconds\": 0.800000}"));
+        assert!(!json.contains(",\n  ]"), "no trailing comma in array");
+        assert!(!json.contains(",\n}"), "no trailing comma in object");
+    }
+
+    #[test]
+    fn figure9_grid_has_baseline_plus_policies() {
+        let cells = figure9_cells();
+        assert_eq!(cells[0], Cell::Baseline);
+        assert_eq!(cells.len(), 1 + Policy::figure9().len());
+    }
+}

@@ -204,6 +204,22 @@ impl MachineConfig {
     pub fn is_multitask(&self) -> bool {
         self.max_tasks > 1
     }
+
+    /// The subset of the configuration that determines the replayed
+    /// branch-prediction outcomes: two configs with equal keys produce
+    /// identical `PredictionTrace`s for the same trace, so the prepared
+    /// trace can be shared between them (the superscalar baseline and the
+    /// PolyFlow machine differ only in task geometry and therefore share
+    /// a key). Must be kept in sync with what
+    /// [`PredictionTrace::compute`](crate::PredictionTrace::compute)
+    /// reads.
+    pub fn predictor_key(&self) -> (usize, usize, usize) {
+        (
+            self.gshare_index_bits,
+            self.gshare_history_bits,
+            self.ras_entries,
+        )
+    }
 }
 
 impl Default for MachineConfig {

@@ -59,7 +59,7 @@ pub mod timeline;
 pub use branch_pred::{Gshare, PredictionTrace, ReturnStack};
 pub use cache::{Cache, Hierarchy};
 pub use config::{CacheConfig, MachineConfig};
-pub use machine::{simulate, PreparedTrace};
+pub use machine::{simulate, simulate_with, PreparedTrace, SimScratch};
 pub use metrics::{SimResult, SpawnCounts, SpawnEvent};
 pub use spawn_source::{
     HintCacheSource, NoSpawn, ReconvSpawnSource, SpawnSource, StaticSpawnSource,

@@ -34,8 +34,9 @@ use crate::config::MachineConfig;
 use crate::metrics::SimResult;
 use crate::spawn_source::SpawnSource;
 use crate::store_set::{DependenceMode, StoreSetPredictor};
-use polyflow_isa::{Dataflow, InstClass, Trace};
+use polyflow_isa::{Dataflow, InstClass, PcIndex, Trace};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 const NOT_YET: u64 = u64::MAX;
 const OPEN_END: u32 = u32::MAX;
@@ -44,28 +45,111 @@ const PROFIT_MAX: i8 = 7;
 
 /// Analyses of a trace that are shared by every policy run: dataflow
 /// producers, the PC occurrence index, and branch-prediction outcomes.
-#[derive(Debug)]
-pub struct PreparedTrace<'t> {
-    /// The trace being replayed.
-    pub trace: &'t Trace,
-    /// Oracle dataflow (register and memory producers).
-    pub dataflow: Dataflow,
-    /// Dynamic occurrences of each static PC.
-    pub pc_index: polyflow_isa::PcIndex,
-    /// Replayed branch-prediction outcomes.
-    pub predictions: PredictionTrace,
+///
+/// Everything is reference-counted, so a `PreparedTrace` is cheap to
+/// clone and safe to share read-only across threads — the parallel sweep
+/// harness builds one per (workload, predictor configuration) and fans
+/// the policy cells out over it. The config-independent oracles (dataflow
+/// and PC index) can additionally be shared *across* predictor
+/// configurations via [`PreparedTrace::with_oracles`].
+#[derive(Debug, Clone)]
+pub struct PreparedTrace {
+    trace: Arc<Trace>,
+    dataflow: Arc<Dataflow>,
+    pc_index: Arc<PcIndex>,
+    predictions: Arc<PredictionTrace>,
 }
 
-impl<'t> PreparedTrace<'t> {
-    /// Precomputes everything `simulate` needs.
-    pub fn new(trace: &'t Trace, config: &MachineConfig) -> PreparedTrace<'t> {
+impl PreparedTrace {
+    /// Precomputes everything `simulate` needs. Clones the trace into
+    /// shared ownership; use [`PreparedTrace::from_arc`] to avoid the
+    /// copy when the caller already holds an `Arc<Trace>`.
+    pub fn new(trace: &Trace, config: &MachineConfig) -> PreparedTrace {
+        Self::from_arc(Arc::new(trace.clone()), config)
+    }
+
+    /// Precomputes everything `simulate` needs, without copying the trace.
+    pub fn from_arc(trace: Arc<Trace>, config: &MachineConfig) -> PreparedTrace {
+        let dataflow = Arc::new(trace.dataflow());
+        let pc_index = Arc::new(trace.pc_index());
+        Self::with_oracles(trace, dataflow, pc_index, config)
+    }
+
+    /// Builds a prepared trace from already-computed config-independent
+    /// oracles, computing only the branch-prediction replay (the sole
+    /// config-dependent part; see [`MachineConfig::predictor_key`]).
+    pub fn with_oracles(
+        trace: Arc<Trace>,
+        dataflow: Arc<Dataflow>,
+        pc_index: Arc<PcIndex>,
+        config: &MachineConfig,
+    ) -> PreparedTrace {
+        let predictions = Arc::new(PredictionTrace::compute(&trace, config));
         PreparedTrace {
             trace,
-            dataflow: trace.dataflow(),
-            pc_index: trace.pc_index(),
-            predictions: PredictionTrace::compute(trace, config),
+            dataflow,
+            pc_index,
+            predictions,
         }
     }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Shared ownership of the trace being replayed.
+    pub fn trace_arc(&self) -> Arc<Trace> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Oracle dataflow (register and memory producers).
+    pub fn dataflow(&self) -> &Dataflow {
+        &self.dataflow
+    }
+
+    /// Shared ownership of the dataflow oracle.
+    pub fn dataflow_arc(&self) -> Arc<Dataflow> {
+        Arc::clone(&self.dataflow)
+    }
+
+    /// Dynamic occurrences of each static PC.
+    pub fn pc_index(&self) -> &PcIndex {
+        &self.pc_index
+    }
+
+    /// Shared ownership of the PC occurrence index.
+    pub fn pc_index_arc(&self) -> Arc<PcIndex> {
+        Arc::clone(&self.pc_index)
+    }
+
+    /// Replayed branch-prediction outcomes.
+    pub fn predictions(&self) -> &PredictionTrace {
+        &self.predictions
+    }
+}
+
+/// Reusable simulation buffers.
+///
+/// One [`simulate`] call over an `n`-instruction trace allocates the
+/// per-instruction state table (the dominant allocation — tens of
+/// megabytes for the bundled workloads), the scheduler/divert/task
+/// vectors, and the feedback hash maps. A sweep that replays the same
+/// traces under many policies pays that cost for every cell; passing a
+/// `SimScratch` to [`simulate_with`] instead recycles the buffers from
+/// run to run (each worker thread of the parallel sweep harness keeps
+/// one). Results are bit-identical with or without scratch reuse — every
+/// buffer is fully reset before use.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    state: Vec<InstState>,
+    tasks: Vec<Task>,
+    sched: Vec<u32>,
+    divert: VecDeque<u32>,
+    ready: Vec<u32>,
+    eligible: Vec<usize>,
+    profit: std::collections::HashMap<polyflow_isa::Pc, (i8, u32)>,
+    hints: std::collections::HashMap<polyflow_isa::Pc, (Vec<polyflow_isa::Reg>, bool)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -150,9 +234,12 @@ impl Task {
 }
 
 /// The cycle-level machine. Create one per run via [`simulate`].
-struct Machine<'a, 't> {
+struct Machine<'a> {
     cfg: &'a MachineConfig,
-    pt: &'a PreparedTrace<'t>,
+    trace: &'a Trace,
+    dataflow: &'a Dataflow,
+    pc_index: &'a PcIndex,
+    predictions: &'a PredictionTrace,
     hier: Hierarchy,
     state: Vec<InstState>,
     tasks: Vec<Task>,
@@ -160,6 +247,10 @@ struct Machine<'a, 't> {
     rob_used: usize,
     sched: Vec<u32>,
     divert: VecDeque<u32>,
+    /// Per-cycle ready-list buffer, reused across `issue` calls.
+    ready: Vec<u32>,
+    /// Per-cycle fetch-schedule buffer, reused across `fetch` calls.
+    eligible: Vec<usize>,
     cycle: u64,
     stats: SimResult,
     last_retire_cycle: u64,
@@ -189,39 +280,83 @@ struct Machine<'a, 't> {
 /// period (an internal deadlock — indicates a simulator bug, never a
 /// property of the workload).
 pub fn simulate(
-    prepared: &PreparedTrace<'_>,
+    prepared: &PreparedTrace,
     config: &MachineConfig,
     source: &mut dyn SpawnSource,
+) -> SimResult {
+    simulate_with(prepared, config, source, &mut SimScratch::default())
+}
+
+/// [`simulate`], but recycling the run's buffers through `scratch`.
+///
+/// Semantically identical to `simulate` — the scratch only donates
+/// allocations (every buffer is cleared and resized before use) and
+/// receives them back when the run finishes. Sweeps that replay the same
+/// traces under many policies should keep one `SimScratch` per worker
+/// thread and pass it to every cell.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_with(
+    prepared: &PreparedTrace,
+    config: &MachineConfig,
+    source: &mut dyn SpawnSource,
+    scratch: &mut SimScratch,
 ) -> SimResult {
     let n = prepared.trace.len();
     if n == 0 {
         return SimResult::default();
     }
+    let mut state = std::mem::take(&mut scratch.state);
+    state.clear();
+    state.resize(n, InstState::default());
+    let mut tasks = std::mem::take(&mut scratch.tasks);
+    tasks.clear();
+    tasks.push(Task::new(0));
+    let mut sched = std::mem::take(&mut scratch.sched);
+    sched.clear();
+    sched.reserve(config.scheduler_entries);
+    let mut divert = std::mem::take(&mut scratch.divert);
+    divert.clear();
+    let mut ready = std::mem::take(&mut scratch.ready);
+    ready.clear();
+    let mut eligible = std::mem::take(&mut scratch.eligible);
+    eligible.clear();
+    let mut profit = std::mem::take(&mut scratch.profit);
+    profit.clear();
+    let mut hints = std::mem::take(&mut scratch.hints);
+    hints.clear();
     let mut m = Machine {
         cfg: config,
-        pt: prepared,
+        trace: prepared.trace(),
+        dataflow: prepared.dataflow(),
+        pc_index: prepared.pc_index(),
+        predictions: prepared.predictions(),
         hier: Hierarchy::new(config),
-        state: vec![InstState::default(); n],
-        tasks: vec![Task::new(0)],
+        state,
+        tasks,
         retire_ptr: 0,
         rob_used: 0,
-        sched: Vec::with_capacity(config.scheduler_entries),
-        divert: VecDeque::with_capacity(config.divert_entries),
+        sched,
+        divert,
+        ready,
+        eligible,
         cycle: 0,
         stats: SimResult::default(),
         last_retire_cycle: 0,
-        profit: std::collections::HashMap::new(),
+        profit,
         ssit: StoreSetPredictor::new(config.store_set_index_bits),
         rob_blocked_streak: 0,
-        hints: std::collections::HashMap::new(),
+        hints,
     };
     m.run(source);
-    m.finish()
+    m.finish_into(scratch)
 }
 
-impl Machine<'_, '_> {
+impl Machine<'_> {
     fn run(&mut self, source: &mut dyn SpawnSource) {
-        let n = self.pt.trace.len();
+        let n = self.trace.len();
         while self.retire_ptr < n {
             self.retire(source);
             if self.retire_ptr >= n {
@@ -297,37 +432,45 @@ impl Machine<'_, '_> {
         }
     }
 
-    fn finish(self) -> SimResult {
+    fn finish_into(self, scratch: &mut SimScratch) -> SimResult {
         let mut stats = self.stats;
         stats.cycles = self.cycle.max(1);
-        stats.instructions = self.pt.trace.len() as u64;
-        stats.branch_mispredicts = self.pt.predictions.cond_mispredicts();
-        stats.indirect_mispredicts = self.pt.predictions.indirect_mispredicts();
+        stats.instructions = self.trace.len() as u64;
+        stats.branch_mispredicts = self.predictions.cond_mispredicts();
+        stats.indirect_mispredicts = self.predictions.indirect_mispredicts();
         stats.l1i_misses = self.hier.l1i().misses();
         stats.l1d_misses = self.hier.l1d().misses();
         stats.l2_misses = self.hier.l2().misses();
+        scratch.state = self.state;
+        scratch.tasks = self.tasks;
+        scratch.sched = self.sched;
+        scratch.divert = self.divert;
+        scratch.ready = self.ready;
+        scratch.eligible = self.eligible;
+        scratch.profit = self.profit;
+        scratch.hints = self.hints;
         stats
     }
 
     /// All producers of `idx` (register sources plus, for loads, the
     /// producing store).
     fn producers(&self, idx: usize) -> impl Iterator<Item = u32> + '_ {
-        let [a, b] = self.pt.dataflow.reg_producers(idx);
-        let m = self.pt.dataflow.mem_producer(idx);
+        let [a, b] = self.dataflow.reg_producers(idx);
+        let m = self.dataflow.mem_producer(idx);
         [a, b, m].into_iter().flatten()
     }
 
     // ---- retire ------------------------------------------------------------
 
     fn retire(&mut self, source: &mut dyn SpawnSource) {
-        let n = self.pt.trace.len();
+        let n = self.trace.len();
         let mut retired = 0;
         while retired < self.cfg.width && self.retire_ptr < n {
             let s = &self.state[self.retire_ptr];
             if !(s.dispatched && s.done_at <= self.cycle) {
                 break;
             }
-            source.on_retire(self.pt.trace.entry(self.retire_ptr));
+            source.on_retire(self.trace.entry(self.retire_ptr));
             self.rob_used -= 1;
             self.tasks[0].inflight -= 1;
             self.retire_ptr += 1;
@@ -344,42 +487,48 @@ impl Machine<'_, '_> {
     // ---- issue ---------------------------------------------------------------
 
     fn issue(&mut self) {
-        // Collect ready entries, oldest first. Speculative loads ignore
-        // their (unsynchronized) memory producer for readiness.
-        let mut ready: Vec<u32> = self
-            .sched
-            .iter()
-            .copied()
-            .filter(|&idx| {
-                let st = self.state[idx as usize];
-                let [ra, rb] = self.pt.dataflow.reg_producers(idx as usize);
-                let mem = self.pt.dataflow.mem_producer(idx as usize);
-                let slot_ready = |p: Option<u32>, spec: bool| {
-                    spec || p
-                        .map(|p| self.state[p as usize].done_at <= self.cycle)
-                        .unwrap_or(true)
-                };
-                slot_ready(ra, st.reg_speculative[0])
-                    && slot_ready(rb, st.reg_speculative[1])
-                    && slot_ready(mem, st.mem_speculative)
-            })
-            .collect();
+        // Collect ready entries, oldest first, into the reused per-cycle
+        // buffer. Speculative loads ignore their (unsynchronized) memory
+        // producer for readiness.
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.clear();
+        for &idx in &self.sched {
+            let st = &self.state[idx as usize];
+            let [ra, rb] = self.dataflow.reg_producers(idx as usize);
+            let mem = self.dataflow.mem_producer(idx as usize);
+            let slot_ready = |p: Option<u32>, spec: bool| {
+                spec || p
+                    .map(|p| self.state[p as usize].done_at <= self.cycle)
+                    .unwrap_or(true)
+            };
+            if slot_ready(ra, st.reg_speculative[0])
+                && slot_ready(rb, st.reg_speculative[1])
+                && slot_ready(mem, st.mem_speculative)
+            {
+                ready.push(idx);
+            }
+        }
         ready.sort_unstable();
         ready.truncate(self.cfg.fn_units.min(self.cfg.width));
         if ready.is_empty() {
+            self.ready = ready;
             return;
         }
-        for &idx in &ready {
+        let mut pos = 0;
+        while pos < ready.len() {
+            let idx = ready[pos];
+            pos += 1;
             // A speculative load issuing before its true producer store is
             // a dependence violation: squash its task and all younger
             // tasks, train the predictor, and stop issuing this cycle
             // (younger scheduler entries may have just been squashed).
             if self.state[idx as usize].mem_speculative {
-                if let Some(p) = self.pt.dataflow.mem_producer(idx as usize) {
+                if let Some(p) = self.dataflow.mem_producer(idx as usize) {
                     if self.state[p as usize].done_at > self.cycle {
-                        let pc = self.pt.trace.entry(idx as usize).pc;
+                        let pc = self.trace.entry(idx as usize).pc;
                         self.ssit.train_violation(pc);
                         self.squash_task_containing(idx);
+                        self.ready = ready;
                         return;
                     }
                 }
@@ -389,8 +538,8 @@ impl Machine<'_, '_> {
             // still in flight.
             let reg_spec = self.state[idx as usize].reg_speculative;
             if reg_spec[0] || reg_spec[1] {
-                let [ra, rb] = self.pt.dataflow.reg_producers(idx as usize);
-                let srcs = self.pt.trace.entry(idx as usize).inst.srcs();
+                let [ra, rb] = self.dataflow.reg_producers(idx as usize);
+                let srcs = self.trace.entry(idx as usize).inst.srcs();
                 for (slot, p) in [(0, ra), (1, rb)] {
                     if !reg_spec[slot] {
                         continue;
@@ -400,11 +549,12 @@ impl Machine<'_, '_> {
                         self.stats.register_violations += 1;
                         self.train_hint(idx, srcs[slot]);
                         self.squash_task_containing(idx);
+                        self.ready = ready;
                         return;
                     }
                 }
             }
-            let e = self.pt.trace.entry(idx as usize);
+            let e = self.trace.entry(idx as usize);
             let latency = match e.class() {
                 InstClass::Load => self.hier.access_data(e.mem_addr.unwrap_or(0)),
                 InstClass::Store => {
@@ -421,6 +571,7 @@ impl Machine<'_, '_> {
             s.done_at = self.cycle + latency;
         }
         self.sched.retain(|idx| !self.state[*idx as usize].issued);
+        self.ready = ready;
     }
 
     // ---- divert queue ---------------------------------------------------------
@@ -505,8 +656,8 @@ impl Machine<'_, '_> {
                 // gates dispatch when the predictor says so; otherwise
                 // the load proceeds speculatively and may be squashed.
                 let task_start = self.tasks[ti].start;
-                let e = self.pt.trace.entry(idx as usize);
-                let mem_producer = self.pt.dataflow.mem_producer(idx as usize);
+                let e = self.trace.entry(idx as usize);
+                let mem_producer = self.dataflow.mem_producer(idx as usize);
                 let predict_mem_sync = match self.cfg.memory_dependence {
                     DependenceMode::OracleSync => true,
                     DependenceMode::StoreSet => self.ssit.predicts_dependent(e.pc),
@@ -519,7 +670,7 @@ impl Machine<'_, '_> {
                     state[p as usize].in_divert
                         || (sync && p < task_start && state[p as usize].done_at > self.cycle)
                 };
-                let [ra, rb] = self.pt.dataflow.reg_producers(idx as usize);
+                let [ra, rb] = self.dataflow.reg_producers(idx as usize);
                 // Hint-entry register model: an inter-task register
                 // dependence only synchronizes when the creating spawn
                 // point's hint entry names the register.
@@ -634,9 +785,11 @@ impl Machine<'_, '_> {
     // ---- fetch ---------------------------------------------------------------
 
     fn fetch(&mut self, source: &mut dyn SpawnSource) {
-        let n = self.pt.trace.len() as u32;
-        // Determine eligibility and clear resolved branch waits.
-        let mut eligible: Vec<usize> = Vec::with_capacity(self.tasks.len());
+        let n = self.trace.len() as u32;
+        // Determine eligibility (into the reused per-cycle buffer) and
+        // clear resolved branch waits.
+        let mut eligible = std::mem::take(&mut self.eligible);
+        eligible.clear();
         for ti in 0..self.tasks.len() {
             let end = self.tasks[ti].end.min(n);
             if self.tasks[ti].fetch_next >= end {
@@ -671,19 +824,16 @@ impl Machine<'_, '_> {
 
         let mut budget = self.cfg.width;
         let line_bytes = self.cfg.l1i.line_bytes as u64;
-        let mut queue = eligible;
-        while let Some(ti) = if queue.is_empty() {
-            None
-        } else {
-            Some(queue.remove(0))
-        } {
-            let eligible_rest = &mut queue;
+        let mut head = 0;
+        while head < eligible.len() {
+            let ti = eligible[head];
+            head += 1;
             while budget > 0 && self.tasks[ti].fq.len() < self.cfg.fetch_queue_entries {
                 let idx = self.tasks[ti].fetch_next;
                 if idx >= self.tasks[ti].end.min(n) {
                     break;
                 }
-                let e = self.pt.trace.entry(idx as usize);
+                let e = self.trace.entry(idx as usize);
                 // Instruction cache: access per line transition.
                 let line = e.pc.byte_addr() / line_bytes;
                 if line != self.tasks[ti].last_fetch_line {
@@ -714,7 +864,7 @@ impl Machine<'_, '_> {
                     // A non-tail insertion at ti+1 shifts every later
                     // task index; fix up the rest of this cycle's
                     // fetch schedule.
-                    for e in eligible_rest.iter_mut() {
+                    for e in eligible[head..].iter_mut() {
                         if *e > ti {
                             *e += 1;
                         }
@@ -725,7 +875,7 @@ impl Machine<'_, '_> {
                 // cycle; mispredictions stall this task until resolution.
                 match e.class() {
                     InstClass::CondBranch => {
-                        if self.pt.predictions.mispredicted(idx as usize) {
+                        if self.predictions.mispredicted(idx as usize) {
                             self.tasks[ti].waiting_branch = Some(idx);
                             break;
                         }
@@ -734,13 +884,13 @@ impl Machine<'_, '_> {
                         }
                     }
                     InstClass::Ret | InstClass::IndirectJump => {
-                        if self.pt.predictions.mispredicted(idx as usize) {
+                        if self.predictions.mispredicted(idx as usize) {
                             self.tasks[ti].waiting_branch = Some(idx);
                         }
                         break;
                     }
                     InstClass::Call => {
-                        if self.pt.predictions.mispredicted(idx as usize) {
+                        if self.predictions.mispredicted(idx as usize) {
                             self.tasks[ti].waiting_branch = Some(idx);
                         }
                         break;
@@ -750,6 +900,7 @@ impl Machine<'_, '_> {
                 }
             }
         }
+        self.eligible = eligible;
     }
 
     /// Debug invariant: a scheduler entry must never wait on a producer
@@ -758,8 +909,8 @@ impl Machine<'_, '_> {
     #[allow(dead_code)]
     fn assert_sched_entry_sane(&self, idx: u32, site: &str) {
         let st = self.state[idx as usize];
-        let [ra, rb] = self.pt.dataflow.reg_producers(idx as usize);
-        let mem = self.pt.dataflow.mem_producer(idx as usize);
+        let [ra, rb] = self.dataflow.reg_producers(idx as usize);
+        let mem = self.dataflow.mem_producer(idx as usize);
         let check = |p: Option<u32>, spec: bool, what: &str| {
             if let Some(p) = p {
                 assert!(
@@ -913,7 +1064,7 @@ impl Machine<'_, '_> {
     /// Returns true if a new task was inserted (always directly after
     /// `ti`).
     fn try_spawn(&mut self, ti: usize, idx: u32, source: &mut dyn SpawnSource) -> bool {
-        let e = self.pt.trace.entry(idx as usize);
+        let e = self.trace.entry(idx as usize);
         let Some((target, kind)) = source.spawn_at(e) else {
             return false;
         };
@@ -934,8 +1085,8 @@ impl Machine<'_, '_> {
                 }
             }
         }
-        let n = self.pt.trace.len() as u32;
-        let Some(tidx) = self.pt.pc_index.next_at_or_after(target, idx + 1) else {
+        let n = self.trace.len() as u32;
+        let Some(tidx) = self.pc_index.next_at_or_after(target, idx + 1) else {
             self.stats.spawns_rejected_distance += 1;
             return false;
         };
@@ -1122,6 +1273,60 @@ mod tests {
             pf.cycles,
             pf.total_spawns()
         );
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // Replaying different traces/policies through one SimScratch must
+        // give exactly the results of fresh-allocation runs.
+        let p1 = hard_hammock_program();
+        let p2 = counted_loop(300);
+        let t1 = execute_window(&p1, 150_000).unwrap().trace;
+        let t2 = execute_window(&p2, 150_000).unwrap().trace;
+        let ss = MachineConfig::superscalar();
+        let pf = MachineConfig::hpca07();
+        let analysis = ProgramAnalysis::analyze(&p1);
+
+        let mut scratch = SimScratch::default();
+        for _ in 0..2 {
+            for (trace, cfg) in [(&t1, &ss), (&t2, &ss), (&t1, &pf)] {
+                let prep = PreparedTrace::new(trace, cfg);
+                let fresh = simulate(&prep, cfg, &mut NoSpawn);
+                let reused = simulate_with(&prep, cfg, &mut NoSpawn, &mut scratch);
+                assert_eq!(fresh, reused);
+            }
+            let prep = PreparedTrace::new(&t1, &pf);
+            let table = analysis.spawn_table(Policy::Postdoms);
+            let fresh = simulate(&prep, &pf, &mut StaticSpawnSource::new(table.clone()));
+            let reused =
+                simulate_with(&prep, &pf, &mut StaticSpawnSource::new(table), &mut scratch);
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn shared_oracles_match_fresh_preparation() {
+        // A PreparedTrace assembled from shared oracles must be
+        // indistinguishable from one computed from scratch.
+        let p = hard_hammock_program();
+        let trace = execute_window(&p, 150_000).unwrap().trace;
+        let ss = MachineConfig::superscalar();
+        let pf = MachineConfig::hpca07();
+        assert_eq!(ss.predictor_key(), pf.predictor_key());
+
+        let fresh = PreparedTrace::new(&trace, &pf);
+        let shared = PreparedTrace::with_oracles(
+            fresh.trace_arc(),
+            fresh.dataflow_arc(),
+            fresh.pc_index_arc(),
+            &ss,
+        );
+        let analysis = ProgramAnalysis::analyze(&p);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        let a = simulate(&fresh, &pf, &mut src);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        let b = simulate(&shared, &pf, &mut src);
+        assert_eq!(a, b);
     }
 
     #[test]

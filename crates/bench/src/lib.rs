@@ -12,8 +12,8 @@ use polyflow_core::{Policy, ProgramAnalysis};
 use polyflow_isa::{execute_window, Dataflow, PcIndex, Program, Trace};
 use polyflow_reconv::ReconvConfig;
 use polyflow_sim::{
-    simulate_with, DependenceMode, MachineConfig, NoSpawn, PreparedTrace, ReconvSpawnSource,
-    SimResult, SimScratch, StaticSpawnSource,
+    simulate_traced, simulate_with, DependenceMode, MachineConfig, NoSpawn, PreparedTrace,
+    ReconvSpawnSource, SimResult, SimScratch, StaticSpawnSource, TraceSink,
 };
 use polyflow_workloads::Workload;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -121,6 +121,23 @@ impl PreparedWorkload {
         simulate_with(&self.prepared(&cfg), &cfg, &mut src, scratch)
     }
 
+    /// Runs one static policy (or the superscalar baseline for
+    /// [`Policy::None`]), streaming structured events to `sink`. Event
+    /// emission never perturbs the simulation, so the result is
+    /// bit-identical to [`run_static`](Self::run_static) /
+    /// [`run_baseline`](Self::run_baseline).
+    pub fn run_traced(&self, policy: Policy, sink: &mut dyn TraceSink) -> SimResult {
+        let mut scratch = SimScratch::default();
+        if policy == Policy::None {
+            let cfg = MachineConfig::superscalar();
+            simulate_traced(&self.prepared(&cfg), &cfg, &mut NoSpawn, &mut scratch, sink)
+        } else {
+            let cfg = polyflow_config();
+            let mut src = StaticSpawnSource::new(self.analysis.spawn_table(policy));
+            simulate_traced(&self.prepared(&cfg), &cfg, &mut src, &mut scratch, sink)
+        }
+    }
+
     /// Runs the dynamic reconvergence-predictor policy (cold predictor,
     /// trained online; §4.4).
     pub fn run_reconv(&self) -> SimResult {
@@ -193,6 +210,33 @@ pub fn cli_filter() -> Vec<String> {
     }
     filter
 }
+
+/// Parses a policy by its display name ([`Policy::name`]), as used on the
+/// `explain` command line. `"superscalar"` / `"baseline"` / `"none"` name
+/// the no-spawn baseline.
+pub fn parse_policy(s: &str) -> Option<Policy> {
+    match s {
+        "superscalar" | "baseline" | "none" => Some(Policy::None),
+        "loop" => Some(Policy::Loop),
+        "loopFT" => Some(Policy::LoopFt),
+        "procFT" => Some(Policy::ProcFt),
+        "hammock" => Some(Policy::Hammock),
+        "other" => Some(Policy::Other),
+        "postdoms" => Some(Policy::Postdoms),
+        _ => None,
+    }
+}
+
+/// The policy names [`parse_policy`] accepts (for usage messages).
+pub const POLICY_NAMES: &[&str] = &[
+    "superscalar",
+    "loop",
+    "loopFT",
+    "procFT",
+    "hammock",
+    "other",
+    "postdoms",
+];
 
 /// True if `--csv` was passed: figure binaries then emit
 /// machine-readable CSV instead of the aligned table.

@@ -54,6 +54,11 @@ impl Gshare {
     }
 
     /// Updates the counter and global history with the actual outcome.
+    ///
+    /// Must only be called for *conditional* branches: calls, returns and
+    /// indirect jumps have their own predictors, and shifting their
+    /// outcomes into the global history would alias unrelated counters
+    /// and skew the conditional misprediction rate.
     pub fn update(&mut self, pc: Pc, taken: bool) {
         let i = self.index(pc);
         let c = &mut self.counters[i];
@@ -63,6 +68,13 @@ impl Gshare {
             *c = c.saturating_sub(1);
         }
         self.history = ((self.history << 1) | taken as u64) & self.history_mask;
+    }
+
+    /// The current global history register (shifted only by conditional
+    /// branches — exposed so tests can audit that other instruction
+    /// classes never pollute it).
+    pub fn history(&self) -> u64 {
+        self.history
     }
 }
 
@@ -103,6 +115,7 @@ pub struct PredictionTrace {
     cond_branches: u64,
     cond_mispredicts: u64,
     indirect_mispredicts: u64,
+    final_history: u64,
 }
 
 impl PredictionTrace {
@@ -159,6 +172,7 @@ impl PredictionTrace {
             cond_branches,
             cond_mispredicts,
             indirect_mispredicts,
+            final_history: gshare.history(),
         }
     }
 
@@ -180,6 +194,13 @@ impl PredictionTrace {
     /// Mispredicted returns and indirect jumps/calls.
     pub fn indirect_mispredicts(&self) -> u64 {
         self.indirect_mispredicts
+    }
+
+    /// The gshare global-history register after the full pass — shifted
+    /// once per conditional branch and by nothing else (audited by the
+    /// call-heavy-trace test).
+    pub fn final_history(&self) -> u64 {
+        self.final_history
     }
 
     /// Conditional-branch misprediction rate in [0, 1].
@@ -295,6 +316,43 @@ mod tests {
         let pt = PredictionTrace::compute(&trace, &MachineConfig::hpca07());
         // All 50 returns hit in the RAS.
         assert_eq!(pt.indirect_mispredicts(), 0);
+    }
+
+    #[test]
+    fn call_heavy_trace_leaves_gshare_history_untouched() {
+        // A straight-line chain of calls/returns with no conditional
+        // branch at all: the gshare history register must stay 0. Calls,
+        // returns and indirect jumps are handled by the RAS / last-target
+        // table, and feeding them through `Gshare::update` would shift
+        // their outcomes into the global history, aliasing unrelated
+        // counters and skewing `cond_misp_rate`.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        for _ in 0..40 {
+            b.call("leaf");
+        }
+        b.halt();
+        b.end_function();
+        b.begin_function("leaf");
+        b.nop();
+        b.ret();
+        b.end_function();
+        let p = b.build().unwrap();
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let pt = PredictionTrace::compute(&trace, &MachineConfig::hpca07());
+        assert_eq!(pt.cond_branches(), 0);
+        assert_eq!(
+            pt.final_history(),
+            0,
+            "non-conditional control flow polluted the gshare history"
+        );
+        // And with conditional branches present, the history shifts
+        // exactly once per branch (low bits reflect the last outcomes).
+        let mut g = Gshare::new(10, 8);
+        g.update(Pc::new(4), true);
+        g.update(Pc::new(8), false);
+        g.update(Pc::new(12), true);
+        assert_eq!(g.history(), 0b101);
     }
 
     #[test]

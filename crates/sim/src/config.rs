@@ -205,6 +205,14 @@ impl MachineConfig {
         self.max_tasks > 1
     }
 
+    /// Task-context slots the cycle accountant charges each cycle: the
+    /// [`CycleAccount`](crate::CycleAccount) sum invariant is
+    /// `sum(buckets) == cycles × contexts()`. Equal to `max_tasks` (one
+    /// slot per hardware context, live or idle).
+    pub fn contexts(&self) -> u64 {
+        self.max_tasks as u64
+    }
+
     /// The subset of the configuration that determines the replayed
     /// branch-prediction outcomes: two configs with equal keys produce
     /// identical `PredictionTrace`s for the same trace, so the prepared

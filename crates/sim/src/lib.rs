@@ -47,19 +47,23 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod account;
 mod branch_pred;
 mod cache;
 mod config;
+pub mod events;
 mod machine;
 mod metrics;
 mod spawn_source;
 mod store_set;
 pub mod timeline;
 
+pub use account::{Bucket, CycleAccount, TaskAccount};
 pub use branch_pred::{Gshare, PredictionTrace, ReturnStack};
 pub use cache::{Cache, Hierarchy};
 pub use config::{CacheConfig, MachineConfig};
-pub use machine::{simulate, simulate_with, PreparedTrace, SimScratch};
+pub use events::{JsonlSink, NullSink, RingSink, SimEvent, TraceSink};
+pub use machine::{simulate, simulate_traced, simulate_with, PreparedTrace, SimScratch};
 pub use metrics::{SimResult, SpawnCounts, SpawnEvent};
 pub use spawn_source::{
     HintCacheSource, NoSpawn, ReconvSpawnSource, SpawnSource, StaticSpawnSource,

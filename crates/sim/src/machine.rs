@@ -28,9 +28,11 @@
 //!   and feeds the retirement stream to the spawn source (training the
 //!   reconvergence predictor online, §4.4).
 
+use crate::account::{Bucket, CycleAccount};
 use crate::branch_pred::PredictionTrace;
 use crate::cache::Hierarchy;
 use crate::config::MachineConfig;
+use crate::events::{NullSink, SimEvent, TraceSink};
 use crate::metrics::SimResult;
 use crate::spawn_source::SpawnSource;
 use crate::store_set::{DependenceMode, StoreSetPredictor};
@@ -186,6 +188,19 @@ impl Default for InstState {
     }
 }
 
+/// Why a task's fetch is parked until [`Task::fetch_resume_at`]: the
+/// cycle-accounting layer attributes the wait to the matching bucket (the
+/// seed lumped all three causes into `fetch_stall_icache_cycles`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResumeKind {
+    /// Instruction-cache fill in progress.
+    Icache,
+    /// Post-squash recovery penalty.
+    Squash,
+    /// Task Spawn Unit context setup for a fresh task.
+    Spawn,
+}
+
 #[derive(Debug)]
 struct Task {
     start: u32,
@@ -196,6 +211,22 @@ struct Task {
     fq: VecDeque<u32>,
     inflight: usize,
     last_fetch_line: u64,
+    /// Dynamic task uid — index into [`CycleAccount::tasks`].
+    uid: u32,
+    /// This task's instructions currently sitting in the divert queue.
+    divert_count: u32,
+    /// Why fetch is parked until `fetch_resume_at`.
+    resume_reason: ResumeKind,
+    /// Cycle-accounting bucket recorded by this cycle's fetch stage, if
+    /// fetch stalled (cleared by the end-of-cycle accounting pass).
+    stall_flag: Option<Bucket>,
+    /// Structural-contention marker for this cycle: dispatch or fetch hit
+    /// a full resource (cleared by the accounting pass).
+    blocked: bool,
+    /// The stall episode currently open for this task in the event
+    /// stream (drives `StallBegin`/`StallEnd` emission; tracked only
+    /// when tracing is enabled).
+    active_stall: Option<Bucket>,
     /// Trigger PC of the spawn this task performed as tail, if any; used
     /// by the profitability feedback.
     spawn_trigger: Option<polyflow_isa::Pc>,
@@ -224,6 +255,12 @@ impl Task {
             fq: VecDeque::new(),
             inflight: 0,
             last_fetch_line: u64::MAX,
+            uid: 0,
+            divert_count: 0,
+            resume_reason: ResumeKind::Icache,
+            stall_flag: None,
+            blocked: false,
+            active_stall: None,
             spawn_trigger: None,
             created_by: None,
             safe_mode: false,
@@ -269,6 +306,12 @@ struct Machine<'a> {
     /// entry, tasks from this trigger synchronize *everything* (they
     /// start in safe mode).
     hints: std::collections::HashMap<polyflow_isa::Pc, (Vec<polyflow_isa::Reg>, bool)>,
+    /// The run's cycle-slot ledger (always on; see `crate::account`).
+    account: CycleAccount,
+    /// Structured-event consumer.
+    sink: &'a mut dyn TraceSink,
+    /// Cached `sink.enabled()`: when false, events are never constructed.
+    trace_on: bool,
 }
 
 /// Runs `prepared` through the machine described by `config`, spawning
@@ -303,6 +346,27 @@ pub fn simulate_with(
     config: &MachineConfig,
     source: &mut dyn SpawnSource,
     scratch: &mut SimScratch,
+) -> SimResult {
+    simulate_traced(prepared, config, source, scratch, &mut NullSink)
+}
+
+/// [`simulate_with`], additionally streaming structured [`SimEvent`]s to
+/// `sink` (see `crate::events`).
+///
+/// Event emission never feeds back into simulation state, so the
+/// returned [`SimResult`] is bit-identical for every sink; with the
+/// default [`NullSink`] (`enabled() == false`) events are not even
+/// constructed.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_traced(
+    prepared: &PreparedTrace,
+    config: &MachineConfig,
+    source: &mut dyn SpawnSource,
+    scratch: &mut SimScratch,
+    sink: &mut dyn TraceSink,
 ) -> SimResult {
     let n = prepared.trace.len();
     if n == 0 {
@@ -349,6 +413,9 @@ pub fn simulate_with(
         ssit: StoreSetPredictor::new(config.store_set_index_bits),
         rob_blocked_streak: 0,
         hints,
+        account: CycleAccount::new(config.max_tasks),
+        trace_on: sink.enabled(),
+        sink,
     };
     m.run(source);
     m.finish_into(scratch)
@@ -375,6 +442,7 @@ impl Machine<'_> {
                 self.rob_blocked_streak = 0;
             }
             self.fetch(source);
+            self.account_cycle();
             self.cycle += 1;
             if self.cycle - self.last_retire_cycle >= 500_000 {
                 let s = self.state[self.retire_ptr];
@@ -432,10 +500,71 @@ impl Machine<'_> {
         }
     }
 
+    /// End-of-cycle accounting: charges one cycle-slot per context to
+    /// exactly one [`Bucket`] (see `crate::account` for the taxonomy and
+    /// priority), and emits `StallBegin`/`StallEnd` events on episode
+    /// transitions when tracing is enabled. Pure bookkeeping — never
+    /// feeds back into timing.
+    fn account_cycle(&mut self) {
+        let live = self.tasks.len();
+        for ti in 0..live {
+            let (uid, bucket, prev, cur) = {
+                let t = &mut self.tasks[ti];
+                let bucket = if let Some(b) = t.stall_flag {
+                    b
+                } else if t.divert_count > 0 {
+                    Bucket::DivertWait
+                } else if t.blocked {
+                    Bucket::Contention
+                } else {
+                    Bucket::Retire
+                };
+                t.stall_flag = None;
+                t.blocked = false;
+                let prev = t.active_stall;
+                let cur = if bucket.is_stall() {
+                    Some(bucket)
+                } else {
+                    None
+                };
+                t.active_stall = cur;
+                (t.uid, bucket, prev, cur)
+            };
+            self.account.charge(uid, bucket);
+            if self.trace_on && prev != cur {
+                if let Some(b) = prev {
+                    let ev = SimEvent::StallEnd {
+                        cycle: self.cycle,
+                        task: uid,
+                        bucket: b,
+                    };
+                    self.sink.event(&ev);
+                }
+                if let Some(b) = cur {
+                    let ev = SimEvent::StallBegin {
+                        cycle: self.cycle,
+                        task: uid,
+                        bucket: b,
+                    };
+                    self.sink.event(&ev);
+                }
+            }
+        }
+        self.account
+            .charge_idle(self.cfg.max_tasks.saturating_sub(live) as u64);
+    }
+
     fn finish_into(self, scratch: &mut SimScratch) -> SimResult {
         let mut stats = self.stats;
         stats.cycles = self.cycle.max(1);
         stats.instructions = self.trace.len() as u64;
+        let mut account = self.account;
+        account.cycles = self.cycle;
+        #[cfg(debug_assertions)]
+        if let Err(e) = account.check() {
+            panic!("{e}");
+        }
+        stats.account = account;
         stats.branch_mispredicts = self.predictions.cond_mispredicts();
         stats.indirect_mispredicts = self.predictions.indirect_mispredicts();
         stats.l1i_misses = self.hier.l1i().misses();
@@ -481,6 +610,14 @@ impl Machine<'_> {
                 debug_assert_eq!(self.tasks[0].inflight, 0);
                 self.tasks.remove(0);
             }
+        }
+        if self.trace_on && retired > 0 {
+            let ev = SimEvent::RetireBatch {
+                cycle: self.cycle,
+                count: retired as u32,
+                retire_ptr: self.retire_ptr as u32,
+            };
+            self.sink.event(&ev);
         }
     }
 
@@ -607,6 +744,13 @@ impl Machine<'_> {
                 self.divert.remove(i);
                 let s = &mut self.state[idx as usize];
                 s.in_divert = false;
+                let owner = self
+                    .tasks
+                    .iter_mut()
+                    .find(|t| t.start == task_start)
+                    .expect("a divert entry's owner task is live");
+                debug_assert!(owner.divert_count > 0);
+                owner.divert_count -= 1;
                 self.sched.push(idx);
                 if cfg!(debug_assertions) {
                     self.assert_sched_entry_sane(idx, "divert-release");
@@ -643,6 +787,7 @@ impl Machine<'_> {
                     if ti == 0 {
                         self.rob_blocked_streak += 1;
                     }
+                    self.tasks[ti].blocked = true;
                     break;
                 }
                 // Divert if any inter-task producer has not yet produced
@@ -739,6 +884,7 @@ impl Machine<'_> {
                 }
                 if needs_divert {
                     if self.divert.len() >= self.cfg.divert_entries {
+                        self.tasks[ti].blocked = true;
                         break;
                     }
                     self.divert.push_back(idx);
@@ -750,6 +896,15 @@ impl Machine<'_> {
                     st.mem_speculative = mem_speculative;
                     st.reg_speculative = reg_speculative;
                     self.stats.diverted += 1;
+                    self.tasks[ti].divert_count += 1;
+                    if self.trace_on {
+                        let ev = SimEvent::Divert {
+                            cycle: self.cycle,
+                            task: self.tasks[ti].uid,
+                            index: idx,
+                        };
+                        self.sink.event(&ev);
+                    }
                 } else {
                     // Reserve scheduler slots: one for divert release, one
                     // for the oldest task.
@@ -759,6 +914,7 @@ impl Machine<'_> {
                         self.cfg.scheduler_entries.saturating_sub(2)
                     };
                     if self.sched.len() >= sched_limit {
+                        self.tasks[ti].blocked = true;
                         break;
                     }
                     self.sched.push(idx);
@@ -805,21 +961,44 @@ impl Machine<'_> {
                 } else {
                     self.stats.fetch_stall_branch_cycles += 1;
                     self.tasks[ti].stall_since_spawn += 1;
+                    self.tasks[ti].stall_flag = Some(Bucket::BranchStall);
                     continue;
                 }
             }
             if self.cycle < self.tasks[ti].fetch_resume_at {
-                self.stats.fetch_stall_icache_cycles += 1;
+                // Attribute the wait to its cause (the seed charged all
+                // three to `fetch_stall_icache_cycles`, inflating the
+                // icache figure on squash- or spawn-heavy runs).
+                match self.tasks[ti].resume_reason {
+                    ResumeKind::Icache => {
+                        self.stats.fetch_stall_icache_cycles += 1;
+                        self.tasks[ti].stall_flag = Some(Bucket::IcacheStall);
+                    }
+                    ResumeKind::Squash => {
+                        self.stats.squash_recovery_cycles += 1;
+                        self.tasks[ti].stall_flag = Some(Bucket::SquashRecovery);
+                    }
+                    ResumeKind::Spawn => {
+                        self.stats.spawn_setup_cycles += 1;
+                        self.tasks[ti].stall_flag = Some(Bucket::SpawnSetup);
+                    }
+                }
                 self.tasks[ti].stall_since_spawn += 1;
                 continue;
             }
             if self.tasks[ti].fq.len() >= self.cfg.fetch_queue_entries {
+                self.tasks[ti].blocked = true;
                 continue;
             }
             eligible.push(ti);
         }
         // Biased ICount: fewest in-flight instructions first (§3.2).
         eligible.sort_by_key(|&ti| self.tasks[ti].inflight);
+        // Tasks beyond the per-cycle fetch port limit lose arbitration
+        // this cycle (a structural stall, not a pipeline one).
+        for &ti in eligible.iter().skip(self.cfg.fetch_tasks_per_cycle) {
+            self.tasks[ti].blocked = true;
+        }
         eligible.truncate(self.cfg.fetch_tasks_per_cycle);
 
         let mut budget = self.cfg.width;
@@ -840,6 +1019,7 @@ impl Machine<'_> {
                     let lat = self.hier.access_ifetch(e.pc.byte_addr());
                     if lat > self.cfg.l1_hit_latency {
                         self.tasks[ti].fetch_resume_at = self.cycle + lat;
+                        self.tasks[ti].resume_reason = ResumeKind::Icache;
                         self.tasks[ti].last_fetch_line = line;
                         break;
                     }
@@ -970,6 +1150,7 @@ impl Machine<'_> {
             .map(|t| t.fetch_next)
             .max()
             .unwrap_or(start);
+        let mut discarded = 0u64;
         for i in start..max_fetched {
             let st = &mut self.state[i as usize];
             if st.fetched_at != NOT_YET {
@@ -977,14 +1158,24 @@ impl Machine<'_> {
                     self.rob_used -= 1;
                 }
                 *st = InstState::default();
+                discarded += 1;
             }
         }
         self.sched.retain(|&i| i < start);
         self.divert.retain(|&i| i < start);
-        self.tasks.pop();
+        let popped = self.tasks.pop().expect("tail task exists");
         let tail = self.tasks.last_mut().expect("older task remains");
         tail.end = OPEN_END;
         self.stats.rob_reclaims += 1;
+        if self.trace_on {
+            let ev = SimEvent::Squash {
+                cycle: self.cycle,
+                task: popped.uid,
+                discarded,
+                reclaim: true,
+            };
+            self.sink.event(&ev);
+        }
     }
 
     /// Squashes the task containing trace index `idx` and every younger
@@ -1029,12 +1220,26 @@ impl Machine<'_> {
         t.inflight = 0;
         t.waiting_branch = None;
         t.fetch_resume_at = self.cycle + self.cfg.squash_penalty;
+        t.resume_reason = ResumeKind::Squash;
         t.last_fetch_line = u64::MAX;
         t.spawn_trigger = None;
         t.stall_since_spawn = 0;
         t.profit_evaluated = false;
+        t.divert_count = 0;
+        t.stall_flag = None;
+        t.blocked = false;
+        let uid = t.uid;
         self.stats.squashes += 1;
         self.stats.squashed_instructions += discarded;
+        if self.trace_on {
+            let ev = SimEvent::Squash {
+                cycle: self.cycle,
+                task: uid,
+                discarded,
+                reclaim: false,
+            };
+            self.sink.event(&ev);
+        }
     }
 
     /// Scores a completed spawner: if it stalled while its spawned task
@@ -1121,6 +1326,16 @@ impl Machine<'_> {
             .map(|(_, saturated)| *saturated)
             .unwrap_or(false);
         t.fetch_resume_at = self.cycle + self.cfg.spawn_overhead_cycles;
+        t.resume_reason = ResumeKind::Spawn;
+        t.uid = self.account.add_task(tidx, e.pc, kind, self.cycle);
+        // The creation cycle is itself spawn-setup time: the new context
+        // exists but cannot fetch until the overhead elapses. Charging it
+        // here keeps `spawn_setup_cycles` equal to the SpawnSetup bucket.
+        if self.cfg.spawn_overhead_cycles > 0 {
+            t.stall_flag = Some(Bucket::SpawnSetup);
+            self.stats.spawn_setup_cycles += 1;
+        }
+        let uid = t.uid;
         self.tasks.insert(ti + 1, t);
         self.stats.spawns.add(kind);
         self.stats.max_live_tasks = self.stats.max_live_tasks.max(self.tasks.len());
@@ -1132,6 +1347,18 @@ impl Machine<'_> {
             kind,
             live_tasks: self.tasks.len() as u8,
         });
+        if self.trace_on {
+            let ev = SimEvent::Spawn {
+                cycle: self.cycle,
+                task: uid,
+                trigger: e.pc,
+                target,
+                target_index: tidx,
+                kind,
+                live_tasks: self.tasks.len() as u8,
+            };
+            self.sink.event(&ev);
+        }
         true
     }
 }

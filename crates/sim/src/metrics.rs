@@ -1,5 +1,6 @@
 //! Simulation results and derived metrics.
 
+use crate::account::{Bucket, CycleAccount};
 use polyflow_core::SpawnKind;
 use polyflow_isa::Pc;
 use std::fmt;
@@ -45,8 +46,16 @@ pub struct SimResult {
     /// Cycles any task spent with fetch stalled on a branch resolution.
     pub fetch_stall_branch_cycles: u64,
     /// Cycles any task spent with fetch stalled on an instruction-cache
-    /// fill.
+    /// fill (cache fills only — squash recovery and spawn setup have
+    /// their own counters; the seed lumped all three in here).
     pub fetch_stall_icache_cycles: u64,
+    /// Cycles any task spent refetching after a dependence-violation
+    /// squash (the `squash_penalty` waits).
+    pub squash_recovery_cycles: u64,
+    /// Cycles freshly spawned tasks spent waiting out the Task Spawn
+    /// Unit's context-setup overhead (`spawn_overhead_cycles` per spawn,
+    /// fewer if the task is squashed mid-setup).
+    pub spawn_setup_cycles: u64,
     /// L1 instruction-cache misses.
     pub l1i_misses: u64,
     /// L1 data-cache misses.
@@ -72,6 +81,9 @@ pub struct SimResult {
     pub max_live_tasks: usize,
     /// Every dynamic spawn, in order (see [`SpawnEvent`]).
     pub spawn_log: Vec<SpawnEvent>,
+    /// The run's cycle-slot ledger: every `cycles × contexts` slot
+    /// attributed to exactly one [`Bucket`] (see `crate::account`).
+    pub account: CycleAccount,
 }
 
 impl SimResult {
@@ -105,6 +117,105 @@ impl SimResult {
     pub fn total_spawns(&self) -> u64 {
         self.spawns.total()
     }
+
+    /// JSON encoding of the result including the full [`CycleAccount`]
+    /// (hand-rolled writer — the workspace takes no serde dependency).
+    /// The spawn log is summarized as a count; use the event trace for
+    /// per-spawn detail.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        out.push_str(&format!("  \"instructions\": {},\n", self.instructions));
+        out.push_str(&format!("  \"ipc\": {:.4},\n", self.ipc()));
+        out.push_str(&format!(
+            "  \"spawns\": {{\"loop\": {}, \"loop_ft\": {}, \"proc_ft\": {}, \
+             \"hammock\": {}, \"other\": {}, \"total\": {}}},\n",
+            self.spawns.loop_spawns,
+            self.spawns.loop_ft,
+            self.spawns.proc_ft,
+            self.spawns.hammocks,
+            self.spawns.other,
+            self.spawns.total()
+        ));
+        for (key, v) in [
+            ("spawns_rejected_distance", self.spawns_rejected_distance),
+            ("spawns_rejected_contexts", self.spawns_rejected_contexts),
+            (
+                "spawns_rejected_unprofitable",
+                self.spawns_rejected_unprofitable,
+            ),
+            ("branch_mispredicts", self.branch_mispredicts),
+            ("indirect_mispredicts", self.indirect_mispredicts),
+            ("fetch_stall_branch_cycles", self.fetch_stall_branch_cycles),
+            ("fetch_stall_icache_cycles", self.fetch_stall_icache_cycles),
+            ("squash_recovery_cycles", self.squash_recovery_cycles),
+            ("spawn_setup_cycles", self.spawn_setup_cycles),
+            ("l1i_misses", self.l1i_misses),
+            ("l1d_misses", self.l1d_misses),
+            ("l2_misses", self.l2_misses),
+            ("diverted", self.diverted),
+            ("squashes", self.squashes),
+            ("squashed_instructions", self.squashed_instructions),
+            ("rob_reclaims", self.rob_reclaims),
+            ("register_violations", self.register_violations),
+            ("hint_capacity_misses", self.hint_capacity_misses),
+            ("max_live_tasks", self.max_live_tasks as u64),
+            ("spawn_log_len", self.spawn_log.len() as u64),
+        ] {
+            out.push_str(&format!("  \"{key}\": {v},\n"));
+        }
+        out.push_str("  \"account\": {\n");
+        out.push_str(&format!(
+            "    \"contexts\": {},\n    \"cycles\": {},\n",
+            self.account.contexts, self.account.cycles
+        ));
+        out.push_str(&format!(
+            "    \"total_slots\": {},\n",
+            self.account.total_slots()
+        ));
+        out.push_str(&format!(
+            "    \"buckets\": {},\n",
+            buckets_json(|b| self.account.bucket(b))
+        ));
+        out.push_str("    \"tasks\": [\n");
+        for (uid, t) in self.account.tasks.iter().enumerate() {
+            let comma = if uid + 1 == self.account.tasks.len() {
+                ""
+            } else {
+                ","
+            };
+            let created_by = t
+                .created_by
+                .map(|pc| format!("\"{pc}\""))
+                .unwrap_or_else(|| "null".into());
+            let kind = t
+                .kind
+                .map(|k| format!("\"{k}\""))
+                .unwrap_or_else(|| "null".into());
+            out.push_str(&format!(
+                "      {{\"uid\": {uid}, \"start_index\": {}, \"created_by\": {created_by}, \
+                 \"kind\": {kind}, \"spawn_cycle\": {}, \"total\": {}, \"stalled\": {}, \
+                 \"buckets\": {}}}{comma}\n",
+                t.start_index,
+                t.spawn_cycle,
+                t.total(),
+                t.stalled(),
+                buckets_json(|b| t.buckets[b.index()])
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+}
+
+/// One-line `{"retire": n, ...}` object over every [`Bucket`].
+fn buckets_json(count: impl Fn(Bucket) -> u64) -> String {
+    let fields: Vec<String> = Bucket::ALL
+        .iter()
+        .map(|&b| format!("\"{}\": {}", b.label(), count(b)))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
 }
 
 impl fmt::Display for SimResult {

@@ -11,11 +11,12 @@
 //! Usage: `ablations [--jobs N] [workload ...]` (default: a 4-benchmark
 //! subset).
 
-use polyflow_bench::sweep::run_grid_with;
+use polyflow_bench::sweep::{report_failures, run_grid_with};
 use polyflow_bench::{pool, PreparedWorkload};
 use polyflow_core::Policy;
 use polyflow_sim::{
-    simulate_with, DependenceMode, HintCacheSource, MachineConfig, SimScratch, StaticSpawnSource,
+    try_simulate_with, DependenceMode, HintCacheSource, MachineConfig, SimError, SimScratch,
+    StaticSpawnSource,
 };
 
 /// One ablation row: a machine-config variant, or the hint-cache capacity
@@ -29,17 +30,17 @@ fn run_variant(
     w: &PreparedWorkload,
     v: &Variant,
     scratch: &mut SimScratch,
-) -> polyflow_sim::SimResult {
+) -> Result<polyflow_sim::SimResult, SimError> {
     let inner = StaticSpawnSource::new(w.analysis.spawn_table(Policy::Postdoms));
     match v {
         Variant::Config(cfg) => {
             let mut src = inner;
-            simulate_with(&w.prepared(cfg), cfg, &mut src, scratch)
+            try_simulate_with(&w.prepared(cfg), cfg, &mut src, scratch)
         }
         Variant::HintCache(entries) => {
             let cfg = MachineConfig::hpca07();
             let mut src = HintCacheSource::new(inner, *entries, 4);
-            simulate_with(&w.prepared(&cfg), &cfg, &mut src, scratch)
+            try_simulate_with(&w.prepared(&cfg), &cfg, &mut src, scratch)
         }
     }
 }
@@ -163,7 +164,7 @@ fn main() {
         pool::resolve_jobs(),
         |w, &ci, scratch| {
             if ci == 0 {
-                w.run_baseline_with(scratch)
+                w.try_run_baseline_with(scratch)
             } else {
                 run_variant(w, &rows[ci - 1].1, scratch)
             }
@@ -183,7 +184,15 @@ fn main() {
         for row in &grid {
             total += row[ci + 1].speedup_percent_over(&row[0]);
         }
-        println!("{label}{:6.1}%", total / workloads.len() as f64);
+        let avg = total / workloads.len() as f64;
+        if avg.is_nan() {
+            println!("{label}FAILED");
+        } else {
+            println!("{label}{avg:6.1}%");
+        }
     }
     report.emit();
+    if report_failures(&grid) {
+        std::process::exit(1);
+    }
 }

@@ -2,7 +2,8 @@
 //! policy (loop, loopFT, procFT, hammock, other, postdoms) over the
 //! equivalent-resource superscalar, with superscalar IPCs per benchmark.
 //!
-//! Usage: `fig09_individual_heuristics [--jobs N] [--csv] [workload ...]`
+//! Usage: `fig09_individual_heuristics [--jobs N] [--max-cycles N] [--csv]
+//! [workload ...]`
 //! (default: all 12 workloads, one worker per available CPU).
 
 use polyflow_bench::sweep::{figure9_cells, sweep};
@@ -39,4 +40,7 @@ fn main() {
         );
     }
     report.emit();
+    if polyflow_bench::sweep::report_failures(&grid) {
+        std::process::exit(1);
+    }
 }

@@ -2,7 +2,8 @@
 //! loopFT + procFT, loop + procFT + loopFT) versus full postdominator
 //! spawning, as speedup over the superscalar.
 //!
-//! Usage: `fig10_combinations [--jobs N] [--csv] [workload ...]`
+//! Usage: `fig10_combinations [--jobs N] [--max-cycles N] [--csv]
+//! [workload ...]`
 //! (default: all 12).
 
 use polyflow_bench::sweep::{sweep, Cell};
@@ -35,6 +36,9 @@ fn main() {
     if csv_requested() {
         print_speedup_csv(&rows, &columns);
         report.emit();
+        if polyflow_bench::sweep::report_failures(&grid) {
+            std::process::exit(1);
+        }
         return;
     }
     print_speedup_table(
@@ -56,4 +60,7 @@ fn main() {
         100.0 * (avg[3] - best_combo) / best_combo.max(1e-9)
     );
     report.emit();
+    if polyflow_bench::sweep::report_failures(&grid) {
+        std::process::exit(1);
+    }
 }

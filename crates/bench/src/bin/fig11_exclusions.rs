@@ -2,7 +2,8 @@
 //! superscalar) when one spawn category is excluded from the full
 //! postdominator set. Positive loss = the excluded category mattered.
 //!
-//! Usage: `fig11_exclusions [--jobs N] [workload ...]` (default: all 12).
+//! Usage: `fig11_exclusions [--jobs N] [--max-cycles N] [workload ...]`
+//! (default: all 12).
 
 use polyflow_bench::sweep::{sweep, Cell};
 use polyflow_bench::{cli_filter, prepare_all};
@@ -25,6 +26,7 @@ fn main() {
     }
     println!();
     let mut sums = [0.0f64; 4];
+    let mut counts = [0usize; 4];
     for (w, row) in workloads.iter().zip(&grid) {
         let base = &row[0];
         let full = row[1].speedup_percent_over(base);
@@ -32,16 +34,25 @@ fn main() {
         for (i, r) in row[2..].iter().enumerate() {
             let without = r.speedup_percent_over(base);
             // Loss normalized to superscalar IPC, as in the paper: the
-            // drop in speedup percentage points.
+            // drop in speedup percentage points. NaN = a failed cell.
             let loss = full - without;
-            sums[i] += loss;
-            print!(" {loss:>21.1}%");
+            if loss.is_nan() {
+                print!(" {:>22}", "FAILED");
+            } else {
+                sums[i] += loss;
+                counts[i] += 1;
+                print!(" {loss:>21.1}%");
+            }
         }
         println!();
     }
     print!("{:<12}", "Average");
-    for s in sums {
-        print!(" {:>21.1}%", s / workloads.len() as f64);
+    for (s, n) in sums.iter().zip(counts) {
+        if n == 0 {
+            print!(" {:>22}", "FAILED");
+        } else {
+            print!(" {:>21.1}%", s / n as f64);
+        }
     }
     println!();
     println!();
@@ -52,4 +63,7 @@ fn main() {
          occasionally helps a benchmark that is receptive to one kind, §4.3.)"
     );
     report.emit();
+    if polyflow_bench::sweep::report_failures(&grid) {
+        std::process::exit(1);
+    }
 }

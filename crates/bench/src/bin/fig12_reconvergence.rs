@@ -2,7 +2,8 @@
 //! predictor (trained online on the retirement stream, §4.4) versus
 //! compiler-generated immediate postdominators.
 //!
-//! Usage: `fig12_reconvergence [--jobs N] [--csv] [workload ...]`
+//! Usage: `fig12_reconvergence [--jobs N] [--max-cycles N] [--csv]
+//! [workload ...]`
 //! (default: all 12).
 
 use polyflow_bench::sweep::{sweep, Cell};
@@ -30,6 +31,9 @@ fn main() {
     if csv_requested() {
         print_speedup_csv(&rows, &columns);
         report.emit();
+        if polyflow_bench::sweep::report_failures(&grid) {
+            std::process::exit(1);
+        }
         return;
     }
     print_speedup_table(
@@ -44,4 +48,7 @@ fn main() {
          the forward-analysis predictor cannot learn, §4.4.)"
     );
     report.emit();
+    if polyflow_bench::sweep::report_failures(&grid) {
+        std::process::exit(1);
+    }
 }

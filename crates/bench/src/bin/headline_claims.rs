@@ -96,4 +96,7 @@ fn main() {
         }
     );
     report.emit();
+    if polyflow_bench::sweep::report_failures(&grid) {
+        std::process::exit(1);
+    }
 }

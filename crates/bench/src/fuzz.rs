@@ -1,0 +1,656 @@
+//! Differential fuzzing and fault injection for the whole pipeline.
+//!
+//! Two modes, both driven by a fixed-seed [`SplitMix64`] stream so every
+//! failure reproduces from its seed alone (hermetic — no system entropy):
+//!
+//! * **Differential** ([`fuzz_one`]): generate a random-but-well-formed
+//!   structured program, require the static verifier to accept it, then
+//!   cross-check every independent path through the pipeline — batch
+//!   interpretation vs. single-stepping (architectural state and trace
+//!   must agree exactly), assembler round-trip (`to_asm` →
+//!   `parse_program` → identical trace), trace validation, and the cycle
+//!   model under both the superscalar baseline and `postdoms` PolyFlow
+//!   configurations (full retirement and the
+//!   `sum(buckets) == cycles × contexts` ledger invariant).
+//!
+//! * **Fault injection** ([`Fault`], [`inject_and_check`]): corrupt the
+//!   known-good trace with one operator per [`TraceError`] class — bit
+//!   flips on successor PCs, dropped/bogus effective addresses, flipped
+//!   taken bits, mid-trace halts, tail truncation, out-of-program PCs,
+//!   and instruction substitution — and assert the corruption surfaces
+//!   as the *expected* structured error from the appropriate validation
+//!   tier, and that nothing panics.
+//!
+//! The `fuzz` binary drives both modes; `corpus/fuzz_corpus.txt` is the
+//! checked-in regression corpus replayed by CI and the `fuzz_replay`
+//! integration test.
+
+use polyflow_core::{verify, Policy, ProgramAnalysis, VerifyOptions};
+use polyflow_isa::rng::SplitMix64;
+use polyflow_isa::{
+    execute_window, parse_program, to_asm, AluOp, Cond, Inst, InstClass, Interpreter, Pc, Program,
+    ProgramBuilder, Reg, Trace, TraceError,
+};
+use polyflow_sim::{
+    try_simulate, MachineConfig, NoSpawn, PreparedTrace, SimError, StaticSpawnSource,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Interpreter step budget per generated program (every generated
+/// program halts well inside it).
+pub const WINDOW: u64 = 120_000;
+
+/// Cycle budget for the fuzz simulations: generous for any `WINDOW`-sized
+/// trace, but a hard stop if the machine ever livelocks on a generated
+/// program.
+pub const FUZZ_MAX_CYCLES: u64 = 4_000_000;
+
+/// One structured statement of a generated program (mirrors the shapes
+/// the paper's heuristics target: straight-line work, hammocks, counted
+/// loops, calls, and shared-memory traffic).
+#[derive(Debug, Clone, Copy)]
+enum Stmt {
+    Work(u8),
+    Hammock(u8, u8),
+    Loop(u8, u8),
+    Call,
+    Shared,
+}
+
+fn random_stmt(rng: &mut SplitMix64) -> Stmt {
+    match rng.below(5) {
+        0 => Stmt::Work(1 + rng.below(7) as u8),
+        1 => Stmt::Hammock(1 + rng.below(5) as u8, 1 + rng.below(5) as u8),
+        2 => Stmt::Loop(1 + rng.below(4) as u8, 1 + rng.below(4) as u8),
+        3 => Stmt::Call,
+        _ => Stmt::Shared,
+    }
+}
+
+/// Generates the seed's program: a bounded outer loop around a statement
+/// list that always contains at least one hammock (an unconditional
+/// `jmp`), one call/return pair, and one load/store pair — so every
+/// fault-injection operator has an applicable site — plus a random tail.
+pub fn random_program(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed);
+    let mut stmts = vec![Stmt::Shared, Stmt::Hammock(2, 3), Stmt::Call];
+    let extra = rng.index(6);
+    for _ in 0..extra {
+        stmts.push(random_stmt(&mut rng));
+    }
+    let outer = rng.range_i64(4, 24);
+
+    let mut b = ProgramBuilder::new();
+    let data = b.alloc_data(&[0xABCD_1234_5678_9EFF]);
+    let shared = b.alloc_data(&[1]);
+    b.begin_function("main");
+    let top = b.fresh_label("outer");
+    b.li(Reg::R9, 0);
+    b.li(Reg::R20, data as i64);
+    b.li(Reg::R21, shared as i64);
+    b.bind_label(top);
+    b.load(Reg::R11, Reg::R20, 0);
+    b.alu(AluOp::Xor, Reg::R11, Reg::R11, Reg::R9);
+    for (si, s) in stmts.iter().enumerate() {
+        match *s {
+            Stmt::Work(n) => {
+                for _ in 0..n {
+                    b.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+                }
+            }
+            Stmt::Hammock(t, e) => {
+                let els = b.fresh_label("els");
+                let join = b.fresh_label("join");
+                b.alui(AluOp::Srl, Reg::R13, Reg::R11, (si % 48) as i64);
+                b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+                b.br_imm(Cond::Eq, Reg::R13, 0, els);
+                for _ in 0..t {
+                    b.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+                }
+                b.jmp(join);
+                b.bind_label(els);
+                for _ in 0..e {
+                    b.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+                }
+                b.bind_label(join);
+            }
+            Stmt::Loop(iters, body) => {
+                let ltop = b.fresh_label("ltop");
+                b.li(Reg::R5, 0);
+                b.bind_label(ltop);
+                for _ in 0..body {
+                    b.alui(AluOp::Add, Reg::R6, Reg::R6, 1);
+                }
+                b.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+                b.br_imm(Cond::Lt, Reg::R5, iters as i64, ltop);
+            }
+            Stmt::Call => {
+                b.alui(AluOp::Add, Reg::SP, Reg::SP, -8);
+                b.store(Reg::RA, Reg::SP, 0);
+                b.call("leaf");
+                b.load(Reg::RA, Reg::SP, 0);
+                b.alui(AluOp::Add, Reg::SP, Reg::SP, 8);
+            }
+            Stmt::Shared => {
+                b.load(Reg::R7, Reg::R21, 0);
+                b.alui(AluOp::Mul, Reg::R7, Reg::R7, 3);
+                b.store(Reg::R7, Reg::R21, 0);
+            }
+        }
+    }
+    b.alui(AluOp::Add, Reg::R9, Reg::R9, 1);
+    b.br_imm(Cond::Lt, Reg::R9, outer, top);
+    b.halt();
+    b.end_function();
+    b.begin_function("leaf");
+    b.alui(AluOp::Add, Reg::R26, Reg::R26, 1);
+    b.alui(AluOp::Mul, Reg::R26, Reg::R26, 5);
+    b.ret();
+    b.end_function();
+    b.build().expect("generated program is structurally valid")
+}
+
+/// One trace-corruption operator, one per [`TraceError`] class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Rewrite an entry's `next_pc` off the actual successor.
+    Discontinuity,
+    /// Drop the effective address of a load or store.
+    DropMemAddr,
+    /// Attach a bogus effective address to an ALU entry.
+    BogusMemAddr,
+    /// Mark a non-control entry taken.
+    TakenAlu,
+    /// Mark an unconditional transfer not-taken.
+    NotTakenJump,
+    /// Overwrite a mid-trace entry's instruction with `halt`.
+    MidHalt,
+    /// Drop the final (halt) entry.
+    TruncateTail,
+    /// Point the first entry's `pc` outside the program text.
+    BogusPc,
+    /// Perturb an immediate so the recorded instruction no longer
+    /// matches the program text (structurally invisible).
+    InstSwap,
+}
+
+impl Fault {
+    /// Every operator, in a fixed order (the fault mode applies them
+    /// all, so coverage does not depend on the seed).
+    pub const ALL: [Fault; 9] = [
+        Fault::Discontinuity,
+        Fault::DropMemAddr,
+        Fault::BogusMemAddr,
+        Fault::TakenAlu,
+        Fault::NotTakenJump,
+        Fault::MidHalt,
+        Fault::TruncateTail,
+        Fault::BogusPc,
+        Fault::InstSwap,
+    ];
+}
+
+/// Picks a random index of `trace` satisfying `pred`, or None.
+fn pick_index(
+    trace: &Trace,
+    rng: &mut SplitMix64,
+    pred: impl Fn(usize, InstClass) -> bool,
+) -> Option<usize> {
+    let hits: Vec<usize> = trace
+        .entries()
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| pred(*i, e.class()))
+        .map(|(i, _)| i)
+        .collect();
+    if hits.is_empty() {
+        None
+    } else {
+        Some(hits[rng.index(hits.len())])
+    }
+}
+
+/// Applies `fault` to `trace`, returning the corrupted index (None if the
+/// trace offers no applicable site — impossible for [`random_program`]
+/// traces except in principle).
+fn inject(
+    trace: &mut Trace,
+    fault: Fault,
+    program: &Program,
+    rng: &mut SplitMix64,
+) -> Option<usize> {
+    let len = trace.len();
+    if len < 3 {
+        return None;
+    }
+    match fault {
+        Fault::Discontinuity => {
+            // Not the final entry: the chain check needs a successor.
+            let i = rng.index(len - 1);
+            let actual = trace.entry(i + 1).pc;
+            trace.entries_mut()[i].next_pc = actual.next();
+            Some(i)
+        }
+        Fault::DropMemAddr => {
+            let i = pick_index(trace, rng, |_, c| {
+                matches!(c, InstClass::Load | InstClass::Store)
+            })?;
+            trace.entries_mut()[i].mem_addr = None;
+            Some(i)
+        }
+        Fault::BogusMemAddr => {
+            let i = pick_index(trace, rng, |_, c| c == InstClass::Alu)?;
+            trace.entries_mut()[i].mem_addr = Some(rng.next_u64());
+            Some(i)
+        }
+        Fault::TakenAlu => {
+            let i = pick_index(trace, rng, |_, c| c == InstClass::Alu)?;
+            trace.entries_mut()[i].taken = true;
+            Some(i)
+        }
+        Fault::NotTakenJump => {
+            let i = pick_index(trace, rng, |_, c| {
+                matches!(c, InstClass::Jump | InstClass::Call | InstClass::Ret)
+            })?;
+            trace.entries_mut()[i].taken = false;
+            Some(i)
+        }
+        Fault::MidHalt => {
+            // An ALU entry strictly before the end becomes a halt; the
+            // structural pass flags it before any class-specific check.
+            let i = pick_index(trace, rng, |i, c| c == InstClass::Alu && i + 1 < len)?;
+            trace.entries_mut()[i].inst = Inst::Halt;
+            Some(i)
+        }
+        Fault::TruncateTail => {
+            trace.truncate(len - 1);
+            Some(len - 1)
+        }
+        Fault::BogusPc => {
+            // Entry 0: its pc participates in no predecessor's chain
+            // check, so the corruption is structurally invisible and only
+            // the program-relative tier can catch it.
+            trace.entries_mut()[0].pc = Pc::new(program.len() as u32 + 100);
+            Some(0)
+        }
+        Fault::InstSwap => {
+            let i = pick_index(trace, rng, |_, c| c == InstClass::Alu)?;
+            let e = &mut trace.entries_mut()[i];
+            e.inst = match e.inst {
+                Inst::AluI { op, rd, rs, imm } => Inst::AluI {
+                    op,
+                    rd,
+                    rs,
+                    imm: imm.wrapping_add(1),
+                },
+                Inst::Li { rd, imm } => Inst::Li {
+                    rd,
+                    imm: imm.wrapping_add(1),
+                },
+                Inst::Alu { op, rd, rs, rt } => Inst::AluI {
+                    op,
+                    rd,
+                    rs,
+                    imm: rt.index() as i64,
+                },
+                other => other,
+            };
+            Some(i)
+        }
+    }
+}
+
+/// Corrupts a clone of `trace` with `fault` and checks that the
+/// corruption surfaces as the expected structured error — and that no
+/// tier of the pipeline (validation, trace preparation, simulation)
+/// panics on the corrupted input.
+pub fn inject_and_check(
+    program: &Program,
+    trace: &Trace,
+    fault: Fault,
+    rng: &mut SplitMix64,
+) -> Result<(), String> {
+    let mut corrupted = trace.clone();
+    let Some(idx) = inject(&mut corrupted, fault, program, rng) else {
+        return Err(format!("{fault:?}: no applicable site in the trace"));
+    };
+
+    let fail = |msg: String| Err(format!("{fault:?} at entry {idx}: {msg}"));
+
+    // Tier 1: the targeted validator must report the expected class.
+    let structural = corrupted.validate();
+    match fault {
+        Fault::Discontinuity => {
+            if !matches!(structural, Err(TraceError::Discontinuity { index, .. }) if index == idx) {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+        }
+        Fault::DropMemAddr => {
+            if structural != Err(TraceError::MissingMemAddr { index: idx }) {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+        }
+        Fault::BogusMemAddr => {
+            if structural != Err(TraceError::UnexpectedMemAddr { index: idx }) {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+        }
+        Fault::TakenAlu => {
+            if structural != Err(TraceError::TakenNonControl { index: idx }) {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+        }
+        Fault::NotTakenJump => {
+            if structural != Err(TraceError::NotTakenUnconditional { index: idx }) {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+        }
+        Fault::MidHalt => {
+            if structural != Err(TraceError::HaltNotLast { index: idx }) {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+        }
+        Fault::TruncateTail => {
+            // A truncated trace is a legal *window*; only the
+            // completeness tier flags it.
+            if structural.is_err() {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+            match corrupted.validate_complete() {
+                Err(TraceError::Truncated { .. }) => {}
+                other => return fail(format!("validate_complete() returned {other:?}")),
+            }
+        }
+        Fault::BogusPc => {
+            if structural.is_err() {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+            match corrupted.validate_against(program) {
+                Err(TraceError::PcOutOfProgram { index, .. }) if index == idx => {}
+                other => return fail(format!("validate_against() returned {other:?}")),
+            }
+        }
+        Fault::InstSwap => {
+            if structural.is_err() {
+                return fail(format!("validate() returned {structural:?}"));
+            }
+            match corrupted.validate_against(program) {
+                Err(TraceError::InstMismatch { index, .. }) if index == idx => {}
+                other => return fail(format!("validate_against() returned {other:?}")),
+            }
+        }
+    }
+
+    // Tier 2: feeding the corrupted trace to the simulator must never
+    // panic; structurally-detectable corruption must come back as
+    // `SimError::MalformedTrace`.
+    let structurally_bad = structural.is_err();
+    let analysis = ProgramAnalysis::analyze(program);
+    for multitask in [false, true] {
+        let mut cfg = if multitask {
+            MachineConfig::hpca07()
+        } else {
+            MachineConfig::superscalar()
+        };
+        cfg.max_cycles = FUZZ_MAX_CYCLES;
+        let table = analysis.spawn_table(Policy::Postdoms);
+        let sim = catch_unwind(AssertUnwindSafe(|| {
+            let prepared = PreparedTrace::new(&corrupted, &cfg);
+            if multitask {
+                let mut src = StaticSpawnSource::new(table.clone());
+                try_simulate(&prepared, &cfg, &mut src)
+            } else {
+                try_simulate(&prepared, &cfg, &mut NoSpawn)
+            }
+        }));
+        match sim {
+            Err(_) => return fail("simulator panicked on corrupted trace".to_string()),
+            Ok(Err(SimError::MalformedTrace(_))) if structurally_bad => {}
+            Ok(other) if structurally_bad => {
+                return fail(format!(
+                    "expected SimError::MalformedTrace, got {:?}",
+                    other.map(|r| r.cycles)
+                ));
+            }
+            // Structurally-clean corruption (truncation, program-relative
+            // faults) may simulate; it just must not panic.
+            Ok(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full differential check for one seed; in `faults` mode,
+/// additionally applies every fault operator to the seed's trace.
+/// Returns a description of the first divergence found.
+pub fn fuzz_one(seed: u64, faults: bool) -> Result<(), String> {
+    catch_unwind(AssertUnwindSafe(|| fuzz_one_inner(seed, faults)))
+        .unwrap_or_else(|p| {
+            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(format!("panicked: {msg}"))
+        })
+        .map_err(|e| format!("seed {seed:#x}: {e}"))
+}
+
+fn fuzz_one_inner(seed: u64, faults: bool) -> Result<(), String> {
+    let program = random_program(seed);
+
+    // The static verifier must accept every generated program.
+    let analysis = ProgramAnalysis::analyze(&program);
+    let report = verify(&program, &analysis, &VerifyOptions::default());
+    if !report.is_clean() {
+        return Err(format!(
+            "verifier rejected generated program: {} diagnostics",
+            report.diagnostics.len()
+        ));
+    }
+
+    // Differential 1: batch run vs. single-stepping. Architectural state
+    // and the retirement trace must agree exactly.
+    let mut batch = Interpreter::new(&program);
+    let run = batch
+        .run(WINDOW)
+        .map_err(|e| format!("batch interpreter failed: {e}"))?;
+    if !run.halted {
+        return Err(format!("program did not halt in {WINDOW} steps"));
+    }
+    let mut stepper = Interpreter::new(&program);
+    let mut stepped = Trace::new();
+    while !stepper.is_halted() {
+        match stepper.step() {
+            Ok(Some(e)) => stepped.push(e),
+            Ok(None) => break,
+            Err(e) => return Err(format!("stepping interpreter failed: {e}")),
+        }
+        if stepped.len() as u64 > WINDOW {
+            return Err("stepping interpreter overran the window".to_string());
+        }
+    }
+    if run.trace.entries() != stepped.entries() {
+        return Err(format!(
+            "batch and stepped traces diverge (len {} vs {})",
+            run.trace.len(),
+            stepped.len()
+        ));
+    }
+    for r in Reg::ALL {
+        if batch.reg(r) != stepper.reg(r) {
+            return Err(format!(
+                "architectural divergence at {r:?}: {:#x} vs {:#x}",
+                batch.reg(r),
+                stepper.reg(r)
+            ));
+        }
+    }
+    for e in run.trace.entries() {
+        if let Some(addr) = e.mem_addr {
+            if batch.memory().read(addr) != stepper.memory().read(addr) {
+                return Err(format!("memory divergence at address {addr:#x}"));
+            }
+        }
+    }
+
+    // Differential 2: assembler round-trip preserves execution exactly.
+    let text = to_asm(&program);
+    let reparsed = parse_program(&text).map_err(|e| format!("round-trip parse failed: {e}"))?;
+    let rerun = execute_window(&reparsed, WINDOW)
+        .map_err(|e| format!("round-tripped program failed: {e}"))?;
+    if rerun.trace.entries() != run.trace.entries() {
+        return Err("assembler round-trip changed the trace".to_string());
+    }
+
+    // The emitted trace passes every validation tier.
+    run.trace
+        .validate_against(&program)
+        .map_err(|e| format!("emitted trace failed validation: {e}"))?;
+    run.trace
+        .validate_complete()
+        .map_err(|e| format!("emitted trace failed completeness: {e}"))?;
+
+    // Cycle model: full retirement and a balanced ledger under both
+    // machine geometries.
+    for multitask in [false, true] {
+        let mut cfg = if multitask {
+            MachineConfig::hpca07()
+        } else {
+            MachineConfig::superscalar()
+        };
+        cfg.max_cycles = FUZZ_MAX_CYCLES;
+        let prepared = PreparedTrace::new(&run.trace, &cfg);
+        let label = if multitask { "postdoms" } else { "baseline" };
+        let result = if multitask {
+            let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+            try_simulate(&prepared, &cfg, &mut src)
+        } else {
+            try_simulate(&prepared, &cfg, &mut NoSpawn)
+        }
+        .map_err(|e| format!("{label} simulation failed: {e}"))?;
+        if result.instructions as usize != run.trace.len() {
+            return Err(format!(
+                "{label}: retired {} of {} instructions",
+                result.instructions,
+                run.trace.len()
+            ));
+        }
+        if result.account.total_slots() != result.cycles * cfg.contexts() {
+            return Err(format!(
+                "{label}: ledger imbalance: {} slots != {} cycles × {} contexts",
+                result.account.total_slots(),
+                result.cycles,
+                cfg.contexts()
+            ));
+        }
+    }
+
+    // Fault mode: every operator, every seed.
+    if faults {
+        let mut rng = SplitMix64::new(seed ^ 0xFA17);
+        for fault in Fault::ALL {
+            inject_and_check(&program, &run.trace, fault, &mut rng)?;
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a multi-seed fuzz run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Seeds executed.
+    pub seeds_run: u64,
+    /// One line per failing seed (already prefixed with the seed).
+    pub failures: Vec<String>,
+}
+
+/// Fuzzes seeds `seed0 .. seed0 + count`, collecting every failure.
+pub fn fuzz_range(seed0: u64, count: u64, faults: bool) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for seed in seed0..seed0.saturating_add(count) {
+        report.seeds_run += 1;
+        if let Err(e) = fuzz_one(seed, faults) {
+            report.failures.push(e);
+        }
+    }
+    report
+}
+
+/// Replays a regression corpus: one `<seed> <differential|faults>` pair
+/// per line (`#` comments and blank lines ignored; seeds decimal or
+/// `0x`-hex). Returns the report, or the first parse error.
+pub fn replay_corpus(text: &str) -> Result<FuzzReport, String> {
+    let mut report = FuzzReport::default();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let seed_tok = parts
+            .next()
+            .ok_or_else(|| format!("line {}: empty", ln + 1))?;
+        let seed = parse_seed(seed_tok)
+            .ok_or_else(|| format!("line {}: bad seed `{seed_tok}`", ln + 1))?;
+        let faults = match parts.next() {
+            Some("faults") => true,
+            Some("differential") | None => false,
+            Some(other) => return Err(format!("line {}: bad mode `{other}`", ln + 1)),
+        };
+        report.seeds_run += 1;
+        if let Err(e) = fuzz_one(seed, faults) {
+            report.failures.push(e);
+        }
+    }
+    Ok(report)
+}
+
+/// Parses a decimal or `0x`-prefixed hex seed.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_seed_passes_differential_and_faults() {
+        fuzz_one(0x7357, true).unwrap();
+    }
+
+    #[test]
+    fn every_fault_operator_finds_a_site() {
+        let program = random_program(0x5eed);
+        let run = execute_window(&program, WINDOW).unwrap();
+        let mut rng = SplitMix64::new(0xFA17);
+        for fault in Fault::ALL {
+            inject_and_check(&program, &run.trace, fault, &mut rng)
+                .unwrap_or_else(|e| panic!("{fault:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_parser_accepts_both_modes_and_comments() {
+        let report = replay_corpus("# comment\n\n0x7357 faults\n3 differential\n4\n").unwrap();
+        assert_eq!(report.seeds_run, 3);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(replay_corpus("zzz faults").is_err());
+        assert!(replay_corpus("1 sideways").is_err());
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("10"), Some(10));
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

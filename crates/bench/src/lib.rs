@@ -12,12 +12,14 @@ use polyflow_core::{Policy, ProgramAnalysis};
 use polyflow_isa::{execute_window, Dataflow, PcIndex, Program, Trace};
 use polyflow_reconv::ReconvConfig;
 use polyflow_sim::{
-    simulate_traced, simulate_with, DependenceMode, MachineConfig, NoSpawn, PreparedTrace,
-    ReconvSpawnSource, SimResult, SimScratch, StaticSpawnSource, TraceSink,
+    simulate_traced, simulate_with, try_simulate_with, DependenceMode, MachineConfig, NoSpawn,
+    PreparedTrace, ReconvSpawnSource, SimError, SimResult, SimScratch, StaticSpawnSource,
+    TraceSink,
 };
 use polyflow_workloads::Workload;
 use std::sync::{Arc, Mutex, OnceLock};
 
+pub mod fuzz;
 pub mod pool;
 pub mod stopwatch;
 pub mod sweep;
@@ -105,8 +107,16 @@ impl PreparedWorkload {
 
     /// [`run_baseline`](Self::run_baseline) with a reusable scratch arena.
     pub fn run_baseline_with(&self, scratch: &mut SimScratch) -> SimResult {
-        let cfg = MachineConfig::superscalar();
+        let cfg = superscalar_config();
         simulate_with(&self.prepared(&cfg), &cfg, &mut NoSpawn, scratch)
+    }
+
+    /// Fallible [`run_baseline_with`](Self::run_baseline_with): watchdog
+    /// trips and malformed traces come back as [`SimError`] instead of a
+    /// panic. Used by the sweep engine's fault-isolated cells.
+    pub fn try_run_baseline_with(&self, scratch: &mut SimScratch) -> Result<SimResult, SimError> {
+        let cfg = superscalar_config();
+        try_simulate_with(&self.prepared(&cfg), &cfg, &mut NoSpawn, scratch)
     }
 
     /// Runs one static policy on the PolyFlow machine.
@@ -121,6 +131,17 @@ impl PreparedWorkload {
         simulate_with(&self.prepared(&cfg), &cfg, &mut src, scratch)
     }
 
+    /// Fallible [`run_static_with`](Self::run_static_with).
+    pub fn try_run_static_with(
+        &self,
+        policy: Policy,
+        scratch: &mut SimScratch,
+    ) -> Result<SimResult, SimError> {
+        let cfg = polyflow_config();
+        let mut src = StaticSpawnSource::new(self.analysis.spawn_table(policy));
+        try_simulate_with(&self.prepared(&cfg), &cfg, &mut src, scratch)
+    }
+
     /// Runs one static policy (or the superscalar baseline for
     /// [`Policy::None`]), streaming structured events to `sink`. Event
     /// emission never perturbs the simulation, so the result is
@@ -129,7 +150,7 @@ impl PreparedWorkload {
     pub fn run_traced(&self, policy: Policy, sink: &mut dyn TraceSink) -> SimResult {
         let mut scratch = SimScratch::default();
         if policy == Policy::None {
-            let cfg = MachineConfig::superscalar();
+            let cfg = superscalar_config();
             simulate_traced(&self.prepared(&cfg), &cfg, &mut NoSpawn, &mut scratch, sink)
         } else {
             let cfg = polyflow_config();
@@ -150,6 +171,49 @@ impl PreparedWorkload {
         let mut src = ReconvSpawnSource::new(ReconvConfig::default());
         simulate_with(&self.prepared(&cfg), &cfg, &mut src, scratch)
     }
+
+    /// Fallible [`run_reconv_with`](Self::run_reconv_with).
+    pub fn try_run_reconv_with(&self, scratch: &mut SimScratch) -> Result<SimResult, SimError> {
+        let cfg = polyflow_config();
+        let mut src = ReconvSpawnSource::new(ReconvConfig::default());
+        try_simulate_with(&self.prepared(&cfg), &cfg, &mut src, scratch)
+    }
+}
+
+/// The hard cycle budget every figure binary honors: `--max-cycles N`
+/// (or `--max-cycles=N`) on the command line, else the
+/// `POLYFLOW_MAX_CYCLES` environment variable, else unlimited
+/// (`u64::MAX`). Read once per process; a run that exceeds the budget
+/// fails with [`SimError::CyclesExceeded`] and the sweep engine marks
+/// its cell `FAILED` instead of hanging the figure.
+pub fn resolve_max_cycles() -> u64 {
+    static MAX: OnceLock<u64> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--max-cycles" {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    return n;
+                }
+            } else if let Some(n) = a.strip_prefix("--max-cycles=").and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        }
+        std::env::var("POLYFLOW_MAX_CYCLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(u64::MAX)
+    })
+}
+
+/// The superscalar baseline configuration with the process-wide cycle
+/// budget ([`resolve_max_cycles`]) applied. The budget does not affect
+/// the predictor key, so prepared traces stay shared with the PolyFlow
+/// configuration.
+fn superscalar_config() -> MachineConfig {
+    let mut cfg = MachineConfig::superscalar();
+    cfg.max_cycles = resolve_max_cycles();
+    cfg
 }
 
 /// The PolyFlow machine configuration used by the figure binaries:
@@ -169,6 +233,7 @@ pub fn polyflow_config() -> MachineConfig {
             if std::env::var("POLYFLOW_STORE_SETS").is_ok_and(|v| v == "1") {
                 cfg.memory_dependence = DependenceMode::StoreSet;
             }
+            cfg.max_cycles = resolve_max_cycles();
             cfg
         })
         .clone()
@@ -189,8 +254,8 @@ pub fn prepare_all_jobs(filter: &[String], jobs: usize) -> Vec<PreparedWorkload>
     pool::parallel_map(selected, jobs, |_, w| PreparedWorkload::prepare(w))
 }
 
-/// Parses CLI args as an optional workload filter (flags and the value of
-/// `--jobs` are not workload names).
+/// Parses CLI args as an optional workload filter (flags and the values
+/// of `--jobs` and `--max-cycles` are not workload names).
 pub fn cli_filter() -> Vec<String> {
     let mut filter = Vec::new();
     let mut skip_value = false;
@@ -199,7 +264,7 @@ pub fn cli_filter() -> Vec<String> {
             skip_value = false;
             continue;
         }
-        if a == "--jobs" {
+        if a == "--jobs" || a == "--max-cycles" {
             skip_value = true;
             continue;
         }
@@ -245,11 +310,27 @@ pub fn csv_requested() -> bool {
 }
 
 /// Renders a speedup table as CSV (`benchmark,ss_ipc,<columns...>`).
+/// NaN entries — cells the sweep engine marked failed — render as the
+/// literal `FAILED` so a degraded figure is machine-detectable.
 pub fn speedup_csv(rows: &[(String, f64, Vec<f64>)], columns: &[String]) -> String {
     let mut out = format!("benchmark,ss_ipc,{}\n", columns.join(","));
     for (name, ipc, speedups) in rows {
-        let vals: Vec<String> = speedups.iter().map(|s| format!("{s:.2}")).collect();
-        out.push_str(&format!("{name},{ipc:.3},{}\n", vals.join(",")));
+        let vals: Vec<String> = speedups
+            .iter()
+            .map(|s| {
+                if s.is_nan() {
+                    "FAILED".to_string()
+                } else {
+                    format!("{s:.2}")
+                }
+            })
+            .collect();
+        let ipc = if ipc.is_nan() {
+            "FAILED".to_string()
+        } else {
+            format!("{ipc:.3}")
+        };
+        out.push_str(&format!("{name},{ipc},{}\n", vals.join(",")));
     }
     out
 }
@@ -261,7 +342,9 @@ pub fn print_speedup_csv(rows: &[(String, f64, Vec<f64>)], columns: &[String]) {
 
 /// Prints a speedup table: one row per workload, one column per policy,
 /// with a geometric-mean-free arithmetic average row (the paper averages
-/// arithmetically).
+/// arithmetically). NaN entries — failed sweep cells — render as
+/// `FAILED` and are excluded from the column average (an all-failed
+/// column averages to `FAILED` too).
 pub fn print_speedup_table(
     title: &str,
     rows: &[(String, f64, Vec<f64>)], // (name, baseline IPC, speedups %)
@@ -274,17 +357,31 @@ pub fn print_speedup_table(
     }
     println!();
     let mut sums = vec![0.0; columns.len()];
+    let mut counts = vec![0usize; columns.len()];
     for (name, ipc, speedups) in rows {
-        print!("{name:<12} {ipc:>8.2}");
+        if ipc.is_nan() {
+            print!("{name:<12} {:>8}", "FAILED");
+        } else {
+            print!("{name:<12} {ipc:>8.2}");
+        }
         for (i, s) in speedups.iter().enumerate() {
-            print!(" {s:>23.1}%");
-            sums[i] += s;
+            if s.is_nan() {
+                print!(" {:>24}", "FAILED");
+            } else {
+                print!(" {s:>23.1}%");
+                sums[i] += s;
+                counts[i] += 1;
+            }
         }
         println!();
     }
     print!("{:<12} {:>8}", "Average", "");
-    for s in &sums {
-        print!(" {:>23.1}%", s / rows.len() as f64);
+    for (s, n) in sums.iter().zip(&counts) {
+        if *n == 0 {
+            print!(" {:>24}", "FAILED");
+        } else {
+            print!(" {:>23.1}%", s / *n as f64);
+        }
     }
     println!();
 }
@@ -300,6 +397,18 @@ mod tests {
         assert_eq!(pw.name, "bzip2");
         assert!(!pw.trace().is_empty());
         assert!(!pw.analysis.candidates().is_empty());
+    }
+
+    #[test]
+    fn failed_cells_render_in_csv() {
+        let rows = vec![
+            ("gzip".to_string(), 1.234, vec![10.0, f64::NAN]),
+            ("mcf".to_string(), f64::NAN, vec![f64::NAN, f64::NAN]),
+        ];
+        let cols = vec!["a".to_string(), "b".to_string()];
+        let csv = speedup_csv(&rows, &cols);
+        assert!(csv.contains("gzip,1.234,10.00,FAILED"));
+        assert!(csv.contains("mcf,FAILED,FAILED,FAILED"));
     }
 
     #[test]

@@ -8,11 +8,23 @@
 //! line on stderr plus a `BENCH_sweep.json` perf-trajectory file
 //! (override the path with `POLYFLOW_BENCH_JSON`; set it empty or to `0`
 //! to disable).
+//!
+//! # Fault isolation
+//!
+//! Each cell runs inside [`std::panic::catch_unwind`] with one bounded
+//! retry, so a panicking or erroring cell degrades to
+//! [`CellOutcome::Failed`] instead of killing the whole sweep: the
+//! surviving cells complete, the figure renders the dead cell as
+//! `FAILED`, and the binary exits nonzero ([`report_failures`]). Grid
+//! order — and therefore output — stays deterministic at any worker
+//! count. Setting `POLYFLOW_FAULT_CELL=<workload>/<label>` makes exactly
+//! that cell panic deliberately (the CI degradation check).
 
 use crate::{pool, PreparedWorkload};
 use polyflow_core::Policy;
-use polyflow_sim::{SimResult, SimScratch};
+use polyflow_sim::{SimError, SimResult, SimScratch};
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// One cell of a figure's (workload × policy) grid.
@@ -35,6 +47,78 @@ impl Cell {
             Cell::Reconv => "rec_pred".to_string(),
         }
     }
+}
+
+/// What one grid cell produced: a simulation result, or a structured
+/// record of why the cell died (typed simulator error, or a caught
+/// panic). A failed cell never aborts the sweep.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell simulated to completion (boxed: a [`SimResult`] is much
+    /// larger than the failure record).
+    Ok(Box<SimResult>),
+    /// The cell failed on every attempt; the rest of the grid completed.
+    Failed {
+        /// Workload name (the grid row).
+        workload: String,
+        /// Cell label (the grid column).
+        cell: String,
+        /// The rendered [`SimError`] or the panic payload.
+        payload: String,
+        /// Attempts made (1 for a typed error, which is deterministic;
+        /// up to 2 for a panic, which gets one retry).
+        attempts: u32,
+    },
+}
+
+impl CellOutcome {
+    /// The simulation result, if the cell succeeded.
+    pub fn result(&self) -> Option<&SimResult> {
+        match self {
+            CellOutcome::Ok(r) => Some(r.as_ref()),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True if the cell died.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+
+    /// Instructions per cycle, or NaN for a failed cell (rendered as
+    /// `FAILED` by the table/CSV printers).
+    pub fn ipc(&self) -> f64 {
+        self.result().map_or(f64::NAN, SimResult::ipc)
+    }
+
+    /// Speedup in percent over `base`, or NaN if either cell failed.
+    pub fn speedup_percent_over(&self, base: &CellOutcome) -> f64 {
+        match (self.result(), base.result()) {
+            (Some(r), Some(b)) => r.speedup_percent_over(b),
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// Prints every failed cell of a finished grid to stderr and returns
+/// whether any failed — the figure binary should then exit nonzero.
+pub fn report_failures(grid: &[Vec<CellOutcome>]) -> bool {
+    let mut any = false;
+    for outcome in grid.iter().flatten() {
+        if let CellOutcome::Failed {
+            workload,
+            cell,
+            payload,
+            attempts,
+        } = outcome
+        {
+            any = true;
+            eprintln!(
+                "[sweep] FAILED cell {workload}/{cell} after {attempts} attempt(s): {payload}"
+            );
+        }
+    }
+    any
 }
 
 /// Timing record of one executed sweep.
@@ -119,13 +203,76 @@ thread_local! {
     static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::default());
 }
 
+/// True if the environment asks this exact cell (`workload/label`) to
+/// panic deliberately — the CI hook proving a dead cell degrades the
+/// sweep instead of aborting it.
+fn deliberate_fault(full_label: &str) -> bool {
+    std::env::var("POLYFLOW_FAULT_CELL").is_ok_and(|v| v == full_label)
+}
+
+/// Renders a caught panic payload (`&str` and `String` payloads carry the
+/// panic message; anything else is opaque).
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic budget per cell: one retry after a caught panic (a transient
+/// failure gets a second chance; a deterministic one fails both times
+/// and the outcome records both attempts).
+const MAX_ATTEMPTS: u32 = 2;
+
+/// Runs one cell under panic isolation. Typed errors are deterministic
+/// properties of the (workload, cell) pair, so they fail immediately;
+/// panics get one retry.
+fn run_cell<C, F>(w: &PreparedWorkload, c: &C, cell_label: &str, run: &F) -> CellOutcome
+where
+    F: Fn(&PreparedWorkload, &C, &mut SimScratch) -> Result<SimResult, SimError> + Sync,
+{
+    let full_label = format!("{}/{}", w.name, cell_label);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            assert!(
+                !deliberate_fault(&full_label),
+                "deliberate fault injected via POLYFLOW_FAULT_CELL={full_label}"
+            );
+            SCRATCH.with(|s| run(w, c, &mut s.borrow_mut()))
+        }));
+        let payload = match caught {
+            Ok(Ok(r)) => return CellOutcome::Ok(Box::new(r)),
+            Ok(Err(e)) => e.to_string(),
+            Err(p) if attempts < MAX_ATTEMPTS => {
+                drop(p); // the default hook already printed it; retry once
+                continue;
+            }
+            Err(p) => payload_string(p),
+        };
+        return CellOutcome::Failed {
+            workload: w.name.to_string(),
+            cell: cell_label.to_string(),
+            payload,
+            attempts,
+        };
+    }
+}
+
 /// Runs an arbitrary `(workload × cell)` grid on the pool and returns
-/// results grouped as `[workload][cell]`, plus the timing report.
+/// per-cell outcomes grouped as `[workload][cell]`, plus the timing
+/// report.
 ///
 /// `run` executes one cell; it receives the worker's reusable
 /// [`SimScratch`]. `label` names a cell for the report. Cells are
 /// independent, so any interleaving is allowed — results are reassembled
 /// in grid order, making the caller's output identical for every `jobs`.
+/// A cell that panics or returns a [`SimError`] becomes
+/// [`CellOutcome::Failed`] without disturbing its neighbours.
 pub fn run_grid_with<C, F, L>(
     name: &str,
     workloads: &[PreparedWorkload],
@@ -133,30 +280,31 @@ pub fn run_grid_with<C, F, L>(
     jobs: usize,
     run: F,
     label: L,
-) -> (Vec<Vec<SimResult>>, SweepReport)
+) -> (Vec<Vec<CellOutcome>>, SweepReport)
 where
     C: Sync,
-    F: Fn(&PreparedWorkload, &C, &mut SimScratch) -> SimResult + Sync,
+    F: Fn(&PreparedWorkload, &C, &mut SimScratch) -> Result<SimResult, SimError> + Sync,
     L: Fn(&C) -> String,
 {
+    let labels: Vec<String> = cells.iter().map(&label).collect();
     let grid: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|wi| (0..cells.len()).map(move |ci| (wi, ci)))
         .collect();
     let started = Instant::now();
     let timed = pool::parallel_map(grid, jobs, |_, (wi, ci)| {
         let t0 = Instant::now();
-        let r = SCRATCH.with(|s| run(&workloads[wi], &cells[ci], &mut s.borrow_mut()));
+        let r = run_cell(&workloads[wi], &cells[ci], &labels[ci], &run);
         (r, t0.elapsed())
     });
     let wall = started.elapsed();
     let mut cell_times = Vec::with_capacity(timed.len());
-    let mut results: Vec<Vec<SimResult>> = Vec::with_capacity(workloads.len());
+    let mut results: Vec<Vec<CellOutcome>> = Vec::with_capacity(workloads.len());
     let mut it = timed.into_iter();
     for w in workloads {
         let mut row = Vec::with_capacity(cells.len());
-        for c in cells {
+        for l in &labels {
             let (r, d) = it.next().expect("one result per grid cell");
-            cell_times.push((format!("{}/{}", w.name, label(c)), d));
+            cell_times.push((format!("{}/{}", w.name, l), d));
             row.push(r);
         }
         results.push(row);
@@ -176,7 +324,7 @@ pub fn sweep(
     name: &str,
     workloads: &[PreparedWorkload],
     cells: &[Cell],
-) -> (Vec<Vec<SimResult>>, SweepReport) {
+) -> (Vec<Vec<CellOutcome>>, SweepReport) {
     sweep_with_jobs(name, workloads, cells, pool::resolve_jobs())
 }
 
@@ -186,16 +334,16 @@ pub fn sweep_with_jobs(
     workloads: &[PreparedWorkload],
     cells: &[Cell],
     jobs: usize,
-) -> (Vec<Vec<SimResult>>, SweepReport) {
+) -> (Vec<Vec<CellOutcome>>, SweepReport) {
     run_grid_with(
         name,
         workloads,
         cells,
         jobs,
         |w, cell, scratch| match cell {
-            Cell::Baseline => w.run_baseline_with(scratch),
-            Cell::Static(p) => w.run_static_with(*p, scratch),
-            Cell::Reconv => w.run_reconv_with(scratch),
+            Cell::Baseline => w.try_run_baseline_with(scratch),
+            Cell::Static(p) => w.try_run_static_with(*p, scratch),
+            Cell::Reconv => w.try_run_reconv_with(scratch),
         },
         Cell::label,
     )
@@ -239,5 +387,33 @@ mod tests {
         let cells = figure9_cells();
         assert_eq!(cells[0], Cell::Baseline);
         assert_eq!(cells.len(), 1 + Policy::figure9().len());
+    }
+
+    #[test]
+    fn failed_outcomes_render_as_nan_and_report() {
+        let failed = CellOutcome::Failed {
+            workload: "gzip".to_string(),
+            cell: "postdoms".to_string(),
+            payload: "deliberate".to_string(),
+            attempts: 2,
+        };
+        assert!(failed.is_failed());
+        assert!(failed.result().is_none());
+        assert!(failed.ipc().is_nan());
+        let ok = CellOutcome::Ok(Box::default());
+        assert!(!ok.is_failed());
+        assert!(failed.speedup_percent_over(&ok).is_nan());
+        assert!(ok.speedup_percent_over(&failed).is_nan());
+
+        assert!(report_failures(&[vec![ok, failed]]));
+        assert!(!report_failures(&[vec![CellOutcome::Ok(Box::default())]]));
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        let p = catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(payload_string(p), "boom 7");
+        let p = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(payload_string(p), "non-string panic payload");
     }
 }

@@ -4,10 +4,9 @@
 //! workload subset; the CI workflow additionally diffs the full 12-
 //! workload binary output across `POLYFLOW_JOBS` values in release).
 
-use polyflow_bench::sweep::{figure9_cells, sweep_with_jobs};
+use polyflow_bench::sweep::{figure9_cells, sweep_with_jobs, CellOutcome};
 use polyflow_bench::{prepare_all_jobs, speedup_csv, PreparedWorkload};
 use polyflow_core::Policy;
-use polyflow_sim::SimResult;
 
 /// The harness types must stay shareable across worker threads.
 const _: () = {
@@ -17,7 +16,7 @@ const _: () = {
     assert_send_sync::<polyflow_bench::pool::StealDeque<PreparedWorkload>>();
 };
 
-fn csv(workloads: &[PreparedWorkload], grid: &[Vec<SimResult>]) -> String {
+fn csv(workloads: &[PreparedWorkload], grid: &[Vec<CellOutcome>]) -> String {
     let columns: Vec<String> = Policy::figure9().iter().map(|p| p.name()).collect();
     let rows: Vec<(String, f64, Vec<f64>)> = workloads
         .iter()

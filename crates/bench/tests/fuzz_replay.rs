@@ -1,0 +1,19 @@
+//! Replays the checked-in fuzz regression corpus
+//! (`corpus/fuzz_corpus.txt`): every minimized failure ever found — and
+//! the generator-coverage seeds the corpus started with — must keep
+//! passing the differential and fault-injection checks.
+
+use polyflow_bench::fuzz::replay_corpus;
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/fuzz_corpus.txt");
+    let text = std::fs::read_to_string(path).expect("corpus file is checked in");
+    let report = replay_corpus(&text).expect("corpus parses");
+    assert!(report.seeds_run >= 10, "corpus should stay populated");
+    assert!(
+        report.failures.is_empty(),
+        "corpus regressions:\n{}",
+        report.failures.join("\n")
+    );
+}

@@ -88,6 +88,48 @@ impl Block {
     }
 }
 
+/// Why a [`Cfg`] cannot be built from a function's metadata.
+///
+/// The [`polyflow_isa::ProgramBuilder`] validates both conditions, so
+/// builder-produced programs never trip these; hand-constructed
+/// [`Function`] records (external symbol tables, tests, fuzzers) can.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// The function's instruction range is empty.
+    EmptyFunction {
+        /// The function's name.
+        name: String,
+    },
+    /// The function's instruction range extends past the program's end.
+    RangeOutOfProgram {
+        /// The function's name.
+        name: String,
+        /// One past the function's claimed last instruction.
+        end: u32,
+        /// The actual program length.
+        program_len: usize,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::EmptyFunction { name } => write!(f, "empty function `{name}`"),
+            CfgError::RangeOutOfProgram {
+                name,
+                end,
+                program_len,
+            } => write!(
+                f,
+                "function `{name}` claims instructions up to {end} but the \
+                 program has {program_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
 /// A control-flow graph for a single function.
 #[derive(Debug, Clone)]
 pub struct Cfg {
@@ -108,12 +150,31 @@ impl Cfg {
     ///
     /// # Panics
     ///
-    /// Panics if the function is empty (the
-    /// [`polyflow_isa::ProgramBuilder`] never produces one).
+    /// Panics if the function is empty or its range leaves the program
+    /// (the [`polyflow_isa::ProgramBuilder`] never produces either); use
+    /// [`Cfg::try_build`] to get a typed [`CfgError`] instead.
     pub fn build(program: &Program, function: &Function) -> Cfg {
+        Cfg::try_build(program, function).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Cfg::build`]: degenerate function metadata (an empty
+    /// body, or a range past the program's end) yields a [`CfgError`]
+    /// instead of a panic.
+    pub fn try_build(program: &Program, function: &Function) -> Result<Cfg, CfgError> {
         let lo = function.range.start;
         let hi = function.range.end;
-        assert!(lo < hi, "empty function `{}`", function.name);
+        if lo >= hi {
+            return Err(CfgError::EmptyFunction {
+                name: function.name.clone(),
+            });
+        }
+        if hi as usize > program.len() {
+            return Err(CfgError::RangeOutOfProgram {
+                name: function.name.clone(),
+                end: hi,
+                program_len: program.len(),
+            });
+        }
         let in_range = |pc: Pc| (pc.index() as u32) >= lo && (pc.index() as u32) < hi;
 
         let mut leaders: BTreeSet<u32> = BTreeSet::new();
@@ -225,14 +286,14 @@ impl Cfg {
             p.dedup();
         }
 
-        Cfg {
+        Ok(Cfg {
             function: function.clone(),
             blocks,
             succs,
             preds,
             exits,
             terminators,
-        }
+        })
     }
 
     /// Builds CFGs for every function in `program`, in layout order.
@@ -241,6 +302,16 @@ impl Cfg {
             .functions()
             .iter()
             .map(|f| Cfg::build(program, f))
+            .collect()
+    }
+
+    /// Fallible [`Cfg::build_all`]: stops at the first function whose
+    /// metadata is degenerate.
+    pub fn try_build_all(program: &Program) -> Result<Vec<Cfg>, CfgError> {
+        program
+            .functions()
+            .iter()
+            .map(|f| Cfg::try_build(program, f))
             .collect()
     }
 
@@ -522,5 +593,69 @@ mod tests {
         // Both edges lead to the same block; preds deduplicated.
         let t = cfg.succs(b0)[0].0;
         assert_eq!(cfg.preds(t), &[b0]);
+    }
+
+    #[test]
+    fn empty_function_is_a_typed_error() {
+        // The builder refuses empty functions, so fabricate the metadata.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let ghost = Function {
+            name: "ghost".to_string(),
+            range: 1..1,
+        };
+        let err = Cfg::try_build(&p, &ghost).unwrap_err();
+        assert_eq!(
+            err,
+            CfgError::EmptyFunction {
+                name: "ghost".to_string()
+            }
+        );
+        assert_eq!(err.to_string(), "empty function `ghost`");
+    }
+
+    #[test]
+    fn out_of_program_range_is_a_typed_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        let ghost = Function {
+            name: "ghost".to_string(),
+            range: 0..5,
+        };
+        let err = Cfg::try_build(&p, &ghost).unwrap_err();
+        assert_eq!(
+            err,
+            CfgError::RangeOutOfProgram {
+                name: "ghost".to_string(),
+                end: 5,
+                program_len: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn single_instruction_function_builds_trivial_cfg() {
+        // The smallest legal function: one block that is both entry and
+        // exit, with no edges. Common shape for workload leaf functions.
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.call("leaf");
+        b.halt();
+        b.end_function();
+        b.begin_function("leaf");
+        b.ret();
+        b.end_function();
+        let p = b.build().unwrap();
+        let cfg = Cfg::try_build(&p, p.function("leaf").unwrap()).unwrap();
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.exits(), &[cfg.entry()]);
+        assert!(cfg.succs(cfg.entry()).is_empty());
+        assert!(cfg.preds(cfg.entry()).is_empty());
     }
 }

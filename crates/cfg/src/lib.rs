@@ -69,5 +69,5 @@ pub mod reference;
 pub use control_dep::ControlDeps;
 pub use dom::{Ancestors, DomKind, DomTree};
 pub use frontiers::Frontiers;
-pub use graph::{Block, BlockId, Cfg, EdgeKind};
+pub use graph::{Block, BlockId, Cfg, CfgError, EdgeKind};
 pub use loops::{Loop, LoopForest, LoopId};

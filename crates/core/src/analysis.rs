@@ -3,7 +3,7 @@
 use crate::classify::SpawnKind;
 use crate::policy::Policy;
 use crate::spawn::{SpawnPoint, SpawnTable, StaticDistribution};
-use polyflow_cfg::{Cfg, DomTree, LoopForest};
+use polyflow_cfg::{Cfg, CfgError, DomTree, LoopForest};
 use polyflow_dataflow::InterLiveness;
 use polyflow_isa::{Inst, Pc, Program, Reg};
 
@@ -23,17 +23,32 @@ pub struct FunctionAnalysis {
 
 impl FunctionAnalysis {
     /// Runs all analyses for `function`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function's CFG cannot be built (see
+    /// [`Cfg::try_build`]); use [`FunctionAnalysis::try_analyze`] for a
+    /// typed error instead.
     pub fn analyze(program: &Program, function: &polyflow_isa::Function) -> FunctionAnalysis {
-        let cfg = Cfg::build(program, function);
+        FunctionAnalysis::try_analyze(program, function).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FunctionAnalysis::analyze`]: degenerate function
+    /// metadata yields a [`CfgError`] instead of a panic.
+    pub fn try_analyze(
+        program: &Program,
+        function: &polyflow_isa::Function,
+    ) -> Result<FunctionAnalysis, CfgError> {
+        let cfg = Cfg::try_build(program, function)?;
         let dom = DomTree::dominators(&cfg);
         let pdom = DomTree::postdominators(&cfg);
         let loops = LoopForest::compute(&cfg, &dom);
-        FunctionAnalysis {
+        Ok(FunctionAnalysis {
             cfg,
             dom,
             pdom,
             loops,
-        }
+        })
     }
 
     /// Extracts every spawn candidate in this function, classified per §2.2.
@@ -120,11 +135,16 @@ pub struct ProgramAnalysis {
 
 impl ProgramAnalysis {
     /// Analyzes every function in `program`.
+    ///
+    /// Functions whose CFG cannot be built — degenerate metadata that the
+    /// [`polyflow_isa::ProgramBuilder`] never produces — are skipped here
+    /// rather than panicking; [`crate::verify`] reports each one as a
+    /// `degenerate-cfg` diagnostic.
     pub fn analyze(program: &Program) -> ProgramAnalysis {
         let functions: Vec<FunctionAnalysis> = program
             .functions()
             .iter()
-            .map(|f| FunctionAnalysis::analyze(program, f))
+            .filter_map(|f| FunctionAnalysis::try_analyze(program, f).ok())
             .collect();
         let candidates = functions
             .iter()

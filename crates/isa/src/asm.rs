@@ -43,18 +43,28 @@ use crate::program::{Pc, Program};
 use std::collections::HashMap;
 use std::fmt;
 
-/// An assembly parsing error with its 1-based line number.
+/// An assembly parsing error with its 1-based source position and the
+/// offending token (when one exists).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmError {
     /// 1-based source line.
     pub line: usize,
+    /// 1-based column of the offending token; 0 when no single token is
+    /// at fault (structural errors, builder finalization errors).
+    pub column: usize,
+    /// The offending token, or empty when none applies.
+    pub token: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.column > 0 {
+            write!(f, "line {}:{}: {}", self.line, self.column, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -64,6 +74,8 @@ impl From<BuildError> for AsmError {
     fn from(e: BuildError) -> AsmError {
         AsmError {
             line: 0,
+            column: 0,
+            token: String::new(),
             message: e.to_string(),
         }
     }
@@ -72,22 +84,40 @@ impl From<BuildError> for AsmError {
 fn err(line: usize, message: impl Into<String>) -> AsmError {
     AsmError {
         line,
+        column: 0,
+        token: String::new(),
         message: message.into(),
     }
 }
 
-fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+/// Like [`err`], but records the offending token and locates its column
+/// in the raw source line (1-based; 0 if the token is not found there).
+fn err_tok(line: usize, raw: &str, tok: &str, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        column: raw.find(tok).map_or(0, |i| i + 1),
+        token: tok.to_string(),
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize, raw: &str) -> Result<Reg, AsmError> {
     let idx: usize = tok
         .strip_prefix('r')
         .and_then(|n| n.parse().ok())
-        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+        .ok_or_else(|| err_tok(line, raw, tok, format!("expected register, got `{tok}`")))?;
     if idx >= Reg::COUNT {
-        return Err(err(line, format!("register index {idx} out of range")));
+        return Err(err_tok(
+            line,
+            raw,
+            tok,
+            format!("register index {idx} out of range"),
+        ));
     }
     Ok(Reg::from_index(idx))
 }
 
-fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+fn parse_imm(tok: &str, line: usize, raw: &str) -> Result<i64, AsmError> {
     let parse = |s: &str, radix| i64::from_str_radix(s, radix).ok();
     let v = if let Some(h) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
         parse(h, 16)
@@ -96,7 +126,7 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
     } else {
         tok.parse().ok()
     };
-    v.ok_or_else(|| err(line, format!("expected immediate, got `{tok}`")))
+    v.ok_or_else(|| err_tok(line, raw, tok, format!("expected immediate, got `{tok}`")))
 }
 
 fn alu_op(m: &str) -> Option<AluOp> {
@@ -177,7 +207,7 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                 };
                 match w {
                     Some(w) => words.push(w),
-                    None => words.push(parse_imm(tok, line_no)? as u64),
+                    None => words.push(parse_imm(tok, line_no, raw)? as u64),
                 }
             }
             let addr = b.alloc_data(&words);
@@ -246,11 +276,11 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
 
         match mnemonic {
             "li" => {
-                let rd = parse_reg(op(0)?, line_no)?;
-                b.li(rd, parse_imm(op(1)?, line_no)?);
+                let rd = parse_reg(op(0)?, line_no, raw)?;
+                b.li(rd, parse_imm(op(1)?, line_no, raw)?);
             }
             "la" => {
-                let rd = parse_reg(op(0)?, line_no)?;
+                let rd = parse_reg(op(0)?, line_no, raw)?;
                 let name = op(1)?;
                 if let Some(&addr) = data_blocks.get(name) {
                     b.li(rd, addr as i64);
@@ -260,11 +290,11 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                 }
             }
             "lfa" => {
-                let rd = parse_reg(op(0)?, line_no)?;
+                let rd = parse_reg(op(0)?, line_no, raw)?;
                 b.li_fn_addr(rd, op(1)?);
             }
             "ld" | "sd" => {
-                let r = parse_reg(op(0)?, line_no)?;
+                let r = parse_reg(op(0)?, line_no, raw)?;
                 let mem = op(1)?;
                 let (off, base) = mem
                     .split_once('(')
@@ -273,9 +303,9 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                 let off = if off.is_empty() {
                     0
                 } else {
-                    parse_imm(off, line_no)?
+                    parse_imm(off, line_no, raw)?
                 };
-                let base = parse_reg(base, line_no)?;
+                let base = parse_reg(base, line_no, raw)?;
                 if mnemonic == "ld" {
                     b.load(r, base, off);
                 } else {
@@ -287,7 +317,7 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                 b.jmp(l);
             }
             "jr" => {
-                let rs = parse_reg(op(0)?, line_no)?;
+                let rs = parse_reg(op(0)?, line_no, raw)?;
                 let table = op(1)?;
                 let inner = table
                     .strip_prefix('[')
@@ -305,7 +335,7 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                 b.call(op(0)?);
             }
             "callr" => {
-                let rs = parse_reg(op(0)?, line_no)?;
+                let rs = parse_reg(op(0)?, line_no, raw)?;
                 b.callr(rs);
             }
             "ret" => {
@@ -319,21 +349,21 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
             }
             m => {
                 if let Some(c) = cond(m) {
-                    let rs = parse_reg(op(0)?, line_no)?;
-                    let rt = parse_reg(op(1)?, line_no)?;
+                    let rs = parse_reg(op(0)?, line_no, raw)?;
+                    let rt = parse_reg(op(1)?, line_no, raw)?;
                     let l = get_label(&mut b, &mut labels, op(2)?);
                     b.br(c, rs, rt, l);
                 } else if let Some(base) = m.strip_suffix('i').and_then(alu_op) {
-                    let rd = parse_reg(op(0)?, line_no)?;
-                    let rs = parse_reg(op(1)?, line_no)?;
-                    b.alui(base, rd, rs, parse_imm(op(2)?, line_no)?);
+                    let rd = parse_reg(op(0)?, line_no, raw)?;
+                    let rs = parse_reg(op(1)?, line_no, raw)?;
+                    b.alui(base, rd, rs, parse_imm(op(2)?, line_no, raw)?);
                 } else if let Some(a) = alu_op(m) {
-                    let rd = parse_reg(op(0)?, line_no)?;
-                    let rs = parse_reg(op(1)?, line_no)?;
-                    let rt = parse_reg(op(2)?, line_no)?;
+                    let rd = parse_reg(op(0)?, line_no, raw)?;
+                    let rs = parse_reg(op(1)?, line_no, raw)?;
+                    let rt = parse_reg(op(2)?, line_no, raw)?;
                     b.alu(a, rd, rs, rt);
                 } else {
-                    return Err(err(line_no, format!("unknown mnemonic `{m}`")));
+                    return Err(err_tok(line_no, raw, m, format!("unknown mnemonic `{m}`")));
                 }
             }
         }
@@ -503,6 +533,8 @@ fn bump {
         let e = parse_program("fn main {\n    frob r1\n    halt\n}").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("frob"));
+        assert_eq!(e.column, 5);
+        assert_eq!(e.token, "frob");
         let e = parse_program("nop").unwrap_err();
         assert!(e.message.contains("outside"));
         let e = parse_program("fn main {\n halt\n").unwrap_err();
@@ -513,8 +545,21 @@ fn bump {
     fn bad_register_and_immediate_errors() {
         let e = parse_program("fn main {\n li r99, 0\n halt\n}").unwrap_err();
         assert!(e.message.contains("out of range"));
+        assert_eq!(e.token, "r99");
+        assert_eq!(e.column, 5);
         let e = parse_program("fn main {\n li r1, xyz\n halt\n}").unwrap_err();
         assert!(e.message.contains("immediate"));
+        assert_eq!(e.token, "xyz");
+    }
+
+    #[test]
+    fn diagnostic_renders_line_and_column() {
+        // The full rendered diagnostic pinpoints the offending token.
+        let e = parse_program("fn main {\n    mulq r1, r2, r3\n    halt\n}").unwrap_err();
+        assert_eq!(e.to_string(), "line 2:5: unknown mnemonic `mulq`");
+        // Structural errors (no single token) omit the column.
+        let e = parse_program("fn main {\n halt\n").unwrap_err();
+        assert_eq!(e.to_string(), "line 2: unclosed `fn`");
     }
 
     #[test]

@@ -122,6 +122,16 @@ pub enum ExecError {
         /// The budget that was exceeded.
         limit: u64,
     },
+    /// A load or store touched an address beyond the configured
+    /// address-space limit ([`crate::Interpreter::set_address_limit`]).
+    MemoryFault {
+        /// The faulting instruction.
+        at: Pc,
+        /// The out-of-bounds effective address.
+        addr: u64,
+        /// The configured address-space limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -134,11 +144,99 @@ impl fmt::Display for ExecError {
             ExecError::StepLimitExceeded { limit } => {
                 write!(f, "step limit of {limit} exceeded before halt")
             }
+            ExecError::MemoryFault { at, addr, limit } => {
+                write!(
+                    f,
+                    "memory fault at {at}: address {addr:#x} beyond limit {limit:#x}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// The unified interpreter-facing error taxonomy: everything that can go
+/// wrong between source text and a finished execution, for callers that
+/// want one `Result` type across both phases (the fault-injection harness
+/// and [`crate::Interpreter`] front-ends).
+///
+/// [`BuildError`] and [`ExecError`] convert into this type losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The program itself is malformed (assembly/builder rejection).
+    MalformedProgram(BuildError),
+    /// Instruction fetch left the program text.
+    FetchOutOfRange {
+        /// The invalid `Pc`.
+        pc: Pc,
+    },
+    /// An indirect control transfer decoded to a non-`Pc` value.
+    BadIndirectTarget {
+        /// The site of the indirect transfer.
+        at: Pc,
+        /// The register value that failed to decode.
+        value: u64,
+    },
+    /// A data access left the configured address space.
+    MemoryFault {
+        /// The faulting instruction.
+        at: Pc,
+        /// The out-of-bounds effective address.
+        addr: u64,
+        /// The configured address-space limit.
+        limit: u64,
+    },
+    /// A resource budget (the step limit) was exhausted before `halt`.
+    ResourceExhaustion {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::MalformedProgram(e) => write!(f, "malformed program: {e}"),
+            InterpError::FetchOutOfRange { pc } => write!(f, "fetch out of range: pc {pc}"),
+            InterpError::BadIndirectTarget { at, value } => {
+                write!(f, "indirect jump at {at} to invalid address {value:#x}")
+            }
+            InterpError::MemoryFault { at, addr, limit } => {
+                write!(
+                    f,
+                    "memory fault at {at}: address {addr:#x} beyond limit {limit:#x}"
+                )
+            }
+            InterpError::ResourceExhaustion { limit } => {
+                write!(f, "resource exhaustion: step limit {limit} before halt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<BuildError> for InterpError {
+    fn from(e: BuildError) -> InterpError {
+        InterpError::MalformedProgram(e)
+    }
+}
+
+impl From<ExecError> for InterpError {
+    fn from(e: ExecError) -> InterpError {
+        match e {
+            ExecError::PcOutOfRange { pc } => InterpError::FetchOutOfRange { pc },
+            ExecError::BadIndirectTarget { at, value } => {
+                InterpError::BadIndirectTarget { at, value }
+            }
+            ExecError::StepLimitExceeded { limit } => InterpError::ResourceExhaustion { limit },
+            ExecError::MemoryFault { at, addr, limit } => {
+                InterpError::MemoryFault { at, addr, limit }
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -155,5 +253,26 @@ mod tests {
             value: 3,
         };
         assert!(e.to_string().contains("0x3"));
+    }
+
+    #[test]
+    fn interp_error_conversions_preserve_detail() {
+        let e: InterpError = BuildError::NoOpenFunction.into();
+        assert!(matches!(e, InterpError::MalformedProgram(_)));
+        assert!(e.to_string().contains("malformed program"));
+
+        let e: InterpError = ExecError::PcOutOfRange { pc: Pc::new(7) }.into();
+        assert!(matches!(e, InterpError::FetchOutOfRange { .. }));
+
+        let e: InterpError = ExecError::StepLimitExceeded { limit: 9 }.into();
+        assert_eq!(e, InterpError::ResourceExhaustion { limit: 9 });
+
+        let e: InterpError = ExecError::MemoryFault {
+            at: Pc::new(2),
+            addr: 0x1000,
+            limit: 0x100,
+        }
+        .into();
+        assert!(e.to_string().contains("0x1000"));
     }
 }

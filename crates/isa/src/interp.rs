@@ -49,6 +49,8 @@ pub struct Interpreter<'p> {
     memory: Memory,
     pc: Pc,
     halted: bool,
+    /// Exclusive upper bound on data addresses, if enforced.
+    address_limit: Option<u64>,
 }
 
 impl<'p> Interpreter<'p> {
@@ -68,6 +70,24 @@ impl<'p> Interpreter<'p> {
             memory,
             pc: program.entry(),
             halted: false,
+            address_limit: None,
+        }
+    }
+
+    /// Enforces an (exclusive) upper bound on load/store effective
+    /// addresses: any access at or beyond `limit` raises
+    /// [`ExecError::MemoryFault`]. The default is an unbounded sparse
+    /// address space (the seed behavior). The limit must leave room for
+    /// the conventional stack at `0x8000_0000` on programs that use it.
+    pub fn set_address_limit(&mut self, limit: Option<u64>) {
+        self.address_limit = limit;
+    }
+
+    /// Checks `addr` against the configured address-space limit.
+    fn check_addr(&self, at: Pc, addr: u64) -> Result<(), ExecError> {
+        match self.address_limit {
+            Some(limit) if addr >= limit => Err(ExecError::MemoryFault { at, addr, limit }),
+            _ => Ok(()),
         }
     }
 
@@ -140,6 +160,7 @@ impl<'p> Interpreter<'p> {
             }
             Inst::Load { rd, base, off } => {
                 let addr = self.reg(base).wrapping_add(off as u64);
+                self.check_addr(pc, addr)?;
                 mem_addr = Some(addr);
                 let v = self.memory.read(addr);
                 self.set_reg(rd, v);
@@ -147,6 +168,7 @@ impl<'p> Interpreter<'p> {
             }
             Inst::Store { rs, base, off } => {
                 let addr = self.reg(base).wrapping_add(off as u64);
+                self.check_addr(pc, addr)?;
                 mem_addr = Some(addr);
                 self.memory.write(addr, self.reg(rs));
                 fallthrough
@@ -310,6 +332,36 @@ mod tests {
         assert!(r.halted);
         assert_eq!(i.reg(Reg::R1), 45);
         assert_eq!(r.steps as usize, r.trace.len());
+    }
+
+    #[test]
+    fn address_limit_raises_memory_fault() {
+        let mut b = ProgramBuilder::new();
+        b.begin_function("main");
+        b.li(Reg::R1, 0x4000);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.halt();
+        b.end_function();
+        let p = b.build().unwrap();
+        // Unlimited (default): the store succeeds.
+        let mut i = Interpreter::new(&p);
+        assert!(i.run(10).unwrap().halted);
+        // Limited below the effective address: a typed memory fault.
+        let mut i = Interpreter::new(&p);
+        i.set_address_limit(Some(0x1000));
+        let err = i.run(10).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::MemoryFault {
+                at: Pc::new(1),
+                addr: 0x4000,
+                limit: 0x1000,
+            }
+        );
+        // A limit above the address does not fire.
+        let mut i = Interpreter::new(&p);
+        i.set_address_limit(Some(0x10000));
+        assert!(i.run(10).unwrap().halted);
     }
 
     #[test]

@@ -48,6 +48,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Robustness: library code may not `unwrap()` — fallible paths return the
+// typed errors in `error.rs`. Tests may (a failed unwrap is the assert).
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod asm;
 mod builder;
@@ -61,9 +65,9 @@ mod trace;
 
 pub use asm::{parse_program, to_asm, AsmError};
 pub use builder::{Label, ProgramBuilder};
-pub use error::{BuildError, ExecError};
+pub use error::{BuildError, ExecError, InterpError};
 pub use inst::{AluOp, Cond, Inst, InstClass, Reg};
 pub use interp::{execute_window, ExecResult, Interpreter};
 pub use memory::Memory;
 pub use program::{Function, Pc, Program};
-pub use trace::{Dataflow, PcIndex, Trace, TraceEntry};
+pub use trace::{Dataflow, PcIndex, Trace, TraceEntry, TraceError};

@@ -12,8 +12,118 @@
 //!   reached soon?" check (paper §3.2).
 
 use crate::inst::{Inst, InstClass, Reg};
-use crate::program::Pc;
+use crate::program::{Pc, Program};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A structural defect detected in a [`Trace`] by [`Trace::validate`] and
+/// friends. A well-formed trace (anything the interpreter emits) never
+/// produces one; these surface corruption — bit flips, truncation, bogus
+/// PCs — as typed errors instead of downstream misbehavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// `entries[index].next_pc` does not match `entries[index + 1].pc`.
+    Discontinuity {
+        /// Index of the earlier entry of the broken pair.
+        index: usize,
+        /// Its recorded successor.
+        next_pc: Pc,
+        /// The actual `pc` of the following entry.
+        actual: Pc,
+    },
+    /// A load or store entry carries no effective address.
+    MissingMemAddr {
+        /// The offending entry.
+        index: usize,
+    },
+    /// A non-memory entry carries an effective address.
+    UnexpectedMemAddr {
+        /// The offending entry.
+        index: usize,
+    },
+    /// A non-control-transfer entry is marked taken.
+    TakenNonControl {
+        /// The offending entry.
+        index: usize,
+    },
+    /// An unconditional control transfer is marked not-taken.
+    NotTakenUnconditional {
+        /// The offending entry.
+        index: usize,
+    },
+    /// A `halt` retired before the final entry.
+    HaltNotLast {
+        /// The offending entry.
+        index: usize,
+    },
+    /// The trace does not end in a `halt` (truncated execution).
+    Truncated {
+        /// `pc` of the final entry.
+        last_pc: Pc,
+    },
+    /// An entry's `pc` lies outside the program text.
+    PcOutOfProgram {
+        /// The offending entry.
+        index: usize,
+        /// Its out-of-range `pc`.
+        pc: Pc,
+    },
+    /// An entry's recorded instruction differs from the program text at
+    /// its `pc`.
+    InstMismatch {
+        /// The offending entry.
+        index: usize,
+        /// The entry's `pc`.
+        pc: Pc,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Discontinuity {
+                index,
+                next_pc,
+                actual,
+            } => write!(
+                f,
+                "trace discontinuity at entry {index}: next_pc {next_pc} but successor is {actual}"
+            ),
+            TraceError::MissingMemAddr { index } => {
+                write!(f, "memory entry {index} has no effective address")
+            }
+            TraceError::UnexpectedMemAddr { index } => {
+                write!(f, "non-memory entry {index} carries an effective address")
+            }
+            TraceError::TakenNonControl { index } => {
+                write!(f, "non-control entry {index} is marked taken")
+            }
+            TraceError::NotTakenUnconditional { index } => {
+                write!(
+                    f,
+                    "unconditional transfer at entry {index} marked not-taken"
+                )
+            }
+            TraceError::HaltNotLast { index } => {
+                write!(f, "halt retired at entry {index} before the trace end")
+            }
+            TraceError::Truncated { last_pc } => {
+                write!(
+                    f,
+                    "trace is truncated: final entry at {last_pc} is not halt"
+                )
+            }
+            TraceError::PcOutOfProgram { index, pc } => {
+                write!(f, "entry {index}: pc {pc} outside the program text")
+            }
+            TraceError::InstMismatch { index, pc } => {
+                write!(f, "entry {index}: instruction differs from program at {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// One retired instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +184,20 @@ impl Trace {
         &self.entries
     }
 
+    /// Mutable access to the entries — a fault-injection hook. Mutation
+    /// can break every invariant [`Trace::validate`] and friends check;
+    /// consumers are expected to re-validate after corrupting.
+    pub fn entries_mut(&mut self) -> &mut [TraceEntry] {
+        &mut self.entries
+    }
+
+    /// Drops every entry past the first `len` — the truncation
+    /// fault-injection operator ([`Trace::validate_complete`] flags the
+    /// result when the new tail is not a halt).
+    pub fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
     /// The entry at `idx`.
     ///
     /// # Panics
@@ -104,6 +228,87 @@ impl Trace {
             .iter()
             .filter(|e| e.class() == InstClass::CondBranch)
             .count()
+    }
+
+    /// Checks the structural invariants every interpreter-emitted trace
+    /// upholds: retirement-order continuity (`next_pc` chains into the
+    /// following entry), effective addresses exactly on memory entries,
+    /// taken flags only on control transfers (and always on unconditional
+    /// ones), and `halt` nowhere but the final entry.
+    ///
+    /// Returns the first defect found. Corrupted traces (bit flips, bogus
+    /// PCs) fail here instead of silently skewing a simulation.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        for (i, e) in self.entries.iter().enumerate() {
+            let class = e.class();
+            let is_mem = matches!(class, InstClass::Load | InstClass::Store);
+            if is_mem && e.mem_addr.is_none() {
+                return Err(TraceError::MissingMemAddr { index: i });
+            }
+            if !is_mem && e.mem_addr.is_some() {
+                return Err(TraceError::UnexpectedMemAddr { index: i });
+            }
+            let is_control = matches!(
+                class,
+                InstClass::CondBranch
+                    | InstClass::Jump
+                    | InstClass::IndirectJump
+                    | InstClass::Call
+                    | InstClass::Ret
+            );
+            if e.taken && !is_control {
+                return Err(TraceError::TakenNonControl { index: i });
+            }
+            if !e.taken && is_control && class != InstClass::CondBranch {
+                return Err(TraceError::NotTakenUnconditional { index: i });
+            }
+            if class == InstClass::Halt && i + 1 != self.entries.len() {
+                return Err(TraceError::HaltNotLast { index: i });
+            }
+            if let Some(next) = self.entries.get(i + 1) {
+                if e.next_pc != next.pc {
+                    return Err(TraceError::Discontinuity {
+                        index: i,
+                        next_pc: e.next_pc,
+                        actual: next.pc,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Trace::validate`], additionally requiring a complete execution:
+    /// a non-empty trace must end in `halt`. Use this when the trace is
+    /// supposed to cover a whole run (windowed traces are legitimately
+    /// truncated and should use `validate`).
+    pub fn validate_complete(&self) -> Result<(), TraceError> {
+        self.validate()?;
+        if let Some(last) = self.entries.last() {
+            if last.class() != InstClass::Halt {
+                return Err(TraceError::Truncated { last_pc: last.pc });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Trace::validate`], additionally checking every entry against the
+    /// program text: the `pc` must lie inside `program` and the recorded
+    /// instruction must match what the program holds there. Catches
+    /// corruption that structural checks alone cannot (a bogus `pc` on a
+    /// self-consistent prefix).
+    pub fn validate_against(&self, program: &Program) -> Result<(), TraceError> {
+        self.validate()?;
+        for (i, e) in self.entries.iter().enumerate() {
+            match program.get(e.pc) {
+                None => return Err(TraceError::PcOutOfProgram { index: i, pc: e.pc }),
+                Some(inst) if inst != e.inst => {
+                    return Err(TraceError::InstMismatch { index: i, pc: e.pc })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
     }
 }
 
@@ -260,6 +465,95 @@ mod tests {
         assert!(!e.redirected());
         let e = entry(0, Inst::Jmp { target: Pc::new(5) }, 5);
         assert!(e.redirected());
+    }
+
+    /// A halting program with a load and a store, plus its program text.
+    fn mem_program_trace() -> (Program, Trace) {
+        let mut b = crate::builder::ProgramBuilder::new();
+        b.begin_function("main");
+        let base = b.alloc_data(&[7]);
+        b.li(Reg::R1, base as i64);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.halt();
+        b.end_function();
+        let p = b.build().expect("valid program");
+        let r = crate::interp::execute_window(&p, 100).expect("executes");
+        assert!(r.halted);
+        (p, r.trace)
+    }
+
+    #[test]
+    fn interpreter_traces_validate_cleanly() {
+        let (p, t) = mem_program_trace();
+        t.validate().unwrap();
+        t.validate_complete().unwrap();
+        t.validate_against(&p).unwrap();
+        Trace::new().validate_complete().unwrap();
+    }
+
+    #[test]
+    fn validate_flags_each_corruption_class() {
+        let (p, clean) = mem_program_trace();
+
+        // Discontinuity: rewrite an entry's next_pc off the chain.
+        let mut t = clean.clone();
+        t.entries[0].next_pc = Pc::new(4);
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::Discontinuity { index: 0, .. })
+        ));
+
+        // Missing effective address on a load.
+        let mut t = clean.clone();
+        t.entries[1].mem_addr = None;
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::MissingMemAddr { index: 1 })
+        ));
+
+        // Bogus effective address on an ALU op.
+        let mut t = clean.clone();
+        t.entries[2].mem_addr = Some(0xdead);
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::UnexpectedMemAddr { index: 2 })
+        ));
+
+        // Taken flag flipped on a non-branch.
+        let mut t = clean.clone();
+        t.entries[0].taken = true;
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::TakenNonControl { index: 0 })
+        ));
+
+        // Truncation: drop the final halt.
+        let mut t = clean.clone();
+        t.entries.pop();
+        t.validate().unwrap();
+        assert!(matches!(
+            t.validate_complete(),
+            Err(TraceError::Truncated { .. })
+        ));
+
+        // Bogus pc beyond the program text (self-consistent prefix, so
+        // only the program cross-check can catch it).
+        let mut t = clean.clone();
+        t.entries[0].pc = Pc::new(1000);
+        assert!(matches!(
+            t.validate_against(&p),
+            Err(TraceError::PcOutOfProgram { index: 0, .. })
+        ));
+
+        // Instruction bit flip: the text at this pc disagrees.
+        let mut t = clean.clone();
+        t.entries[2].inst = Inst::Nop;
+        assert!(matches!(
+            t.validate_against(&p),
+            Err(TraceError::InstMismatch { index: 2, .. })
+        ));
     }
 
     #[test]

@@ -135,6 +135,16 @@ pub struct MachineConfig {
     pub rob_reclamation: bool,
     /// Consecutive ROB-blocked cycles before reclamation triggers.
     pub rob_reclaim_after: u64,
+    /// Hard cycle budget: a run that reaches this many cycles without
+    /// retiring its whole trace fails with
+    /// [`SimError::CyclesExceeded`](crate::SimError::CyclesExceeded).
+    /// `u64::MAX` (the default) disables the budget.
+    pub max_cycles: u64,
+    /// Livelock watchdog: if no instruction retires in any context for
+    /// this many consecutive cycles, the run fails with
+    /// [`SimError::Livelock`](crate::SimError::Livelock) carrying the
+    /// cycle account and recent events for post-mortem.
+    pub livelock_window: u64,
 }
 
 impl MachineConfig {
@@ -187,6 +197,8 @@ impl MachineConfig {
             spawn_from_any_task: false,
             rob_reclamation: false,
             rob_reclaim_after: 16,
+            max_cycles: u64::MAX,
+            livelock_window: 500_000,
         }
     }
 

@@ -46,11 +46,16 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Robustness: library code may not `unwrap()` — fallible paths return the
+// typed errors in `error.rs`. Tests may (a failed unwrap is the assert).
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod account;
 mod branch_pred;
 mod cache;
 mod config;
+mod error;
 pub mod events;
 mod machine;
 mod metrics;
@@ -62,8 +67,12 @@ pub use account::{Bucket, CycleAccount, TaskAccount};
 pub use branch_pred::{Gshare, PredictionTrace, ReturnStack};
 pub use cache::{Cache, Hierarchy};
 pub use config::{CacheConfig, MachineConfig};
+pub use error::SimError;
 pub use events::{JsonlSink, NullSink, RingSink, SimEvent, TraceSink};
-pub use machine::{simulate, simulate_traced, simulate_with, PreparedTrace, SimScratch};
+pub use machine::{
+    simulate, simulate_traced, simulate_with, try_simulate, try_simulate_traced, try_simulate_with,
+    PreparedTrace, SimScratch,
+};
 pub use metrics::{SimResult, SpawnCounts, SpawnEvent};
 pub use spawn_source::{
     HintCacheSource, NoSpawn, ReconvSpawnSource, SpawnSource, StaticSpawnSource,

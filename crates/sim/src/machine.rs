@@ -32,6 +32,7 @@ use crate::account::{Bucket, CycleAccount};
 use crate::branch_pred::PredictionTrace;
 use crate::cache::Hierarchy;
 use crate::config::MachineConfig;
+use crate::error::SimError;
 use crate::events::{NullSink, SimEvent, TraceSink};
 use crate::metrics::SimResult;
 use crate::spawn_source::SpawnSource;
@@ -44,6 +45,9 @@ const NOT_YET: u64 = u64::MAX;
 const OPEN_END: u32 = u32::MAX;
 /// Saturation ceiling of the spawn-profitability counters.
 const PROFIT_MAX: i8 = 7;
+/// Events retained by the always-on post-mortem flight recorder (the
+/// tail of the event stream travels with [`SimError::Livelock`]).
+const EVENT_RING: usize = 64;
 
 /// Analyses of a trace that are shared by every policy run: dataflow
 /// producers, the PC occurrence index, and branch-prediction outcomes.
@@ -310,8 +314,12 @@ struct Machine<'a> {
     account: CycleAccount,
     /// Structured-event consumer.
     sink: &'a mut dyn TraceSink,
-    /// Cached `sink.enabled()`: when false, events are never constructed.
+    /// Cached `sink.enabled()`: when false, events only reach the
+    /// post-mortem ring.
     trace_on: bool,
+    /// Always-on flight recorder: the last [`EVENT_RING`] events, for
+    /// [`SimError::Livelock`] post-mortems.
+    ring: VecDeque<SimEvent>,
 }
 
 /// Runs `prepared` through the machine described by `config`, spawning
@@ -319,9 +327,10 @@ struct Machine<'a> {
 ///
 /// # Panics
 ///
-/// Panics if the machine makes no retirement progress for an extended
-/// period (an internal deadlock — indicates a simulator bug, never a
-/// property of the workload).
+/// Panics on any [`SimError`]: a malformed trace, a tripped watchdog
+/// ([`MachineConfig::max_cycles`] / [`MachineConfig::livelock_window`]),
+/// or a broken internal invariant. Callers that need graceful failure
+/// use [`try_simulate`].
 pub fn simulate(
     prepared: &PreparedTrace,
     config: &MachineConfig,
@@ -355,8 +364,8 @@ pub fn simulate_with(
 ///
 /// Event emission never feeds back into simulation state, so the
 /// returned [`SimResult`] is bit-identical for every sink; with the
-/// default [`NullSink`] (`enabled() == false`) events are not even
-/// constructed.
+/// default [`NullSink`] (`enabled() == false`) events only reach the
+/// internal post-mortem ring.
 ///
 /// # Panics
 ///
@@ -368,10 +377,53 @@ pub fn simulate_traced(
     scratch: &mut SimScratch,
     sink: &mut dyn TraceSink,
 ) -> SimResult {
+    match try_simulate_traced(prepared, config, source, scratch, sink) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`simulate`]: watchdog trips, malformed traces, and broken
+/// internal invariants surface as a typed [`SimError`] instead of a
+/// panic.
+pub fn try_simulate(
+    prepared: &PreparedTrace,
+    config: &MachineConfig,
+    source: &mut dyn SpawnSource,
+) -> Result<SimResult, SimError> {
+    try_simulate_with(prepared, config, source, &mut SimScratch::default())
+}
+
+/// Fallible [`simulate_with`].
+pub fn try_simulate_with(
+    prepared: &PreparedTrace,
+    config: &MachineConfig,
+    source: &mut dyn SpawnSource,
+    scratch: &mut SimScratch,
+) -> Result<SimResult, SimError> {
+    try_simulate_traced(prepared, config, source, scratch, &mut NullSink)
+}
+
+/// Fallible [`simulate_traced`]: the trace is structurally validated up
+/// front ([`Trace::validate`] → [`SimError::MalformedTrace`]), the
+/// watchdogs in [`MachineConfig`] bound the run, and every formerly
+/// panicking invariant site returns [`SimError::BrokenInvariant`].
+///
+/// On `Err` the scratch buffers donated to the run are *not* returned
+/// (the next run through the same scratch simply reallocates); results
+/// on `Ok` remain bit-identical with or without scratch reuse.
+pub fn try_simulate_traced(
+    prepared: &PreparedTrace,
+    config: &MachineConfig,
+    source: &mut dyn SpawnSource,
+    scratch: &mut SimScratch,
+    sink: &mut dyn TraceSink,
+) -> Result<SimResult, SimError> {
     let n = prepared.trace.len();
     if n == 0 {
-        return SimResult::default();
+        return Ok(SimResult::default());
     }
+    prepared.trace().validate()?;
     let mut state = std::mem::take(&mut scratch.state);
     state.clear();
     state.resize(n, InstState::default());
@@ -416,21 +468,24 @@ pub fn simulate_traced(
         account: CycleAccount::new(config.max_tasks),
         trace_on: sink.enabled(),
         sink,
+        ring: VecDeque::with_capacity(EVENT_RING),
     };
-    m.run(source);
-    m.finish_into(scratch)
+    let run = m.run(source);
+    let finish = m.finish_into(scratch);
+    run?;
+    finish
 }
 
 impl Machine<'_> {
-    fn run(&mut self, source: &mut dyn SpawnSource) {
+    fn run(&mut self, source: &mut dyn SpawnSource) -> Result<(), SimError> {
         let n = self.trace.len();
         while self.retire_ptr < n {
             self.retire(source);
             if self.retire_ptr >= n {
                 break;
             }
-            self.issue();
-            self.drain_divert();
+            self.issue()?;
+            self.drain_divert()?;
             self.dispatch();
             // §6 extension: reclaim ROB entries from the youngest task if
             // the oldest has been starved long enough.
@@ -438,65 +493,100 @@ impl Machine<'_> {
                 && self.rob_blocked_streak >= self.cfg.rob_reclaim_after
                 && self.tasks.len() > 1
             {
-                self.reclaim_youngest();
+                self.reclaim_youngest()?;
                 self.rob_blocked_streak = 0;
             }
             self.fetch(source);
             self.account_cycle();
             self.cycle += 1;
-            if self.cycle - self.last_retire_cycle >= 500_000 {
-                let s = self.state[self.retire_ptr];
-                let owner = self
-                    .tasks
-                    .iter()
-                    .enumerate()
-                    .find(|(_, t)| {
-                        t.start as usize <= self.retire_ptr && (self.retire_ptr as u32) < t.end
-                    })
-                    .map(|(i, t)| {
-                        format!(
-                            "task {i} [{}..{}) fetch_next {} fq {} wait {:?} resume {} safe {}",
-                            t.start,
-                            t.end,
-                            t.fetch_next,
-                            t.fq.len(),
-                            t.waiting_branch,
-                            t.fetch_resume_at,
-                            t.safe_mode
-                        )
-                    })
-                    .unwrap_or_else(|| "NO TASK".into());
-                let mut dump = String::new();
-                for &idx in self.sched.iter().take(6) {
-                    let st = self.state[idx as usize];
-                    let prods: Vec<String> = self
-                        .producers(idx as usize)
-                        .map(|p| {
-                            let ps = self.state[p as usize];
-                            format!(
-                                "{p}(d{} v{} done{})",
-                                ps.dispatched as u8,
-                                ps.in_divert as u8,
-                                (ps.done_at <= self.cycle) as u8
-                            )
-                        })
-                        .collect();
-                    dump.push_str(&format!(
-                        "  sched {idx} spec{:?}/{} <- {:?}\n",
-                        st.reg_speculative, st.mem_speculative as u8, prods
-                    ));
-                }
-                for &idx in self.divert.iter().take(4) {
-                    dump.push_str(&format!("  divert {idx}\n"));
-                }
-                panic!(
-                    "simulator deadlock at cycle {} (retire_ptr {}, rob {}, sched {}, divert {}, tasks {})\n                     stuck inst: fetched_at {} dispatched {} in_divert {} issued {} done_at {} spec {:?}/{}\n                     owner: {owner}\n{dump}",
-                    self.cycle, self.retire_ptr, self.rob_used, self.sched.len(),
-                    self.divert.len(), self.tasks.len(),
-                    s.fetched_at, s.dispatched, s.in_divert, s.issued, s.done_at,
-                    s.reg_speculative, s.mem_speculative,
-                );
+            if self.cycle - self.last_retire_cycle >= self.cfg.livelock_window {
+                return Err(self.livelock_error());
             }
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CyclesExceeded {
+                    max_cycles: self.cfg.max_cycles,
+                    retired: self.retire_ptr as u64,
+                    instructions: n as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the [`SimError::Livelock`] post-mortem: the stuck
+    /// instruction's state, its owner task, the scheduler/divert heads,
+    /// the cycle-slot ledger, and the recent event ring.
+    fn livelock_error(&self) -> SimError {
+        let s = self.state[self.retire_ptr];
+        let owner = self
+            .tasks
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.start as usize <= self.retire_ptr && (self.retire_ptr as u32) < t.end)
+            .map(|(i, t)| {
+                format!(
+                    "task {i} [{}..{}) fetch_next {} fq {} wait {:?} resume {} safe {}",
+                    t.start,
+                    t.end,
+                    t.fetch_next,
+                    t.fq.len(),
+                    t.waiting_branch,
+                    t.fetch_resume_at,
+                    t.safe_mode
+                )
+            })
+            .unwrap_or_else(|| "NO TASK".into());
+        let mut dump = String::new();
+        for &idx in self.sched.iter().take(6) {
+            let st = self.state[idx as usize];
+            let prods: Vec<String> = self
+                .producers(idx as usize)
+                .map(|p| {
+                    let ps = self.state[p as usize];
+                    format!(
+                        "{p}(d{} v{} done{})",
+                        ps.dispatched as u8,
+                        ps.in_divert as u8,
+                        (ps.done_at <= self.cycle) as u8
+                    )
+                })
+                .collect();
+            dump.push_str(&format!(
+                "  sched {idx} spec{:?}/{} <- {:?}\n",
+                st.reg_speculative, st.mem_speculative as u8, prods
+            ));
+        }
+        for &idx in self.divert.iter().take(4) {
+            dump.push_str(&format!("  divert {idx}\n"));
+        }
+        let detail = format!(
+            "retire_ptr {}, rob {}, sched {}, divert {}, tasks {}\nstuck inst: fetched_at {} dispatched {} in_divert {} issued {} done_at {} spec {:?}/{}\nowner: {owner}\n{dump}",
+            self.retire_ptr, self.rob_used, self.sched.len(),
+            self.divert.len(), self.tasks.len(),
+            s.fetched_at, s.dispatched, s.in_divert, s.issued, s.done_at,
+            s.reg_speculative, s.mem_speculative,
+        );
+        let mut account = self.account.clone();
+        account.cycles = self.cycle;
+        SimError::Livelock {
+            cycle: self.cycle,
+            window: self.cfg.livelock_window,
+            retired: self.retire_ptr as u64,
+            account: Box::new(account),
+            recent_events: self.ring.iter().copied().collect(),
+            detail,
+        }
+    }
+
+    /// Records `ev` in the always-on post-mortem ring and forwards it to
+    /// the sink when tracing is enabled. Never feeds back into timing.
+    fn record(&mut self, ev: SimEvent) {
+        if self.ring.len() == EVENT_RING {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev);
+        if self.trace_on {
+            self.sink.event(&ev);
         }
     }
 
@@ -531,22 +621,20 @@ impl Machine<'_> {
                 (t.uid, bucket, prev, cur)
             };
             self.account.charge(uid, bucket);
-            if self.trace_on && prev != cur {
+            if prev != cur {
                 if let Some(b) = prev {
-                    let ev = SimEvent::StallEnd {
+                    self.record(SimEvent::StallEnd {
                         cycle: self.cycle,
                         task: uid,
                         bucket: b,
-                    };
-                    self.sink.event(&ev);
+                    });
                 }
                 if let Some(b) = cur {
-                    let ev = SimEvent::StallBegin {
+                    self.record(SimEvent::StallBegin {
                         cycle: self.cycle,
                         task: uid,
                         bucket: b,
-                    };
-                    self.sink.event(&ev);
+                    });
                 }
             }
         }
@@ -554,16 +642,16 @@ impl Machine<'_> {
             .charge_idle(self.cfg.max_tasks.saturating_sub(live) as u64);
     }
 
-    fn finish_into(self, scratch: &mut SimScratch) -> SimResult {
+    fn finish_into(self, scratch: &mut SimScratch) -> Result<SimResult, SimError> {
         let mut stats = self.stats;
         stats.cycles = self.cycle.max(1);
         stats.instructions = self.trace.len() as u64;
         let mut account = self.account;
         account.cycles = self.cycle;
-        #[cfg(debug_assertions)]
-        if let Err(e) = account.check() {
-            panic!("{e}");
-        }
+        // Always-on (not just debug): `sum(buckets) == cycles × contexts`
+        // is the fuzz harness's core invariant, and one pass over the
+        // bucket array is noise next to the run itself.
+        let check = account.check();
         stats.account = account;
         stats.branch_mispredicts = self.predictions.cond_mispredicts();
         stats.indirect_mispredicts = self.predictions.indirect_mispredicts();
@@ -578,7 +666,10 @@ impl Machine<'_> {
         scratch.eligible = self.eligible;
         scratch.profit = self.profit;
         scratch.hints = self.hints;
-        stats
+        match check {
+            Ok(()) => Ok(stats),
+            Err(detail) => Err(SimError::AccountingViolation { detail }),
+        }
     }
 
     /// All producers of `idx` (register sources plus, for loads, the
@@ -611,19 +702,18 @@ impl Machine<'_> {
                 self.tasks.remove(0);
             }
         }
-        if self.trace_on && retired > 0 {
-            let ev = SimEvent::RetireBatch {
+        if retired > 0 {
+            self.record(SimEvent::RetireBatch {
                 cycle: self.cycle,
                 count: retired as u32,
                 retire_ptr: self.retire_ptr as u32,
-            };
-            self.sink.event(&ev);
+            });
         }
     }
 
     // ---- issue ---------------------------------------------------------------
 
-    fn issue(&mut self) {
+    fn issue(&mut self) -> Result<(), SimError> {
         // Collect ready entries, oldest first, into the reused per-cycle
         // buffer. Speculative loads ignore their (unsynchronized) memory
         // producer for readiness.
@@ -649,7 +739,7 @@ impl Machine<'_> {
         ready.truncate(self.cfg.fn_units.min(self.cfg.width));
         if ready.is_empty() {
             self.ready = ready;
-            return;
+            return Ok(());
         }
         let mut pos = 0;
         while pos < ready.len() {
@@ -664,9 +754,9 @@ impl Machine<'_> {
                     if self.state[p as usize].done_at > self.cycle {
                         let pc = self.trace.entry(idx as usize).pc;
                         self.ssit.train_violation(pc);
-                        self.squash_task_containing(idx);
+                        let r = self.squash_task_containing(idx);
                         self.ready = ready;
-                        return;
+                        return r;
                     }
                 }
             }
@@ -685,9 +775,9 @@ impl Machine<'_> {
                     if self.state[p as usize].done_at > self.cycle {
                         self.stats.register_violations += 1;
                         self.train_hint(idx, srcs[slot]);
-                        self.squash_task_containing(idx);
+                        let r = self.squash_task_containing(idx);
                         self.ready = ready;
-                        return;
+                        return r;
                     }
                 }
             }
@@ -709,13 +799,14 @@ impl Machine<'_> {
         }
         self.sched.retain(|idx| !self.state[*idx as usize].issued);
         self.ready = ready;
+        Ok(())
     }
 
     // ---- divert queue ---------------------------------------------------------
 
     /// An instruction leaves the divert queue once every inter-task
     /// producer has been dispatched into the scheduler (§3.1).
-    fn drain_divert(&mut self) {
+    fn drain_divert(&mut self) -> Result<(), SimError> {
         let mut released = 0;
         let mut i = 0;
         while i < self.divert.len() {
@@ -744,11 +835,14 @@ impl Machine<'_> {
                 self.divert.remove(i);
                 let s = &mut self.state[idx as usize];
                 s.in_divert = false;
-                let owner = self
-                    .tasks
-                    .iter_mut()
-                    .find(|t| t.start == task_start)
-                    .expect("a divert entry's owner task is live");
+                let Some(owner) = self.tasks.iter_mut().find(|t| t.start == task_start) else {
+                    return Err(SimError::BrokenInvariant {
+                        cycle: self.cycle,
+                        detail: format!(
+                            "divert entry {idx} has no live owner task (start {task_start})"
+                        ),
+                    });
+                };
                 debug_assert!(owner.divert_count > 0);
                 owner.divert_count -= 1;
                 self.sched.push(idx);
@@ -760,6 +854,7 @@ impl Machine<'_> {
                 i += 1;
             }
         }
+        Ok(())
     }
 
     // ---- dispatch ---------------------------------------------------------------
@@ -897,14 +992,11 @@ impl Machine<'_> {
                     st.reg_speculative = reg_speculative;
                     self.stats.diverted += 1;
                     self.tasks[ti].divert_count += 1;
-                    if self.trace_on {
-                        let ev = SimEvent::Divert {
-                            cycle: self.cycle,
-                            task: self.tasks[ti].uid,
-                            index: idx,
-                        };
-                        self.sink.event(&ev);
-                    }
+                    self.record(SimEvent::Divert {
+                        cycle: self.cycle,
+                        task: self.tasks[ti].uid,
+                        index: idx,
+                    });
                 } else {
                     // Reserve scheduler slots: one for divert release, one
                     // for the oldest task.
@@ -1140,7 +1232,7 @@ impl Machine<'_> {
     /// divert occupancy; the new tail's interval reopens so the discarded
     /// region is refetched later. This is the §6 "reclaim resources from
     /// younger threads" extension.
-    fn reclaim_youngest(&mut self) {
+    fn reclaim_youngest(&mut self) -> Result<(), SimError> {
         let last = self.tasks.len() - 1;
         debug_assert!(last > 0);
         let start = self.tasks[last].start;
@@ -1163,32 +1255,53 @@ impl Machine<'_> {
         }
         self.sched.retain(|&i| i < start);
         self.divert.retain(|&i| i < start);
-        let popped = self.tasks.pop().expect("tail task exists");
-        let tail = self.tasks.last_mut().expect("older task remains");
+        let invariant = |cycle, what: &str| SimError::BrokenInvariant {
+            cycle,
+            detail: what.to_string(),
+        };
+        let popped = self
+            .tasks
+            .pop()
+            .ok_or_else(|| invariant(self.cycle, "reclamation with no tail task"))?;
+        let tail = self
+            .tasks
+            .last_mut()
+            .ok_or_else(|| invariant(self.cycle, "reclamation left no older task"))?;
         tail.end = OPEN_END;
         self.stats.rob_reclaims += 1;
-        if self.trace_on {
-            let ev = SimEvent::Squash {
-                cycle: self.cycle,
-                task: popped.uid,
-                discarded,
-                reclaim: true,
-            };
-            self.sink.event(&ev);
-        }
+        self.record(SimEvent::Squash {
+            cycle: self.cycle,
+            task: popped.uid,
+            discarded,
+            reclaim: true,
+        });
+        Ok(())
     }
 
     /// Squashes the task containing trace index `idx` and every younger
     /// task (§3.1: "data-dependence violations lead to squashes of the
     /// violating task, as well as all tasks beyond it"). The violating
     /// task refetches from its start after the recovery penalty.
-    fn squash_task_containing(&mut self, idx: u32) {
-        let ti = self
+    fn squash_task_containing(&mut self, idx: u32) -> Result<(), SimError> {
+        let Some(ti) = self
             .tasks
             .iter()
             .position(|t| t.start <= idx && idx < t.end)
-            .expect("in-flight instruction belongs to a task");
-        assert!(ti > 0, "a speculative load's task is never the oldest");
+        else {
+            return Err(SimError::BrokenInvariant {
+                cycle: self.cycle,
+                detail: format!("in-flight instruction {idx} belongs to no task"),
+            });
+        };
+        if ti == 0 {
+            return Err(SimError::BrokenInvariant {
+                cycle: self.cycle,
+                detail: format!(
+                    "speculative instruction {idx} belongs to the oldest task, \
+                     which must never speculate"
+                ),
+            });
+        }
         let start = self.tasks[ti].start;
         // Discard all in-flight state at or beyond the violating task.
         let max_fetched = self
@@ -1231,15 +1344,13 @@ impl Machine<'_> {
         let uid = t.uid;
         self.stats.squashes += 1;
         self.stats.squashed_instructions += discarded;
-        if self.trace_on {
-            let ev = SimEvent::Squash {
-                cycle: self.cycle,
-                task: uid,
-                discarded,
-                reclaim: false,
-            };
-            self.sink.event(&ev);
-        }
+        self.record(SimEvent::Squash {
+            cycle: self.cycle,
+            task: uid,
+            discarded,
+            reclaim: false,
+        });
+        Ok(())
     }
 
     /// Scores a completed spawner: if it stalled while its spawned task
@@ -1347,18 +1458,15 @@ impl Machine<'_> {
             kind,
             live_tasks: self.tasks.len() as u8,
         });
-        if self.trace_on {
-            let ev = SimEvent::Spawn {
-                cycle: self.cycle,
-                task: uid,
-                trigger: e.pc,
-                target,
-                target_index: tidx,
-                kind,
-                live_tasks: self.tasks.len() as u8,
-            };
-            self.sink.event(&ev);
-        }
+        self.record(SimEvent::Spawn {
+            cycle: self.cycle,
+            task: uid,
+            trigger: e.pc,
+            target,
+            target_index: tidx,
+            kind,
+            live_tasks: self.tasks.len() as u8,
+        });
         true
     }
 }
@@ -1860,6 +1968,105 @@ mod tests {
         let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Loop));
         let r2 = simulate(&prep, &dflt, &mut src);
         assert_eq!(r2.rob_reclaims, 0);
+    }
+
+    #[test]
+    fn max_cycles_budget_returns_typed_error() {
+        let p = counted_loop(200);
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let cfg = MachineConfig {
+            max_cycles: 10,
+            ..MachineConfig::superscalar()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let e = try_simulate(&prep, &cfg, &mut NoSpawn).unwrap_err();
+        match e {
+            SimError::CyclesExceeded {
+                max_cycles,
+                retired,
+                instructions,
+            } => {
+                assert_eq!(max_cycles, 10);
+                assert_eq!(instructions as usize, trace.len());
+                assert!(retired < instructions);
+            }
+            other => panic!("expected CyclesExceeded, got {other}"),
+        }
+        // The default budget is unreachable.
+        let cfg = MachineConfig::superscalar();
+        let prep = PreparedTrace::new(&trace, &cfg);
+        assert!(try_simulate(&prep, &cfg, &mut NoSpawn).is_ok());
+    }
+
+    #[test]
+    fn livelock_watchdog_carries_postmortem_state() {
+        // A one-cycle window trips during the front-end fill (decode
+        // latency guarantees some retirement-free cycles), exercising the
+        // post-mortem payload without needing a genuine simulator bug.
+        let p = counted_loop(50);
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let cfg = MachineConfig {
+            livelock_window: 2,
+            ..MachineConfig::superscalar()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let e = try_simulate(&prep, &cfg, &mut NoSpawn).unwrap_err();
+        match e {
+            SimError::Livelock {
+                cycle,
+                window,
+                account,
+                detail,
+                ..
+            } => {
+                assert_eq!(window, 2);
+                assert!(cycle >= 2);
+                // The ledger travels with the error and balances.
+                assert!(account.check().is_ok());
+                assert!(detail.contains("stuck inst"));
+            }
+            other => panic!("expected Livelock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_trace_is_rejected_up_front() {
+        let p = counted_loop(20);
+        let mut trace = execute_window(&p, 100_000).unwrap().trace;
+        // Corrupt the continuity of the retirement stream.
+        let mid = trace.len() / 2;
+        trace.entries_mut()[mid].next_pc = polyflow_isa::Pc::new(999);
+        let cfg = MachineConfig::superscalar();
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let e = try_simulate(&prep, &cfg, &mut NoSpawn).unwrap_err();
+        assert!(matches!(e, SimError::MalformedTrace(_)), "got {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle budget exceeded")]
+    fn infallible_wrapper_panics_with_the_rendered_error() {
+        let p = counted_loop(200);
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let cfg = MachineConfig {
+            max_cycles: 10,
+            ..MachineConfig::superscalar()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        simulate(&prep, &cfg, &mut NoSpawn);
+    }
+
+    #[test]
+    fn try_simulate_matches_simulate_exactly() {
+        let p = hard_hammock_program();
+        let trace = execute_window(&p, 150_000).unwrap().trace;
+        let analysis = ProgramAnalysis::analyze(&p);
+        let cfg = MachineConfig::hpca07();
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        let a = simulate(&prep, &cfg, &mut src);
+        let mut src = StaticSpawnSource::new(analysis.spawn_table(Policy::Postdoms));
+        let b = try_simulate(&prep, &cfg, &mut src).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -45,8 +45,16 @@ fn run_variant(
     }
 }
 
+const SPEC: polyflow_bench::cli::Spec = polyflow_bench::cli::Spec {
+    name: "ablations",
+    about: "Ablation studies of the design choices DESIGN.md calls out, \
+            as average postdoms speedup over the unchanged superscalar",
+    flags: &[polyflow_bench::cli::JOBS, polyflow_bench::cli::MAX_CYCLES],
+    takes_workloads: true,
+};
+
 fn main() {
-    let mut filter = polyflow_bench::cli_filter();
+    let mut filter = polyflow_bench::cli::parse(&SPEC).filter;
     if filter.is_empty() {
         filter = ["mcf", "vortex", "twolf", "crafty"]
             .map(String::from)

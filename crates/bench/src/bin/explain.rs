@@ -45,6 +45,15 @@ fn parse_args() -> Result<Options, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--" => {} // cargo-run argument separator
+            "--help" | "-h" => {
+                println!(
+                    "explain — per-bucket cycle accounting for one run\n\n\
+                     Usage: explain <workload> [policy] [--json] [--events <path>] \
+                     [--top N] [--width N]\n\n\
+                     Policies: {POLICY_NAMES:?} (default postdoms)"
+                );
+                std::process::exit(0);
+            }
             "--json" => opts.json = true,
             "--events" => {
                 opts.events = Some(args.next().ok_or("--events requires a path")?);

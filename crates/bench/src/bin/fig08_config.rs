@@ -3,7 +3,16 @@
 
 use polyflow_sim::MachineConfig;
 
+const SPEC: polyflow_bench::cli::Spec = polyflow_bench::cli::Spec {
+    name: "fig08_config",
+    about: "Prints the simulated machine configuration (the paper's \
+            Figure 8 pipeline-parameter table)",
+    flags: &[],
+    takes_workloads: false,
+};
+
 fn main() {
+    polyflow_bench::cli::parse(&SPEC);
     let c = MachineConfig::hpca07();
     println!("== Figure 8: pipeline parameters ==");
     let rows: Vec<(&str, String)> = vec![

@@ -7,13 +7,20 @@
 //! (default: all 12 workloads, one worker per available CPU).
 
 use polyflow_bench::sweep::{figure9_cells, sweep};
-use polyflow_bench::{
-    cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table,
-};
+use polyflow_bench::{cli, prepare_all, print_speedup_csv, print_speedup_table};
 use polyflow_core::Policy;
 
+const SPEC: cli::Spec = cli::Spec {
+    name: "fig09_individual_heuristics",
+    about: "Regenerates Figure 9: speedup of each individual heuristic \
+            spawn policy over the equivalent-resource superscalar",
+    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::CSV],
+    takes_workloads: true,
+};
+
 fn main() {
-    let workloads = prepare_all(&cli_filter());
+    let args = cli::parse(&SPEC);
+    let workloads = prepare_all(&args.filter);
     let columns: Vec<String> = Policy::figure9().iter().map(|p| p.name()).collect();
 
     let cells = figure9_cells();
@@ -30,7 +37,7 @@ fn main() {
             (w.name.to_string(), base.ipc(), speedups)
         })
         .collect();
-    if csv_requested() {
+    if args.csv {
         print_speedup_csv(&rows, &columns);
     } else {
         print_speedup_table(

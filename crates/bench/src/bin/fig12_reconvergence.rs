@@ -7,13 +7,20 @@
 //! (default: all 12).
 
 use polyflow_bench::sweep::{sweep, Cell};
-use polyflow_bench::{
-    cli_filter, csv_requested, prepare_all, print_speedup_csv, print_speedup_table,
-};
+use polyflow_bench::{cli, prepare_all, print_speedup_csv, print_speedup_table};
 use polyflow_core::Policy;
 
+const SPEC: cli::Spec = cli::Spec {
+    name: "fig12_reconvergence",
+    about: "Regenerates Figure 12: spawning from the dynamic reconvergence \
+            predictor versus compiler-generated immediate postdominators",
+    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::CSV],
+    takes_workloads: true,
+};
+
 fn main() {
-    let workloads = prepare_all(&cli_filter());
+    let args = cli::parse(&SPEC);
+    let workloads = prepare_all(&args.filter);
     let columns = vec!["rec_pred".to_string(), "postdoms".to_string()];
 
     let cells = [Cell::Baseline, Cell::Reconv, Cell::Static(Policy::Postdoms)];
@@ -28,7 +35,7 @@ fn main() {
             (w.name.to_string(), base.ipc(), vec![rec, pd])
         })
         .collect();
-    if csv_requested() {
+    if args.csv {
         print_speedup_csv(&rows, &columns);
         report.emit();
         if polyflow_bench::sweep::report_failures(&grid) {

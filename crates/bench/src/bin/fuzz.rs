@@ -36,6 +36,13 @@ fn main() {
                 None => usage("--seed needs a value"),
             },
             "--faults" => faults = true,
+            "--help" | "-h" => {
+                println!(
+                    "fuzz — differential fuzzing / fault-injection driver\n\n\
+                     Usage: fuzz [--seeds N] [--seed S] [--faults] [--replay FILE]"
+                );
+                std::process::exit(0);
+            }
             "--replay" => match args.next() {
                 Some(p) => replay = Some(p),
                 None => usage("--replay needs a file"),

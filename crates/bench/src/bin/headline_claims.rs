@@ -9,11 +9,19 @@
 //!    best individual heuristic on each benchmark (§4.1).
 
 use polyflow_bench::sweep::{sweep, Cell};
-use polyflow_bench::{cli_filter, prepare_all};
+use polyflow_bench::{cli, prepare_all};
 use polyflow_core::Policy;
 
+const SPEC: cli::Spec = cli::Spec {
+    name: "headline_claims",
+    about: "Checks the paper's headline claims (§1/§6) against this \
+            reproduction's measurements",
+    flags: &[cli::JOBS, cli::MAX_CYCLES],
+    takes_workloads: true,
+};
+
 fn main() {
-    let workloads = prepare_all(&cli_filter());
+    let workloads = prepare_all(&cli::parse(&SPEC).filter);
     let individual = Policy::figure9();
     let combos = Policy::figure10();
 
@@ -75,12 +83,19 @@ fn main() {
             "MISS"
         }
     );
+    // Claim 2 is checked for *direction only* (postdoms must beat the
+    // best combination at all); the paper's ~33% margin does not
+    // reproduce on these synthetic stand-ins and the gap is annotated
+    // explicitly instead of being silently folded into a PASS (see
+    // EXPERIMENTS.md "Headline claims" for why the magnitude deviates).
+    let margin = 100.0 * (postdoms_avg - best_combo) / best_combo.max(1e-9);
     println!(
         "2. postdoms avg {postdoms_avg:.1}% vs best combination {best_combo:.1}% \
-         => {:.0}% more (paper: ~33%) {}",
-        100.0 * (postdoms_avg - best_combo) / best_combo.max(1e-9),
+         => {margin:.0}% more (paper: ~33%; gap {:.0}pp, magnitude NOT reproduced \
+         -- see EXPERIMENTS.md) {}",
+        margin - 33.0,
         if postdoms_avg > best_combo {
-            "PASS"
+            "PASS[direction-only]"
         } else {
             "MISS"
         }

@@ -9,14 +9,37 @@ use polyflow_isa::Pc;
 use std::collections::HashMap;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
-    let function_filter = std::env::args().nth(2);
+    let mut positional = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "inspect — annotated disassembly of a workload\n\n\
+                     Usage: inspect <workload> [function]\n\n\
+                     Workloads: {}",
+                    polyflow_workloads::names().join(" ")
+                );
+                return;
+            }
+            "--" => {}
+            other if other.starts_with('-') => {
+                eprintln!("inspect: unknown flag `{other}` (see --help)");
+                std::process::exit(2);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let name = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "twolf".into());
+    let function_filter = positional.get(1).cloned();
     let Some(w) = polyflow_workloads::by_name(&name) else {
         eprintln!(
             "unknown workload `{name}`; one of {:?}",
             polyflow_workloads::NAMES
         );
-        std::process::exit(1);
+        std::process::exit(2);
     };
     let analysis = ProgramAnalysis::analyze(&w.program);
     let spawns: HashMap<Pc, String> = analysis

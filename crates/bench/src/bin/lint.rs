@@ -15,19 +15,20 @@
 use polyflow_core::{verify, ProgramAnalysis, VerifyOptions};
 use polyflow_sim::MachineConfig;
 
+const SPEC: polyflow_bench::cli::Spec = polyflow_bench::cli::Spec {
+    name: "lint",
+    about: "Static verifier over the bundled workloads (exit 0 iff no \
+            diagnostics), with a hint-capacity pressure report",
+    flags: &[],
+    takes_workloads: true,
+};
+
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let filter = polyflow_bench::cli::parse(&SPEC).filter;
     let workloads: Vec<_> = polyflow_workloads::all()
         .into_iter()
         .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
         .collect();
-    if workloads.is_empty() {
-        eprintln!(
-            "no matching workloads; names: {:?}",
-            polyflow_workloads::NAMES
-        );
-        std::process::exit(2);
-    }
 
     let opts = VerifyOptions {
         hint_register_slots: MachineConfig::hpca07().hint_register_slots,

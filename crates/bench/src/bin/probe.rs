@@ -1,14 +1,23 @@
-//! Diagnostic probe: detailed per-policy statistics for one workload.
+//! Diagnostic probe: detailed per-policy statistics for one workload
+//! (the reconvergence predictor plus every Figure 9 policy).
 //!
-//! Usage: `probe <workload> [policy]` where policy is one of the Figure 9
-//! names (default: postdoms).
+//! Usage: `probe [workload]` (default: crafty).
 
 use polyflow_bench::PreparedWorkload;
 use polyflow_core::Policy;
 
+const SPEC: polyflow_bench::cli::Spec = polyflow_bench::cli::Spec {
+    name: "probe",
+    about: "Diagnostic probe: detailed per-policy statistics for one \
+            workload (default: crafty)",
+    flags: &[],
+    takes_workloads: true,
+};
+
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "crafty".into());
-    let w = polyflow_workloads::by_name(&name).expect("known workload");
+    let filter = polyflow_bench::cli::parse(&SPEC).filter;
+    let name = filter.first().cloned().unwrap_or_else(|| "crafty".into());
+    let w = polyflow_workloads::by_name(&name).expect("cli validated the name");
     let pw = PreparedWorkload::prepare(w);
     let base = pw.run_baseline();
     println!(

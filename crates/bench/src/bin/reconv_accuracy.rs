@@ -7,7 +7,7 @@
 //!
 //! Usage: `reconv_accuracy [--jobs N] [workload ...]` (default: all 12).
 
-use polyflow_bench::{cli_filter, pool, prepare_all, PreparedWorkload};
+use polyflow_bench::{cli, pool, prepare_all, PreparedWorkload};
 use polyflow_core::SpawnKind;
 use polyflow_reconv::{train_on_trace, ReconvConfig};
 use std::collections::HashMap;
@@ -57,7 +57,14 @@ fn accuracy_row(w: &PreparedWorkload) -> String {
 }
 
 fn main() {
-    let workloads = prepare_all(&cli_filter());
+    const SPEC: cli::Spec = cli::Spec {
+        name: "reconv_accuracy",
+        about: "Measures how well the dynamic reconvergence predictor \
+                reconstructs compiler-computed immediate postdominators",
+        flags: &[cli::JOBS],
+        takes_workloads: true,
+    };
+    let workloads = prepare_all(&cli::parse(&SPEC).filter);
     println!("== Reconvergence-predictor accuracy vs immediate postdominators ==");
     println!(
         "{:<12} {:>7} {:>7} {:>7} {:>9} {:>14}",

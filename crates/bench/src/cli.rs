@@ -1,0 +1,312 @@
+//! Shared command-line parsing for the figure binaries.
+//!
+//! Every grid-style binary (`fig05`…`fig12`, `ablations`,
+//! `headline_claims`, `reconv_accuracy`, `lint`) accepts the same shape
+//! of command line — optional flags plus positional workload names — and
+//! historically each one re-derived it from `std::env::args` with subtly
+//! different rules: an unrecognized `--flag` silently became a workload
+//! filter entry that matched nothing, so `--hlep` ran the full 12-workload
+//! grid instead of erroring. This module centralizes the grammar:
+//!
+//! * known flags are declared per binary ([`Spec::flags`]);
+//! * unknown flags are **rejected** with a usage message and exit 2;
+//! * positional arguments are validated against
+//!   [`polyflow_workloads::names`] (unknown workloads exit 2 too);
+//! * every binary answers `--help`/`-h` with a consistent usage page.
+//!
+//! The actual *consumption* of `--jobs` and `--max-cycles` stays where it
+//! always was ([`crate::resolve_max_cycles`], [`pool::resolve_jobs`]);
+//! this module only validates and routes. `--` separates flags from
+//! positionals (everything after it is a workload name).
+//!
+//! [`pool::resolve_jobs`]: crate::pool::resolve_jobs
+
+use std::process::exit;
+
+/// One flag a binary accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct Flag {
+    /// The flag itself, including dashes (`"--jobs"`).
+    pub name: &'static str,
+    /// Placeholder for the flag's value (`Some("N")`), or `None` for a
+    /// boolean flag.
+    pub value: Option<&'static str>,
+    /// One-line description for the usage page.
+    pub help: &'static str,
+}
+
+/// `--jobs N`: worker threads for the sweep pool.
+pub const JOBS: Flag = Flag {
+    name: "--jobs",
+    value: Some("N"),
+    help: "worker threads (default: available CPUs; also POLYFLOW_JOBS)",
+};
+
+/// `--max-cycles N`: the per-run cycle budget watchdog.
+pub const MAX_CYCLES: Flag = Flag {
+    name: "--max-cycles",
+    value: Some("N"),
+    help: "per-run cycle budget (default: unlimited; also POLYFLOW_MAX_CYCLES)",
+};
+
+/// `--csv`: machine-readable output instead of the aligned table.
+pub const CSV: Flag = Flag {
+    name: "--csv",
+    value: None,
+    help: "emit CSV instead of the aligned table",
+};
+
+/// A binary's command-line grammar.
+#[derive(Debug, Clone, Copy)]
+pub struct Spec {
+    /// Binary name (for the usage line).
+    pub name: &'static str,
+    /// One-line description of what the binary does.
+    pub about: &'static str,
+    /// The flags this binary accepts (beyond `--help`).
+    pub flags: &'static [Flag],
+    /// Whether positional workload names are accepted.
+    pub takes_workloads: bool,
+}
+
+/// Parsed arguments: the validated workload filter plus boolean flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Positional workload names (empty = all workloads).
+    pub filter: Vec<String>,
+    /// True if `--csv` was passed (and accepted by the spec).
+    pub csv: bool,
+}
+
+/// Renders the usage page for `spec`.
+pub fn usage(spec: &Spec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n\n", spec.name, spec.about));
+    out.push_str(&format!(
+        "Usage: {} [flags]{}\n\nFlags:\n",
+        spec.name,
+        if spec.takes_workloads {
+            " [workload ...]"
+        } else {
+            ""
+        }
+    ));
+    let mut rows: Vec<(String, &str)> = spec
+        .flags
+        .iter()
+        .map(|f| {
+            let lhs = match f.value {
+                Some(v) => format!("{} {v}", f.name),
+                None => f.name.to_string(),
+            };
+            (lhs, f.help)
+        })
+        .collect();
+    rows.push(("--help".to_string(), "print this help and exit"));
+    let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (lhs, help) in rows {
+        out.push_str(&format!("  {lhs:<width$}  {help}\n"));
+    }
+    if spec.takes_workloads {
+        out.push_str(&format!(
+            "\nWorkloads (default: all):\n  {}\n",
+            polyflow_workloads::names().join(" ")
+        ));
+    }
+    out
+}
+
+/// Parses the process's command line against `spec`.
+///
+/// `--help`/`-h` prints the usage page and exits 0. An unknown flag, a
+/// missing flag value, a malformed numeric value, or an unknown workload
+/// name prints the problem plus the usage page to stderr and exits 2 —
+/// nothing runs on a command line the binary does not fully understand.
+pub fn parse(spec: &Spec) -> Args {
+    parse_from(spec, std::env::args().skip(1))
+}
+
+/// [`parse`] over an explicit argument iterator (testable; exits are
+/// routed through [`try_parse`]).
+pub fn parse_from(spec: &Spec, args: impl Iterator<Item = String>) -> Args {
+    match try_parse(spec, args) {
+        Ok(Parsed::Args(a)) => a,
+        Ok(Parsed::HelpRequested) => {
+            print!("{}", usage(spec));
+            exit(0);
+        }
+        Err(e) => {
+            eprintln!("{}: {e}\n\n{}", spec.name, usage(spec));
+            exit(2);
+        }
+    }
+}
+
+/// Outcome of a successful [`try_parse`].
+#[derive(Debug)]
+pub enum Parsed {
+    /// The parsed arguments.
+    Args(Args),
+    /// `--help` was requested; the caller should print usage and exit 0.
+    HelpRequested,
+}
+
+/// The fallible core of [`parse`]: returns the parsed arguments, a help
+/// request, or a description of what was wrong with the command line.
+pub fn try_parse(spec: &Spec, args: impl Iterator<Item = String>) -> Result<Parsed, String> {
+    let mut out = Args::default();
+    let mut args = args.peekable();
+    let mut positional_only = false;
+    while let Some(a) = args.next() {
+        if positional_only {
+            push_workload(spec, &mut out, &a)?;
+            continue;
+        }
+        if a == "--" {
+            positional_only = true;
+            continue;
+        }
+        if a == "--help" || a == "-h" {
+            return Ok(Parsed::HelpRequested);
+        }
+        if a.starts_with('-') {
+            let (name, inline_value) = match a.split_once('=') {
+                Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                None => (a.clone(), None),
+            };
+            let Some(flag) = spec.flags.iter().find(|f| f.name == name) else {
+                return Err(format!("unknown flag `{name}`"));
+            };
+            match (flag.value, inline_value) {
+                (None, None) => {
+                    if flag.name == "--csv" {
+                        out.csv = true;
+                    }
+                }
+                (None, Some(_)) => {
+                    return Err(format!("flag `{name}` takes no value"));
+                }
+                (Some(placeholder), inline) => {
+                    let v = match inline {
+                        Some(v) => v,
+                        None => args
+                            .next()
+                            .ok_or_else(|| format!("flag `{name}` requires a {placeholder}"))?,
+                    };
+                    if v.parse::<u64>().is_err() {
+                        return Err(format!("flag `{name}` requires a number, got `{v}`"));
+                    }
+                }
+            }
+        } else {
+            push_workload(spec, &mut out, &a)?;
+        }
+    }
+    Ok(Parsed::Args(out))
+}
+
+fn push_workload(spec: &Spec, out: &mut Args, name: &str) -> Result<(), String> {
+    if !spec.takes_workloads {
+        return Err(format!("unexpected argument `{name}`"));
+    }
+    if !polyflow_workloads::names().contains(&name) {
+        return Err(format!(
+            "unknown workload `{name}` (one of: {})",
+            polyflow_workloads::names().join(", ")
+        ));
+    }
+    out.filter.push(name.to_string());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: Spec = Spec {
+        name: "figtest",
+        about: "unit-test spec",
+        flags: &[JOBS, MAX_CYCLES, CSV],
+        takes_workloads: true,
+    };
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn accepts_known_flags_and_workloads() {
+        let Parsed::Args(a) = try_parse(
+            &SPEC,
+            args(&["--jobs", "2", "--max-cycles=500", "--csv", "twolf", "gzip"]),
+        )
+        .unwrap() else {
+            panic!("not a help request")
+        };
+        assert_eq!(a.filter, vec!["twolf", "gzip"]);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let e = try_parse(&SPEC, args(&["--hlep"])).unwrap_err();
+        assert!(e.contains("unknown flag `--hlep`"), "{e}");
+        let e = try_parse(&SPEC, args(&["--jobs=2", "--frobnicate"])).unwrap_err();
+        assert!(e.contains("--frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_workloads_and_bad_values() {
+        let e = try_parse(&SPEC, args(&["eon"])).unwrap_err();
+        assert!(e.contains("unknown workload `eon`"), "{e}");
+        let e = try_parse(&SPEC, args(&["--jobs"])).unwrap_err();
+        assert!(e.contains("requires a N"), "{e}");
+        let e = try_parse(&SPEC, args(&["--jobs", "many"])).unwrap_err();
+        assert!(e.contains("requires a number"), "{e}");
+        let e = try_parse(&SPEC, args(&["--csv=1"])).unwrap_err();
+        assert!(e.contains("takes no value"), "{e}");
+    }
+
+    #[test]
+    fn help_is_signalled_not_fatal() {
+        assert!(matches!(
+            try_parse(&SPEC, args(&["--help"])).unwrap(),
+            Parsed::HelpRequested
+        ));
+        assert!(matches!(
+            try_parse(&SPEC, args(&["-h", "twolf"])).unwrap(),
+            Parsed::HelpRequested
+        ));
+    }
+
+    #[test]
+    fn double_dash_separates_positionals() {
+        let Parsed::Args(a) = try_parse(&SPEC, args(&["--", "mcf"])).unwrap() else {
+            panic!("not a help request")
+        };
+        assert_eq!(a.filter, vec!["mcf"]);
+    }
+
+    #[test]
+    fn workloadless_spec_rejects_positionals() {
+        let spec = Spec {
+            takes_workloads: false,
+            ..SPEC
+        };
+        let e = try_parse(&spec, args(&["twolf"])).unwrap_err();
+        assert!(e.contains("unexpected argument"), "{e}");
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let u = usage(&SPEC);
+        for f in SPEC.flags {
+            assert!(u.contains(f.name), "usage must document {}", f.name);
+        }
+        assert!(u.contains("--help"));
+        assert!(u.contains("twolf"), "workload list is part of the page");
+    }
+}

@@ -19,6 +19,7 @@ use polyflow_sim::{
 use polyflow_workloads::Workload;
 use std::sync::{Arc, Mutex, OnceLock};
 
+pub mod cli;
 pub mod fuzz;
 pub mod pool;
 pub mod stopwatch;
@@ -254,28 +255,6 @@ pub fn prepare_all_jobs(filter: &[String], jobs: usize) -> Vec<PreparedWorkload>
     pool::parallel_map(selected, jobs, |_, w| PreparedWorkload::prepare(w))
 }
 
-/// Parses CLI args as an optional workload filter (flags and the values
-/// of `--jobs` and `--max-cycles` are not workload names).
-pub fn cli_filter() -> Vec<String> {
-    let mut filter = Vec::new();
-    let mut skip_value = false;
-    for a in std::env::args().skip(1) {
-        if skip_value {
-            skip_value = false;
-            continue;
-        }
-        if a == "--jobs" || a == "--max-cycles" {
-            skip_value = true;
-            continue;
-        }
-        if a.starts_with('-') {
-            continue;
-        }
-        filter.push(a);
-    }
-    filter
-}
-
 /// Parses a policy by its display name ([`Policy::name`]), as used on the
 /// `explain` command line. `"superscalar"` / `"baseline"` / `"none"` name
 /// the no-spawn baseline.
@@ -302,12 +281,6 @@ pub const POLICY_NAMES: &[&str] = &[
     "other",
     "postdoms",
 ];
-
-/// True if `--csv` was passed: figure binaries then emit
-/// machine-readable CSV instead of the aligned table.
-pub fn csv_requested() -> bool {
-    std::env::args().any(|a| a == "--csv")
-}
 
 /// Renders a speedup table as CSV (`benchmark,ss_ipc,<columns...>`).
 /// NaN entries — cells the sweep engine marked failed — render as the

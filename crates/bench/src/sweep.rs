@@ -22,7 +22,11 @@
 
 use crate::{pool, PreparedWorkload};
 use polyflow_core::Policy;
-use polyflow_sim::{SimError, SimResult, SimScratch};
+use polyflow_reconv::ReconvConfig;
+use polyflow_sim::{
+    try_simulate_with, MachineConfig, NoSpawn, ReconvSpawnSource, SimError, SimResult, SimScratch,
+    StaticSpawnSource,
+};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -316,6 +320,83 @@ where
         cells: cell_times,
     };
     (results, report)
+}
+
+/// Runs a *ragged* batch — an explicit list of `(workload, cell)` pairs
+/// rather than a full cross product — on the pool, with the same fault
+/// isolation and determinism guarantees as [`run_grid_with`]: outcomes
+/// come back in input order, each pair ran exactly once, and a panicking
+/// or erroring pair degrades to [`CellOutcome::Failed`] without touching
+/// its neighbours.
+///
+/// This is the execution primitive of the `polyflow-serve` micro-batcher:
+/// a coalesced request batch is rarely a rectangle (each client asks for
+/// its own workload × policy × config cell), but every pair is still an
+/// independent simulator run, so the batch executes as one pool dispatch.
+/// `W` is anything that borrows a [`PreparedWorkload`] (`Arc` in the
+/// server, plain references in tests).
+pub fn run_batch_with<W, C, F, L>(
+    name: &str,
+    items: &[(W, C)],
+    jobs: usize,
+    run: F,
+    label: L,
+) -> (Vec<CellOutcome>, SweepReport)
+where
+    W: AsRef<PreparedWorkload> + Sync,
+    C: Sync,
+    F: Fn(&PreparedWorkload, &C, &mut SimScratch) -> Result<SimResult, SimError> + Sync,
+    L: Fn(&C) -> String,
+{
+    let labels: Vec<String> = items.iter().map(|(_, c)| label(c)).collect();
+    let started = Instant::now();
+    let indices: Vec<usize> = (0..items.len()).collect();
+    let timed = pool::parallel_map(indices, jobs, |_, i| {
+        let (w, c) = &items[i];
+        let t0 = Instant::now();
+        let r = run_cell(w.as_ref(), c, &labels[i], &run);
+        (r, t0.elapsed())
+    });
+    let wall = started.elapsed();
+    let mut outcomes = Vec::with_capacity(timed.len());
+    let mut cell_times = Vec::with_capacity(timed.len());
+    for (i, (r, d)) in timed.into_iter().enumerate() {
+        cell_times.push((format!("{}/{}", items[i].0.as_ref().name, labels[i]), d));
+        outcomes.push(r);
+    }
+    let report = SweepReport {
+        name: name.to_string(),
+        jobs,
+        wall,
+        cells: cell_times,
+    };
+    (outcomes, report)
+}
+
+/// Runs one cell under an **explicit** machine configuration, unlike the
+/// `try_run_*` methods which use the process-wide figure configs. This is
+/// the single execution path behind every `polyflow-serve` request — the
+/// server's batcher and the offline verifier both call it, so "served
+/// result ≡ offline result" reduces to the simulator's own determinism.
+/// Prepared traces are still shared through
+/// [`PreparedWorkload::prepared`], keyed by the config's predictor key.
+pub fn run_cell_with_config(
+    w: &PreparedWorkload,
+    cell: Cell,
+    cfg: &MachineConfig,
+    scratch: &mut SimScratch,
+) -> Result<SimResult, SimError> {
+    match cell {
+        Cell::Baseline => try_simulate_with(&w.prepared(cfg), cfg, &mut NoSpawn, scratch),
+        Cell::Static(p) => {
+            let mut src = StaticSpawnSource::new(w.analysis.spawn_table(p));
+            try_simulate_with(&w.prepared(cfg), cfg, &mut src, scratch)
+        }
+        Cell::Reconv => {
+            let mut src = ReconvSpawnSource::new(ReconvConfig::default());
+            try_simulate_with(&w.prepared(cfg), cfg, &mut src, scratch)
+        }
+    }
 }
 
 /// Runs the standard figure grid (`cells` per workload) with the

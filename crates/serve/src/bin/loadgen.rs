@@ -1,0 +1,483 @@
+//! Closed-loop load generator for the PolyFlow simulation server.
+//!
+//! Spawns `--clients` connections that each fire requests back-to-back
+//! until `--duration-ms` elapses, mixing repeated hot keys (cache hits
+//! after warm-up) with never-before-seen cold keys at `--hit-ratio`.
+//! Reports throughput, latency percentiles, and the server's cache/queue
+//! counters as one JSON line on stdout (the same `name`/`jobs`/`cells`/
+//! `wall_seconds`/`cells_per_second` fields as `BENCH_sweep.json`, so the
+//! same tooling reads both), plus a human summary on stderr.
+//!
+//! `--verify-fig09` switches to verification: every (workload × Figure 9
+//! policy) cell is requested over the wire and compared **byte for byte**
+//! against an offline run of the same cell in this process. Any mismatch
+//! exits 1. Run it against servers at different `--jobs` and with
+//! different `--clients` counts to vary batch composition.
+//!
+//! Cold keys are real simulations: each one perturbs only the
+//! `max_cycles` watchdog (a config field that cannot change a completing
+//! run's result but does change the cache key), so a cold request is a
+//! full simulator run while a hot request is a cache lookup — the
+//! hot/cold throughput gap is the value of the cache.
+
+use polyflow_bench::stopwatch::percentile;
+use polyflow_bench::sweep::{figure9_cells, run_cell_with_config};
+use polyflow_isa::rng::SplitMix64;
+use polyflow_serve::json;
+use polyflow_serve::protocol::{ok_response, parse_request, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Opt {
+    name: &'static str,
+    value: Option<&'static str>,
+    help: &'static str,
+}
+
+const OPTS: &[Opt] = &[
+    Opt {
+        name: "--addr",
+        value: Some("HOST:PORT"),
+        help: "server address (default 127.0.0.1:7199)",
+    },
+    Opt {
+        name: "--clients",
+        value: Some("N"),
+        help: "concurrent closed-loop connections (default 4)",
+    },
+    Opt {
+        name: "--duration-ms",
+        value: Some("N"),
+        help: "load duration (default 2000)",
+    },
+    Opt {
+        name: "--hit-ratio",
+        value: Some("PCT"),
+        help: "percent of requests aimed at the repeated hot keys (default 90)",
+    },
+    Opt {
+        name: "--seed",
+        value: Some("N"),
+        help: "SplitMix64 seed; same seed + same server state = same request stream (default 42)",
+    },
+    Opt {
+        name: "--max-cycles",
+        value: Some("N"),
+        help: "cycle budget sent with every request (default 1000000000)",
+    },
+    Opt {
+        name: "--jobs",
+        value: Some("N"),
+        help: "offline worker threads for --verify-fig09 (default: available CPUs)",
+    },
+    Opt {
+        name: "--verify-fig09",
+        value: None,
+        help: "verify every Figure 9 cell byte-for-byte against an offline run",
+    },
+];
+
+fn usage() -> String {
+    let mut out = String::from(
+        "loadgen — closed-loop load generator and determinism verifier for `serve`\n\n\
+         Usage: loadgen [flags]\n\nFlags:\n",
+    );
+    let width = OPTS
+        .iter()
+        .map(|o| o.name.len() + o.value.map_or(0, |v| v.len() + 1))
+        .max()
+        .unwrap_or(0);
+    for o in OPTS {
+        let lhs = match o.value {
+            Some(v) => format!("{} {v}", o.name),
+            None => o.name.to_string(),
+        };
+        out.push_str(&format!("  {lhs:<width$}  {}\n", o.help));
+    }
+    out.push_str(&format!(
+        "  {:<width$}  print this help and exit\n",
+        "--help"
+    ));
+    out
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}\n\n{}", usage());
+    exit(2);
+}
+
+struct Config {
+    addr: String,
+    clients: usize,
+    duration: Duration,
+    hit_ratio: u64,
+    seed: u64,
+    max_cycles: u64,
+    jobs: usize,
+    verify: bool,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        addr: "127.0.0.1:7199".to_string(),
+        clients: 4,
+        duration: Duration::from_millis(2000),
+        hit_ratio: 90,
+        seed: 42,
+        max_cycles: 1_000_000_000,
+        jobs: 0,
+        verify: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--help" || a == "-h" {
+            print!("{}", usage());
+            exit(0);
+        }
+        let (name, inline) = match a.split_once('=') {
+            Some((n, v)) => (n.to_string(), Some(v.to_string())),
+            None => (a, None),
+        };
+        let Some(opt) = OPTS.iter().find(|o| o.name == name) else {
+            fail(&format!("unknown flag `{name}`"));
+        };
+        if opt.value.is_none() {
+            if inline.is_some() {
+                fail(&format!("flag `{name}` takes no value"));
+            }
+            cfg.verify = true; // --verify-fig09 is the only boolean flag
+            continue;
+        }
+        let value = inline
+            .or_else(|| args.next())
+            .unwrap_or_else(|| fail(&format!("flag `{name}` requires a value")));
+        let num = || -> u64 {
+            value.parse().unwrap_or_else(|_| {
+                fail(&format!("flag `{name}` requires a number, got `{value}`"))
+            })
+        };
+        match name.as_str() {
+            "--addr" => cfg.addr = value.clone(),
+            "--clients" => cfg.clients = num().max(1) as usize,
+            "--duration-ms" => cfg.duration = Duration::from_millis(num()),
+            "--hit-ratio" => cfg.hit_ratio = num().min(100),
+            "--seed" => cfg.seed = num(),
+            "--max-cycles" => cfg.max_cycles = num().max(1),
+            "--jobs" => cfg.jobs = num() as usize,
+            _ => unreachable!("flag table covers all names"),
+        }
+    }
+    cfg
+}
+
+/// One request/response exchange on an established connection.
+fn exchange(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<String, String> {
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    writer
+        .write_all(framed.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut reply = String::new();
+    match reader.read_line(&mut reply) {
+        Ok(0) => Err("server hung up".to_string()),
+        Ok(_) => Ok(reply.trim_end_matches('\n').to_string()),
+        Err(e) => Err(format!("read: {e}")),
+    }
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot connect to {addr}: {e}");
+        exit(1);
+    });
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+/// The repeated hot-key roster: a small representative workload subset
+/// (the ablation binary's) crossed with the headline policy and the
+/// baseline.
+const HOT_WORKLOADS: &[&str] = &["mcf", "vortex", "twolf", "crafty"];
+const HOT_POLICIES: &[&str] = &["postdoms", "baseline"];
+
+fn hot_line(n: usize, max_cycles: u64) -> String {
+    let w = HOT_WORKLOADS[(n / HOT_POLICIES.len()) % HOT_WORKLOADS.len()];
+    let p = HOT_POLICIES[n % HOT_POLICIES.len()];
+    format!(
+        "{{\"workload\":\"{w}\",\"policy\":\"{p}\",\"config\":{{\"max_cycles\":{max_cycles}}}}}"
+    )
+}
+
+fn cold_line(counter: u64, max_cycles: u64, rng: &mut SplitMix64) -> String {
+    let w = HOT_WORKLOADS[rng.index(HOT_WORKLOADS.len())];
+    // A unique max_cycles value: a fresh cache key, the same result.
+    let budget = max_cycles + 1 + counter;
+    format!(
+        "{{\"workload\":\"{w}\",\"policy\":\"postdoms\",\"config\":{{\"max_cycles\":{budget}}}}}"
+    )
+}
+
+fn is_ok(reply: &str) -> bool {
+    reply.starts_with("{\"ok\":true")
+}
+
+fn run_load(cfg: &Config) -> ! {
+    let hot_keys = HOT_WORKLOADS.len() * HOT_POLICIES.len();
+
+    // Warm the cache so a high hit ratio measures the cache, not the
+    // first-touch simulations.
+    let (mut w, mut r) = connect(&cfg.addr);
+    for n in 0..hot_keys {
+        let line = hot_line(n, cfg.max_cycles);
+        if let Err(e) = exchange(&mut w, &mut r, &line) {
+            eprintln!("loadgen: warm-up failed: {e}");
+            exit(1);
+        }
+    }
+
+    let cold_counter = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let mut handles = Vec::new();
+    for client in 0..cfg.clients {
+        let addr = cfg.addr.clone();
+        let hit_ratio = cfg.hit_ratio;
+        let max_cycles = cfg.max_cycles;
+        let seed = cfg.seed;
+        let cold_counter = Arc::clone(&cold_counter);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(seed ^ (client as u64).wrapping_mul(0x9e37));
+            let (mut w, mut r) = connect(&addr);
+            let mut latencies: Vec<Duration> = Vec::new();
+            let mut ok = 0u64;
+            let mut errors = 0u64;
+            let mut first_error: Option<String> = None;
+            while Instant::now() < deadline {
+                let line = if rng.below(100) < hit_ratio {
+                    hot_line(rng.index(hot_keys), max_cycles)
+                } else {
+                    let n = cold_counter.fetch_add(1, Ordering::Relaxed);
+                    cold_line(n, max_cycles, &mut rng)
+                };
+                let t0 = Instant::now();
+                match exchange(&mut w, &mut r, &line) {
+                    Ok(reply) if is_ok(&reply) => {
+                        ok += 1;
+                        latencies.push(t0.elapsed());
+                    }
+                    Ok(reply) => {
+                        errors += 1;
+                        first_error.get_or_insert(reply);
+                    }
+                    Err(e) => {
+                        errors += 1;
+                        first_error.get_or_insert(e);
+                        break; // connection is gone
+                    }
+                }
+            }
+            (latencies, ok, errors, first_error)
+        }));
+    }
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut first_error: Option<String> = None;
+    for h in handles {
+        let (l, o, e, fe) = h.join().expect("client thread");
+        latencies.extend(l);
+        ok += o;
+        errors += e;
+        if first_error.is_none() {
+            first_error = fe;
+        }
+    }
+    let wall = started.elapsed();
+
+    // The server's own counters, over the same connection family.
+    let (mut w, mut r) = connect(&cfg.addr);
+    let stats_line = exchange(&mut w, &mut r, "stats").unwrap_or_else(|e| {
+        eprintln!("loadgen: stats fetch failed: {e}");
+        exit(1);
+    });
+    let stats = json::parse(&stats_line).unwrap_or_else(|e| {
+        eprintln!("loadgen: stats response unparsable: {e}");
+        exit(1);
+    });
+    let cache = stats
+        .get("stats")
+        .and_then(|s| s.get("cache"))
+        .map(polyflow_serve::json::Json::render)
+        .unwrap_or_else(|| "null".to_string());
+    let queue = stats
+        .get("stats")
+        .and_then(|s| s.get("queue"))
+        .map(polyflow_serve::json::Json::render)
+        .unwrap_or_else(|| "null".to_string());
+
+    let p50 = percentile(&mut latencies, 50.0);
+    let p90 = percentile(&mut latencies, 90.0);
+    let p99 = percentile(&mut latencies, 99.0);
+    let total = ok + errors;
+    let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
+
+    println!(
+        "{{\"name\":\"loadgen\",\"jobs\":{},\"cells\":{},\"wall_seconds\":{:.6},\
+         \"cells_per_second\":{:.3},\"ok\":{},\"errors\":{},\"hit_ratio_pct\":{},\
+         \"latency_ms\":{{\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3}}},\
+         \"cache\":{cache},\"queue\":{queue}}}",
+        cfg.clients,
+        total,
+        wall.as_secs_f64(),
+        throughput,
+        ok,
+        errors,
+        cfg.hit_ratio,
+        p50.as_secs_f64() * 1e3,
+        p90.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+    );
+    eprintln!(
+        "[loadgen] {ok} ok / {errors} errors in {:.2}s with {} clients \
+         ({throughput:.1} req/s; p50 {:.2}ms p99 {:.2}ms)",
+        wall.as_secs_f64(),
+        cfg.clients,
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+    );
+    if let Some(e) = first_error {
+        eprintln!("[loadgen] first error: {e}");
+    }
+    exit(if ok > 0 { 0 } else { 1 });
+}
+
+/// Requests every (workload × Figure 9 cell) over the wire — spread
+/// round-robin across `--clients` connections so batches mix workloads
+/// and policies — then replays each cell offline through the *same*
+/// entry point the server uses and diffs the bytes.
+fn run_verify(cfg: &Config) -> ! {
+    let workloads = polyflow_workloads::names();
+    let cells = figure9_cells();
+    let mut lines: Vec<String> = Vec::new();
+    for w in workloads {
+        for cell in &cells {
+            lines.push(format!(
+                "{{\"workload\":\"{w}\",\"policy\":\"{}\",\
+                 \"config\":{{\"max_cycles\":{}}}}}",
+                cell.label(),
+                cfg.max_cycles
+            ));
+        }
+    }
+
+    // Served bytes, `--clients` ways round-robin.
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..cfg.clients {
+        let addr = cfg.addr.clone();
+        let mine: Vec<(usize, String)> = lines
+            .iter()
+            .enumerate()
+            .skip(client)
+            .step_by(cfg.clients)
+            .map(|(i, l)| (i, l.clone()))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let (mut w, mut r) = connect(&addr);
+            mine.into_iter()
+                .map(|(i, line)| {
+                    let reply = exchange(&mut w, &mut r, &line)
+                        .unwrap_or_else(|e| format!("<transport error: {e}>"));
+                    (i, reply)
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    let mut served: Vec<Option<String>> = vec![None; lines.len()];
+    for h in handles {
+        for (i, reply) in h.join().expect("verify client") {
+            served[i] = Some(reply);
+        }
+    }
+    let served_wall = started.elapsed();
+
+    // Offline replay: same request line → same parsed config → same
+    // simulator entry point → same rendering.
+    eprintln!(
+        "[loadgen] verifying {} cells offline ({} workloads × {} cells)…",
+        lines.len(),
+        workloads.len(),
+        cells.len()
+    );
+    let offline_jobs = if cfg.jobs == 0 {
+        polyflow_bench::pool::resolve_jobs()
+    } else {
+        cfg.jobs
+    };
+    let prepared = polyflow_bench::prepare_all_jobs(&[], offline_jobs);
+    let expected: Vec<String> =
+        polyflow_bench::pool::parallel_map(lines.clone(), offline_jobs, |_, line| {
+            let Ok(Request::Simulate(req)) = parse_request(&line, u64::MAX) else {
+                panic!("loadgen generated an invalid request: {line}");
+            };
+            let w = prepared
+                .iter()
+                .find(|p| p.name == req.workload)
+                .expect("workload was prepared");
+            let mut scratch = polyflow_sim::SimScratch::default();
+            match run_cell_with_config(w, req.cell, &req.config, &mut scratch) {
+                Ok(result) => ok_response(
+                    req.workload,
+                    &req.policy_label(),
+                    &json::compact(&result.to_json()),
+                ),
+                Err(e) => format!("<offline sim error: {e}>"),
+            }
+        });
+
+    let mut mismatches = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        let got = served[i].as_deref().unwrap_or("<no response>");
+        if got != expected[i] {
+            mismatches += 1;
+            eprintln!("[loadgen] MISMATCH for {line}");
+            eprintln!("  served : {}", &got[..got.len().min(160)]);
+            eprintln!("  offline: {}", &expected[i][..expected[i].len().min(160)]);
+        }
+    }
+    println!(
+        "{{\"name\":\"loadgen-verify\",\"jobs\":{},\"cells\":{},\"wall_seconds\":{:.6},\
+         \"cells_per_second\":{:.3},\"mismatches\":{mismatches}}}",
+        cfg.clients,
+        lines.len(),
+        served_wall.as_secs_f64(),
+        lines.len() as f64 / served_wall.as_secs_f64().max(1e-9),
+    );
+    if mismatches == 0 {
+        eprintln!(
+            "[loadgen] verified: {} served cells byte-identical to offline runs",
+            lines.len()
+        );
+        exit(0);
+    }
+    eprintln!("[loadgen] {mismatches} mismatched cell(s)");
+    exit(1);
+}
+
+fn main() {
+    let cfg = parse_args();
+    if cfg.verify {
+        run_verify(&cfg);
+    }
+    run_load(&cfg);
+}

@@ -1,0 +1,146 @@
+//! The PolyFlow simulation server.
+//!
+//! Speaks newline-delimited JSON over TCP (see `polyflow_serve::protocol`
+//! for the grammar and DESIGN.md §11 for the design). Runs until SIGINT,
+//! SIGTERM, or a `shutdown` request, then drains in-flight work and
+//! exits 0.
+//!
+//! ```text
+//! serve --addr 127.0.0.1:7199 --jobs 4
+//! printf '{"workload":"twolf","policy":"postdoms"}\n' | nc 127.0.0.1 7199
+//! ```
+
+use polyflow_serve::{signal, Server, ServiceConfig};
+use std::process::exit;
+use std::time::Duration;
+
+struct Opt {
+    name: &'static str,
+    value: &'static str,
+    help: &'static str,
+}
+
+const OPTS: &[Opt] = &[
+    Opt {
+        name: "--addr",
+        value: "HOST:PORT",
+        help: "listen address (default 127.0.0.1:7199; port 0 = ephemeral)",
+    },
+    Opt {
+        name: "--jobs",
+        value: "N",
+        help: "batch-execution worker threads (default: available CPUs)",
+    },
+    Opt {
+        name: "--queue",
+        value: "N",
+        help: "admission-queue bound; extra requests are shed (default 64)",
+    },
+    Opt {
+        name: "--batch",
+        value: "N",
+        help: "max requests coalesced into one batch (default 32)",
+    },
+    Opt {
+        name: "--batch-window-ms",
+        value: "N",
+        help: "coalescing window after the first queued request (default 2)",
+    },
+    Opt {
+        name: "--max-cycles",
+        value: "N",
+        help: "default per-request cycle watchdog (default 50000000)",
+    },
+    Opt {
+        name: "--cache-capacity",
+        value: "N",
+        help: "result-cache entries; 0 disables caching (default 1024)",
+    },
+];
+
+fn usage() -> String {
+    let mut out = String::from(
+        "serve — PolyFlow simulation server (newline-delimited JSON over TCP)\n\n\
+         Usage: serve [flags]\n\nFlags:\n",
+    );
+    let width = OPTS
+        .iter()
+        .map(|o| o.name.len() + 1 + o.value.len())
+        .max()
+        .unwrap_or(0);
+    for o in OPTS {
+        let lhs = format!("{} {}", o.name, o.value);
+        out.push_str(&format!("  {lhs:<width$}  {}\n", o.help));
+    }
+    out.push_str(&format!(
+        "  {:<width$}  print this help and exit\n",
+        "--help"
+    ));
+    out.push_str(
+        "\nProtocol: one JSON request per line, one JSON response per line.\n\
+         Verbs: ping, stats, shutdown. Simulation request:\n  \
+         {\"workload\":\"twolf\",\"policy\":\"postdoms\",\"config\":{\"max_cycles\":200000}}\n",
+    );
+    out
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}\n\n{}", usage());
+    exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7199".to_string();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--help" || a == "-h" {
+            print!("{}", usage());
+            return;
+        }
+        let (name, inline) = match a.split_once('=') {
+            Some((n, v)) => (n.to_string(), Some(v.to_string())),
+            None => (a, None),
+        };
+        if !OPTS.iter().any(|o| o.name == name) {
+            fail(&format!("unknown flag `{name}`"));
+        }
+        let value = inline
+            .or_else(|| args.next())
+            .unwrap_or_else(|| fail(&format!("flag `{name}` requires a value")));
+        let num = || -> u64 {
+            value.parse().unwrap_or_else(|_| {
+                fail(&format!("flag `{name}` requires a number, got `{value}`"))
+            })
+        };
+        match name.as_str() {
+            "--addr" => addr = value.clone(),
+            "--jobs" => config.jobs = num() as usize,
+            "--queue" => config.queue_capacity = num() as usize,
+            "--batch" => config.batch_max = num().max(1) as usize,
+            "--batch-window-ms" => config.batch_window = Duration::from_millis(num()),
+            "--max-cycles" => config.default_max_cycles = num().max(1),
+            "--cache-capacity" => config.cache_capacity = num() as usize,
+            _ => unreachable!("flag table covers all names"),
+        }
+    }
+    if config.queue_capacity == 0 {
+        fail("--queue must be at least 1");
+    }
+
+    signal::install();
+    let mut server = match Server::spawn(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    eprintln!("[serve] listening on {}", server.addr());
+    server.wait_for_shutdown();
+    let stats = server.service().stats();
+    eprintln!(
+        "[serve] drained: {} completed, {} failed, {} shed; cache {} hits / {} misses",
+        stats.completed, stats.failed, stats.shed, stats.cache.hits, stats.cache.misses
+    );
+}

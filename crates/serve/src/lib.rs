@@ -1,0 +1,38 @@
+//! `polyflow-serve`: a long-running, deterministic simulation service.
+//!
+//! The figure binaries answer one question per process; this crate turns
+//! the same engine into a server: newline-delimited JSON over TCP
+//! ([`protocol`]), a sharded LRU result cache keyed by
+//! `(workload, config fingerprint, policy)` ([`cache`]), bounded
+//! admission with typed overload shedding, and a micro-batcher that
+//! coalesces concurrent requests into single work-stealing-pool
+//! dispatches ([`service`]) — all with **zero** external dependencies
+//! (`std::net`, a hand-rolled JSON parser in [`json`], and a direct
+//! `signal(2)` declaration in [`signal`]).
+//!
+//! The invariant that makes caching and batching safe to layer on a
+//! correctness-critical simulator: a served response is **byte-identical**
+//! to an offline run of the same cell — same config, same
+//! [`run_cell_with_config`] entry point, same rendering — regardless of
+//! worker count, batch composition, or whether the cache answered. See
+//! DESIGN.md §11 for the full argument.
+//!
+//! Binaries: `serve` (the server) and `loadgen` (closed-loop load
+//! generator reporting throughput, latency percentiles, and cache
+//! counters).
+//!
+//! [`run_cell_with_config`]: polyflow_bench::sweep::run_cell_with_config
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use protocol::{ErrorKind, Request, ServeError, SimRequest};
+pub use server::Server;
+pub use service::{Service, ServiceConfig, ServiceStats, Ticket};

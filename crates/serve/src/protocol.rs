@@ -1,0 +1,502 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! # Grammar
+//!
+//! Each request is one line. Either a bare verb:
+//!
+//! ```text
+//! ping | stats | shutdown
+//! ```
+//!
+//! or a JSON object (the same verbs are reachable as `{"verb":"stats"}`
+//! for clients that only speak JSON):
+//!
+//! ```text
+//! {"workload": "twolf", "policy": "postdoms", "config": {"max_cycles": 200000}}
+//! ```
+//!
+//! * `workload` — required; one of [`polyflow_workloads::names`].
+//! * `policy` — optional (default `postdoms`); any Figure 9 policy name,
+//!   `superscalar`/`baseline`/`none` for the no-spawn baseline, or
+//!   `rec_pred` for the dynamic reconvergence predictor (§4.4).
+//! * `config` — optional overrides on the policy's base configuration
+//!   (Figure 8 for spawn policies, the equivalent-resource superscalar
+//!   for the baseline). See [`CONFIG_KEYS`].
+//!
+//! Every response is one line. Success:
+//!
+//! ```text
+//! {"ok":true,"workload":"twolf","policy":"postdoms","result":{…SimResult + cycle account…}}
+//! ```
+//!
+//! Failure (typed, never a panic, never a dropped connection):
+//!
+//! ```text
+//! {"ok":false,"error":{"kind":"overloaded","message":"…"}}
+//! ```
+//!
+//! The `result` member is byte-for-byte [`SimResult::to_json`] run
+//! through [`json::compact`] — exactly what an offline
+//! `try_simulate_with` of the same cell renders, which is what the
+//! served-vs-offline determinism check diffs.
+//!
+//! [`SimResult::to_json`]: polyflow_sim::SimResult::to_json
+
+use crate::json::{self, Json};
+use polyflow_bench::parse_policy;
+use polyflow_bench::sweep::Cell;
+use polyflow_core::Policy;
+use polyflow_sim::{DependenceMode, MachineConfig};
+use std::fmt;
+
+/// Typed protocol failure kinds (the `error.kind` wire values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not a well-formed request.
+    BadRequest,
+    /// `workload` named no bundled benchmark.
+    UnknownWorkload,
+    /// `policy` named no known spawn policy.
+    UnknownPolicy,
+    /// Admission control shed the request: the queue was full.
+    Overloaded,
+    /// The simulator returned a typed [`SimError`]
+    /// (watchdog trip, malformed trace, …).
+    ///
+    /// [`SimError`]: polyflow_sim::SimError
+    SimFailed,
+    /// The server is draining and accepts no new simulation work.
+    ShuttingDown,
+    /// The request died inside the service (a caught panic).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownWorkload => "unknown_workload",
+            ErrorKind::UnknownPolicy => "unknown_policy",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::SimFailed => "sim_failed",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A typed protocol error: kind plus human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// The failure class.
+    pub kind: ErrorKind,
+    /// Detail for the client.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServeError {
+        ServeError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run (or cache-serve) one simulation cell.
+    Simulate(Box<SimRequest>),
+    /// Report queue/cache/account observability counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+/// A validated simulation request.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// The bundled workload (validated against
+    /// [`polyflow_workloads::names`]).
+    pub workload: &'static str,
+    /// What to run on it.
+    pub cell: Cell,
+    /// The effective machine configuration (base + request overrides).
+    pub config: MachineConfig,
+}
+
+impl SimRequest {
+    /// Canonical policy label (`baseline`, `loop`, …, `rec_pred`): the
+    /// cache-key component and the `policy` echoed in responses. Aliases
+    /// (`superscalar`, `none`) normalize here, so they share cache
+    /// entries.
+    pub fn policy_label(&self) -> String {
+        self.cell.label()
+    }
+}
+
+/// The `config` override keys a request may carry, with the field each
+/// one sets. Everything else about the machine is fixed by the paper's
+/// Figure 8 (or its superscalar equivalent) — predictor geometry is
+/// deliberately not overridable so every cached cell shares the
+/// process-wide prepared traces.
+pub const CONFIG_KEYS: &[&str] = &[
+    "max_cycles",
+    "max_tasks",
+    "fetch_tasks_per_cycle",
+    "max_spawn_distance",
+    "min_spawn_distance",
+    "divert_release_delay",
+    "spawn_overhead_cycles",
+    "squash_penalty",
+    "hint_register_slots",
+    "livelock_window",
+    "store_sets",
+    "reg_hints",
+    "profitability_feedback",
+];
+
+/// Upper bound on requested task contexts (the paper's machine has 8;
+/// this only guards against absurd allocations, not design exploration).
+const MAX_TASKS_LIMIT: usize = 64;
+
+fn bad(msg: impl Into<String>) -> ServeError {
+    ServeError::new(ErrorKind::BadRequest, msg)
+}
+
+/// Parses and validates one request line. `default_max_cycles` is the
+/// server's per-request watchdog, applied when the request does not set
+/// its own tighter budget.
+pub fn parse_request(line: &str, default_max_cycles: u64) -> Result<Request, ServeError> {
+    let line = line.trim();
+    match line {
+        "ping" => return Ok(Request::Ping),
+        "stats" => return Ok(Request::Stats),
+        "shutdown" => return Ok(Request::Shutdown),
+        _ => {}
+    }
+    if !line.starts_with('{') {
+        return Err(bad(format!(
+            "expected a JSON object or one of ping/stats/shutdown, got `{}`",
+            truncate(line, 40)
+        )));
+    }
+    let v = json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    if let Some(verb) = v.get("verb") {
+        return match verb.as_str() {
+            Some("ping") => Ok(Request::Ping),
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some("simulate") => parse_simulate(&v, default_max_cycles),
+            _ => Err(bad("unknown verb (ping, stats, shutdown, simulate)")),
+        };
+    }
+    parse_simulate(&v, default_max_cycles)
+}
+
+fn parse_simulate(v: &Json, default_max_cycles: u64) -> Result<Request, ServeError> {
+    let obj = v.as_obj().ok_or_else(|| bad("request must be an object"))?;
+    for key in obj.keys() {
+        if !matches!(key.as_str(), "verb" | "workload" | "policy" | "config") {
+            return Err(bad(format!(
+                "unknown request field `{key}` (workload, policy, config)"
+            )));
+        }
+    }
+    let workload_name = v
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing required string field `workload`"))?;
+    let workload = polyflow_workloads::names()
+        .iter()
+        .find(|n| **n == workload_name)
+        .copied()
+        .ok_or_else(|| {
+            ServeError::new(
+                ErrorKind::UnknownWorkload,
+                format!(
+                    "unknown workload `{workload_name}` (one of: {})",
+                    polyflow_workloads::names().join(", ")
+                ),
+            )
+        })?;
+
+    let policy_name = match v.get("policy") {
+        None => "postdoms",
+        Some(p) => p.as_str().ok_or_else(|| bad("`policy` must be a string"))?,
+    };
+    let cell = parse_cell(policy_name)?;
+
+    let mut config = match cell {
+        Cell::Baseline => MachineConfig::superscalar(),
+        _ => MachineConfig::hpca07(),
+    };
+    config.max_cycles = default_max_cycles;
+    if let Some(overrides) = v.get("config") {
+        apply_overrides(&mut config, overrides)?;
+    }
+    Ok(Request::Simulate(Box::new(SimRequest {
+        workload,
+        cell,
+        config,
+    })))
+}
+
+/// Maps a protocol policy name to a grid cell. `rec_pred` (Figure 12's
+/// dynamic predictor) is a serve extension over
+/// [`polyflow_bench::parse_policy`].
+pub fn parse_cell(name: &str) -> Result<Cell, ServeError> {
+    if name == "rec_pred" {
+        return Ok(Cell::Reconv);
+    }
+    match parse_policy(name) {
+        Some(Policy::None) => Ok(Cell::Baseline),
+        Some(p) => Ok(Cell::Static(p)),
+        None => Err(ServeError::new(
+            ErrorKind::UnknownPolicy,
+            format!(
+                "unknown policy `{name}` (one of: {}, rec_pred)",
+                polyflow_bench::POLICY_NAMES.join(", ")
+            ),
+        )),
+    }
+}
+
+fn apply_overrides(config: &mut MachineConfig, overrides: &Json) -> Result<(), ServeError> {
+    let obj = overrides
+        .as_obj()
+        .ok_or_else(|| bad("`config` must be an object"))?;
+    for (key, value) in obj {
+        let num = || {
+            value.as_u64().ok_or_else(|| {
+                bad(format!(
+                    "config field `{key}` must be a non-negative integer"
+                ))
+            })
+        };
+        let flag = || {
+            value
+                .as_bool()
+                .ok_or_else(|| bad(format!("config field `{key}` must be a boolean")))
+        };
+        let positive = |n: u64| -> Result<u64, ServeError> {
+            if n == 0 {
+                Err(bad(format!("config field `{key}` must be positive")))
+            } else {
+                Ok(n)
+            }
+        };
+        match key.as_str() {
+            "max_cycles" => config.max_cycles = positive(num()?)?,
+            "max_tasks" => {
+                let n = positive(num()?)? as usize;
+                if n > MAX_TASKS_LIMIT {
+                    return Err(bad(format!("max_tasks capped at {MAX_TASKS_LIMIT}")));
+                }
+                config.max_tasks = n;
+            }
+            "fetch_tasks_per_cycle" => {
+                config.fetch_tasks_per_cycle = positive(num()?)? as usize;
+            }
+            "max_spawn_distance" => config.max_spawn_distance = num()? as u32,
+            "min_spawn_distance" => config.min_spawn_distance = num()? as u32,
+            "divert_release_delay" => config.divert_release_delay = num()?,
+            "spawn_overhead_cycles" => config.spawn_overhead_cycles = num()?,
+            "squash_penalty" => config.squash_penalty = num()?,
+            "hint_register_slots" => config.hint_register_slots = positive(num()?)? as usize,
+            "livelock_window" => config.livelock_window = positive(num()?)?,
+            "store_sets" => {
+                config.memory_dependence = if flag()? {
+                    DependenceMode::StoreSet
+                } else {
+                    DependenceMode::OracleSync
+                };
+            }
+            "reg_hints" => {
+                config.register_dependence = if flag()? {
+                    DependenceMode::StoreSet
+                } else {
+                    DependenceMode::OracleSync
+                };
+            }
+            "profitability_feedback" => config.profitability_feedback = flag()?,
+            _ => {
+                return Err(bad(format!(
+                    "unknown config field `{key}` (known: {})",
+                    CONFIG_KEYS.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+/// Renders the success response line for a simulation. `result` must
+/// already be compact single-line JSON ([`json::compact`] of
+/// [`SimResult::to_json`]).
+///
+/// [`SimResult::to_json`]: polyflow_sim::SimResult::to_json
+pub fn ok_response(workload: &str, policy_label: &str, result: &str) -> String {
+    format!(
+        "{{\"ok\":true,\"workload\":\"{}\",\"policy\":\"{}\",\"result\":{result}}}",
+        json::escape(workload),
+        json::escape(policy_label),
+    )
+}
+
+/// Renders the error response line for `e`.
+pub fn error_response(e: &ServeError) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+        e.kind.label(),
+        json::escape(&e.message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: u64 = u64::MAX;
+
+    #[test]
+    fn verbs_parse_both_ways() {
+        assert!(matches!(parse_request("ping", BUDGET), Ok(Request::Ping)));
+        assert!(matches!(
+            parse_request(" stats \n", BUDGET),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request("{\"verb\":\"shutdown\"}", BUDGET),
+            Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn simulate_defaults_and_aliases() {
+        let Request::Simulate(r) = parse_request("{\"workload\":\"twolf\"}", BUDGET).unwrap()
+        else {
+            panic!("not a simulate")
+        };
+        assert_eq!(r.workload, "twolf");
+        assert_eq!(r.policy_label(), "postdoms");
+        assert_eq!(r.config.max_tasks, MachineConfig::hpca07().max_tasks);
+
+        for alias in ["superscalar", "baseline", "none"] {
+            let line = format!("{{\"workload\":\"gzip\",\"policy\":\"{alias}\"}}");
+            let Request::Simulate(r) = parse_request(&line, BUDGET).unwrap() else {
+                panic!("not a simulate")
+            };
+            assert_eq!(r.policy_label(), "baseline", "{alias} normalizes");
+            assert_eq!(r.config.max_tasks, 1, "baseline is the superscalar");
+        }
+
+        let Request::Simulate(r) =
+            parse_request("{\"workload\":\"mcf\",\"policy\":\"rec_pred\"}", BUDGET).unwrap()
+        else {
+            panic!("not a simulate")
+        };
+        assert!(matches!(r.cell, Cell::Reconv));
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let line = "{\"workload\":\"twolf\",\"policy\":\"postdoms\",\"config\":{\
+                     \"max_cycles\":12345,\"max_tasks\":4,\"store_sets\":true,\
+                     \"profitability_feedback\":false}}";
+        let Request::Simulate(r) = parse_request(line, BUDGET).unwrap() else {
+            panic!("not a simulate")
+        };
+        assert_eq!(r.config.max_cycles, 12_345);
+        assert_eq!(r.config.max_tasks, 4);
+        assert_eq!(r.config.memory_dependence, DependenceMode::StoreSet);
+        assert!(!r.config.profitability_feedback);
+    }
+
+    #[test]
+    fn default_budget_applies_when_unset() {
+        let Request::Simulate(r) = parse_request("{\"workload\":\"twolf\"}", 777).unwrap() else {
+            panic!("not a simulate")
+        };
+        assert_eq!(r.config.max_cycles, 777);
+    }
+
+    #[test]
+    fn typed_rejections() {
+        let cases: &[(&str, ErrorKind)] = &[
+            ("not json at all", ErrorKind::BadRequest),
+            ("{\"policy\":\"loop\"}", ErrorKind::BadRequest),
+            ("{\"workload\":\"eon\"}", ErrorKind::UnknownWorkload),
+            (
+                "{\"workload\":\"twolf\",\"policy\":\"fastest\"}",
+                ErrorKind::UnknownPolicy,
+            ),
+            (
+                "{\"workload\":\"twolf\",\"frobnicate\":1}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"workload\":\"twolf\",\"config\":{\"gshare_index_bits\":20}}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"workload\":\"twolf\",\"config\":{\"max_tasks\":0}}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"workload\":\"twolf\",\"config\":{\"max_tasks\":1000}}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"workload\":\"twolf\",\"config\":{\"max_cycles\":true}}",
+                ErrorKind::BadRequest,
+            ),
+        ];
+        for (line, kind) in cases {
+            let e = parse_request(line, BUDGET).unwrap_err();
+            assert_eq!(e.kind, *kind, "`{line}` → {e}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let ok = ok_response("twolf", "postdoms", "{\"cycles\":1}");
+        assert_eq!(
+            ok,
+            "{\"ok\":true,\"workload\":\"twolf\",\"policy\":\"postdoms\",\
+             \"result\":{\"cycles\":1}}"
+        );
+        let err = error_response(&ServeError::new(ErrorKind::Overloaded, "queue full\nline2"));
+        assert!(!err.contains('\n'));
+        let v = json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            v.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("overloaded")
+        );
+        assert_eq!(
+            v.get("error").unwrap().get("message").unwrap().as_str(),
+            Some("queue full\nline2")
+        );
+    }
+}

@@ -1,0 +1,578 @@
+//! The service core: admission control, the micro-batcher, and the
+//! result cache, independent of any transport.
+//!
+//! Connection handlers call [`Service::submit`] (or the non-blocking
+//! [`Service::enqueue`]); a single batcher thread coalesces queued
+//! requests into batches and executes each batch as one
+//! [`sweep::run_batch_with`] dispatch on the work-stealing pool. The
+//! pipeline per unique cell is
+//!
+//! ```text
+//! validate → cache lookup → admission queue → batcher → pool → render → cache
+//! ```
+//!
+//! # Admission control
+//!
+//! The queue is bounded ([`ServiceConfig::queue_capacity`]). A request
+//! arriving at a full queue is shed *immediately* with a typed
+//! [`ErrorKind::Overloaded`] error — it never blocks the connection
+//! handler and never hangs the client. Shedding at admission (rather
+//! than deep in the pool) keeps the latency of the rejection path
+//! constant no matter how far behind the simulator is.
+//!
+//! # Determinism
+//!
+//! Batch composition cannot affect results: every cell runs
+//! [`sweep::run_cell_with_config`] on its own validated config with a
+//! per-worker scratch arena, exactly what an offline caller would run,
+//! and the response line is rendered from the result before it is cached
+//! — a cache hit replays the very bytes a fresh run would produce.
+//! Duplicate keys inside one batch are deduplicated; every duplicate
+//! waiter receives a clone of the same `Arc<str>`.
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::json;
+use crate::protocol::{ErrorKind, ServeError, SimRequest};
+use polyflow_bench::sweep::{self, CellOutcome};
+use polyflow_bench::{pool, PreparedWorkload};
+use polyflow_sim::{Bucket, MachineConfig};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for one [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads for batch execution (0 = [`pool::resolve_jobs`]).
+    pub jobs: usize,
+    /// Admission-queue bound: requests beyond this are shed with
+    /// [`ErrorKind::Overloaded`].
+    pub queue_capacity: usize,
+    /// Largest number of queued requests drained into one batch.
+    pub batch_max: usize,
+    /// How long the batcher lingers after the first queued request to
+    /// coalesce followers into the same batch. Zero batches whatever is
+    /// already queued without waiting.
+    pub batch_window: Duration,
+    /// Per-request watchdog: the `max_cycles` budget applied to requests
+    /// that do not set their own.
+    pub default_max_cycles: u64,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            jobs: 0,
+            queue_capacity: 64,
+            batch_max: 32,
+            batch_window: Duration::from_millis(2),
+            default_max_cycles: 50_000_000,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// A client's reply: the rendered response line (shared, newline-free)
+/// or a typed error.
+pub type Reply = Result<Arc<str>, ServeError>;
+
+/// What [`Service::enqueue`] hands back.
+#[derive(Debug)]
+pub enum Ticket {
+    /// Served from the cache; no queueing happened.
+    Ready(Arc<str>),
+    /// Admitted; the reply arrives on this receiver when the batch
+    /// containing the request completes.
+    Admitted(Receiver<Reply>),
+}
+
+struct Pending {
+    key: CacheKey,
+    req: SimRequest,
+    reply: Sender<Reply>,
+}
+
+/// Snapshot of the service's observability counters.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Requests currently queued (admitted, not yet batched).
+    pub queue_depth: u64,
+    /// The admission bound.
+    pub queue_capacity: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Simulation requests admitted or cache-served.
+    pub submitted: u64,
+    /// Requests answered successfully (cache hits included).
+    pub completed: u64,
+    /// Requests answered with a simulation failure.
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Unique cells simulated across all batches.
+    pub batched_cells: u64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Successful cells contributing to `account_totals`.
+    pub account_cells: u64,
+    /// Cycle-slot totals summed over every successful cell, by
+    /// [`Bucket::ALL`] order — the served counterpart of the figure
+    /// binaries' per-run cycle accounts.
+    pub account_totals: [u64; Bucket::ALL.len()],
+}
+
+impl ServiceStats {
+    /// Renders the stats as the single-line `stats` response body.
+    pub fn to_json(&self) -> String {
+        let mut account = String::new();
+        account.push_str(&format!("{{\"cells\":{}", self.account_cells));
+        for (b, total) in Bucket::ALL.iter().zip(&self.account_totals) {
+            account.push_str(&format!(",\"{}\":{total}", b.label()));
+        }
+        account.push('}');
+        format!(
+            "{{\"ok\":true,\"stats\":{{\
+             \"queue\":{{\"depth\":{},\"capacity\":{},\"shed\":{}}},\
+             \"requests\":{{\"submitted\":{},\"completed\":{},\"failed\":{}}},\
+             \"batches\":{{\"count\":{},\"cells\":{}}},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"inserts\":{},\"entries\":{}}},\
+             \"account\":{account}}}}}",
+            self.queue_depth,
+            self.queue_capacity,
+            self.shed,
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.batches,
+            self.batched_cells,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.inserts,
+            self.cache.entries,
+        )
+    }
+}
+
+#[derive(Default)]
+struct AccountAgg {
+    cells: u64,
+    totals: [u64; Bucket::ALL.len()],
+}
+
+/// The transport-independent simulation service.
+pub struct Service {
+    config: ServiceConfig,
+    jobs: usize,
+    cache: ResultCache,
+    registry: Mutex<HashMap<&'static str, Arc<PreparedWorkload>>>,
+    queue: Mutex<VecDeque<Pending>>,
+    notify: Condvar,
+    shutdown: AtomicBool,
+    shed: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_cells: AtomicU64,
+    account: Mutex<AccountAgg>,
+    batcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Builds a service. The batcher is **not** running yet — call
+    /// [`Service::start`] — so admitted requests queue up but nothing
+    /// executes (tests use this to pin down admission behavior).
+    pub fn new(config: ServiceConfig) -> Arc<Service> {
+        let jobs = if config.jobs == 0 {
+            pool::resolve_jobs()
+        } else {
+            config.jobs
+        };
+        let cache = ResultCache::new(config.cache_capacity);
+        Arc::new(Service {
+            jobs,
+            cache,
+            config,
+            registry: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_cells: AtomicU64::new(0),
+            account: Mutex::new(AccountAgg::default()),
+            batcher: Mutex::new(None),
+        })
+    }
+
+    /// Spawns the batcher thread. Idempotent.
+    pub fn start(self: &Arc<Service>) {
+        let mut slot = self.batcher.lock().unwrap();
+        if slot.is_none() {
+            let svc = Arc::clone(self);
+            *slot = Some(
+                std::thread::Builder::new()
+                    .name("serve-batcher".into())
+                    .spawn(move || svc.batch_loop())
+                    .expect("spawn batcher"),
+            );
+        }
+    }
+
+    /// The per-request default cycle budget (for request parsing).
+    pub fn default_max_cycles(&self) -> u64 {
+        self.config.default_max_cycles
+    }
+
+    /// Validates admission for one request: cache first, then the
+    /// bounded queue. Never blocks on simulation work.
+    pub fn enqueue(&self, req: SimRequest) -> Result<Ticket, ServeError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::new(
+                ErrorKind::ShuttingDown,
+                "server is draining; no new work accepted",
+            ));
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = CacheKey {
+            workload: req.workload.to_string(),
+            policy: req.policy_label(),
+            config: req.config.fingerprint(),
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(Ticket::Ready(hit));
+        }
+        let (tx, rx) = channel();
+        {
+            let mut q = self.queue.lock().unwrap();
+            if q.len() >= self.config.queue_capacity {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::new(
+                    ErrorKind::Overloaded,
+                    format!("admission queue full ({} pending); retry later", q.len()),
+                ));
+            }
+            q.push_back(Pending {
+                key,
+                req,
+                reply: tx,
+            });
+        }
+        self.notify.notify_all();
+        Ok(Ticket::Admitted(rx))
+    }
+
+    /// [`enqueue`](Service::enqueue) and wait for the reply.
+    pub fn submit(&self, req: SimRequest) -> Reply {
+        match self.enqueue(req)? {
+            Ticket::Ready(line) => Ok(line),
+            Ticket::Admitted(rx) => rx.recv().unwrap_or_else(|_| {
+                Err(ServeError::new(
+                    ErrorKind::Internal,
+                    "service stopped before replying",
+                ))
+            }),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let account = self.account.lock().unwrap();
+        ServiceStats {
+            queue_depth: self.queue.lock().unwrap().len() as u64,
+            queue_capacity: self.config.queue_capacity as u64,
+            shed: self.shed.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_cells: self.batched_cells.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            account_cells: account.cells,
+            account_totals: account.totals,
+        }
+    }
+
+    /// Stops admitting simulation work. Already-queued requests still
+    /// drain; the batcher exits once the queue is empty.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.notify.notify_all();
+    }
+
+    /// True once [`begin_shutdown`](Service::begin_shutdown) was called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// [`begin_shutdown`](Service::begin_shutdown), then wait for the
+    /// batcher to drain the queue and exit.
+    pub fn shutdown_and_join(&self) {
+        self.begin_shutdown();
+        if let Some(handle) = self.batcher.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn batch_loop(self: Arc<Service>) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if !q.is_empty() {
+                        break;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return; // queue drained and no new work: done
+                    }
+                    q = self.notify.wait(q).unwrap();
+                }
+                // Linger briefly so a burst coalesces into one batch
+                // (unless the batch is already full or we are draining).
+                if !self.config.batch_window.is_zero() {
+                    let deadline = Instant::now() + self.config.batch_window;
+                    while q.len() < self.config.batch_max && !self.shutdown.load(Ordering::SeqCst) {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, timeout) = self.notify.wait_timeout(q, deadline - now).unwrap();
+                        q = guard;
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                }
+                let take = q.len().min(self.config.batch_max);
+                q.drain(..take).collect::<Vec<Pending>>()
+            };
+            self.execute_batch(batch);
+        }
+    }
+
+    /// Runs one drained batch: dedup by key, re-check the cache, execute
+    /// the remaining unique cells as one pool dispatch, render + cache +
+    /// reply.
+    fn execute_batch(&self, batch: Vec<Pending>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+
+        // Group waiters by cell, preserving first-seen order.
+        let mut order: Vec<(CacheKey, SimRequest, Vec<Sender<Reply>>)> = Vec::new();
+        let mut index: HashMap<CacheKey, usize> = HashMap::new();
+        for p in batch {
+            match index.get(&p.key) {
+                Some(&i) => order[i].2.push(p.reply),
+                None => {
+                    index.insert(p.key.clone(), order.len());
+                    order.push((p.key, p.req, vec![p.reply]));
+                }
+            }
+        }
+
+        // A key may have been filled between admission and batching.
+        let mut work: Vec<(CacheKey, SimRequest, Vec<Sender<Reply>>)> = Vec::new();
+        for (key, req, waiters) in order {
+            match self.cache.get(&key) {
+                Some(hit) => self.reply_ok(&waiters, hit),
+                None => work.push((key, req, waiters)),
+            }
+        }
+        if work.is_empty() {
+            return;
+        }
+        self.batched_cells
+            .fetch_add(work.len() as u64, Ordering::Relaxed);
+
+        // Resolve workloads (preparing on first touch). Preparation
+        // failures (a workload that cannot execute) come back as typed
+        // internal errors, not a dead batcher.
+        let mut items: Vec<(Arc<PreparedWorkload>, (sweep::Cell, MachineConfig))> = Vec::new();
+        let mut runnable: Vec<(CacheKey, SimRequest, Vec<Sender<Reply>>)> = Vec::new();
+        for (key, req, waiters) in work {
+            match self.prepared_workload(req.workload) {
+                Ok(w) => {
+                    items.push((w, (req.cell, req.config.clone())));
+                    runnable.push((key, req, waiters));
+                }
+                Err(e) => {
+                    self.failed
+                        .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+                    self.reply_err(&waiters, e);
+                }
+            }
+        }
+        if items.is_empty() {
+            return;
+        }
+
+        let (outcomes, _report) = sweep::run_batch_with(
+            "serve",
+            &items,
+            self.jobs,
+            |w, (cell, cfg), scratch| sweep::run_cell_with_config(w, *cell, cfg, scratch),
+            |(cell, _)| cell.label(),
+        );
+
+        for ((key, req, waiters), outcome) in runnable.into_iter().zip(outcomes) {
+            match outcome {
+                CellOutcome::Ok(result) => {
+                    {
+                        let mut agg = self.account.lock().unwrap();
+                        agg.cells += 1;
+                        for b in Bucket::ALL {
+                            agg.totals[b.index()] += result.account.bucket(b);
+                        }
+                    }
+                    let line = crate::protocol::ok_response(
+                        req.workload,
+                        &req.policy_label(),
+                        &json::compact(&result.to_json()),
+                    );
+                    let line = self.cache.insert(key, Arc::from(line.as_str()));
+                    self.reply_ok(&waiters, line);
+                }
+                CellOutcome::Failed { payload, .. } => {
+                    self.failed
+                        .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+                    self.reply_err(&waiters, ServeError::new(ErrorKind::SimFailed, payload));
+                }
+            }
+        }
+    }
+
+    fn reply_ok(&self, waiters: &[Sender<Reply>], line: Arc<str>) {
+        self.completed
+            .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+        for w in waiters {
+            let _ = w.send(Ok(Arc::clone(&line))); // receiver may have hung up
+        }
+    }
+
+    fn reply_err(&self, waiters: &[Sender<Reply>], e: ServeError) {
+        for w in waiters {
+            let _ = w.send(Err(e.clone()));
+        }
+    }
+
+    fn prepared_workload(&self, name: &'static str) -> Result<Arc<PreparedWorkload>, ServeError> {
+        let mut reg = self.registry.lock().unwrap();
+        if let Some(w) = reg.get(name) {
+            return Ok(Arc::clone(w));
+        }
+        let workload = polyflow_workloads::by_name(name).ok_or_else(|| {
+            ServeError::new(
+                ErrorKind::Internal,
+                format!("workload `{name}` vanished from the bundle"),
+            )
+        })?;
+        let prepared = catch_unwind(AssertUnwindSafe(|| PreparedWorkload::prepare(workload)))
+            .map_err(|_| {
+                ServeError::new(
+                    ErrorKind::Internal,
+                    format!("workload `{name}` failed to prepare"),
+                )
+            })?;
+        let arc = Arc::new(prepared);
+        reg.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("jobs", &self.jobs)
+            .field("queue_capacity", &self.config.queue_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+
+    fn sim_request(workload: &str, policy: &str, max_cycles: u64) -> SimRequest {
+        let line = format!(
+            "{{\"workload\":\"{workload}\",\"policy\":\"{policy}\",\
+             \"config\":{{\"max_cycles\":{max_cycles}}}}}"
+        );
+        match parse_request(&line, u64::MAX).expect("valid request") {
+            Request::Simulate(r) => *r,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The K+1-th concurrent request gets a typed `Overloaded` rejection
+    /// — no hang, no panic. The batcher is deliberately not started, so
+    /// the queue cannot drain under us.
+    #[test]
+    fn overload_sheds_with_typed_error() {
+        let svc = Service::new(ServiceConfig {
+            queue_capacity: 3,
+            ..ServiceConfig::default()
+        });
+        for i in 0..3 {
+            match svc.enqueue(sim_request("gzip", "postdoms", 1000 + i)) {
+                Ok(Ticket::Admitted(_)) => {}
+                other => panic!("request {i} should be admitted, got {:?}", err_of(other)),
+            }
+        }
+        let e = match svc.enqueue(sim_request("gzip", "postdoms", 9999)) {
+            Err(e) => e,
+            Ok(_) => panic!("queue is full; the 4th request must be shed"),
+        };
+        assert_eq!(e.kind, ErrorKind::Overloaded);
+        let s = svc.stats();
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.queue_depth, 3);
+    }
+
+    fn err_of(t: Result<Ticket, ServeError>) -> Option<ServeError> {
+        t.err()
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let svc = Service::new(ServiceConfig::default());
+        svc.begin_shutdown();
+        let e = svc
+            .enqueue(sim_request("gzip", "postdoms", 1000))
+            .expect_err("draining service takes no new work");
+        assert_eq!(e.kind, ErrorKind::ShuttingDown);
+    }
+
+    #[test]
+    fn stats_json_is_single_line_and_parses() {
+        let svc = Service::new(ServiceConfig::default());
+        let line = svc.stats().to_json();
+        assert!(!line.contains('\n'));
+        let v = crate::json::parse(&line).expect("stats JSON parses");
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let stats = v.get("stats").unwrap();
+        assert_eq!(
+            stats
+                .get("queue")
+                .unwrap()
+                .get("capacity")
+                .unwrap()
+                .as_u64(),
+            Some(64)
+        );
+        assert!(stats.get("account").unwrap().get("retire").is_some());
+    }
+}

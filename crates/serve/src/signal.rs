@@ -1,0 +1,51 @@
+//! Minimal SIGINT/SIGTERM hook, dependency-free.
+//!
+//! The workspace takes no external crates, so instead of `libc`/`signal-hook`
+//! this declares the C `signal(2)` entry point directly and installs a
+//! handler that flips one atomic flag. The server's accept loop polls
+//! [`requested`] and begins a graceful drain when it trips: stop
+//! accepting, finish in-flight requests, exit 0.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT and SIGTERM to the [`requested`] flag. On non-Unix
+/// targets this is a no-op (the flag simply never trips).
+#[cfg(unix)]
+pub fn install() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32);
+    unsafe {
+        signal(SIGINT, handler as usize);
+        signal(SIGTERM, handler as usize);
+    }
+}
+
+/// No-op fallback for non-Unix targets.
+#[cfg(not(unix))]
+pub fn install() {}
+
+/// True once a termination signal arrived (or [`request`] was called).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Trips the flag programmatically (the `shutdown` protocol verb and
+/// tests share the signal path).
+pub fn request() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}

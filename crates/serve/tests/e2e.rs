@@ -1,0 +1,393 @@
+//! End-to-end tests for the service: TCP protocol round-trips, cache
+//! behavior under concurrency, batch-composition determinism, and
+//! overload shedding. Uses the debug-build-sized workload subset
+//! (`bzip2`, `gzip`) like the bench crate's determinism test; the CI
+//! smoke job exercises the full Figure 9 grid in release via
+//! `loadgen --verify-fig09`.
+
+use polyflow_serve::json;
+use polyflow_serve::protocol::{ok_response, parse_request, Request};
+use polyflow_serve::{Server, Service, ServiceConfig, Ticket};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A generous budget every test cell completes within (the point is the
+/// protocol, not the watchdog).
+const BUDGET: u64 = 1_000_000_000;
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        jobs: 2,
+        queue_capacity: 32,
+        batch_max: 16,
+        batch_window: Duration::from_millis(1),
+        default_max_cycles: BUDGET,
+        cache_capacity: 64,
+    }
+}
+
+fn sim_line(workload: &str, policy: &str) -> String {
+    format!(
+        "{{\"workload\":\"{workload}\",\"policy\":\"{policy}\",\
+         \"config\":{{\"max_cycles\":{BUDGET}}}}}"
+    )
+}
+
+fn sim_request(line: &str) -> polyflow_serve::SimRequest {
+    match parse_request(line, BUDGET).expect("valid request") {
+        Request::Simulate(r) => *r,
+        _ => panic!("not a simulate request"),
+    }
+}
+
+/// What an offline caller computes for the same request line: the
+/// byte-level ground truth for every served response.
+fn offline_expected(line: &str) -> String {
+    let req = sim_request(line);
+    let workload = polyflow_workloads::by_name(req.workload).expect("bundled workload");
+    let prepared = polyflow_bench::PreparedWorkload::prepare(workload);
+    let mut scratch = polyflow_sim::SimScratch::default();
+    let result =
+        polyflow_bench::sweep::run_cell_with_config(&prepared, req.cell, &req.config, &mut scratch)
+            .expect("test cell simulates cleanly");
+    ok_response(
+        req.workload,
+        &req.policy_label(),
+        &json::compact(&result.to_json()),
+    )
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let writer = TcpStream::connect(server.addr()).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Client { writer, reader }
+    }
+
+    fn exchange(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read response");
+        assert!(reply.ends_with('\n'), "responses are newline-framed");
+        reply.trim_end_matches('\n').to_string()
+    }
+}
+
+fn error_kind(reply: &str) -> String {
+    let v = json::parse(reply).expect("error response parses");
+    assert_eq!(v.get("ok").and_then(json::Json::as_bool), Some(false));
+    v.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(json::Json::as_str)
+        .expect("error.kind present")
+        .to_string()
+}
+
+#[test]
+fn tcp_protocol_round_trips() {
+    let mut server = Server::spawn("127.0.0.1:0", test_config()).expect("bind");
+    let mut c = Client::connect(&server);
+
+    assert_eq!(c.exchange("ping"), "{\"ok\":true,\"pong\":true}");
+
+    // Typed errors, all on the same connection — a protocol mistake
+    // never costs the client its connection.
+    assert_eq!(
+        error_kind(&c.exchange("definitely not json")),
+        "bad_request"
+    );
+    assert_eq!(
+        error_kind(&c.exchange("{\"workload\":\"eon\"}")),
+        "unknown_workload"
+    );
+    assert_eq!(
+        error_kind(&c.exchange("{\"workload\":\"gzip\",\"policy\":\"warp\"}")),
+        "unknown_policy"
+    );
+    assert_eq!(
+        error_kind(&c.exchange("{\"workload\":\"gzip\",\"config\":{\"width\":4}}")),
+        "bad_request"
+    );
+
+    // A real simulation, served and byte-checked against offline.
+    let line = sim_line("bzip2", "baseline");
+    let served = c.exchange(&line);
+    assert_eq!(served, offline_expected(&line));
+
+    // Same request again: a cache hit, and the very same bytes.
+    let again = c.exchange(&line);
+    assert_eq!(served, again);
+    let stats = json::parse(&c.exchange("stats")).expect("stats parse");
+    let cache = stats.get("stats").unwrap().get("cache").unwrap();
+    assert!(cache.get("hits").unwrap().as_u64().unwrap() >= 1);
+    assert_eq!(
+        stats
+            .get("stats")
+            .unwrap()
+            .get("account")
+            .unwrap()
+            .get("cells")
+            .unwrap()
+            .as_u64(),
+        Some(1),
+        "one unique cell simulated"
+    );
+
+    // Graceful shutdown by verb: acknowledged, then drained.
+    assert_eq!(c.exchange("shutdown"), "{\"ok\":true,\"draining\":true}");
+    server.shutdown();
+    let s = server.service().stats();
+    assert_eq!(s.queue_depth, 0, "drain leaves nothing queued");
+}
+
+#[test]
+fn concurrent_clients_same_key_get_identical_bytes() {
+    let server = Server::spawn("127.0.0.1:0", test_config()).expect("bind");
+    let line = sim_line("gzip", "postdoms");
+    let clients = 6;
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let addr = server.addr();
+        let line = line.clone();
+        handles.push(std::thread::spawn(move || {
+            let writer = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+            let mut w = writer;
+            w.write_all(format!("{line}\n").as_bytes()).expect("write");
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read");
+            reply.trim_end_matches('\n').to_string()
+        }));
+    }
+    let replies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &replies[1..] {
+        assert_eq!(r, &replies[0], "every client sees the same bytes");
+    }
+    assert_eq!(replies[0], offline_expected(&line));
+
+    // However the six requests landed (one deduplicated batch, several
+    // batches with cache hits in between), only one simulation ran.
+    let s = server.service().stats();
+    assert_eq!(s.batched_cells, 1, "duplicates never re-simulate");
+    assert_eq!(s.completed, clients as u64);
+}
+
+#[test]
+fn batch_composition_and_worker_count_do_not_change_bytes() {
+    let requests: Vec<String> = [
+        ("bzip2", "baseline"),
+        ("bzip2", "postdoms"),
+        ("bzip2", "loop"),
+        ("gzip", "baseline"),
+        ("gzip", "postdoms"),
+        ("gzip", "loop"),
+    ]
+    .iter()
+    .map(|(w, p)| sim_line(w, p))
+    .collect();
+
+    // Serial: one at a time, no coalescing window, one worker.
+    let serial = Service::new(ServiceConfig {
+        jobs: 1,
+        batch_window: Duration::ZERO,
+        ..test_config()
+    });
+    serial.start();
+    let serial_replies: Vec<String> = requests
+        .iter()
+        .map(|l| {
+            serial
+                .submit(sim_request(l))
+                .expect("cell simulates")
+                .to_string()
+        })
+        .collect();
+    serial.shutdown_and_join();
+
+    // Batched: all six enqueued inside one long window (they coalesce
+    // into one mixed-workload batch), four workers, reversed order.
+    let batched = Service::new(ServiceConfig {
+        jobs: 4,
+        batch_window: Duration::from_millis(300),
+        ..test_config()
+    });
+    batched.start();
+    let tickets: Vec<(
+        usize,
+        std::sync::mpsc::Receiver<polyflow_serve::service::Reply>,
+    )> = requests
+        .iter()
+        .enumerate()
+        .rev()
+        .map(|(i, l)| match batched.enqueue(sim_request(l)).unwrap() {
+            Ticket::Admitted(rx) => (i, rx),
+            Ticket::Ready(_) => panic!("cold cache cannot be ready"),
+        })
+        .collect();
+    let mut batched_replies = vec![String::new(); requests.len()];
+    for (i, rx) in tickets {
+        batched_replies[i] = rx.recv().unwrap().expect("cell simulates").to_string();
+    }
+    batched.shutdown_and_join();
+
+    assert_eq!(serial_replies, batched_replies);
+
+    // And both equal the offline ground truth (spot-check two cells to
+    // bound debug-build runtime; full-grid equality runs in release CI).
+    assert_eq!(serial_replies[0], offline_expected(&requests[0]));
+    assert_eq!(serial_replies[4], offline_expected(&requests[4]));
+}
+
+#[test]
+fn burst_beyond_queue_capacity_is_shed_typed_not_hung() {
+    // Window long enough that the first request is still queued when the
+    // second arrives; capacity 1 makes the second the K+1-th.
+    let mut server = Server::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            queue_capacity: 1,
+            batch_window: Duration::from_secs(5),
+            ..test_config()
+        },
+    )
+    .expect("bind");
+
+    let addr = server.addr();
+    let first = std::thread::spawn(move || {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(writer.try_clone().expect("clone"));
+        let mut w = writer;
+        w.write_all(format!("{}\n", sim_line("gzip", "baseline")).as_bytes())
+            .expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        reply
+    });
+
+    // Wait until the first request occupies the queue.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.service().stats().queue_depth == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "first request never reached the queue"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut c = Client::connect(&server);
+    let reply = c.exchange(&sim_line("gzip", "postdoms"));
+    assert_eq!(error_kind(&reply), "overloaded");
+    assert_eq!(server.service().stats().shed, 1);
+
+    // Drain: the queued request still completes (shutdown cuts the
+    // linger window short) and the shed client got its answer above —
+    // nobody hangs.
+    server.shutdown();
+    let first_reply = first.join().unwrap();
+    assert!(
+        first_reply.starts_with("{\"ok\":true"),
+        "queued request completed during drain: {first_reply}"
+    );
+}
+
+#[test]
+fn cache_keys_are_collision_free_across_figure_configs() {
+    use polyflow_serve::{CacheKey, ResultCache};
+    use polyflow_sim::{DependenceMode, MachineConfig};
+
+    // Every distinct configuration the figure binaries (9–12) can run:
+    // the superscalar baseline, the PolyFlow machine, its dependence-mode
+    // env variants, and ablation-style geometry tweaks.
+    let mut configs: Vec<(String, MachineConfig)> = vec![
+        ("superscalar".into(), MachineConfig::superscalar()),
+        ("hpca07".into(), MachineConfig::hpca07()),
+        (
+            "store_sets".into(),
+            MachineConfig {
+                memory_dependence: DependenceMode::StoreSet,
+                ..MachineConfig::hpca07()
+            },
+        ),
+        (
+            "reg_hints".into(),
+            MachineConfig {
+                register_dependence: DependenceMode::StoreSet,
+                ..MachineConfig::hpca07()
+            },
+        ),
+        (
+            "tasks4".into(),
+            MachineConfig {
+                max_tasks: 4,
+                ..MachineConfig::hpca07()
+            },
+        ),
+        (
+            "fetch1".into(),
+            MachineConfig {
+                fetch_tasks_per_cycle: 1,
+                ..MachineConfig::hpca07()
+            },
+        ),
+        (
+            "no_divert_delay".into(),
+            MachineConfig {
+                divert_release_delay: 0,
+                ..MachineConfig::hpca07()
+            },
+        ),
+    ];
+    for budget in [100_000u64, 200_000] {
+        configs.push((
+            format!("budget{budget}"),
+            MachineConfig {
+                max_cycles: budget,
+                ..MachineConfig::hpca07()
+            },
+        ));
+    }
+
+    // Pairwise-distinct fingerprints …
+    for (i, (na, a)) in configs.iter().enumerate() {
+        for (nb, b) in configs.iter().skip(i + 1) {
+            assert_ne!(
+                a.fingerprint(),
+                b.fingerprint(),
+                "{na} and {nb} must not share a cache key"
+            );
+        }
+    }
+
+    // … and therefore distinct cache entries even under one workload and
+    // policy.
+    let cache = ResultCache::new(64);
+    for (name, cfg) in &configs {
+        cache.insert(
+            CacheKey {
+                workload: "twolf".into(),
+                policy: "postdoms".into(),
+                config: cfg.fingerprint(),
+            },
+            Arc::from(name.as_str()),
+        );
+    }
+    for (name, cfg) in &configs {
+        let got = cache
+            .get(&CacheKey {
+                workload: "twolf".into(),
+                policy: "postdoms".into(),
+                config: cfg.fingerprint(),
+            })
+            .expect("entry present");
+        assert_eq!(&*got, name.as_str());
+    }
+}

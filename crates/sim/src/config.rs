@@ -225,6 +225,67 @@ impl MachineConfig {
         self.max_tasks as u64
     }
 
+    /// A deterministic, human-readable fingerprint of **every** semantic
+    /// field of the configuration. Two configs with equal fingerprints
+    /// run byte-identically on the same workload and policy, so this is
+    /// the config component of a result-cache key (`polyflow-serve`
+    /// caches simulation results under `(workload, fingerprint, policy)`).
+    ///
+    /// The fingerprint strictly refines [`predictor_key`]: configs that
+    /// share a predictor key (and may therefore share a prepared trace)
+    /// still fingerprint differently whenever any non-predictor field —
+    /// task geometry, latencies, dependence modes, watchdogs — differs.
+    ///
+    /// [`predictor_key`]: MachineConfig::predictor_key
+    pub fn fingerprint(&self) -> String {
+        let dep = |m: &DependenceMode| match m {
+            DependenceMode::OracleSync => "oracle",
+            DependenceMode::StoreSet => "storeset",
+        };
+        let cache = |c: &CacheConfig| format!("{}/{}/{}", c.size_bytes, c.ways, c.line_bytes);
+        format!(
+            "w{} ftc{} mt{} rob{} sch{} dv{} fu{} mp{} dec{} fq{} gi{} gh{} ras{} \
+             l1i{} l1d{} l2{} lat{}/{}/{} mul{} sd{}-{} drd{} soh{} pf{}/{} \
+             mem:{} reg:{} hrs{} ssi{} sq{} any{} rr{}/{} mc{} lw{}",
+            self.width,
+            self.fetch_tasks_per_cycle,
+            self.max_tasks,
+            self.rob_entries,
+            self.scheduler_entries,
+            self.divert_entries,
+            self.fn_units,
+            self.misprediction_penalty,
+            self.decode_latency,
+            self.fetch_queue_entries,
+            self.gshare_index_bits,
+            self.gshare_history_bits,
+            self.ras_entries,
+            cache(&self.l1i),
+            cache(&self.l1d),
+            cache(&self.l2),
+            self.l1_hit_latency,
+            self.l1_miss_latency,
+            self.l2_miss_latency,
+            self.mul_latency,
+            self.min_spawn_distance,
+            self.max_spawn_distance,
+            self.divert_release_delay,
+            self.spawn_overhead_cycles,
+            self.profitability_feedback,
+            self.profit_stall_threshold,
+            dep(&self.memory_dependence),
+            dep(&self.register_dependence),
+            self.hint_register_slots,
+            self.store_set_index_bits,
+            self.squash_penalty,
+            self.spawn_from_any_task,
+            self.rob_reclamation,
+            self.rob_reclaim_after,
+            self.max_cycles,
+            self.livelock_window,
+        )
+    }
+
     /// The subset of the configuration that determines the replayed
     /// branch-prediction outcomes: two configs with equal keys produce
     /// identical `PredictionTrace`s for the same trace, so the prepared
@@ -276,6 +337,27 @@ mod tests {
         let p = MachineConfig::hpca07();
         assert_eq!(s.rob_entries, p.rob_entries);
         assert_eq!(s.l2, p.l2);
+    }
+
+    #[test]
+    fn fingerprint_refines_predictor_key() {
+        let ss = MachineConfig::superscalar();
+        let pf = MachineConfig::hpca07();
+        // Shared predictor key (prepared-trace sharing) ...
+        assert_eq!(ss.predictor_key(), pf.predictor_key());
+        // ... but distinct fingerprints (distinct cached results).
+        assert_ne!(ss.fingerprint(), pf.fingerprint());
+        assert_eq!(pf.fingerprint(), MachineConfig::hpca07().fingerprint());
+        let budgeted = MachineConfig {
+            max_cycles: 100_000,
+            ..MachineConfig::hpca07()
+        };
+        assert_ne!(budgeted.fingerprint(), pf.fingerprint());
+        let storeset = MachineConfig {
+            memory_dependence: DependenceMode::StoreSet,
+            ..MachineConfig::hpca07()
+        };
+        assert_ne!(storeset.fingerprint(), pf.fingerprint());
     }
 
     #[test]

@@ -68,6 +68,14 @@ pub const NAMES: [&str; 12] = [
     "vpr.route",
 ];
 
+/// The benchmark names as a slice — the validation surface for CLI
+/// workload filters and the simulation service's request checking
+/// (anything not in this list is an unknown-workload error, not a
+/// silently empty sweep).
+pub fn names() -> &'static [&'static str] {
+    &NAMES
+}
+
 /// Builds every workload, in the paper's plotting order.
 pub fn all() -> Vec<Workload> {
     NAMES

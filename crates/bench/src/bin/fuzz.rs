@@ -3,25 +3,30 @@
 //! from an explicit [`SplitMix64`] seed, so a reported failure replays
 //! with `fuzz --seed <S> [--faults]`.
 //!
-//! Usage: `fuzz [--seeds N] [--seed S] [--faults] [--replay FILE]`
+//! Usage: `fuzz [--seeds N] [--seed S] [--faults] [--shapes N] [--replay FILE]`
 //!
 //! * `--seeds N`  — number of consecutive seeds to run (default 64).
 //! * `--seed S`   — first seed, decimal or 0x-hex (default 1).
 //! * `--faults`   — additionally apply every trace-corruption operator
 //!   to each seed's trace and require typed errors, never panics.
+//! * `--shapes N` — instead run the CFG-shape-controlled dataflow mode:
+//!   N seeds × every shape, differentially checking the SCC-parallel
+//!   solver against the sequential oracle at jobs 1/2/4.
 //! * `--replay F` — replay a regression corpus file instead
-//!   (`<seed> <differential|faults>` per line) and ignore `--seeds`.
+//!   (`<seed> <differential|faults|shape:<label>>` per line) and ignore
+//!   `--seeds`.
 //!
 //! Exits nonzero if any seed fails; each failure prints with its seed.
 //!
 //! [`SplitMix64`]: polyflow_isa::rng::SplitMix64
 
-use polyflow_bench::fuzz::{fuzz_range, parse_seed, replay_corpus, FuzzReport};
+use polyflow_bench::fuzz::{fuzz_range, fuzz_shapes, parse_seed, replay_corpus, FuzzReport};
 
 fn main() {
     let mut seeds: u64 = 64;
     let mut seed0: u64 = 1;
     let mut faults = false;
+    let mut shapes: Option<u64> = None;
     let mut replay: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -36,10 +41,14 @@ fn main() {
                 None => usage("--seed needs a value"),
             },
             "--faults" => faults = true,
+            "--shapes" => match args.next().and_then(|v| parse_seed(&v)) {
+                Some(n) => shapes = Some(n),
+                None => usage("--shapes needs a count"),
+            },
             "--help" | "-h" => {
                 println!(
                     "fuzz — differential fuzzing / fault-injection driver\n\n\
-                     Usage: fuzz [--seeds N] [--seed S] [--faults] [--replay FILE]"
+                     Usage: fuzz [--seeds N] [--seed S] [--faults] [--shapes N] [--replay FILE]"
                 );
                 std::process::exit(0);
             }
@@ -51,15 +60,18 @@ fn main() {
         }
     }
 
-    let mode = match (&replay, faults) {
-        (Some(_), _) => "corpus replay",
-        (None, true) => "differential + faults",
-        (None, false) => "differential",
+    let mode = match (&replay, &shapes, faults) {
+        (Some(_), _, _) => "corpus replay",
+        (None, Some(_), _) => "cfg shapes vs oracle",
+        (None, None, true) => "differential + faults",
+        (None, None, false) => "differential",
     };
     let report: FuzzReport = if let Some(path) = replay {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read corpus {path}: {e}")));
         replay_corpus(&text).unwrap_or_else(|e| fail(&format!("corpus {path}: {e}")))
+    } else if let Some(n) = shapes {
+        fuzz_shapes(seed0, n)
     } else {
         fuzz_range(seed0, seeds, faults)
     };
@@ -81,7 +93,7 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     fail(&format!(
-        "{msg}\nusage: fuzz [--seeds N] [--seed S] [--faults] [--replay FILE]"
+        "{msg}\nusage: fuzz [--seeds N] [--seed S] [--faults] [--shapes N] [--replay FILE]"
     ))
 }
 

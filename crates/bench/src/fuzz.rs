@@ -21,11 +21,19 @@
 //!   as the *expected* structured error from the appropriate validation
 //!   tier, and that nothing panics.
 //!
-//! The `fuzz` binary drives both modes; `corpus/fuzz_corpus.txt` is the
+//! * **CFG shapes** ([`fuzz_shape_one`]): generate a dataflow problem
+//!   whose condensation targets a chosen SCC count/size distribution —
+//!   chains, diamond ladders, irreducible two-entry loops, giant single
+//!   SCCs, wide DAGs — and differentially check the SCC-parallel
+//!   `solve_parallel` against the sequential oracle at jobs 1/2/4
+//!   (corpus mode `shape:<label>`).
+//!
+//! The `fuzz` binary drives all modes; `corpus/fuzz_corpus.txt` is the
 //! checked-in regression corpus replayed by CI and the `fuzz_replay`
 //! integration test.
 
 use polyflow_core::{verify, Policy, ProgramAnalysis, VerifyOptions};
+use polyflow_dataflow::oracle::{self, CfgShape};
 use polyflow_isa::rng::SplitMix64;
 use polyflow_isa::{
     execute_window, parse_program, to_asm, AluOp, Cond, Inst, InstClass, Interpreter, Pc, Program,
@@ -579,9 +587,75 @@ pub fn fuzz_range(seed0: u64, count: u64, faults: bool) -> FuzzReport {
     report
 }
 
-/// Replays a regression corpus: one `<seed> <differential|faults>` pair
-/// per line (`#` comments and blank lines ignored; seeds decimal or
-/// `0x`-hex). Returns the report, or the first parse error.
+/// Worker counts every CFG-shape case is differentially checked at.
+pub const SHAPE_JOBS: [usize; 3] = [1, 2, 4];
+
+/// The CFG-shape-controlled generator mode: builds one dataflow problem
+/// whose condensation targets the shape's SCC count/size distribution
+/// (`polyflow_dataflow::oracle::random_problem`), asserts the
+/// distribution was hit, and differentially checks `solve_parallel`
+/// against the sequential oracle at [`SHAPE_JOBS`]. Panics inside the
+/// solver surface as failures, never aborts.
+pub fn fuzz_shape_one(seed: u64, shape: CfgShape) -> Result<(), String> {
+    catch_unwind(AssertUnwindSafe(|| fuzz_shape_inner(seed, shape)))
+        .unwrap_or_else(|p| {
+            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(format!("panicked: {msg}"))
+        })
+        .map_err(|e| format!("seed {seed:#x} shape {}: {e}", shape.label()))
+}
+
+fn fuzz_shape_inner(seed: u64, shape: CfgShape) -> Result<(), String> {
+    let p = oracle::random_problem(seed, shape);
+    // The generator's contract: the shape controls the SCC distribution.
+    let cond = polyflow_dataflow::scc::condense(&p.succs);
+    let biggest = cond.members.iter().map(Vec::len).max().unwrap_or(0);
+    match shape {
+        CfgShape::Chain | CfgShape::Diamond | CfgShape::WideDag => {
+            if cond.cyclic.iter().any(|&c| c) {
+                return Err(format!("{} produced a cyclic component", shape.label()));
+            }
+        }
+        CfgShape::GiantScc => {
+            if cond.len() != 1 {
+                return Err(format!("giant-scc produced {} components", cond.len()));
+            }
+        }
+        CfgShape::Irreducible => {
+            if biggest < 2 {
+                return Err("irreducible produced no multi-node component".to_string());
+            }
+        }
+        CfgShape::Mixed => {}
+    }
+    oracle::check_against_oracle(&p.as_problem(), &SHAPE_JOBS)
+}
+
+/// Runs every [`CfgShape`] over `count` consecutive seeds.
+pub fn fuzz_shapes(seed0: u64, count: u64) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for seed in seed0..seed0.saturating_add(count) {
+        for shape in CfgShape::ALL {
+            report.seeds_run += 1;
+            if let Err(e) = fuzz_shape_one(seed, shape) {
+                report.failures.push(e);
+            }
+        }
+    }
+    report
+}
+
+/// Replays a regression corpus: one `<seed> <mode>` pair per line, where
+/// mode is `differential`, `faults`, or `shape:<label>` for the
+/// CFG-shape-controlled dataflow mode (`#` comments and blank lines
+/// ignored; seeds decimal or `0x`-hex). Returns the report, or the
+/// first parse error.
 pub fn replay_corpus(text: &str) -> Result<FuzzReport, String> {
     let mut report = FuzzReport::default();
     for (ln, line) in text.lines().enumerate() {
@@ -595,13 +669,21 @@ pub fn replay_corpus(text: &str) -> Result<FuzzReport, String> {
             .ok_or_else(|| format!("line {}: empty", ln + 1))?;
         let seed = parse_seed(seed_tok)
             .ok_or_else(|| format!("line {}: bad seed `{seed_tok}`", ln + 1))?;
-        let faults = match parts.next() {
-            Some("faults") => true,
-            Some("differential") | None => false,
-            Some(other) => return Err(format!("line {}: bad mode `{other}`", ln + 1)),
+        let result = match parts.next() {
+            Some("faults") => fuzz_one(seed, true),
+            Some("differential") | None => fuzz_one(seed, false),
+            Some(mode) => {
+                if let Some(label) = mode.strip_prefix("shape:") {
+                    let shape = CfgShape::from_label(label)
+                        .ok_or_else(|| format!("line {}: bad shape `{label}`", ln + 1))?;
+                    fuzz_shape_one(seed, shape)
+                } else {
+                    return Err(format!("line {}: bad mode `{mode}`", ln + 1));
+                }
+            }
         };
         report.seeds_run += 1;
-        if let Err(e) = fuzz_one(seed, faults) {
+        if let Err(e) = result {
             report.failures.push(e);
         }
     }
@@ -638,12 +720,22 @@ mod tests {
     }
 
     #[test]
-    fn corpus_parser_accepts_both_modes_and_comments() {
-        let report = replay_corpus("# comment\n\n0x7357 faults\n3 differential\n4\n").unwrap();
-        assert_eq!(report.seeds_run, 3);
+    fn corpus_parser_accepts_all_modes_and_comments() {
+        let report =
+            replay_corpus("# comment\n\n0x7357 faults\n3 differential\n4\n5 shape:chain\n")
+                .unwrap();
+        assert_eq!(report.seeds_run, 4);
         assert!(report.failures.is_empty(), "{:?}", report.failures);
         assert!(replay_corpus("zzz faults").is_err());
         assert!(replay_corpus("1 sideways").is_err());
+        assert!(replay_corpus("1 shape:zigzag").is_err());
+    }
+
+    #[test]
+    fn shape_mode_passes_every_shape() {
+        let report = fuzz_shapes(0x5eed, 2);
+        assert_eq!(report.seeds_run, 2 * CfgShape::ALL.len() as u64);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
     }
 
     #[test]

@@ -141,6 +141,18 @@ impl ProgramAnalysis {
     /// rather than panicking; [`crate::verify`] reports each one as a
     /// `degenerate-cfg` diagnostic.
     pub fn analyze(program: &Program) -> ProgramAnalysis {
+        Self::analyze_inner(program, None)
+    }
+
+    /// [`ProgramAnalysis::analyze`] with an explicit worker count for the
+    /// supergraph liveness solve (the dominant cost on large programs).
+    /// The solver is bit-identical at every `jobs`, so results never
+    /// depend on the worker count — only wall-clock does.
+    pub fn analyze_with_jobs(program: &Program, jobs: usize) -> ProgramAnalysis {
+        Self::analyze_inner(program, Some(jobs))
+    }
+
+    fn analyze_inner(program: &Program, jobs: Option<usize>) -> ProgramAnalysis {
         let functions: Vec<FunctionAnalysis> = program
             .functions()
             .iter()
@@ -150,7 +162,10 @@ impl ProgramAnalysis {
             .iter()
             .flat_map(FunctionAnalysis::candidates)
             .collect();
-        let liveness = InterLiveness::compute(program);
+        let liveness = match jobs {
+            Some(j) => InterLiveness::compute_with_jobs(program, j),
+            None => InterLiveness::compute(program),
+        };
         ProgramAnalysis {
             functions,
             candidates,

@@ -19,6 +19,7 @@
 //!   differential trace check in `tests/static_analysis.rs` exercises.
 
 use crate::bitset::BitSet;
+use crate::parallel::solve_parallel;
 use crate::solver::{solve, Direction, GenKill, Problem, Solution};
 use polyflow_cfg::{BlockId, Cfg, EdgeKind};
 use polyflow_isa::{Inst, Pc, Program, Reg};
@@ -71,6 +72,39 @@ fn live_before_in_block(program: &Program, block_end: Pc, pc: Pc, live_out: &Bit
     live
 }
 
+/// Poses one function's backward liveness as an owned problem — exactly
+/// what [`LiveSets::compute`] solves. Public through
+/// [`crate::oracle::function_liveness_problem`] so the differential
+/// tests can run both solvers over every workload function.
+pub(crate) fn function_liveness_problem(
+    program: &Program,
+    cfg: &Cfg,
+) -> crate::oracle::OwnedProblem {
+    let n = cfg.len();
+    let transfer: Vec<GenKill> = cfg
+        .blocks()
+        .iter()
+        .map(|b| range_gen_kill(program, b.start, b.end))
+        .collect();
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            cfg.succs(BlockId::from_index(i))
+                .iter()
+                .map(|&(t, _)| t.index())
+                .collect()
+        })
+        .collect();
+    let boundary: Vec<usize> = cfg.exits().iter().map(|b| b.index()).collect();
+    crate::oracle::OwnedProblem {
+        direction: Direction::Backward,
+        domain: REG_DOMAIN,
+        transfer,
+        succs,
+        boundary_nodes: boundary,
+        boundary_value: BitSet::new(REG_DOMAIN),
+    }
+}
+
 /// Intraprocedural live register sets for one [`Cfg`].
 #[derive(Debug, Clone)]
 pub struct LiveSets {
@@ -84,29 +118,8 @@ impl LiveSets {
     /// return value registers of the *caller's* liveness, not modeled
     /// here — see [`InterLiveness`] for the sound whole-program version).
     pub fn compute(program: &Program, cfg: &Cfg) -> LiveSets {
-        let n = cfg.len();
-        let transfer: Vec<GenKill> = cfg
-            .blocks()
-            .iter()
-            .map(|b| range_gen_kill(program, b.start, b.end))
-            .collect();
-        let succs: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                cfg.succs(BlockId::from_index(i))
-                    .iter()
-                    .map(|&(t, _)| t.index())
-                    .collect()
-            })
-            .collect();
-        let boundary: Vec<usize> = cfg.exits().iter().map(|b| b.index()).collect();
-        let Solution { entry, exit } = solve(&Problem {
-            direction: Direction::Backward,
-            domain: REG_DOMAIN,
-            transfer: &transfer,
-            succs: &succs,
-            boundary_nodes: &boundary,
-            boundary_value: BitSet::new(REG_DOMAIN),
-        });
+        let p = function_liveness_problem(program, cfg);
+        let Solution { entry, exit } = solve(&p.as_problem());
         LiveSets {
             live_in: entry,
             live_out: exit,
@@ -160,13 +173,27 @@ pub struct InterLiveness {
     per_pc: Vec<u64>,
 }
 
-impl InterLiveness {
-    /// Builds the supergraph and solves backward liveness over it.
-    pub fn compute(program: &Program) -> InterLiveness {
-        let cfgs = Cfg::build_all(program);
+/// The whole-program flow graph interprocedural analyses solve over:
+/// every function's blocks as one node space, plus call, return, and
+/// cross-function transfer edges. Built once, it can be posed as a
+/// backward liveness problem or a forward reachability-style problem —
+/// the differential oracle tests exercise both directions over it.
+#[derive(Debug, Clone)]
+pub struct SuperGraph {
+    transfer: Vec<GenKill>,
+    succs: Vec<Vec<usize>>,
+    boundary: Vec<usize>,
+    base: Vec<usize>,
+    entries: Vec<usize>,
+}
+
+impl SuperGraph {
+    /// Constructs the supergraph of `program` over the given per-function
+    /// CFGs (in `Cfg::build_all` order).
+    pub fn build(program: &Program, cfgs: &[Cfg]) -> SuperGraph {
         let mut base = Vec::with_capacity(cfgs.len());
         let mut total = 0usize;
-        for cfg in &cfgs {
+        for cfg in cfgs {
             base.push(total);
             total += cfg.len();
         }
@@ -261,15 +288,77 @@ impl InterLiveness {
             s.sort_unstable();
             s.dedup();
         }
+        SuperGraph {
+            transfer,
+            succs,
+            boundary,
+            base,
+            entries: entry_nodes,
+        }
+    }
 
-        let Solution { entry: _, exit } = solve(&Problem {
+    /// Number of supergraph nodes (blocks across all functions).
+    pub fn len(&self) -> usize {
+        self.transfer.len()
+    }
+
+    /// True if the program has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.transfer.is_empty()
+    }
+
+    /// The supergraph node holding block `b` of function index `f`.
+    pub fn node(&self, f: usize, b: BlockId) -> usize {
+        self.base[f] + b.index()
+    }
+
+    /// Whole-program liveness as a solver problem: backward over
+    /// register sets, boundary at program exits (`halt` blocks and
+    /// returns of uncalled functions).
+    pub fn liveness_problem(&self) -> Problem<'_> {
+        Problem {
             direction: Direction::Backward,
             domain: REG_DOMAIN,
-            transfer: &transfer,
-            succs: &succs,
-            boundary_nodes: &boundary,
+            transfer: &self.transfer,
+            succs: &self.succs,
+            boundary_nodes: &self.boundary,
             boundary_value: BitSet::new(REG_DOMAIN),
-        });
+        }
+    }
+
+    /// The same graph posed forward — a reaching-style problem with the
+    /// boundary at function entries. The oracle harness uses this to
+    /// cover the forward direction at supergraph scale.
+    pub fn forward_problem(&self) -> Problem<'_> {
+        Problem {
+            direction: Direction::Forward,
+            domain: REG_DOMAIN,
+            transfer: &self.transfer,
+            succs: &self.succs,
+            boundary_nodes: &self.entries,
+            boundary_value: BitSet::new(REG_DOMAIN),
+        }
+    }
+}
+
+impl InterLiveness {
+    /// Builds the supergraph and solves backward liveness over it, using
+    /// the SCC-parallel solver with the process-wide worker count
+    /// (`--jobs` / `POLYFLOW_JOBS` / CPU count — see
+    /// [`polyflow_pool::resolve_jobs`]). The parallel solver is
+    /// bit-identical to the sequential one, so the worker count can
+    /// never show through in the result.
+    pub fn compute(program: &Program) -> InterLiveness {
+        InterLiveness::compute_with_jobs(program, polyflow_pool::resolve_jobs())
+    }
+
+    /// [`InterLiveness::compute`] with an explicit worker count for the
+    /// supergraph solve (`lint --jobs` times both paths through this).
+    pub fn compute_with_jobs(program: &Program, jobs: usize) -> InterLiveness {
+        let cfgs = Cfg::build_all(program);
+        let sg = SuperGraph::build(program, &cfgs);
+        let Solution { entry: _, exit } = solve_parallel(&sg.liveness_problem(), jobs);
+        let base = &sg.base;
 
         // Precompute per-instruction live-before masks with one backward
         // scan per block.

@@ -7,7 +7,7 @@
 //! reads-garbage-on-all-paths bug rather than a maybe.
 
 use crate::bitset::BitSet;
-use crate::solver::{solve, Direction, GenKill, Problem, Solution};
+use crate::solver::{solve, Direction, GenKill, Solution};
 use polyflow_cfg::{BlockId, Cfg};
 use polyflow_isa::{Pc, Program, Reg};
 
@@ -48,6 +48,80 @@ pub struct UndefinedUse {
     pub reg: Reg,
 }
 
+/// Poses one function's reaching definitions as an owned problem plus
+/// its definition-site table — exactly what
+/// [`ReachingDefs::compute_with`] solves. Public through
+/// [`crate::oracle::function_reaching_problem`] so the differential
+/// tests cover the forward direction on every workload function.
+pub(crate) fn function_reaching_problem(
+    program: &Program,
+    cfg: &Cfg,
+    entry: EntryDefs,
+) -> (crate::oracle::OwnedProblem, Vec<DefSite>) {
+    let func = cfg.function();
+    let mut defs = Vec::new();
+    let func_start = func.range.start as usize;
+    let mut def_index_at = vec![usize::MAX; func.range.end as usize - func_start];
+    for i in func_start..func.range.end as usize {
+        if let Some(reg) = program.inst(Pc::new(i as u32)).dst() {
+            def_index_at[i - func_start] = defs.len();
+            defs.push(DefSite {
+                pc: Pc::new(i as u32),
+                reg,
+            });
+        }
+    }
+    let domain = Reg::COUNT + defs.len();
+    // All definition indices of each register, pseudo-def included.
+    let mut defs_of_reg: Vec<BitSet> = (0..Reg::COUNT).map(|r| BitSet::of(domain, &[r])).collect();
+    for (i, d) in defs.iter().enumerate() {
+        defs_of_reg[d.reg.index()].insert(Reg::COUNT + i);
+    }
+
+    let n = cfg.len();
+    let mut transfer = Vec::with_capacity(n);
+    for block in cfg.blocks() {
+        let mut t = GenKill::identity(domain);
+        for i in block.start.index()..block.end.index() {
+            if let Some(reg) = program.inst(Pc::new(i as u32)).dst() {
+                let di = Reg::COUNT + def_index_at[i - func_start];
+                t.kill.union_with(&defs_of_reg[reg.index()]);
+                t.gen.subtract(&defs_of_reg[reg.index()]);
+                t.gen.insert(di);
+                t.kill.remove(di);
+            }
+        }
+        transfer.push(t);
+    }
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            cfg.succs(BlockId::from_index(i))
+                .iter()
+                .map(|&(t, _)| t.index())
+                .collect()
+        })
+        .collect();
+    let entry_defined: u32 = match entry {
+        EntryDefs::All => u32::MAX,
+        EntryDefs::Strict => (1 << Reg::R0.index()) | (1 << Reg::SP.index()),
+    };
+    let mut boundary_value = BitSet::new(domain);
+    for r in 0..Reg::COUNT {
+        if entry_defined & (1 << r) != 0 {
+            boundary_value.insert(r);
+        }
+    }
+    let problem = crate::oracle::OwnedProblem {
+        direction: Direction::Forward,
+        domain,
+        transfer,
+        succs,
+        boundary_nodes: vec![cfg.entry().index()],
+        boundary_value,
+    };
+    (problem, defs)
+}
+
 /// Reaching definitions for one [`Cfg`].
 ///
 /// Domain layout: indices `0..32` are the per-register entry
@@ -68,68 +142,8 @@ impl ReachingDefs {
 
     /// Solves reaching definitions under an explicit entry policy.
     pub fn compute_with(program: &Program, cfg: &Cfg, entry: EntryDefs) -> ReachingDefs {
-        let func = cfg.function();
-        let mut defs = Vec::new();
-        let func_start = func.range.start as usize;
-        let mut def_index_at = vec![usize::MAX; func.range.end as usize - func_start];
-        for i in func_start..func.range.end as usize {
-            if let Some(reg) = program.inst(Pc::new(i as u32)).dst() {
-                def_index_at[i - func_start] = defs.len();
-                defs.push(DefSite {
-                    pc: Pc::new(i as u32),
-                    reg,
-                });
-            }
-        }
-        let domain = Reg::COUNT + defs.len();
-        // All definition indices of each register, pseudo-def included.
-        let mut defs_of_reg: Vec<BitSet> =
-            (0..Reg::COUNT).map(|r| BitSet::of(domain, &[r])).collect();
-        for (i, d) in defs.iter().enumerate() {
-            defs_of_reg[d.reg.index()].insert(Reg::COUNT + i);
-        }
-
-        let n = cfg.len();
-        let mut transfer = Vec::with_capacity(n);
-        for block in cfg.blocks() {
-            let mut t = GenKill::identity(domain);
-            for i in block.start.index()..block.end.index() {
-                if let Some(reg) = program.inst(Pc::new(i as u32)).dst() {
-                    let di = Reg::COUNT + def_index_at[i - func_start];
-                    t.kill.union_with(&defs_of_reg[reg.index()]);
-                    t.gen.subtract(&defs_of_reg[reg.index()]);
-                    t.gen.insert(di);
-                    t.kill.remove(di);
-                }
-            }
-            transfer.push(t);
-        }
-        let succs: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                cfg.succs(BlockId::from_index(i))
-                    .iter()
-                    .map(|&(t, _)| t.index())
-                    .collect()
-            })
-            .collect();
-        let entry_defined: u32 = match entry {
-            EntryDefs::All => u32::MAX,
-            EntryDefs::Strict => (1 << Reg::R0.index()) | (1 << Reg::SP.index()),
-        };
-        let mut boundary_value = BitSet::new(domain);
-        for r in 0..Reg::COUNT {
-            if entry_defined & (1 << r) != 0 {
-                boundary_value.insert(r);
-            }
-        }
-        let Solution { entry, exit } = solve(&Problem {
-            direction: Direction::Forward,
-            domain,
-            transfer: &transfer,
-            succs: &succs,
-            boundary_nodes: &[cfg.entry().index()],
-            boundary_value,
-        });
+        let (p, defs) = function_reaching_problem(program, cfg, entry);
+        let Solution { entry, exit } = solve(&p.as_problem());
         ReachingDefs {
             defs,
             reach_in: entry,

@@ -65,7 +65,7 @@ pub struct Problem<'a> {
 /// `exit[n]` the value at its end — for backward problems `entry` is the
 /// *output* of `n`'s transfer function (e.g. live-in) and `exit` its input
 /// (live-out).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solution {
     /// Value at each node's start (live-in / reach-in).
     pub entry: Vec<BitSet>,
@@ -73,26 +73,23 @@ pub struct Solution {
     pub exit: Vec<BitSet>,
 }
 
-/// Runs the worklist algorithm to a fixpoint.
-///
-/// Complexity is O(edges × domain/64) per pass with the usual fast
-/// convergence of round-robin + worklist iteration.
+/// Materializes the propagation graph of a problem: `flow_in[v]` are the
+/// nodes whose transfer outputs join into `v`'s meet, `flow_out[u]` the
+/// nodes depending on `u`'s output. Forward problems propagate along
+/// `succs`; backward problems against them. Shared by [`solve`] and
+/// [`crate::parallel::solve_parallel`] so both validate and orient edges
+/// identically.
 ///
 /// # Panics
 ///
-/// Panics if `succs` and `transfer` disagree on the node count, if an edge
-/// names a node out of range, or if a set domain mismatches.
-pub fn solve(p: &Problem<'_>) -> Solution {
+/// Panics if `succs` and `transfer` disagree on the node count, if an
+/// edge names a node out of range, or if the boundary domain mismatches.
+pub(crate) fn propagation_graph(p: &Problem<'_>) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
     let n = p.transfer.len();
     assert_eq!(p.succs.len(), n, "succs/transfer node count mismatch");
     assert_eq!(p.boundary_value.domain(), p.domain, "boundary domain");
-
-    // Edges along which facts propagate: forward uses succs as-is,
-    // backward propagates from a node to its predecessors — which is
-    // exactly "along succs, swapped at meet time". We materialize the
-    // propagation graph once.
-    let mut flow_in: Vec<Vec<usize>> = vec![Vec::new(); n]; // meet inputs
-    let mut flow_out: Vec<Vec<usize>> = vec![Vec::new(); n]; // dependents
+    let mut flow_in: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut flow_out: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (u, ss) in p.succs.iter().enumerate() {
         for &v in ss {
             assert!(v < n, "edge {u}->{v} out of range");
@@ -108,6 +105,41 @@ pub fn solve(p: &Problem<'_>) -> Solution {
             }
         }
     }
+    (flow_in, flow_out)
+}
+
+/// Maps per-node (meet, transfer-output) values back onto program-order
+/// (entry, exit): a forward meet is the entry value, a backward meet the
+/// exit value.
+pub(crate) fn assemble(direction: Direction, meet: Vec<BitSet>, trans: Vec<BitSet>) -> Solution {
+    match direction {
+        Direction::Forward => Solution {
+            entry: meet,
+            exit: trans,
+        },
+        Direction::Backward => Solution {
+            entry: trans,
+            exit: meet,
+        },
+    }
+}
+
+/// Runs the worklist algorithm to a fixpoint.
+///
+/// Complexity is O(edges × domain/64) per pass with the usual fast
+/// convergence of round-robin + worklist iteration.
+///
+/// # Panics
+///
+/// Panics if `succs` and `transfer` disagree on the node count, if an edge
+/// names a node out of range, or if a set domain mismatches.
+pub fn solve(p: &Problem<'_>) -> Solution {
+    let n = p.transfer.len();
+    // Edges along which facts propagate: forward uses succs as-is,
+    // backward propagates from a node to its predecessors — which is
+    // exactly "along succs, swapped at meet time". We materialize the
+    // propagation graph once.
+    let (_flow_in, flow_out) = propagation_graph(p);
 
     let mut is_boundary = vec![false; n];
     for &b in p.boundary_nodes {
@@ -157,16 +189,7 @@ pub fn solve(p: &Problem<'_>) -> Solution {
     }
 
     // Map (meet, trans) back onto program-order (entry, exit).
-    match p.direction {
-        Direction::Forward => Solution {
-            entry: meet_val,
-            exit: trans_val,
-        },
-        Direction::Backward => Solution {
-            entry: trans_val,
-            exit: meet_val,
-        },
-    }
+    assemble(p.direction, meet_val, trans_val)
 }
 
 #[cfg(test)]

@@ -31,8 +31,10 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod signal;
+pub mod verify;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use protocol::{ErrorKind, Request, ServeError, SimRequest};
 pub use server::Server;
 pub use service::{Service, ServiceConfig, ServiceStats, Ticket};
+pub use verify::VerifyRequest;

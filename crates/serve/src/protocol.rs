@@ -118,6 +118,9 @@ impl std::error::Error for ServeError {}
 pub enum Request {
     /// Run (or cache-serve) one simulation cell.
     Simulate(Box<SimRequest>),
+    /// Run (or cache-serve) the lint pass over a workload or an
+    /// uploaded program (see [`crate::verify`]).
+    Verify(Box<crate::verify::VerifyRequest>),
     /// Report queue/cache/account observability counters.
     Stats,
     /// Liveness probe.
@@ -201,7 +204,10 @@ pub fn parse_request(line: &str, default_max_cycles: u64) -> Result<Request, Ser
             Some("stats") => Ok(Request::Stats),
             Some("shutdown") => Ok(Request::Shutdown),
             Some("simulate") => parse_simulate(&v, default_max_cycles),
-            _ => Err(bad("unknown verb (ping, stats, shutdown, simulate)")),
+            Some("verify") => parse_verify(&v),
+            _ => Err(bad(
+                "unknown verb (ping, stats, shutdown, simulate, verify)",
+            )),
         };
     }
     parse_simulate(&v, default_max_cycles)
@@ -253,6 +259,58 @@ fn parse_simulate(v: &Json, default_max_cycles: u64) -> Result<Request, ServeErr
         cell,
         config,
     })))
+}
+
+/// Parses a `{"verb":"verify", …}` request: exactly one of `workload`
+/// (a bundled benchmark name) or `program` (assembly text, the
+/// [`polyflow_isa::parse_program`] grammar). Assembly that does not
+/// parse is the client's mistake — a typed `bad_request` carrying the
+/// assembler's line/column diagnostic, never a dropped connection.
+fn parse_verify(v: &Json) -> Result<Request, ServeError> {
+    let obj = v.as_obj().ok_or_else(|| bad("request must be an object"))?;
+    for key in obj.keys() {
+        if !matches!(key.as_str(), "verb" | "workload" | "program") {
+            return Err(bad(format!(
+                "unknown verify field `{key}` (workload, program)"
+            )));
+        }
+    }
+    let workload = v.get("workload");
+    let source = v.get("program");
+    let program = match (workload, source) {
+        (Some(_), Some(_)) => {
+            return Err(bad("verify takes `workload` or `program`, not both"));
+        }
+        (None, None) => {
+            return Err(bad("verify needs a `workload` name or a `program` upload"));
+        }
+        (Some(w), None) => {
+            let name = w
+                .as_str()
+                .ok_or_else(|| bad("`workload` must be a string"))?;
+            polyflow_workloads::by_name(name)
+                .ok_or_else(|| {
+                    ServeError::new(
+                        ErrorKind::UnknownWorkload,
+                        format!(
+                            "unknown workload `{name}` (one of: {})",
+                            polyflow_workloads::names().join(", ")
+                        ),
+                    )
+                })?
+                .program
+        }
+        (None, Some(p)) => {
+            let asm = p
+                .as_str()
+                .ok_or_else(|| bad("`program` must be a string"))?;
+            polyflow_isa::parse_program(asm)
+                .map_err(|e| bad(format!("program does not assemble: {e}")))?
+        }
+    };
+    Ok(Request::Verify(Box::new(
+        crate::verify::VerifyRequest::new(program),
+    )))
 }
 
 /// Maps a protocol policy name to a grid cell. `rec_pred` (Figure 12's
@@ -476,6 +534,67 @@ mod tests {
             let e = parse_request(line, BUDGET).unwrap_err();
             assert_eq!(e.kind, *kind, "`{line}` → {e}");
         }
+    }
+
+    #[test]
+    fn verify_parses_workload_and_upload() {
+        let Request::Verify(r) =
+            parse_request("{\"verb\":\"verify\",\"workload\":\"twolf\"}", BUDGET).unwrap()
+        else {
+            panic!("not a verify")
+        };
+        let twolf = polyflow_workloads::by_name("twolf").unwrap().program;
+        assert_eq!(r.fingerprint, crate::verify::fingerprint(&twolf));
+
+        // Uploading the same program (as its canonical assembly) lands on
+        // the same fingerprint — one cache entry either way.
+        let asm = polyflow_isa::to_asm(&twolf);
+        let line = format!(
+            "{{\"verb\":\"verify\",\"program\":\"{}\"}}",
+            crate::json::escape(&asm)
+        );
+        let Request::Verify(up) = parse_request(&line, BUDGET).unwrap() else {
+            panic!("not a verify")
+        };
+        assert_eq!(up.fingerprint, r.fingerprint);
+    }
+
+    #[test]
+    fn verify_typed_rejections() {
+        let cases: &[(&str, ErrorKind)] = &[
+            ("{\"verb\":\"verify\"}", ErrorKind::BadRequest),
+            (
+                "{\"verb\":\"verify\",\"workload\":\"twolf\",\"program\":\"fn main { halt }\"}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"verb\":\"verify\",\"workload\":\"eon\"}",
+                ErrorKind::UnknownWorkload,
+            ),
+            (
+                "{\"verb\":\"verify\",\"program\":\"fn main { frobnicate r1 }\"}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"verb\":\"verify\",\"program\":42}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"verb\":\"verify\",\"workload\":\"twolf\",\"policy\":\"loop\"}",
+                ErrorKind::BadRequest,
+            ),
+        ];
+        for (line, kind) in cases {
+            let e = parse_request(line, BUDGET).unwrap_err();
+            assert_eq!(e.kind, *kind, "`{line}` → {e}");
+        }
+        // The assembler's position lands in the message.
+        let e = parse_request(
+            "{\"verb\":\"verify\",\"program\":\"fn main { frobnicate r1 }\"}",
+            BUDGET,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("does not assemble"), "{}", e.message);
     }
 
     #[test]

@@ -227,6 +227,10 @@ fn respond(
             Ok(body) => body.to_string(),
             Err(e) => protocol::error_response(&e),
         },
+        Ok(Request::Verify(req)) => match service.verify_program(*req) {
+            Ok(body) => body.to_string(),
+            Err(e) => protocol::error_response(&e),
+        },
         Err(e) => protocol::error_response(&e),
     };
     write_line(writer, &reply)

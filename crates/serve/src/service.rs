@@ -286,6 +286,48 @@ impl Service {
         }
     }
 
+    /// Runs (or cache-serves) one `verify` request: the lint pass over
+    /// the request's program, answered synchronously on the connection
+    /// handler's thread — lint is milliseconds of dataflow solving, not
+    /// a simulation, so it neither queues nor batches.
+    ///
+    /// The rendered report is a pure function of the program bytes, so
+    /// it shares the [`ResultCache`] keyed by the program fingerprint
+    /// (`policy` pinned to `"verify"` keeps the namespace disjoint from
+    /// simulation cells). A panic inside the lint pass — a program the
+    /// builder accepts but an analysis chokes on — is caught and
+    /// answered as a typed internal error, exactly like a simulation
+    /// panic.
+    pub fn verify_program(&self, req: crate::verify::VerifyRequest) -> Reply {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::new(
+                ErrorKind::ShuttingDown,
+                "server is draining; no new work accepted",
+            ));
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = CacheKey {
+            workload: req.fingerprint.clone(),
+            policy: "verify".to_string(),
+            config: String::new(),
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let jobs = self.jobs;
+        let line = catch_unwind(AssertUnwindSafe(|| {
+            crate::verify::run(&req.program, &req.fingerprint, jobs)
+        }))
+        .map_err(|_| {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+            ServeError::new(ErrorKind::Internal, "lint pass died on this program")
+        })?;
+        let line = self.cache.insert(key, Arc::from(line.as_str()));
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        Ok(line)
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> ServiceStats {
         let account = self.account.lock().unwrap();

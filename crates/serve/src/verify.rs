@@ -1,0 +1,183 @@
+//! The `verify` verb: the lint pass as a served request.
+//!
+//! A `{"verb":"verify", …}` request runs the same static checks the
+//! `lint` binary runs — `polyflow_core::verify` over a
+//! [`ProgramAnalysis`] whose dataflow solves ride the SCC-parallel
+//! solver (DESIGN.md §12) — against either a bundled workload
+//! (`"workload":"twolf"`) or a program uploaded as assembly text
+//! (`"program":"…"`).
+//!
+//! The rendered report is a pure function of the program bytes: the
+//! response is cached in the shared [`ResultCache`] keyed by the
+//! program's *fingerprint* (FNV-1a over its canonical assembly), so a
+//! re-uploaded program and the workload it was dumped from share one
+//! cache entry and replay identical bytes.
+//!
+//! [`ProgramAnalysis`]: polyflow_core::ProgramAnalysis
+//! [`ResultCache`]: crate::cache::ResultCache
+
+use crate::json;
+use polyflow_core::{verify, ProgramAnalysis, VerifyOptions};
+use polyflow_isa::{to_asm, Program};
+use polyflow_sim::MachineConfig;
+
+/// A validated verify request: the program to lint plus its fingerprint
+/// (computed at parse time so admission can consult the cache without
+/// re-serializing the program).
+#[derive(Debug, Clone)]
+pub struct VerifyRequest {
+    /// The program to lint.
+    pub program: Program,
+    /// [`fingerprint`] of `program`.
+    pub fingerprint: String,
+}
+
+impl VerifyRequest {
+    /// Wraps `program`, fingerprinting it.
+    pub fn new(program: Program) -> VerifyRequest {
+        let fingerprint = fingerprint(&program);
+        VerifyRequest {
+            program,
+            fingerprint,
+        }
+    }
+}
+
+/// Content fingerprint of a program: 64-bit FNV-1a over its canonical
+/// assembly rendering, as fixed-width hex. The assembly round-trips the
+/// full instruction stream and function table, so two programs share a
+/// fingerprint iff they serialize identically.
+pub fn fingerprint(program: &Program) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in to_asm(program).bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    format!("{hash:016x}")
+}
+
+/// Runs the lint pass on `program` with `jobs` solver workers and
+/// renders the single-line JSON report body.
+///
+/// The body is deterministic: diagnostics come out of
+/// [`polyflow_core::verify`] in function order, hint overflows in spawn
+/// order, and the solver is bit-identical at every worker count — so the
+/// rendered bytes never depend on `jobs`, and caching the line is safe.
+pub fn run(program: &Program, fingerprint: &str, jobs: usize) -> String {
+    let analysis = ProgramAnalysis::analyze_with_jobs(program, jobs);
+    let opts = VerifyOptions {
+        hint_register_slots: MachineConfig::hpca07().hint_register_slots,
+        ..VerifyOptions::default()
+    };
+    let report = verify(program, &analysis, &opts);
+
+    let mut diags = String::from("[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            diags.push(',');
+        }
+        diags.push_str(&format!(
+            "{{\"check\":\"{}\",\"function\":\"{}\",\"pc\":\"{}\",\"message\":\"{}\"}}",
+            d.check,
+            json::escape(&d.function),
+            d.pc,
+            json::escape(&d.message),
+        ));
+    }
+    diags.push(']');
+
+    let mut overflows = String::from("[");
+    for (i, h) in report.hint_overflows().enumerate() {
+        if i > 0 {
+            overflows.push(',');
+        }
+        let regs: Vec<String> = h.live_in.iter().map(|r| r.to_string()).collect();
+        overflows.push_str(&format!(
+            "{{\"spawn\":\"{}\",\"live_in\":\"{}\",\"slots\":{}}}",
+            h.spawn,
+            json::escape(&regs.join(",")),
+            h.slots,
+        ));
+    }
+    overflows.push(']');
+
+    format!(
+        "{{\"ok\":true,\"verify\":{{\"fingerprint\":\"{fingerprint}\",\
+         \"clean\":{},\"spawn_points\":{},\"diagnostics\":{diags},\
+         \"hint_overflows\":{overflows}}}}}",
+        report.is_clean(),
+        analysis.candidates().len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn twolf() -> Program {
+        polyflow_workloads::by_name("twolf").unwrap().program
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let p = twolf();
+        let f = fingerprint(&p);
+        assert_eq!(f.len(), 16, "fixed-width hex");
+        assert_eq!(f, fingerprint(&p), "same bytes, same fingerprint");
+        // Round-tripping through assembly preserves the fingerprint…
+        let reparsed = polyflow_isa::parse_program(&to_asm(&p)).unwrap();
+        assert_eq!(f, fingerprint(&reparsed));
+        // …and a different program gets a different one.
+        let other = polyflow_workloads::by_name("gzip").unwrap().program;
+        assert_ne!(f, fingerprint(&other));
+    }
+
+    #[test]
+    fn report_is_valid_single_line_json_and_job_independent() {
+        let p = twolf();
+        let f = fingerprint(&p);
+        let line = run(&p, &f, 1);
+        assert!(!line.contains('\n'));
+        assert_eq!(line, run(&p, &f, 2), "jobs cannot change the bytes");
+        assert_eq!(line, run(&p, &f, 4));
+
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let body = v.get("verify").unwrap();
+        assert_eq!(body.get("fingerprint").unwrap().as_str(), Some(f.as_str()));
+        assert_eq!(
+            body.get("clean").unwrap().as_bool(),
+            Some(true),
+            "the bundled workloads lint clean"
+        );
+        assert!(body.get("spawn_points").unwrap().as_u64().unwrap() > 0);
+        // twolf overflows the 4-slot hint entries at several spawns.
+        let overflows = body.get("hint_overflows").unwrap();
+        let rendered = overflows.render();
+        assert!(rendered.contains("\"slots\":"), "{rendered}");
+    }
+
+    #[test]
+    fn dirty_program_reports_diagnostics() {
+        // A block no path reaches: `junk` sits after an unconditional
+        // jump and nothing targets it.
+        let src = "\
+fn main {
+  li r1, 1
+  j done
+junk:
+  addi r2, r2, 1
+done:
+  halt
+}";
+        let p = polyflow_isa::parse_program(src).unwrap();
+        let f = fingerprint(&p);
+        let line = run(&p, &f, 1);
+        let v = json::parse(&line).unwrap();
+        let body = v.get("verify").unwrap();
+        assert_eq!(body.get("clean").unwrap().as_bool(), Some(false));
+        assert!(line.contains("unreachable-block"), "{line}");
+    }
+}

@@ -391,3 +391,77 @@ fn cache_keys_are_collision_free_across_figure_configs() {
         assert_eq!(&*got, name.as_str());
     }
 }
+
+/// The `verify` verb end to end: a clean workload report, cache-hit
+/// replay of identical bytes (by name *and* by uploaded assembly — same
+/// fingerprint, same entry), and typed rejection of a program that does
+/// not assemble.
+#[test]
+fn verify_verb_round_trips_and_caches_by_fingerprint() {
+    let mut server = Server::spawn("127.0.0.1:0", test_config()).expect("bind");
+    let mut c = Client::connect(&server);
+
+    let line = "{\"verb\":\"verify\",\"workload\":\"gzip\"}";
+    let first = c.exchange(line);
+    let v = json::parse(&first).expect("verify reply parses");
+    assert_eq!(v.get("ok").and_then(json::Json::as_bool), Some(true));
+    let body = v.get("verify").expect("verify body");
+    assert_eq!(
+        body.get("clean").and_then(json::Json::as_bool),
+        Some(true),
+        "bundled workloads lint clean: {first}"
+    );
+    let fp = body
+        .get("fingerprint")
+        .and_then(json::Json::as_str)
+        .expect("fingerprint")
+        .to_string();
+
+    let hits_before = cache_hits(&mut c);
+    // Repeat by name: identical bytes, served from the report cache.
+    assert_eq!(c.exchange(line), first);
+    // Upload the same program as assembly: same fingerprint, so the
+    // cache answers with the very same line.
+    let asm = polyflow_isa::to_asm(&polyflow_workloads::by_name("gzip").unwrap().program);
+    let upload = format!(
+        "{{\"verb\":\"verify\",\"program\":\"{}\"}}",
+        json::escape(&asm)
+    );
+    let uploaded = c.exchange(&upload);
+    assert_eq!(uploaded, first, "fingerprint {fp} shares one cache entry");
+    assert!(
+        cache_hits(&mut c) >= hits_before + 2,
+        "both repeats hit the report cache"
+    );
+
+    // A program that does not assemble is the client's mistake: typed
+    // bad_request, connection intact.
+    let bad = "{\"verb\":\"verify\",\"program\":\"fn main { frobnicate r1 }\"}";
+    assert_eq!(error_kind(&c.exchange(bad)), "bad_request");
+    // Naming and uploading at once is also malformed.
+    let both = format!(
+        "{{\"verb\":\"verify\",\"workload\":\"gzip\",\"program\":\"{}\"}}",
+        json::escape("fn main {\n  halt\n}")
+    );
+    assert_eq!(error_kind(&c.exchange(&both)), "bad_request");
+    assert_eq!(
+        c.exchange("ping"),
+        "{\"ok\":true,\"pong\":true}",
+        "rejections never cost the connection"
+    );
+
+    server.shutdown();
+}
+
+fn cache_hits(c: &mut Client) -> u64 {
+    let stats = json::parse(&c.exchange("stats")).expect("stats parse");
+    stats
+        .get("stats")
+        .unwrap()
+        .get("cache")
+        .unwrap()
+        .get("hits")
+        .unwrap()
+        .as_u64()
+        .unwrap()
+}

@@ -1,0 +1,143 @@
+//! Diffs two `BENCH_sweep.json` perf-trajectory files.
+//!
+//! Reads the baseline and candidate reports written by the sweep engine
+//! (`SweepReport::to_json`), prints the overall throughput ratio and the
+//! largest per-cell movements, and exits 0 regardless — the CI step that
+//! runs it is informational, so noisy containers cannot fail a build.
+//! Pass `--min-speedup X` to turn it into a gate: exit 1 if
+//! `candidate.cells_per_second / baseline.cells_per_second < X`.
+//!
+//! Usage: `bench_compare [--min-speedup X] [--top N] BASELINE.json CANDIDATE.json`
+//!
+//! The parser is a deliberately small scanner over the known report
+//! shape (the workspace takes no serde dependency): it extracts
+//! `"cells_per_second": <num>` and the `{"cell": "...", "seconds": N}`
+//! rows, and ignores everything else.
+
+use std::process::exit;
+
+#[derive(Debug, Default)]
+struct Report {
+    cells_per_second: f64,
+    cells: Vec<(String, f64)>,
+}
+
+/// Extracts the first JSON number following `"<key>":` in `text`.
+fn scan_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string following `"<key>":` in `text` (no escapes — cell
+/// labels are `workload/policy` identifiers).
+fn scan_string(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn parse_report(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let cells_per_second = scan_number(&text, "cells_per_second")
+        .ok_or_else(|| format!("{path}: no \"cells_per_second\" field"))?;
+    let mut cells = Vec::new();
+    // Each per-cell row is one `{"cell": "...", "seconds": N}` object.
+    for chunk in text.split('{').skip(1) {
+        if let (Some(label), Some(secs)) =
+            (scan_string(chunk, "cell"), scan_number(chunk, "seconds"))
+        {
+            cells.push((label, secs));
+        }
+    }
+    Ok(Report {
+        cells_per_second,
+        cells,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "Usage: bench_compare [--min-speedup X] [--top N] BASELINE.json CANDIDATE.json\n\n\
+         Diffs two BENCH_sweep.json files. Informational by default \
+         (exit 0); --min-speedup X exits 1 when the overall throughput \
+         ratio falls below X."
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut min_speedup: Option<f64> = None;
+    let mut top = 5usize;
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => usage(),
+            "--min-speedup" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(x) => min_speedup = Some(x),
+                None => usage(),
+            },
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => usage(),
+            },
+            _ if a.starts_with('-') => usage(),
+            _ => paths.push(a),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        usage();
+    };
+    let (base, cand) = match (parse_report(base_path), parse_report(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            exit(2);
+        }
+    };
+
+    let ratio = cand.cells_per_second / base.cells_per_second.max(1e-9);
+    println!(
+        "throughput: {:.3} -> {:.3} cells/sec ({:.2}x)",
+        base.cells_per_second, cand.cells_per_second, ratio
+    );
+
+    // Per-cell movements, matched by label (cells present in only one
+    // report are skipped — grids may differ across revisions).
+    let mut moves: Vec<(f64, String, f64, f64)> = Vec::new();
+    for (label, b) in &base.cells {
+        if let Some((_, c)) = cand.cells.iter().find(|(l, _)| l == label) {
+            moves.push((c / b.max(1e-9), label.clone(), *b, *c));
+        }
+    }
+    println!(
+        "matched {} of {} baseline cells against {} candidate cells",
+        moves.len(),
+        base.cells.len(),
+        cand.cells.len()
+    );
+    moves.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if !moves.is_empty() {
+        println!("largest slowdowns (candidate seconds / baseline seconds):");
+        for (r, label, b, c) in moves.iter().rev().take(top) {
+            println!("  {label}: {b:.3}s -> {c:.3}s ({r:.2}x)");
+        }
+        println!("largest speedups:");
+        for (r, label, b, c) in moves.iter().take(top) {
+            println!("  {label}: {b:.3}s -> {c:.3}s ({r:.2}x)");
+        }
+    }
+
+    if let Some(min) = min_speedup {
+        if ratio < min {
+            eprintln!("bench_compare: throughput ratio {ratio:.3} below required {min}");
+            exit(1);
+        }
+    }
+}

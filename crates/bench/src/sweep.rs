@@ -24,8 +24,8 @@ use crate::{pool, PreparedWorkload};
 use polyflow_core::Policy;
 use polyflow_reconv::ReconvConfig;
 use polyflow_sim::{
-    try_simulate_with, MachineConfig, NoSpawn, ReconvSpawnSource, SimError, SimResult, SimScratch,
-    StaticSpawnSource,
+    try_simulate_opts, MachineConfig, NoSpawn, NullSink, ReconvSpawnSource, SimError, SimOptions,
+    SimResult, SimScratch, SimTelemetry, StaticSpawnSource,
 };
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -247,7 +247,13 @@ where
                 !deliberate_fault(&full_label),
                 "deliberate fault injected via POLYFLOW_FAULT_CELL={full_label}"
             );
-            SCRATCH.with(|s| run(w, c, &mut s.borrow_mut()))
+            SCRATCH.with(|s| {
+                let mut s = s.borrow_mut();
+                // Pre-size the per-instruction arenas so the dominant
+                // allocations happen once per worker, not during the run.
+                s.reserve(w.trace().len());
+                run(w, c, &mut s)
+            })
         }));
         let payload = match caught {
             Ok(Ok(r)) => return CellOutcome::Ok(Box::new(r)),
@@ -386,15 +392,33 @@ pub fn run_cell_with_config(
     cfg: &MachineConfig,
     scratch: &mut SimScratch,
 ) -> Result<SimResult, SimError> {
+    run_cell_with_config_opts(w, cell, cfg, scratch, SimOptions::default()).map(|(r, _)| r)
+}
+
+/// [`run_cell_with_config`] with explicit [`SimOptions`], additionally
+/// returning the run's [`SimTelemetry`] (stepped vs fast-forwarded
+/// cycles). The options never change the result — this is the `simbench`
+/// measurement path, where the skip split is part of the report.
+pub fn run_cell_with_config_opts(
+    w: &PreparedWorkload,
+    cell: Cell,
+    cfg: &MachineConfig,
+    scratch: &mut SimScratch,
+    opts: SimOptions,
+) -> Result<(SimResult, SimTelemetry), SimError> {
+    let prepared = w.prepared(cfg);
+    scratch.reserve(w.trace().len());
     match cell {
-        Cell::Baseline => try_simulate_with(&w.prepared(cfg), cfg, &mut NoSpawn, scratch),
+        Cell::Baseline => {
+            try_simulate_opts(&prepared, cfg, &mut NoSpawn, scratch, &mut NullSink, opts)
+        }
         Cell::Static(p) => {
             let mut src = StaticSpawnSource::new(w.analysis.spawn_table(p));
-            try_simulate_with(&w.prepared(cfg), cfg, &mut src, scratch)
+            try_simulate_opts(&prepared, cfg, &mut src, scratch, &mut NullSink, opts)
         }
         Cell::Reconv => {
             let mut src = ReconvSpawnSource::new(ReconvConfig::default());
-            try_simulate_with(&w.prepared(cfg), cfg, &mut src, scratch)
+            try_simulate_opts(&prepared, cfg, &mut src, scratch, &mut NullSink, opts)
         }
     }
 }

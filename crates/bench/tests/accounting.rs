@@ -72,3 +72,28 @@ fn invariant_holds_for_all_workloads_baseline_and_postdoms() {
         );
     }
 }
+
+#[test]
+fn predicted_dependence_config_is_stable_on_all_workloads() {
+    // Regression net for the event-driven scheduler's residue sweep: the
+    // fig09_predicted_dependences configuration (hint-entry registers +
+    // store-set memory prediction) left issued entries parked in the
+    // ready set after the sweep evicted them from the scheduler, and a
+    // later batch then swap-removed through a stale slot (out-of-bounds
+    // on crafty/loop). Every workload must complete with a balanced
+    // ledger under both policies of that figure's hot path.
+    use polyflow_bench::sweep::{run_cell_with_config, Cell};
+    use polyflow_sim::DependenceMode;
+    let mut cfg = MachineConfig::hpca07();
+    cfg.register_dependence = DependenceMode::StoreSet;
+    cfg.memory_dependence = DependenceMode::StoreSet;
+    let workloads = prepare_all_jobs(&[], 4);
+    let mut scratch = SimScratch::default();
+    for w in &workloads {
+        for policy in [Policy::Loop, Policy::Postdoms] {
+            let r = run_cell_with_config(w, Cell::Static(policy), &cfg, &mut scratch)
+                .unwrap_or_else(|e| panic!("{}/{policy:?}: {e}", w.name));
+            assert_balanced(w, &format!("{policy:?}"), &r, cfg.contexts());
+        }
+    }
+}

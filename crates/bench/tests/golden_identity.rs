@@ -1,0 +1,98 @@
+//! Golden identity suite: every bundled workload, simulated under the
+//! superscalar baseline and the combined-postdominator policy with
+//! explicit (environment-independent) configurations, must reproduce the
+//! checked-in snapshot exactly. This is the regression net for the
+//! data-oriented core: any change to the simulator that moves a single
+//! cycle, bucket, or spawn count on any workload shows up as a hash
+//! mismatch here.
+//!
+//! Regenerate the snapshot after an *intentional* semantic change with:
+//!
+//! ```text
+//! POLYFLOW_BLESS=1 cargo test -p polyflow-bench --test golden_identity
+//! ```
+
+use polyflow_bench::prepare_all;
+use polyflow_bench::sweep::{run_cell_with_config, Cell};
+use polyflow_core::Policy;
+use polyflow_sim::{MachineConfig, SimScratch};
+
+/// FNV-1a over the full `SimResult::to_json` rendering: the snapshot
+/// stays one line per cell while still pinning every field of the
+/// result, including the per-task cycle ledger.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn snapshot_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden_identity.snap")
+}
+
+#[test]
+fn all_workloads_match_golden_snapshot() {
+    let workloads = prepare_all(&[]);
+    assert_eq!(workloads.len(), 12, "the bundled workload set changed");
+    let ss = MachineConfig::superscalar();
+    let pf = MachineConfig::hpca07();
+    let cells = [
+        (Cell::Baseline, &ss, "baseline"),
+        (Cell::Static(Policy::Postdoms), &pf, "postdoms"),
+    ];
+
+    let mut scratch = SimScratch::default();
+    let mut actual = String::new();
+    for w in &workloads {
+        for (cell, cfg, label) in &cells {
+            let r = run_cell_with_config(w, *cell, cfg, &mut scratch)
+                .unwrap_or_else(|e| panic!("{}/{label} failed: {e}", w.name));
+            let json = r.to_json();
+            actual.push_str(&format!(
+                "{}/{label} fnv64:{:016x} cycles={} instructions={} spawns={} squashes={}\n",
+                w.name,
+                fnv64(json.as_bytes()),
+                r.cycles,
+                r.instructions,
+                r.total_spawns(),
+                r.squashes
+            ));
+        }
+    }
+
+    let path = snapshot_path();
+    if std::env::var("POLYFLOW_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!(
+            "blessed {} ({} cells)",
+            path.display(),
+            actual.lines().count()
+        );
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             POLYFLOW_BLESS=1 cargo test -p polyflow-bench --test golden_identity",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let diff: Vec<String> = expected
+            .lines()
+            .zip(actual.lines())
+            .filter(|(e, a)| e != a)
+            .map(|(e, a)| format!("- {e}\n+ {a}"))
+            .collect();
+        panic!(
+            "golden identity mismatch ({} line(s) differ):\n{}\n\
+             If this change is intentional, re-bless with POLYFLOW_BLESS=1.",
+            diff.len()
+                .max(expected.lines().count().abs_diff(actual.lines().count())),
+            diff.join("\n")
+        );
+    }
+}

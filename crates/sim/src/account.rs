@@ -225,6 +225,16 @@ impl CycleAccount {
         self.tasks[uid as usize].buckets[bucket.index()] += 1;
     }
 
+    /// Charges `slots` slots of task `uid` to `bucket` in one step — the
+    /// bulk form [`charge`](Self::charge) used by the cycle-skip fast
+    /// path, where one classification is known to repeat for a whole span
+    /// of idle cycles.
+    pub(crate) fn charge_many(&mut self, uid: u32, bucket: Bucket, slots: u64) {
+        debug_assert!(bucket != Bucket::IdleContext, "idle slots have no task");
+        self.totals[bucket.index()] += slots;
+        self.tasks[uid as usize].buckets[bucket.index()] += slots;
+    }
+
     /// Charges `slots` idle-context slots (contexts with no live task).
     pub(crate) fn charge_idle(&mut self, slots: u64) {
         self.totals[Bucket::IdleContext.index()] += slots;

@@ -44,11 +44,13 @@ impl Gshare {
         }
     }
 
+    #[inline]
     fn index(&self, pc: Pc) -> usize {
         (((pc.index() as u64) ^ self.history) & self.index_mask) as usize
     }
 
     /// Predicts the direction of the branch at `pc`.
+    #[inline]
     pub fn predict(&self, pc: Pc) -> bool {
         self.counters[self.index(pc)] >= 2
     }
@@ -59,6 +61,7 @@ impl Gshare {
     /// indirect jumps have their own predictors, and shifting their
     /// outcomes into the global history would alias unrelated counters
     /// and skew the conditional misprediction rate.
+    #[inline]
     pub fn update(&mut self, pc: Pc, taken: bool) {
         let i = self.index(pc);
         let c = &mut self.counters[i];
@@ -177,6 +180,7 @@ impl PredictionTrace {
     }
 
     /// True if the control transfer at trace index `i` was mispredicted.
+    #[inline]
     pub fn mispredicted(&self, i: usize) -> bool {
         self.mispredicted[i]
     }

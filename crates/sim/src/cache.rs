@@ -16,7 +16,11 @@ use crate::config::{CacheConfig, MachineConfig};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<u64>>,
+    /// All tags in one flat array, `ways` slots per set, MRU-first within
+    /// each set (slots `[len..ways)` of a set are uninitialized).
+    tags: Vec<u64>,
+    /// Occupied slots per set.
+    len: Vec<u32>,
     ways: usize,
     line_shift: u32,
     set_mask: u64,
@@ -29,7 +33,8 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Cache {
         let sets = config.sets();
         Cache {
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            tags: vec![0; sets * config.ways],
+            len: vec![0; sets],
             ways: config.ways,
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
@@ -38,6 +43,7 @@ impl Cache {
         }
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
         (
@@ -48,20 +54,23 @@ impl Cache {
 
     /// Accesses the line containing `addr`; returns `true` on hit.
     /// Misses insert the line (no-allocate policies are not modeled).
+    /// True-LRU: the set's slots shift down to make room at MRU.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.accesses += 1;
         let (set, tag) = self.set_and_tag(addr);
-        let lines = &mut self.sets[set];
-        if let Some(pos) = lines.iter().position(|&t| t == tag) {
-            let t = lines.remove(pos);
-            lines.insert(0, t); // most-recently-used first
+        let l = self.len[set] as usize;
+        let lane = &mut self.tags[set * self.ways..(set + 1) * self.ways];
+        if let Some(pos) = lane[..l].iter().position(|&t| t == tag) {
+            lane.copy_within(..pos, 1);
+            lane[0] = tag;
             true
         } else {
             self.misses += 1;
-            if lines.len() == self.ways {
-                lines.pop();
-            }
-            lines.insert(0, tag);
+            let filled = if l == self.ways { l } else { l + 1 };
+            lane.copy_within(..filled - 1, 1);
+            lane[0] = tag;
+            self.len[set] = filled as u32;
             false
         }
     }
@@ -70,7 +79,8 @@ impl Cache {
     /// stats).
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].contains(&tag)
+        let l = self.len[set] as usize;
+        self.tags[set * self.ways..set * self.ways + l].contains(&tag)
     }
 
     /// Total accesses so far.

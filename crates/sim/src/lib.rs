@@ -59,6 +59,7 @@ mod error;
 pub mod events;
 mod machine;
 mod metrics;
+mod profile;
 mod spawn_source;
 mod store_set;
 pub mod timeline;
@@ -70,8 +71,8 @@ pub use config::{CacheConfig, MachineConfig};
 pub use error::SimError;
 pub use events::{JsonlSink, NullSink, RingSink, SimEvent, TraceSink};
 pub use machine::{
-    simulate, simulate_traced, simulate_with, try_simulate, try_simulate_traced, try_simulate_with,
-    PreparedTrace, SimScratch,
+    simulate, simulate_traced, simulate_with, try_simulate, try_simulate_opts, try_simulate_traced,
+    try_simulate_with, PreparedTrace, SimOptions, SimScratch, SimTelemetry,
 };
 pub use metrics::{SimResult, SpawnCounts, SpawnEvent};
 pub use spawn_source::{

@@ -27,6 +27,20 @@
 //!   global trace order (the shared ROB retires architecturally in order)
 //!   and feeds the retirement stream to the spawn source (training the
 //!   reconvergence predictor online, §4.4).
+//!
+//! # Data-oriented core & cycle skipping
+//!
+//! The implementation is struct-of-arrays and event-aware: per-instruction
+//! pipeline state lives in parallel arrays (`InstTable`) so the hot scans
+//! touch dense cache lines; the scheduler and divert scans cache the
+//! earliest cycle at which any of their entries could become ready, so
+//! no-op scans are skipped outright; and cycles on which provably nothing
+//! can happen — no retire, wakeup, release, decode, resume, or branch
+//! resolution — are fast-forwarded in bulk ([`SimOptions::cycle_skip`]),
+//! with the cycle-accounting buckets and their paired stall counters
+//! charged in one step. Results are bit-identical to stepped execution,
+//! including the event stream and both watchdogs (DESIGN.md §13 carries
+//! the argument).
 
 use crate::account::{Bucket, CycleAccount};
 use crate::branch_pred::PredictionTrace;
@@ -35,11 +49,14 @@ use crate::config::MachineConfig;
 use crate::error::SimError;
 use crate::events::{NullSink, SimEvent, TraceSink};
 use crate::metrics::SimResult;
+use crate::profile::{phase, PhaseProfile};
 use crate::spawn_source::SpawnSource;
 use crate::store_set::{DependenceMode, StoreSetPredictor};
 use polyflow_isa::{Dataflow, InstClass, PcIndex, Trace};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 const NOT_YET: u64 = u64::MAX;
 const OPEN_END: u32 = u32::MAX;
@@ -48,6 +65,137 @@ const PROFIT_MAX: i8 = 7;
 /// Events retained by the always-on post-mortem flight recorder (the
 /// tail of the event stream travels with [`SimError::Livelock`]).
 const EVENT_RING: usize = 64;
+
+/// `InstTable` flag bits (one byte per instruction).
+const F_DISPATCHED: u8 = 1 << 0;
+const F_IN_DIVERT: u8 = 1 << 1;
+const F_ISSUED: u8 = 1 << 2;
+/// Load dispatched ignoring its (predicted-independent) inter-task memory
+/// producer; a violation occurs if it issues first.
+const F_MEM_SPEC: u8 = 1 << 3;
+/// Register source slots dispatched ignoring their inter-task producer
+/// (hint-entry model): a violation occurs if the instruction issues
+/// before the producer completes.
+const F_REG_SPEC0: u8 = 1 << 4;
+const F_REG_SPEC1: u8 = 1 << 5;
+/// Currently sitting in the scheduler (wakeup bookkeeping: heap entries
+/// re-validate against this bit, so stale wakes are harmless).
+const F_IN_SCHED: u8 = 1 << 6;
+
+/// [`ConsumerIndex::meta`] encoding: bits 0-1 issue latency class, bits
+/// 2-3 fetch control class, bit 4 branch-taken. The issue and fetch hot
+/// loops read this one byte (plus a flat address array) instead of the
+/// 40-byte `TraceEntry` and its instruction decode.
+const K_ISSUE_MASK: u8 = 0b11;
+const K_LOAD: u8 = 1;
+const K_STORE: u8 = 2;
+const K_MUL: u8 = 3;
+const K_FETCH_SHIFT: u8 = 2;
+/// Conditional branch: mispredict stalls; taken transfers end the group.
+const KF_COND: u8 = 1;
+/// Call / return / indirect jump: mispredict check, then end the group.
+const KF_STOP_PRED: u8 = 2;
+/// Unconditional direct jump or halt: end the group unconditionally.
+const KF_STOP: u8 = 3;
+const K_TAKEN: u8 = 1 << 4;
+
+/// Inverted dataflow: for every dynamic instruction, the dynamic
+/// instructions that consume one of its results (register targets plus,
+/// for stores, the dependent loads). CSR layout; config-independent, so
+/// one index is shared by every run over a [`PreparedTrace`].
+///
+/// This is what makes the issue stage event-driven: instead of rescanning
+/// the whole scheduler every cycle, a completing instruction walks its
+/// consumer row and schedules wakeups for the ones currently in the
+/// scheduler.
+#[derive(Debug)]
+pub struct ConsumerIndex {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+    /// Smallest producer index of each instruction (`u32::MAX` when it
+    /// has none): `min_prod[i] >= task_start` proves every producer is
+    /// intra-task, which lets dispatch skip the whole inter-task
+    /// synchronization analysis.
+    min_prod: Vec<u32>,
+    /// Packed per-instruction issue/fetch class byte (see the `K_*`
+    /// constants).
+    meta: Vec<u8>,
+    /// Effective data address for loads and stores, `0` otherwise.
+    data_addr: Vec<u64>,
+    /// Static PC word index (`byte address == word * 4`).
+    pc_word: Vec<u32>,
+}
+
+impl ConsumerIndex {
+    fn build(dataflow: &Dataflow, trace: &Trace) -> ConsumerIndex {
+        let n = trace.len();
+        let mut offsets = vec![0u32; n + 1];
+        let mut min_prod = vec![u32::MAX; n];
+        for (i, mp) in min_prod.iter_mut().enumerate() {
+            let [a, b] = dataflow.reg_producers(i);
+            let m = dataflow.mem_producer(i);
+            for p in [a, b, m].into_iter().flatten() {
+                offsets[p as usize + 1] += 1;
+                *mp = (*mp).min(p);
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut edges = vec![0u32; offsets[n] as usize];
+        for i in 0..n {
+            let [a, b] = dataflow.reg_producers(i);
+            let m = dataflow.mem_producer(i);
+            for p in [a, b, m].into_iter().flatten() {
+                let c = &mut cursor[p as usize];
+                edges[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+        let mut meta = vec![0u8; n];
+        let mut data_addr = vec![0u64; n];
+        let mut pc_word = vec![0u32; n];
+        for (i, e) in trace.iter().enumerate() {
+            let issue_kind = match e.class() {
+                InstClass::Load => K_LOAD,
+                InstClass::Store => K_STORE,
+                InstClass::Mul => K_MUL,
+                _ => 0,
+            };
+            let fetch_kind = match e.class() {
+                InstClass::CondBranch => KF_COND,
+                InstClass::Ret | InstClass::IndirectJump | InstClass::Call => KF_STOP_PRED,
+                InstClass::Jump | InstClass::Halt => KF_STOP,
+                _ => 0,
+            };
+            meta[i] =
+                issue_kind | (fetch_kind << K_FETCH_SHIFT) | if e.taken { K_TAKEN } else { 0 };
+            data_addr[i] = e.mem_addr.unwrap_or(0);
+            pc_word[i] = e.pc.index() as u32;
+        }
+        ConsumerIndex {
+            offsets,
+            edges,
+            min_prod,
+            meta,
+            data_addr,
+            pc_word,
+        }
+    }
+
+    /// The consumers of dynamic instruction `p`, in ascending trace order.
+    #[inline]
+    fn of(&self, p: usize) -> &[u32] {
+        &self.edges[self.offsets[p] as usize..self.offsets[p + 1] as usize]
+    }
+
+    /// Smallest producer index of `i`, or `u32::MAX` if it has none.
+    #[inline]
+    fn min_producer(&self, i: usize) -> u32 {
+        self.min_prod[i]
+    }
+}
 
 /// Analyses of a trace that are shared by every policy run: dataflow
 /// producers, the PC occurrence index, and branch-prediction outcomes.
@@ -64,6 +212,7 @@ pub struct PreparedTrace {
     dataflow: Arc<Dataflow>,
     pc_index: Arc<PcIndex>,
     predictions: Arc<PredictionTrace>,
+    consumers: Arc<ConsumerIndex>,
 }
 
 impl PreparedTrace {
@@ -91,11 +240,13 @@ impl PreparedTrace {
         config: &MachineConfig,
     ) -> PreparedTrace {
         let predictions = Arc::new(PredictionTrace::compute(&trace, config));
+        let consumers = Arc::new(ConsumerIndex::build(&dataflow, &trace));
         PreparedTrace {
             trace,
             dataflow,
             pc_index,
             predictions,
+            consumers,
         }
     }
 
@@ -133,6 +284,41 @@ impl PreparedTrace {
     pub fn predictions(&self) -> &PredictionTrace {
         &self.predictions
     }
+
+    /// Inverted dataflow (who consumes each instruction's results).
+    pub(crate) fn consumers(&self) -> &ConsumerIndex {
+        &self.consumers
+    }
+}
+
+/// Knobs of the simulation loop that do not model hardware — they change
+/// how the run executes, never what it computes. Every option preserves
+/// bit-identical [`SimResult`]s and event streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Fast-forward over cycles on which provably nothing can happen,
+    /// charging the accounting buckets in bulk (on by default). Turning
+    /// it off forces stepped execution — useful for differential tests
+    /// and as a reference when debugging the skip logic itself.
+    pub cycle_skip: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { cycle_skip: true }
+    }
+}
+
+/// How a run executed (not what it computed): stepped vs fast-forwarded
+/// cycle counts. Returned by [`try_simulate_opts`]; purely observational.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimTelemetry {
+    /// Cycles advanced in bulk by the cycle-skip fast path.
+    pub skipped_cycles: u64,
+    /// Cycles executed by a full pass through the pipeline stages.
+    pub executed_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub fast_forwards: u64,
 }
 
 /// Reusable simulation buffers.
@@ -148,47 +334,93 @@ impl PreparedTrace {
 /// buffer is fully reset before use.
 #[derive(Debug, Default)]
 pub struct SimScratch {
-    state: Vec<InstState>,
+    inst: InstTable,
     tasks: Vec<Task>,
     sched: Vec<u32>,
-    divert: VecDeque<u32>,
+    divert: Vec<u32>,
     ready: Vec<u32>,
-    eligible: Vec<usize>,
+    ready_set: Vec<u32>,
+    wake_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    wake_next: Vec<u32>,
+    sched_slot: Vec<u32>,
+    winners: Vec<(usize, usize)>,
+    cycle_buckets: Vec<Bucket>,
     profit: std::collections::HashMap<polyflow_isa::Pc, (i8, u32)>,
     hints: std::collections::HashMap<polyflow_isa::Pc, (Vec<polyflow_isa::Reg>, bool)>,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct InstState {
-    fetched_at: u64,
-    dispatched_at: u64,
-    done_at: u64,
-    task_start: u32,
-    dispatched: bool,
-    in_divert: bool,
-    issued: bool,
-    /// Load dispatched ignoring its (predicted-independent) inter-task
-    /// memory producer; a violation occurs if it issues first.
-    mem_speculative: bool,
-    /// Register source slots dispatched ignoring their inter-task
-    /// producer (hint-entry model): a violation occurs if the instruction
-    /// issues before the producer completes.
-    reg_speculative: [bool; 2],
+impl SimScratch {
+    /// Pre-sizes the per-instruction arenas for an `n`-instruction trace.
+    /// Sweeps call this once per [`PreparedTrace`] so the dominant
+    /// allocations happen before the first run instead of growing during
+    /// it; purely an allocation hint, results are unaffected.
+    pub fn reserve(&mut self, n: usize) {
+        self.inst.reserve(n);
+    }
 }
 
-impl Default for InstState {
-    fn default() -> Self {
-        InstState {
-            fetched_at: NOT_YET,
-            dispatched_at: NOT_YET,
-            done_at: NOT_YET,
-            task_start: 0,
-            dispatched: false,
-            in_divert: false,
-            issued: false,
-            mem_speculative: false,
-            reg_speculative: [false, false],
-        }
+/// Per-instruction pipeline state in struct-of-arrays layout: the issue
+/// and divert scans read one dense `u64`/`u8` lane each instead of
+/// striding over 40-byte structs.
+#[derive(Debug, Default)]
+struct InstTable {
+    /// Cycle fetched (`NOT_YET` while unfetched).
+    fetched_at: Vec<u64>,
+    /// Cycle dispatched (`NOT_YET` while undispatched).
+    dispatched_at: Vec<u64>,
+    /// Completion cycle (`NOT_YET` while unissued).
+    done_at: Vec<u64>,
+    /// Start index of the owning task at dispatch/fetch time.
+    task_start: Vec<u32>,
+    /// `F_*` bits.
+    flags: Vec<u8>,
+}
+
+impl InstTable {
+    /// Resets every lane to the unfetched state for an `n`-entry trace.
+    fn reset(&mut self, n: usize) {
+        self.fetched_at.clear();
+        self.fetched_at.resize(n, NOT_YET);
+        self.dispatched_at.clear();
+        self.dispatched_at.resize(n, NOT_YET);
+        self.done_at.clear();
+        self.done_at.resize(n, NOT_YET);
+        self.task_start.clear();
+        self.task_start.resize(n, 0);
+        self.flags.clear();
+        self.flags.resize(n, 0);
+    }
+
+    fn reserve(&mut self, n: usize) {
+        self.fetched_at
+            .reserve(n.saturating_sub(self.fetched_at.len()));
+        self.dispatched_at
+            .reserve(n.saturating_sub(self.dispatched_at.len()));
+        self.done_at.reserve(n.saturating_sub(self.done_at.len()));
+        self.task_start
+            .reserve(n.saturating_sub(self.task_start.len()));
+        self.flags.reserve(n.saturating_sub(self.flags.len()));
+    }
+
+    /// Clears one instruction back to unfetched (squash/reclaim ranges).
+    #[inline]
+    fn reset_one(&mut self, i: usize) {
+        self.fetched_at[i] = NOT_YET;
+        self.dispatched_at[i] = NOT_YET;
+        self.done_at[i] = NOT_YET;
+        self.task_start[i] = 0;
+        self.flags[i] = 0;
+    }
+
+    #[inline(always)]
+    fn flag(&self, i: usize, f: u8) -> bool {
+        self.flags[i] & f != 0
+    }
+
+    /// Both register-slot speculation bits, in slot order.
+    #[inline(always)]
+    fn reg_speculative(&self, i: usize) -> [bool; 2] {
+        [self.flag(i, F_REG_SPEC0), self.flag(i, F_REG_SPEC1)]
     }
 }
 
@@ -281,17 +513,43 @@ struct Machine<'a> {
     dataflow: &'a Dataflow,
     pc_index: &'a PcIndex,
     predictions: &'a PredictionTrace,
+    consumers: &'a ConsumerIndex,
     hier: Hierarchy,
-    state: Vec<InstState>,
+    inst: InstTable,
     tasks: Vec<Task>,
     retire_ptr: usize,
     rob_used: usize,
     sched: Vec<u32>,
-    divert: VecDeque<u32>,
+    divert: Vec<u32>,
     /// Per-cycle ready-list buffer, reused across `issue` calls.
     ready: Vec<u32>,
-    /// Per-cycle fetch-schedule buffer, reused across `fetch` calls.
-    eligible: Vec<usize>,
+    /// Scheduler entries that are ready now but not yet issued, sorted
+    /// ascending (oldest first). Maintained event-wise: completions wake
+    /// their consumers, new entries insert at enqueue time, and a full
+    /// rebuild runs only while `sched_dirty` (after squash/reclaim).
+    ready_set: Vec<u32>,
+    /// Pending wakeups `(cycle, entry)`: the entry may become ready at
+    /// that cycle. Wakes may be stale (the entry left the scheduler, or
+    /// its ready-at moved) — they re-validate when popped.
+    wake_heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Wakeups due exactly next cycle — the overwhelmingly common case
+    /// (single-cycle ALU/store/L1-hit latencies). A flat buffer drained
+    /// at the next issue call, skipping the heap round-trip. Every push
+    /// site also marks activity, so the buffer is provably empty on any
+    /// cycle the fast-forward inspects.
+    wake_next: Vec<u32>,
+    /// Position of each in-scheduler instruction inside `sched` (valid
+    /// only while its `F_IN_SCHED` bit is set): lets issue remove a
+    /// batch in O(batch) swap-removes instead of an O(scheduler) retain
+    /// every issuing cycle.
+    sched_slot: Vec<u32>,
+    /// A violation left issued entries behind in the scheduler (the
+    /// re-issue quirk); the next successful issue sweeps any that did
+    /// not re-issue, exactly like the stepped scan's retain did.
+    sched_residue: bool,
+    /// Per-cycle fetch schedule `(task index, inflight key)`, reused
+    /// across `fetch` calls.
+    winners: Vec<(usize, usize)>,
     cycle: u64,
     stats: SimResult,
     last_retire_cycle: u64,
@@ -320,6 +578,34 @@ struct Machine<'a> {
     /// Always-on flight recorder: the last [`EVENT_RING`] events, for
     /// [`SimError::Livelock`] post-mortems.
     ring: VecDeque<SimEvent>,
+    /// Execution options (cycle skipping).
+    opts: SimOptions,
+    /// Stepped-vs-skipped cycle counts for this run.
+    telemetry: SimTelemetry,
+    /// Whether any machine state changed this cycle. A cycle that ends
+    /// with this false will repeat identically until the next scheduled
+    /// event, which is what licenses the fast-forward.
+    activity: bool,
+    /// The oldest task hit the ROB limit during this cycle's dispatch
+    /// (feeds the reclamation countdown into the fast-forward).
+    rob_blocked_this_cycle: bool,
+    /// Earliest cycle any scheduler entry could become ready, valid when
+    /// `!sched_dirty` (`NOT_YET` = never without a new event).
+    sched_next_ready: u64,
+    /// The scheduler scan must run: membership or producer completion
+    /// times changed since `sched_next_ready` was computed.
+    sched_dirty: bool,
+    /// Earliest cycle any divert entry's release gate opens, valid when
+    /// `!divert_dirty` and the scan was not truncated by a full scheduler.
+    divert_next_release: u64,
+    /// The divert scan must run: membership, dispatch times, or divert
+    /// flags changed since `divert_next_release` was computed.
+    divert_dirty: bool,
+    /// This cycle's per-task bucket classification, captured by
+    /// `account_cycle` in task order for bulk replay by `fast_forward`.
+    cycle_buckets: Vec<Bucket>,
+    /// Per-phase wall-clock timers (`POLYFLOW_SIM_PROFILE`).
+    prof: Option<Box<PhaseProfile>>,
 }
 
 /// Runs `prepared` through the machine described by `config`, spawning
@@ -419,14 +705,37 @@ pub fn try_simulate_traced(
     scratch: &mut SimScratch,
     sink: &mut dyn TraceSink,
 ) -> Result<SimResult, SimError> {
+    Ok(try_simulate_opts(
+        prepared,
+        config,
+        source,
+        scratch,
+        sink,
+        SimOptions::default(),
+    )?
+    .0)
+}
+
+/// [`try_simulate_traced`] with explicit [`SimOptions`], additionally
+/// returning the run's [`SimTelemetry`] (how many cycles were
+/// fast-forwarded vs stepped). The options never change the result —
+/// `cycle_skip` on and off produce bit-identical [`SimResult`]s and
+/// event streams.
+pub fn try_simulate_opts(
+    prepared: &PreparedTrace,
+    config: &MachineConfig,
+    source: &mut dyn SpawnSource,
+    scratch: &mut SimScratch,
+    sink: &mut dyn TraceSink,
+    opts: SimOptions,
+) -> Result<(SimResult, SimTelemetry), SimError> {
     let n = prepared.trace.len();
     if n == 0 {
-        return Ok(SimResult::default());
+        return Ok((SimResult::default(), SimTelemetry::default()));
     }
     prepared.trace().validate()?;
-    let mut state = std::mem::take(&mut scratch.state);
-    state.clear();
-    state.resize(n, InstState::default());
+    let mut inst = std::mem::take(&mut scratch.inst);
+    inst.reset(n);
     let mut tasks = std::mem::take(&mut scratch.tasks);
     tasks.clear();
     tasks.push(Task::new(0));
@@ -437,8 +746,19 @@ pub fn try_simulate_traced(
     divert.clear();
     let mut ready = std::mem::take(&mut scratch.ready);
     ready.clear();
-    let mut eligible = std::mem::take(&mut scratch.eligible);
-    eligible.clear();
+    let mut ready_set = std::mem::take(&mut scratch.ready_set);
+    ready_set.clear();
+    let mut wake_heap = std::mem::take(&mut scratch.wake_heap);
+    wake_heap.clear();
+    let mut wake_next = std::mem::take(&mut scratch.wake_next);
+    wake_next.clear();
+    let mut sched_slot = std::mem::take(&mut scratch.sched_slot);
+    sched_slot.clear();
+    sched_slot.resize(n, 0);
+    let mut winners = std::mem::take(&mut scratch.winners);
+    winners.clear();
+    let mut cycle_buckets = std::mem::take(&mut scratch.cycle_buckets);
+    cycle_buckets.clear();
     let mut profit = std::mem::take(&mut scratch.profit);
     profit.clear();
     let mut hints = std::mem::take(&mut scratch.hints);
@@ -449,15 +769,21 @@ pub fn try_simulate_traced(
         dataflow: prepared.dataflow(),
         pc_index: prepared.pc_index(),
         predictions: prepared.predictions(),
+        consumers: prepared.consumers(),
         hier: Hierarchy::new(config),
-        state,
+        inst,
         tasks,
         retire_ptr: 0,
         rob_used: 0,
         sched,
         divert,
         ready,
-        eligible,
+        ready_set,
+        wake_heap,
+        wake_next,
+        sched_slot,
+        sched_residue: false,
+        winners,
         cycle: 0,
         stats: SimResult::default(),
         last_retire_cycle: 0,
@@ -469,23 +795,66 @@ pub fn try_simulate_traced(
         trace_on: sink.enabled(),
         sink,
         ring: VecDeque::with_capacity(EVENT_RING),
+        opts,
+        telemetry: SimTelemetry::default(),
+        activity: false,
+        rob_blocked_this_cycle: false,
+        sched_next_ready: 0,
+        sched_dirty: true,
+        divert_next_release: 0,
+        divert_dirty: true,
+        cycle_buckets,
+        prof: PhaseProfile::from_env(),
     };
     let run = m.run(source);
+    let telemetry = m.telemetry;
     let finish = m.finish_into(scratch);
     run?;
-    finish
+    Ok((finish?, telemetry))
+}
+
+/// Fixed-capacity biased-ICount selection: keeps the `cap` best
+/// `(task index, key)` candidates sorted by key, older task winning
+/// ties (insertion order is task order and equal keys insert *after*
+/// existing ones, so the result matches a stable sort by key). Returns
+/// the task index that lost arbitration by this insertion, if any.
+#[inline]
+fn icount_insert(
+    winners: &mut Vec<(usize, usize)>,
+    cap: usize,
+    ti: usize,
+    key: usize,
+) -> Option<usize> {
+    let pos = winners.partition_point(|&(_, k)| k <= key);
+    if winners.len() < cap {
+        winners.insert(pos, (ti, key));
+        None
+    } else if pos < cap {
+        let evicted = winners.pop().map(|(t, _)| t);
+        winners.insert(pos, (ti, key));
+        evicted
+    } else {
+        Some(ti)
+    }
 }
 
 impl Machine<'_> {
     fn run(&mut self, source: &mut dyn SpawnSource) -> Result<(), SimError> {
         let n = self.trace.len();
+        let retire_hook = source.wants_retire();
         while self.retire_ptr < n {
-            self.retire(source);
+            self.activity = false;
+            self.rob_blocked_this_cycle = false;
+            let mut mark = self.prof_mark();
+            self.retire(source, retire_hook);
+            self.prof_lap(&mut mark, phase::RETIRE);
             if self.retire_ptr >= n {
                 break;
             }
             self.issue()?;
+            self.prof_lap(&mut mark, phase::ISSUE);
             self.drain_divert()?;
+            self.prof_lap(&mut mark, phase::DIVERT);
             self.dispatch();
             // §6 extension: reclaim ROB entries from the youngest task if
             // the oldest has been starved long enough.
@@ -496,8 +865,15 @@ impl Machine<'_> {
                 self.reclaim_youngest()?;
                 self.rob_blocked_streak = 0;
             }
+            self.prof_lap(&mut mark, phase::DISPATCH);
             self.fetch(source);
+            self.prof_lap(&mut mark, phase::FETCH);
             self.account_cycle();
+            if self.opts.cycle_skip && !self.activity {
+                self.fast_forward();
+            }
+            self.prof_lap(&mut mark, phase::ACCOUNT);
+            self.telemetry.executed_cycles += 1;
             self.cycle += 1;
             if self.cycle - self.last_retire_cycle >= self.cfg.livelock_window {
                 return Err(self.livelock_error());
@@ -513,11 +889,158 @@ impl Machine<'_> {
         Ok(())
     }
 
+    /// Starts a per-phase timing lap (profiling runs only).
+    #[inline]
+    fn prof_mark(&self) -> Option<Instant> {
+        self.prof.as_ref().map(|_| Instant::now())
+    }
+
+    /// Closes the current lap into phase `idx` and starts the next one.
+    #[inline]
+    fn prof_lap(&mut self, mark: &mut Option<Instant>, idx: usize) {
+        if let Some(m) = mark {
+            let now = Instant::now();
+            if let Some(p) = &mut self.prof {
+                p.spans[idx] += now - *m;
+            }
+            *m = now;
+        }
+    }
+
+    /// Computes the earliest future cycle at which anything can happen
+    /// and jumps just short of it in one step, charging the intervening
+    /// idle cycles' account slots (and their paired stall counters) in
+    /// bulk. Only called when the cycle just executed changed no machine
+    /// state, so every live task's bucket classification — captured by
+    /// `account_cycle` in `cycle_buckets` — holds verbatim across the
+    /// span, no events are due, and both watchdogs trip on exactly the
+    /// cycles stepped execution would trip on (DESIGN.md §13 carries the
+    /// completeness argument for the candidate set).
+    fn fast_forward(&mut self) {
+        let c = self.cycle;
+        let mut next = NOT_YET;
+        let mut consider = |at: u64| {
+            if at < next {
+                next = at;
+            }
+        };
+        // ROB-head completion unblocks retirement.
+        let head = self.inst.done_at[self.retire_ptr];
+        if head != NOT_YET {
+            consider(head);
+        }
+        // Scheduler wakeup. The cached earliest ready-at is exact on an
+        // idle cycle: issue() always leaves it clean when nothing issues
+        // (and the next-cycle wake buffer is provably empty — every push
+        // site marks activity, which blocks the fast-forward).
+        debug_assert!(self.wake_next.is_empty());
+        if !self.sched.is_empty() {
+            debug_assert!(!self.sched_dirty);
+            consider(self.sched_next_ready);
+        }
+        // Divert release gate — only relevant while the scheduler has
+        // room (a full scheduler blocks release regardless, and frees via
+        // the scheduler wakeup above). A scan truncated before completing
+        // (zero-width configs) leaves the bound dirty: bail out and step.
+        if !self.divert.is_empty() && self.sched.len() < self.cfg.scheduler_entries {
+            if self.divert_dirty {
+                return;
+            }
+            consider(self.divert_next_release);
+        }
+        let n = self.trace.len() as u32;
+        for t in &self.tasks {
+            // Decode completion of the fetch-queue head enables dispatch.
+            if let Some(&front) = t.fq.front() {
+                let at = self.inst.fetched_at[front as usize] + self.cfg.decode_latency;
+                if at > c {
+                    consider(at);
+                }
+            }
+            if t.fetch_next >= t.end.min(n) {
+                continue;
+            }
+            // Branch resolution reopens this task's fetch.
+            if let Some(b) = t.waiting_branch {
+                let done = self.inst.done_at[b as usize];
+                if done != NOT_YET {
+                    let resume = self.inst.fetched_at[b as usize] + self.cfg.misprediction_penalty;
+                    consider(done.max(resume));
+                }
+                continue;
+            }
+            // Icache fill / squash recovery / spawn setup elapses.
+            if c < t.fetch_resume_at {
+                consider(t.fetch_resume_at);
+            }
+        }
+        // ROB reclamation countdown (§6 extension): the blocked streak
+        // grows by one per idle cycle until it reaches the threshold.
+        if self.cfg.rob_reclamation && self.rob_blocked_this_cycle && self.tasks.len() > 1 {
+            consider(
+                c + self
+                    .cfg
+                    .rob_reclaim_after
+                    .saturating_sub(self.rob_blocked_streak),
+            );
+        }
+        // Never jump past a watchdog: both must trip at exactly the
+        // cycle stepped execution would trip on, with identical state.
+        let cap = self
+            .last_retire_cycle
+            .saturating_add(self.cfg.livelock_window)
+            .min(self.cfg.max_cycles);
+        let until = next.min(cap);
+        if until == NOT_YET {
+            // Nothing scheduled and no finite watchdog: spin exactly as
+            // stepped execution would.
+            return;
+        }
+        let k = until.saturating_sub(c + 1);
+        if k == 0 {
+            return;
+        }
+        debug_assert_eq!(self.cycle_buckets.len(), self.tasks.len());
+        for (ti, &bucket) in self.cycle_buckets.iter().enumerate() {
+            let t = &mut self.tasks[ti];
+            self.account.charge_many(t.uid, bucket, k);
+            // Keep the paired stats counters in lockstep with their
+            // buckets, exactly as the per-cycle fetch stage would have.
+            match bucket {
+                Bucket::BranchStall => {
+                    self.stats.fetch_stall_branch_cycles += k;
+                    t.stall_since_spawn += k;
+                }
+                Bucket::IcacheStall => {
+                    self.stats.fetch_stall_icache_cycles += k;
+                    t.stall_since_spawn += k;
+                }
+                Bucket::SquashRecovery => {
+                    self.stats.squash_recovery_cycles += k;
+                    t.stall_since_spawn += k;
+                }
+                Bucket::SpawnSetup => {
+                    self.stats.spawn_setup_cycles += k;
+                    t.stall_since_spawn += k;
+                }
+                _ => {}
+            }
+        }
+        self.account
+            .charge_idle(self.cfg.max_tasks.saturating_sub(self.tasks.len()) as u64 * k);
+        if self.rob_blocked_this_cycle {
+            self.rob_blocked_streak += k;
+        }
+        self.cycle += k;
+        self.telemetry.skipped_cycles += k;
+        self.telemetry.fast_forwards += 1;
+    }
+
     /// Assembles the [`SimError::Livelock`] post-mortem: the stuck
     /// instruction's state, its owner task, the scheduler/divert heads,
     /// the cycle-slot ledger, and the recent event ring.
     fn livelock_error(&self) -> SimError {
-        let s = self.state[self.retire_ptr];
+        let i = self.retire_ptr;
         let owner = self
             .tasks
             .iter()
@@ -538,22 +1061,23 @@ impl Machine<'_> {
             .unwrap_or_else(|| "NO TASK".into());
         let mut dump = String::new();
         for &idx in self.sched.iter().take(6) {
-            let st = self.state[idx as usize];
             let prods: Vec<String> = self
                 .producers(idx as usize)
                 .map(|p| {
-                    let ps = self.state[p as usize];
+                    let pi = p as usize;
                     format!(
                         "{p}(d{} v{} done{})",
-                        ps.dispatched as u8,
-                        ps.in_divert as u8,
-                        (ps.done_at <= self.cycle) as u8
+                        self.inst.flag(pi, F_DISPATCHED) as u8,
+                        self.inst.flag(pi, F_IN_DIVERT) as u8,
+                        (self.inst.done_at[pi] <= self.cycle) as u8
                     )
                 })
                 .collect();
             dump.push_str(&format!(
                 "  sched {idx} spec{:?}/{} <- {:?}\n",
-                st.reg_speculative, st.mem_speculative as u8, prods
+                self.inst.reg_speculative(idx as usize),
+                self.inst.flag(idx as usize, F_MEM_SPEC) as u8,
+                prods
             ));
         }
         for &idx in self.divert.iter().take(4) {
@@ -563,8 +1087,10 @@ impl Machine<'_> {
             "retire_ptr {}, rob {}, sched {}, divert {}, tasks {}\nstuck inst: fetched_at {} dispatched {} in_divert {} issued {} done_at {} spec {:?}/{}\nowner: {owner}\n{dump}",
             self.retire_ptr, self.rob_used, self.sched.len(),
             self.divert.len(), self.tasks.len(),
-            s.fetched_at, s.dispatched, s.in_divert, s.issued, s.done_at,
-            s.reg_speculative, s.mem_speculative,
+            self.inst.fetched_at[i], self.inst.flag(i, F_DISPATCHED),
+            self.inst.flag(i, F_IN_DIVERT), self.inst.flag(i, F_ISSUED),
+            self.inst.done_at[i],
+            self.inst.reg_speculative(i), self.inst.flag(i, F_MEM_SPEC),
         );
         let mut account = self.account.clone();
         account.cycles = self.cycle;
@@ -594,9 +1120,11 @@ impl Machine<'_> {
     /// exactly one [`Bucket`] (see `crate::account` for the taxonomy and
     /// priority), and emits `StallBegin`/`StallEnd` events on episode
     /// transitions when tracing is enabled. Pure bookkeeping — never
-    /// feeds back into timing.
+    /// feeds back into timing. The per-task classification is also
+    /// captured into `cycle_buckets` for bulk replay by `fast_forward`.
     fn account_cycle(&mut self) {
         let live = self.tasks.len();
+        self.cycle_buckets.clear();
         for ti in 0..live {
             let (uid, bucket, prev, cur) = {
                 let t = &mut self.tasks[ti];
@@ -620,6 +1148,7 @@ impl Machine<'_> {
                 t.active_stall = cur;
                 (t.uid, bucket, prev, cur)
             };
+            self.cycle_buckets.push(bucket);
             self.account.charge(uid, bucket);
             if prev != cur {
                 if let Some(b) = prev {
@@ -643,6 +1172,9 @@ impl Machine<'_> {
     }
 
     fn finish_into(self, scratch: &mut SimScratch) -> Result<SimResult, SimError> {
+        if let Some(p) = &self.prof {
+            p.report(self.cycle, &self.telemetry);
+        }
         let mut stats = self.stats;
         stats.cycles = self.cycle.max(1);
         stats.instructions = self.trace.len() as u64;
@@ -658,12 +1190,17 @@ impl Machine<'_> {
         stats.l1i_misses = self.hier.l1i().misses();
         stats.l1d_misses = self.hier.l1d().misses();
         stats.l2_misses = self.hier.l2().misses();
-        scratch.state = self.state;
+        scratch.inst = self.inst;
         scratch.tasks = self.tasks;
         scratch.sched = self.sched;
         scratch.divert = self.divert;
         scratch.ready = self.ready;
-        scratch.eligible = self.eligible;
+        scratch.ready_set = self.ready_set;
+        scratch.wake_heap = self.wake_heap;
+        scratch.wake_next = self.wake_next;
+        scratch.sched_slot = self.sched_slot;
+        scratch.winners = self.winners;
+        scratch.cycle_buckets = self.cycle_buckets;
         scratch.profit = self.profit;
         scratch.hints = self.hints;
         match check {
@@ -682,15 +1219,17 @@ impl Machine<'_> {
 
     // ---- retire ------------------------------------------------------------
 
-    fn retire(&mut self, source: &mut dyn SpawnSource) {
+    fn retire(&mut self, source: &mut dyn SpawnSource, retire_hook: bool) {
         let n = self.trace.len();
         let mut retired = 0;
         while retired < self.cfg.width && self.retire_ptr < n {
-            let s = &self.state[self.retire_ptr];
-            if !(s.dispatched && s.done_at <= self.cycle) {
+            let i = self.retire_ptr;
+            if !(self.inst.flag(i, F_DISPATCHED) && self.inst.done_at[i] <= self.cycle) {
                 break;
             }
-            source.on_retire(self.trace.entry(self.retire_ptr));
+            if retire_hook {
+                source.on_retire(self.trace.entry(i));
+            }
             self.rob_used -= 1;
             self.tasks[0].inflight -= 1;
             self.retire_ptr += 1;
@@ -703,6 +1242,7 @@ impl Machine<'_> {
             }
         }
         if retired > 0 {
+            self.activity = true;
             self.record(SimEvent::RetireBatch {
                 cycle: self.cycle,
                 count: retired as u32,
@@ -713,48 +1253,213 @@ impl Machine<'_> {
 
     // ---- issue ---------------------------------------------------------------
 
-    fn issue(&mut self) -> Result<(), SimError> {
-        // Collect ready entries, oldest first, into the reused per-cycle
-        // buffer. Speculative loads ignore their (unsynchronized) memory
-        // producer for readiness.
-        let mut ready = std::mem::take(&mut self.ready);
-        ready.clear();
-        for &idx in &self.sched {
-            let st = &self.state[idx as usize];
-            let [ra, rb] = self.dataflow.reg_producers(idx as usize);
-            let mem = self.dataflow.mem_producer(idx as usize);
-            let slot_ready = |p: Option<u32>, spec: bool| {
-                spec || p
-                    .map(|p| self.state[p as usize].done_at <= self.cycle)
-                    .unwrap_or(true)
-            };
-            if slot_ready(ra, st.reg_speculative[0])
-                && slot_ready(rb, st.reg_speculative[1])
-                && slot_ready(mem, st.mem_speculative)
-            {
-                ready.push(idx);
+    /// The cycle at which scheduler entry `i` becomes ready: the max
+    /// completion time over its non-speculative producer slots
+    /// (speculative slots never gate readiness; an unissued producer
+    /// contributes `NOT_YET` — the entry is woken by the consumer walk
+    /// when that producer issues).
+    #[inline]
+    fn ready_at(&self, i: usize) -> u64 {
+        let [ra, rb] = self.dataflow.reg_producers(i);
+        let mem = self.dataflow.mem_producer(i);
+        let f = self.inst.flags[i];
+        let slot_at = |p: Option<u32>, spec: bool| -> u64 {
+            if spec {
+                0
+            } else {
+                p.map(|p| self.inst.done_at[p as usize]).unwrap_or(0)
+            }
+        };
+        slot_at(ra, f & F_REG_SPEC0 != 0)
+            .max(slot_at(rb, f & F_REG_SPEC1 != 0))
+            .max(slot_at(mem, f & F_MEM_SPEC != 0))
+    }
+
+    /// Inserts `idx` into the sorted ready set (idempotent — wakeups can
+    /// duplicate when an entry is already ready through a speculative
+    /// slot).
+    #[inline]
+    fn ready_insert(&mut self, idx: u32) {
+        let pos = self.ready_set.partition_point(|&x| x < idx);
+        if self.ready_set.get(pos) != Some(&idx) {
+            self.ready_set.insert(pos, idx);
+        }
+    }
+
+    /// Appends `idx` to the scheduler, recording its position for the
+    /// O(batch) removal in issue.
+    #[inline]
+    fn sched_push(&mut self, idx: u32) {
+        self.sched_slot[idx as usize] = self.sched.len() as u32;
+        self.sched.push(idx);
+    }
+
+    /// Removes `idx` from the scheduler by its recorded position.
+    #[inline]
+    fn sched_swap_remove(&mut self, idx: u32) {
+        let pos = self.sched_slot[idx as usize] as usize;
+        debug_assert_eq!(self.sched.get(pos), Some(&idx));
+        if let Some(last) = self.sched.pop() {
+            if last != idx {
+                self.sched[pos] = last;
+                self.sched_slot[last as usize] = pos as u32;
             }
         }
-        ready.sort_unstable();
-        ready.truncate(self.cfg.fn_units.min(self.cfg.width));
-        if ready.is_empty() {
-            self.ready = ready;
+    }
+
+    /// Restores the `sched_slot` position map after an order-preserving
+    /// bulk removal (squash/reclaim retains, residue sweeps).
+    fn sched_reindex(&mut self) {
+        for k in 0..self.sched.len() {
+            let i = self.sched[k] as usize;
+            self.sched_slot[i] = k as u32;
+        }
+    }
+
+    /// Wakeup bookkeeping for an entry that just entered the scheduler
+    /// (dispatch or divert release): ready now → into the ready set,
+    /// ready next cycle → the flat next-cycle buffer, ready later → a
+    /// heap wake, waiting on an unissued producer → nothing (that
+    /// producer's issue wakes it). With a dirty scheduler the next
+    /// rebuild covers it instead.
+    fn sched_entry_enqueued(&mut self, idx: u32) {
+        if self.sched_dirty {
+            return;
+        }
+        let at = self.ready_at(idx as usize);
+        if at <= self.cycle {
+            self.ready_insert(idx);
+        } else if at == self.cycle + 1 {
+            self.wake_next.push(idx);
+        } else if at != NOT_YET {
+            self.wake_heap.push(Reverse((at, idx)));
+        }
+    }
+
+    /// Rebuilds the ready set and wakeup heap from a full scheduler scan.
+    /// Runs only while `sched_dirty` — after a squash or reclamation, and
+    /// at run start. This is also what preserves the post-violation
+    /// re-issue semantics: entries that issued right before a violation
+    /// stay in the scheduler, and the rebuild reconsiders them exactly as
+    /// the stepped scan would.
+    fn rebuild_ready(&mut self) {
+        self.ready_set.clear();
+        self.wake_heap.clear();
+        self.wake_next.clear();
+        for k in 0..self.sched.len() {
+            let idx = self.sched[k];
+            let at = self.ready_at(idx as usize);
+            if at <= self.cycle {
+                self.ready_set.push(idx);
+            } else if at != NOT_YET {
+                self.wake_heap.push(Reverse((at, idx)));
+            }
+        }
+        self.ready_set.sort_unstable();
+        self.sched_dirty = false;
+        if let Some(p) = &mut self.prof {
+            p.rebuilds += 1;
+            p.rebuild_entries += self.sched.len() as u64;
+        }
+    }
+
+    fn issue(&mut self) -> Result<(), SimError> {
+        if self.sched_dirty {
+            self.rebuild_ready();
+        } else {
+            // Drain due wakeups into the ready set. Stale wakes (the
+            // entry left the scheduler, or its ready-at moved) simply
+            // re-validate and drop or re-queue. The flat next-cycle
+            // buffer first: its entries were pushed last cycle with a
+            // due time of exactly this cycle.
+            if !self.wake_next.is_empty() {
+                let due = std::mem::take(&mut self.wake_next);
+                if let Some(p) = &mut self.prof {
+                    p.wakes_popped += due.len() as u64;
+                }
+                for &q in &due {
+                    let qi = q as usize;
+                    if self.inst.flags[qi] & (F_IN_SCHED | F_ISSUED) != F_IN_SCHED {
+                        continue;
+                    }
+                    let now = self.ready_at(qi);
+                    if now <= self.cycle {
+                        self.ready_insert(q);
+                    } else if now != NOT_YET {
+                        self.wake_heap.push(Reverse((now, q)));
+                    }
+                }
+                let mut due = due;
+                due.clear();
+                self.wake_next = due;
+            }
+            while let Some(&Reverse((at, q))) = self.wake_heap.peek() {
+                if at > self.cycle {
+                    break;
+                }
+                self.wake_heap.pop();
+                if let Some(p) = &mut self.prof {
+                    p.wakes_popped += 1;
+                }
+                let qi = q as usize;
+                if self.inst.flags[qi] & (F_IN_SCHED | F_ISSUED) != F_IN_SCHED {
+                    continue;
+                }
+                let now = self.ready_at(qi);
+                if now <= self.cycle {
+                    self.ready_insert(q);
+                } else if now != NOT_YET {
+                    self.wake_heap.push(Reverse((now, q)));
+                }
+            }
+        }
+        let lanes = self.cfg.fn_units.min(self.cfg.width);
+        if lanes == 0 || self.ready_set.is_empty() {
+            self.sched_next_ready = if self.ready_set.is_empty() {
+                self.wake_heap
+                    .peek()
+                    .map(|&Reverse((at, _))| at)
+                    .unwrap_or(NOT_YET)
+            } else {
+                // Ready entries but no lane to take them: the stepped
+                // loop re-examines every cycle, so never fast-forward.
+                self.cycle
+            };
             return Ok(());
         }
+        self.activity = true;
+        if let Some(p) = &mut self.prof {
+            p.issue_cycles += 1;
+        }
+        // Oldest `lanes` ready entries issue; the rest stay ready. The
+        // batch is frozen here, exactly like the stepped scan's truncated
+        // ready list (a violation mid-batch rebuilds everything anyway).
+        let take = lanes.min(self.ready_set.len());
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.clear();
+        ready.extend(self.ready_set.drain(..take));
         let mut pos = 0;
         while pos < ready.len() {
             let idx = ready[pos];
             pos += 1;
+            let i = idx as usize;
+            // One flags load serves every check below: nothing between
+            // here and the `F_ISSUED` write mutates this entry's flags
+            // (the violation paths return early).
+            let f = self.inst.flags[i];
             // A speculative load issuing before its true producer store is
             // a dependence violation: squash its task and all younger
             // tasks, train the predictor, and stop issuing this cycle
             // (younger scheduler entries may have just been squashed).
-            if self.state[idx as usize].mem_speculative {
-                if let Some(p) = self.dataflow.mem_producer(idx as usize) {
-                    if self.state[p as usize].done_at > self.cycle {
-                        let pc = self.trace.entry(idx as usize).pc;
+            if f & F_MEM_SPEC != 0 {
+                if let Some(p) = self.dataflow.mem_producer(i) {
+                    if self.inst.done_at[p as usize] > self.cycle {
+                        let pc = self.trace.entry(i).pc;
                         self.ssit.train_violation(pc);
                         let r = self.squash_task_containing(idx);
+                        if pos > 1 {
+                            self.sched_residue = true;
+                        }
                         self.ready = ready;
                         return r;
                     }
@@ -763,41 +1468,111 @@ impl Machine<'_> {
             // Register-dependence violation (hint-entry model): an
             // unsynchronized inter-task register source whose producer is
             // still in flight.
-            let reg_spec = self.state[idx as usize].reg_speculative;
-            if reg_spec[0] || reg_spec[1] {
-                let [ra, rb] = self.dataflow.reg_producers(idx as usize);
-                let srcs = self.trace.entry(idx as usize).inst.srcs();
+            if f & (F_REG_SPEC0 | F_REG_SPEC1) != 0 {
+                let reg_spec = [f & F_REG_SPEC0 != 0, f & F_REG_SPEC1 != 0];
+                let [ra, rb] = self.dataflow.reg_producers(i);
+                let srcs = self.trace.entry(i).inst.srcs();
                 for (slot, p) in [(0, ra), (1, rb)] {
                     if !reg_spec[slot] {
                         continue;
                     }
                     let Some(p) = p else { continue };
-                    if self.state[p as usize].done_at > self.cycle {
+                    if self.inst.done_at[p as usize] > self.cycle {
                         self.stats.register_violations += 1;
                         self.train_hint(idx, srcs[slot]);
                         let r = self.squash_task_containing(idx);
+                        if pos > 1 {
+                            self.sched_residue = true;
+                        }
                         self.ready = ready;
                         return r;
                     }
                 }
             }
-            let e = self.trace.entry(idx as usize);
-            let latency = match e.class() {
-                InstClass::Load => self.hier.access_data(e.mem_addr.unwrap_or(0)),
-                InstClass::Store => {
+            let cons = self.consumers;
+            let latency = match cons.meta[i] & K_ISSUE_MASK {
+                K_LOAD => self.hier.access_data(cons.data_addr[i]),
+                K_STORE => {
                     // Warm the line so later loads hit (implicit
                     // store-to-load forwarding through the L1).
-                    self.hier.access_data(e.mem_addr.unwrap_or(0));
+                    self.hier.access_data(cons.data_addr[i]);
                     1
                 }
-                InstClass::Mul => self.cfg.mul_latency,
+                K_MUL => self.cfg.mul_latency,
                 _ => 1,
             };
-            let s = &mut self.state[idx as usize];
-            s.issued = true;
-            s.done_at = self.cycle + latency;
+            let re_issue = f & F_ISSUED != 0;
+            self.inst.flags[i] = f | F_ISSUED;
+            let done = self.cycle + latency;
+            self.inst.done_at[i] = done;
+            // Event-driven wakeup: schedule a readiness check at this
+            // completion for every consumer currently waiting in the
+            // scheduler.
+            if let Some(p) = &mut self.prof {
+                p.issued += 1;
+            }
+            for &q in cons.of(i) {
+                let qf = self.inst.flags[q as usize];
+                if qf & (F_IN_SCHED | F_ISSUED) == F_IN_SCHED {
+                    if done == self.cycle + 1 {
+                        self.wake_next.push(q);
+                    } else {
+                        self.wake_heap.push(Reverse((done, q)));
+                    }
+                    if let Some(p) = &mut self.prof {
+                        p.wakes_pushed += 1;
+                    }
+                    if re_issue {
+                        // A post-violation re-issue moved this completion
+                        // later; it may retract a consumer's readiness.
+                        if let Ok(p) = self.ready_set.binary_search(&q) {
+                            if self.ready_at(q as usize) > self.cycle {
+                                self.ready_set.remove(p);
+                            }
+                        }
+                    }
+                }
+            }
         }
-        self.sched.retain(|idx| !self.state[*idx as usize].issued);
+        // The whole batch issued: remove exactly those entries in
+        // O(batch) swap-removes. No scheduler-wide pass unless a prior
+        // violation left issued entries behind (the re-issue quirk) —
+        // then one sweep reproduces the stepped scan's retain verbatim.
+        for &idx in &ready {
+            self.inst.flags[idx as usize] &= !F_IN_SCHED;
+            self.sched_swap_remove(idx);
+        }
+        if self.sched_residue {
+            for k in 0..self.sched.len() {
+                let i = self.sched[k] as usize;
+                if self.inst.flags[i] & F_ISSUED != 0 {
+                    self.inst.flags[i] &= !F_IN_SCHED;
+                }
+            }
+            {
+                let inst = &self.inst;
+                self.sched.retain(|&idx| !inst.flag(idx as usize, F_ISSUED));
+                // The sweep can evict entries still parked in the ready
+                // set (issued right before a violation, re-inserted by
+                // the dirty rebuild, then not taken for lack of lanes).
+                // Drop them too, or a later batch would issue a
+                // non-scheduler entry and swap-remove through a stale
+                // slot.
+                self.ready_set
+                    .retain(|&idx| inst.flag(idx as usize, F_IN_SCHED));
+            }
+            self.sched_reindex();
+            self.sched_residue = false;
+        }
+        if cfg!(debug_assertions) {
+            for k in 0..self.sched.len() {
+                debug_assert!(
+                    !self.inst.flag(self.sched[k] as usize, F_ISSUED),
+                    "issued entry {} still in scheduler after batch removal",
+                    self.sched[k]
+                );
+            }
+        }
         self.ready = ready;
         Ok(())
     }
@@ -805,36 +1580,60 @@ impl Machine<'_> {
     // ---- divert queue ---------------------------------------------------------
 
     /// An instruction leaves the divert queue once every inter-task
-    /// producer has been dispatched into the scheduler (§3.1).
+    /// producer has been dispatched into the scheduler (§3.1). The scan
+    /// compacts the queue in place (releases drop out, survivors slide
+    /// down in order) and caches the earliest cycle any surviving entry's
+    /// gate can open, so provably idle scans are skipped.
     fn drain_divert(&mut self) -> Result<(), SimError> {
+        if self.divert.is_empty() {
+            self.divert_next_release = NOT_YET;
+            self.divert_dirty = false;
+            return Ok(());
+        }
+        if !self.divert_dirty && self.divert_next_release > self.cycle {
+            return Ok(());
+        }
         let mut released = 0;
-        let mut i = 0;
-        while i < self.divert.len() {
+        let mut next_release = NOT_YET;
+        let len = self.divert.len();
+        let mut r = 0;
+        let mut w = 0;
+        let mut complete = true;
+        while r < len {
             if released >= self.cfg.width || self.sched.len() >= self.cfg.scheduler_entries {
+                complete = false;
                 break;
             }
-            let idx = self.divert[i];
-            let task_start = self.state[idx as usize].task_start;
-            let gate_open = self.producers(idx as usize).all(|p| {
-                let ps = &self.state[p as usize];
-                if ps.in_divert {
-                    // A producer still in the divert queue blocks release
-                    // regardless of task: releasing early would recreate
-                    // the consumer-camps-in-scheduler deadlock.
-                    return false;
+            let idx = self.divert[r];
+            r += 1;
+            let task_start = self.inst.task_start[idx as usize];
+            // The gate opens at the max over producers: a producer still
+            // in the divert queue blocks release regardless of task
+            // (releasing early would recreate the consumer-camps-in-
+            // scheduler deadlock); an intra-task producer never gates; an
+            // inter-task producer opens "some time after" its dispatch
+            // (§3.1) — the synchronization overhead of the conservative
+            // dependence handling.
+            let mut open_at = 0u64;
+            for p in self.producers(idx as usize) {
+                let pi = p as usize;
+                let at = if self.inst.flag(pi, F_IN_DIVERT) {
+                    NOT_YET
+                } else if p >= task_start {
+                    0
+                } else if self.inst.flag(pi, F_DISPATCHED) {
+                    self.inst.dispatched_at[pi] + self.cfg.divert_release_delay
+                } else {
+                    NOT_YET
+                };
+                open_at = open_at.max(at);
+                if open_at == NOT_YET {
+                    break;
                 }
-                if p >= task_start {
-                    return true; // intra-task: ordinary scheduler wakeup
-                }
-                // Inter-task: release "some time after" the producer's
-                // dispatch (§3.1) — the synchronization overhead of the
-                // conservative dependence handling.
-                ps.dispatched && ps.dispatched_at + self.cfg.divert_release_delay <= self.cycle
-            });
-            if gate_open {
-                self.divert.remove(i);
-                let s = &mut self.state[idx as usize];
-                s.in_divert = false;
+            }
+            if open_at <= self.cycle {
+                let f = &mut self.inst.flags[idx as usize];
+                *f = (*f & !F_IN_DIVERT) | F_IN_SCHED;
                 let Some(owner) = self.tasks.iter_mut().find(|t| t.start == task_start) else {
                     return Err(SimError::BrokenInvariant {
                         cycle: self.cycle,
@@ -845,14 +1644,33 @@ impl Machine<'_> {
                 };
                 debug_assert!(owner.divert_count > 0);
                 owner.divert_count -= 1;
-                self.sched.push(idx);
+                self.sched_push(idx);
                 if cfg!(debug_assertions) {
                     self.assert_sched_entry_sane(idx, "divert-release");
                 }
+                self.sched_entry_enqueued(idx);
                 released += 1;
             } else {
-                i += 1;
+                if open_at != NOT_YET && open_at < next_release {
+                    next_release = open_at;
+                }
+                self.divert[w] = idx;
+                w += 1;
             }
+        }
+        if r < len {
+            self.divert.copy_within(r..len, w);
+            w += len - r;
+        }
+        self.divert.truncate(w);
+        if released > 0 {
+            self.activity = true;
+            self.divert_dirty = true;
+        } else if complete {
+            self.divert_next_release = next_release;
+            self.divert_dirty = false;
+        } else {
+            self.divert_dirty = true;
         }
         Ok(())
     }
@@ -867,8 +1685,7 @@ impl Machine<'_> {
                 break;
             }
             while let Some(&idx) = self.tasks[ti].fq.front() {
-                let s = self.state[idx as usize];
-                if s.fetched_at + self.cfg.decode_latency > self.cycle {
+                if self.inst.fetched_at[idx as usize] + self.cfg.decode_latency > self.cycle {
                     break; // still decoding
                 }
                 // ROB space, reserving `width` entries for the oldest task
@@ -881,6 +1698,7 @@ impl Machine<'_> {
                 if self.rob_used >= rob_limit {
                     if ti == 0 {
                         self.rob_blocked_streak += 1;
+                        self.rob_blocked_this_cycle = true;
                     }
                     self.tasks[ti].blocked = true;
                     break;
@@ -896,84 +1714,119 @@ impl Machine<'_> {
                 // gates dispatch when the predictor says so; otherwise
                 // the load proceeds speculatively and may be squashed.
                 let task_start = self.tasks[ti].start;
-                let e = self.trace.entry(idx as usize);
+                let cycle = self.cycle;
                 let mem_producer = self.dataflow.mem_producer(idx as usize);
-                let predict_mem_sync = match self.cfg.memory_dependence {
-                    DependenceMode::OracleSync => true,
-                    DependenceMode::StoreSet => self.ssit.predicts_dependent(e.pc),
-                };
-                // The divert-chaining term is unconditional (a producer in
-                // the divert queue always gates, or the scheduler stops
-                // self-draining); prediction only modulates whether an
-                // *inter-task* dependence synchronizes.
-                let gates = |p: u32, sync: bool, state: &[InstState]| {
-                    state[p as usize].in_divert
-                        || (sync && p < task_start && state[p as usize].done_at > self.cycle)
-                };
                 let [ra, rb] = self.dataflow.reg_producers(idx as usize);
-                // Hint-entry register model: an inter-task register
-                // dependence only synchronizes when the creating spawn
-                // point's hint entry names the register.
-                let srcs = e.inst.srcs();
-                let reg_sync = |slot: usize, this: &Self| -> bool {
-                    if this.cfg.register_dependence == DependenceMode::OracleSync
-                        || this.tasks[ti].safe_mode
-                    {
-                        return true;
-                    }
-                    let Some(trigger) = this.tasks[ti].created_by else {
-                        return true; // the initial task never speculates
+                let needs_divert;
+                let reg_speculative;
+                let mem_speculative;
+                if self.consumers.min_producer(idx as usize) >= task_start {
+                    // Fast path — every producer is intra-task (the common
+                    // case): no inter-task dependence exists, so nothing
+                    // can synchronize or speculate and the predictors see
+                    // no traffic. Only the unconditional divert-chaining
+                    // rule can still gate dispatch.
+                    let in_divert = |p: Option<u32>, inst: &InstTable| {
+                        p.map(|p| inst.flag(p as usize, F_IN_DIVERT))
+                            .unwrap_or(false)
                     };
-                    let Some(r) = srcs[slot] else { return true };
-                    this.hints
-                        .get(&trigger)
-                        .map(|(set, saturated)| *saturated || set.contains(&r))
-                        .unwrap_or(false)
-                };
-                let ra_sync = reg_sync(0, self);
-                let rb_sync = reg_sync(1, self);
-                // A register slot gates dispatch when its producer is in
-                // the divert queue (the chaining rule — unconditional, or
-                // the scheduler stops self-draining) or when it is an
-                // inter-task dependence the hint entry says to synchronize.
-                let reg_gate = |p: u32, sync: bool, this: &Self| -> bool {
-                    this.state[p as usize].in_divert
-                        || (sync && p < task_start && this.state[p as usize].done_at > this.cycle)
-                };
-                let needs_divert = ra.map(|p| reg_gate(p, ra_sync, self)).unwrap_or(false)
-                    || rb.map(|p| reg_gate(p, rb_sync, self)).unwrap_or(false)
-                    || mem_producer
-                        .map(|p| gates(p, predict_mem_sync, &self.state))
-                        .unwrap_or(false);
-                // Register slots proceeding despite an unresolved
-                // inter-task producer are speculative.
-                let task_start_now = self.tasks[ti].start;
-                let reg_spec = |sync: bool, p: Option<u32>, this: &Self| -> bool {
-                    !sync
-                        && p.map(|p| {
-                            p < task_start_now
-                                && !this.state[p as usize].in_divert
-                                && this.state[p as usize].done_at > this.cycle
-                        })
-                        .unwrap_or(false)
-                };
-                let reg_speculative = [reg_spec(ra_sync, ra, self), reg_spec(rb_sync, rb, self)];
-                // Speculative load: an inter-task memory producer exists,
-                // is not done, and the predictor chose not to synchronize.
-                let mem_speculative = self.cfg.memory_dependence == DependenceMode::StoreSet
-                    && !predict_mem_sync
-                    && mem_producer
-                        .map(|p| {
-                            p < task_start
-                                && !self.state[p as usize].in_divert
-                                && self.state[p as usize].done_at > self.cycle
-                        })
-                        .unwrap_or(false);
-                // Train down predicted syncs whose producer was long done.
-                if self.cfg.memory_dependence == DependenceMode::StoreSet && predict_mem_sync {
-                    if let Some(p) = mem_producer {
-                        if p < task_start && self.state[p as usize].done_at <= self.cycle {
-                            self.ssit.train_unnecessary(e.pc);
+                    needs_divert = in_divert(ra, &self.inst)
+                        || in_divert(rb, &self.inst)
+                        || in_divert(mem_producer, &self.inst);
+                    reg_speculative = [false, false];
+                    mem_speculative = false;
+                } else {
+                    let e = self.trace.entry(idx as usize);
+                    let predict_mem_sync = match self.cfg.memory_dependence {
+                        DependenceMode::OracleSync => true,
+                        DependenceMode::StoreSet => self.ssit.predicts_dependent(e.pc),
+                    };
+                    // The divert-chaining term is unconditional (a producer
+                    // in the divert queue always gates, or the scheduler
+                    // stops self-draining); prediction only modulates
+                    // whether an *inter-task* dependence synchronizes.
+                    let gates = |p: u32, sync: bool, inst: &InstTable| {
+                        inst.flag(p as usize, F_IN_DIVERT)
+                            || (sync && p < task_start && inst.done_at[p as usize] > cycle)
+                    };
+                    // Hint-entry register model: an inter-task register
+                    // dependence only synchronizes when the creating spawn
+                    // point's hint entry names the register. One hint-table
+                    // lookup per instruction (not per register slot),
+                    // skipped entirely while the table is empty or the mode
+                    // synchronizes everything anyway.
+                    let srcs = e.inst.srcs();
+                    let always_sync = self.cfg.register_dependence == DependenceMode::OracleSync
+                        || self.tasks[ti].safe_mode;
+                    let trigger = self.tasks[ti].created_by;
+                    let hint = if always_sync || self.hints.is_empty() {
+                        None
+                    } else {
+                        trigger.and_then(|t| self.hints.get(&t))
+                    };
+                    let reg_sync = |slot: usize| -> bool {
+                        if always_sync {
+                            return true;
+                        }
+                        if trigger.is_none() {
+                            return true; // the initial task never speculates
+                        }
+                        let Some(r) = srcs[slot] else { return true };
+                        hint.map(|(set, saturated)| *saturated || set.contains(&r))
+                            .unwrap_or(false)
+                    };
+                    let ra_sync = reg_sync(0);
+                    let rb_sync = reg_sync(1);
+                    // A register slot gates dispatch when its producer is
+                    // in the divert queue (the chaining rule —
+                    // unconditional, or the scheduler stops self-draining)
+                    // or when it is an inter-task dependence the hint entry
+                    // says to synchronize.
+                    let reg_gate = |p: u32, sync: bool, this: &Self| -> bool {
+                        this.inst.flag(p as usize, F_IN_DIVERT)
+                            || (sync && p < task_start && this.inst.done_at[p as usize] > cycle)
+                    };
+                    needs_divert = ra.map(|p| reg_gate(p, ra_sync, self)).unwrap_or(false)
+                        || rb.map(|p| reg_gate(p, rb_sync, self)).unwrap_or(false)
+                        || mem_producer
+                            .map(|p| gates(p, predict_mem_sync, &self.inst))
+                            .unwrap_or(false);
+                    // Register slots proceeding despite an unresolved
+                    // inter-task producer are speculative.
+                    let reg_spec = |sync: bool, p: Option<u32>, this: &Self| -> bool {
+                        !sync
+                            && p.map(|p| {
+                                p < task_start
+                                    && !this.inst.flag(p as usize, F_IN_DIVERT)
+                                    && this.inst.done_at[p as usize] > cycle
+                            })
+                            .unwrap_or(false)
+                    };
+                    reg_speculative = [reg_spec(ra_sync, ra, self), reg_spec(rb_sync, rb, self)];
+                    // Speculative load: an inter-task memory producer
+                    // exists, is not done, and the predictor chose not to
+                    // synchronize.
+                    mem_speculative = self.cfg.memory_dependence == DependenceMode::StoreSet
+                        && !predict_mem_sync
+                        && mem_producer
+                            .map(|p| {
+                                p < task_start
+                                    && !self.inst.flag(p as usize, F_IN_DIVERT)
+                                    && self.inst.done_at[p as usize] > self.cycle
+                            })
+                            .unwrap_or(false);
+                    // Train down predicted syncs whose producer was long
+                    // done.
+                    if self.cfg.memory_dependence == DependenceMode::StoreSet && predict_mem_sync {
+                        if let Some(p) = mem_producer {
+                            if p < task_start && self.inst.done_at[p as usize] <= self.cycle {
+                                self.ssit.train_unnecessary(e.pc);
+                                // One confidence decay per attempt cycle: a
+                                // repeat of this cycle is not a no-op even
+                                // when dispatch then blocks, so it must
+                                // never be fast-forwarded over.
+                                self.activity = true;
+                            }
                         }
                     }
                 }
@@ -982,16 +1835,23 @@ impl Machine<'_> {
                         self.tasks[ti].blocked = true;
                         break;
                     }
-                    self.divert.push_back(idx);
-                    let st = &mut self.state[idx as usize];
-                    st.dispatched = true;
-                    st.dispatched_at = self.cycle;
-                    st.in_divert = true;
-                    st.task_start = task_start;
-                    st.mem_speculative = mem_speculative;
-                    st.reg_speculative = reg_speculative;
+                    self.divert.push(idx);
+                    let mut f = F_DISPATCHED | F_IN_DIVERT;
+                    if mem_speculative {
+                        f |= F_MEM_SPEC;
+                    }
+                    if reg_speculative[0] {
+                        f |= F_REG_SPEC0;
+                    }
+                    if reg_speculative[1] {
+                        f |= F_REG_SPEC1;
+                    }
+                    self.inst.flags[idx as usize] = f;
+                    self.inst.dispatched_at[idx as usize] = self.cycle;
+                    self.inst.task_start[idx as usize] = task_start;
                     self.stats.diverted += 1;
                     self.tasks[ti].divert_count += 1;
+                    self.divert_dirty = true;
                     self.record(SimEvent::Divert {
                         cycle: self.cycle,
                         task: self.tasks[ti].uid,
@@ -1009,17 +1869,39 @@ impl Machine<'_> {
                         self.tasks[ti].blocked = true;
                         break;
                     }
-                    self.sched.push(idx);
-                    let st = &mut self.state[idx as usize];
-                    st.dispatched = true;
-                    st.dispatched_at = self.cycle;
-                    st.task_start = task_start;
-                    st.mem_speculative = mem_speculative;
-                    st.reg_speculative = reg_speculative;
+                    self.sched_push(idx);
+                    let mut f = F_DISPATCHED | F_IN_SCHED;
+                    if mem_speculative {
+                        f |= F_MEM_SPEC;
+                    }
+                    if reg_speculative[0] {
+                        f |= F_REG_SPEC0;
+                    }
+                    if reg_speculative[1] {
+                        f |= F_REG_SPEC1;
+                    }
+                    self.inst.flags[idx as usize] = f;
+                    self.inst.dispatched_at[idx as usize] = self.cycle;
+                    self.inst.task_start[idx as usize] = task_start;
                     if cfg!(debug_assertions) {
                         self.assert_sched_entry_sane(idx, "dispatch");
                     }
+                    self.sched_entry_enqueued(idx);
+                    // A dispatch only moves divert release gates when some
+                    // divert entry waits on this instruction as a producer
+                    // (its gate term goes from "not yet" to `dispatched_at
+                    // + delay`); the consumer index makes that exact.
+                    if !self.divert.is_empty() {
+                        let cons = self.consumers;
+                        for &q in cons.of(idx as usize) {
+                            if self.inst.flag(q as usize, F_IN_DIVERT) {
+                                self.divert_dirty = true;
+                                break;
+                            }
+                        }
+                    }
                 }
+                self.activity = true;
                 self.rob_used += 1;
                 self.tasks[ti].fq.pop_front();
                 budget -= 1;
@@ -1034,10 +1916,15 @@ impl Machine<'_> {
 
     fn fetch(&mut self, source: &mut dyn SpawnSource) {
         let n = self.trace.len() as u32;
-        // Determine eligibility (into the reused per-cycle buffer) and
-        // clear resolved branch waits.
-        let mut eligible = std::mem::take(&mut self.eligible);
-        eligible.clear();
+        // Determine eligibility, clear resolved branch waits, and run the
+        // biased-ICount arbitration (§3.2: fewest in-flight instructions
+        // first, older task winning ties) in one pass: `winners` keeps
+        // the best `fetch_tasks_per_cycle` candidates via bounded
+        // insertion — no per-cycle sort. Tasks that lose arbitration take
+        // a structural stall (not a pipeline one).
+        let cap = self.cfg.fetch_tasks_per_cycle;
+        let mut winners = std::mem::take(&mut self.winners);
+        winners.clear();
         for ti in 0..self.tasks.len() {
             let end = self.tasks[ti].end.min(n);
             if self.tasks[ti].fetch_next >= end {
@@ -1045,11 +1932,12 @@ impl Machine<'_> {
                 continue;
             }
             if let Some(b) = self.tasks[ti].waiting_branch {
-                let bs = self.state[b as usize];
-                let resolved = bs.done_at <= self.cycle
-                    && self.cycle >= bs.fetched_at + self.cfg.misprediction_penalty;
+                let resolved = self.inst.done_at[b as usize] <= self.cycle
+                    && self.cycle
+                        >= self.inst.fetched_at[b as usize] + self.cfg.misprediction_penalty;
                 if resolved {
                     self.tasks[ti].waiting_branch = None;
+                    self.activity = true;
                 } else {
                     self.stats.fetch_stall_branch_cycles += 1;
                     self.tasks[ti].stall_since_spawn += 1;
@@ -1082,33 +1970,33 @@ impl Machine<'_> {
                 self.tasks[ti].blocked = true;
                 continue;
             }
-            eligible.push(ti);
+            if let Some(loser) = icount_insert(&mut winners, cap, ti, self.tasks[ti].inflight) {
+                self.tasks[loser].blocked = true;
+            }
         }
-        // Biased ICount: fewest in-flight instructions first (§3.2).
-        eligible.sort_by_key(|&ti| self.tasks[ti].inflight);
-        // Tasks beyond the per-cycle fetch port limit lose arbitration
-        // this cycle (a structural stall, not a pipeline one).
-        for &ti in eligible.iter().skip(self.cfg.fetch_tasks_per_cycle) {
-            self.tasks[ti].blocked = true;
-        }
-        eligible.truncate(self.cfg.fetch_tasks_per_cycle);
 
         let mut budget = self.cfg.width;
-        let line_bytes = self.cfg.l1i.line_bytes as u64;
+        let line_shift = self.cfg.l1i.line_bytes.trailing_zeros();
+        let cons = self.consumers;
         let mut head = 0;
-        while head < eligible.len() {
-            let ti = eligible[head];
+        while head < winners.len() {
+            let ti = winners[head].0;
             head += 1;
             while budget > 0 && self.tasks[ti].fq.len() < self.cfg.fetch_queue_entries {
                 let idx = self.tasks[ti].fetch_next;
                 if idx >= self.tasks[ti].end.min(n) {
                     break;
                 }
-                let e = self.trace.entry(idx as usize);
-                // Instruction cache: access per line transition.
-                let line = e.pc.byte_addr() / line_bytes;
+                let meta = cons.meta[idx as usize];
+                let byte_addr = (cons.pc_word[idx as usize] as u64) * 4;
+                // Instruction cache: access per line transition (line
+                // sizes are power-of-two, enforced by `CacheConfig`).
+                let line = byte_addr >> line_shift;
                 if line != self.tasks[ti].last_fetch_line {
-                    let lat = self.hier.access_ifetch(e.pc.byte_addr());
+                    let lat = self.hier.access_ifetch(byte_addr);
+                    // Even a hit reorders the replacement state, so the
+                    // access itself counts as activity.
+                    self.activity = true;
                     if lat > self.cfg.l1_hit_latency {
                         self.tasks[ti].fetch_resume_at = self.cycle + lat;
                         self.tasks[ti].resume_reason = ResumeKind::Icache;
@@ -1118,15 +2006,13 @@ impl Machine<'_> {
                     self.tasks[ti].last_fetch_line = line;
                 }
                 // Fetch the instruction.
-                {
-                    let s = &mut self.state[idx as usize];
-                    s.fetched_at = self.cycle;
-                    s.task_start = self.tasks[ti].start;
-                }
+                self.inst.fetched_at[idx as usize] = self.cycle;
+                self.inst.task_start[idx as usize] = self.tasks[ti].start;
                 self.tasks[ti].fq.push_back(idx);
                 self.tasks[ti].inflight += 1;
                 self.tasks[ti].fetch_next += 1;
                 budget -= 1;
+                self.activity = true;
 
                 // Task Spawn Unit: only the tail task spawns (§3.2),
                 // unless the §6 any-task extension is enabled.
@@ -1136,43 +2022,37 @@ impl Machine<'_> {
                     // A non-tail insertion at ti+1 shifts every later
                     // task index; fix up the rest of this cycle's
                     // fetch schedule.
-                    for e in eligible[head..].iter_mut() {
-                        if *e > ti {
-                            *e += 1;
+                    for w in winners[head..].iter_mut() {
+                        if w.0 > ti {
+                            w.0 += 1;
                         }
                     }
                 }
 
                 // Control flow: at most one taken transfer per task per
                 // cycle; mispredictions stall this task until resolution.
-                match e.class() {
-                    InstClass::CondBranch => {
+                match (meta >> K_FETCH_SHIFT) & 0b11 {
+                    KF_COND => {
                         if self.predictions.mispredicted(idx as usize) {
                             self.tasks[ti].waiting_branch = Some(idx);
                             break;
                         }
-                        if e.taken {
+                        if meta & K_TAKEN != 0 {
                             break;
                         }
                     }
-                    InstClass::Ret | InstClass::IndirectJump => {
+                    KF_STOP_PRED => {
                         if self.predictions.mispredicted(idx as usize) {
                             self.tasks[ti].waiting_branch = Some(idx);
                         }
                         break;
                     }
-                    InstClass::Call => {
-                        if self.predictions.mispredicted(idx as usize) {
-                            self.tasks[ti].waiting_branch = Some(idx);
-                        }
-                        break;
-                    }
-                    InstClass::Jump | InstClass::Halt => break,
+                    KF_STOP => break,
                     _ => {}
                 }
             }
         }
-        self.eligible = eligible;
+        self.winners = winners;
     }
 
     /// Debug invariant: a scheduler entry must never wait on a producer
@@ -1180,23 +2060,23 @@ impl Machine<'_> {
     /// speculative (otherwise the scheduler stops self-draining).
     #[allow(dead_code)]
     fn assert_sched_entry_sane(&self, idx: u32, site: &str) {
-        let st = self.state[idx as usize];
-        let [ra, rb] = self.dataflow.reg_producers(idx as usize);
-        let mem = self.dataflow.mem_producer(idx as usize);
+        let i = idx as usize;
+        let [ra, rb] = self.dataflow.reg_producers(i);
+        let mem = self.dataflow.mem_producer(i);
         let check = |p: Option<u32>, spec: bool, what: &str| {
             if let Some(p) = p {
                 assert!(
-                    spec || !self.state[p as usize].in_divert,
+                    spec || !self.inst.flag(p as usize, F_IN_DIVERT),
                     "cycle {}: sched entry {idx} ({site}) waits on {what} producer {p}                      which is in the divert queue (consumer spec {:?}/{})",
                     self.cycle,
-                    st.reg_speculative,
-                    st.mem_speculative
+                    self.inst.reg_speculative(i),
+                    self.inst.flag(i, F_MEM_SPEC)
                 );
             }
         };
-        check(ra, st.reg_speculative[0], "reg0");
-        check(rb, st.reg_speculative[1], "reg1");
-        check(mem, st.mem_speculative, "mem");
+        check(ra, self.inst.flag(i, F_REG_SPEC0), "reg0");
+        check(rb, self.inst.flag(i, F_REG_SPEC1), "reg1");
+        check(mem, self.inst.flag(i, F_MEM_SPEC), "mem");
     }
 
     /// Adds `reg` to the hint entry of the spawn point that created the
@@ -1244,17 +2124,20 @@ impl Machine<'_> {
             .unwrap_or(start);
         let mut discarded = 0u64;
         for i in start..max_fetched {
-            let st = &mut self.state[i as usize];
-            if st.fetched_at != NOT_YET {
-                if st.dispatched {
+            if self.inst.fetched_at[i as usize] != NOT_YET {
+                if self.inst.flag(i as usize, F_DISPATCHED) {
                     self.rob_used -= 1;
                 }
-                *st = InstState::default();
+                self.inst.reset_one(i as usize);
                 discarded += 1;
             }
         }
         self.sched.retain(|&i| i < start);
+        self.sched_reindex();
         self.divert.retain(|&i| i < start);
+        self.activity = true;
+        self.sched_dirty = true;
+        self.divert_dirty = true;
         let invariant = |cycle, what: &str| SimError::BrokenInvariant {
             cycle,
             detail: what.to_string(),
@@ -1312,17 +2195,20 @@ impl Machine<'_> {
             .unwrap_or(start);
         let mut discarded = 0u64;
         for i in start..max_fetched {
-            let st = &mut self.state[i as usize];
-            if st.fetched_at != NOT_YET {
-                if st.dispatched {
+            if self.inst.fetched_at[i as usize] != NOT_YET {
+                if self.inst.flag(i as usize, F_DISPATCHED) {
                     self.rob_used -= 1;
                 }
-                *st = InstState::default();
+                self.inst.reset_one(i as usize);
                 discarded += 1;
             }
         }
         self.sched.retain(|&i| i < start);
+        self.sched_reindex();
         self.divert.retain(|&i| i < start);
+        self.activity = true;
+        self.sched_dirty = true;
+        self.divert_dirty = true;
         // Drop younger tasks entirely; reset the violating task.
         self.tasks.truncate(ti + 1);
         let t = &mut self.tasks[ti];
@@ -1470,7 +2356,6 @@ impl Machine<'_> {
         true
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2081,5 +2966,177 @@ mod tests {
         let r = simulate(&prep, &cfg, &mut src);
         assert_eq!(r.instructions as usize, trace.len());
         assert!(r.ipc() <= cfg.width as f64);
+    }
+
+    /// Exhaustive check of the fixed-capacity ICount arbitration: feeding
+    /// candidates in task order through `icount_insert` must select
+    /// exactly the prefix of a stable sort by key (ties keep task order,
+    /// i.e. older tasks win), and every candidate ends up either a winner
+    /// or a reported loser, never both.
+    #[test]
+    fn icount_selection_matches_stable_sort() {
+        for cap in 1..=4usize {
+            // Odometer over all key assignments in 0..3 for four tasks.
+            for combo in 0..81usize {
+                let keys = [
+                    combo % 3,
+                    (combo / 3) % 3,
+                    (combo / 9) % 3,
+                    (combo / 27) % 3,
+                ];
+                let mut winners = Vec::new();
+                let mut losers = Vec::new();
+                for (ti, &key) in keys.iter().enumerate() {
+                    if let Some(l) = icount_insert(&mut winners, cap, ti, key) {
+                        losers.push(l);
+                    }
+                }
+                let mut expect: Vec<(usize, usize)> =
+                    keys.iter().enumerate().map(|(t, &k)| (t, k)).collect();
+                expect.sort_by_key(|&(_, k)| k); // stable: ties keep task order
+                expect.truncate(cap);
+                assert_eq!(winners, expect, "cap {cap}, keys {keys:?}");
+                let mut all: Vec<usize> = winners.iter().map(|&(t, _)| t).collect();
+                all.extend(&losers);
+                all.sort_unstable();
+                assert_eq!(all, vec![0, 1, 2, 3], "winner/loser partition");
+            }
+        }
+    }
+
+    /// Pins the §3.2 tie-break direction: equal in-flight counts go to
+    /// the *older* task (insertion order is task order and equal keys
+    /// insert after existing entries).
+    #[test]
+    fn icount_tie_break_prefers_older_tasks() {
+        let mut winners = Vec::new();
+        let mut losers = Vec::new();
+        for (ti, key) in [(0usize, 2usize), (1, 1), (2, 1), (3, 0)] {
+            if let Some(l) = icount_insert(&mut winners, 2, ti, key) {
+                losers.push(l);
+            }
+        }
+        // Stable sort by key: (3,0), (1,1), (2,1), (0,2) — the older of
+        // the tied pair (task 1) keeps its slot.
+        assert_eq!(winners, vec![(3, 0), (1, 1)]);
+        assert_eq!(losers, vec![0, 2]);
+    }
+
+    /// Cycle skipping is an accounting fast path only: results, cycle
+    /// counts, and the bucket ledger are bit-identical with it on and
+    /// off, across policy-free, squash-heavy, and spawn-heavy workloads.
+    #[test]
+    fn cycle_skip_fast_forward_is_bit_identical() {
+        let run_opts = |trace: &Trace,
+                        cfg: &MachineConfig,
+                        table: Option<polyflow_core::SpawnTable>,
+                        skip: bool| {
+            let prep = PreparedTrace::new(trace, cfg);
+            let mut scratch = SimScratch::default();
+            let opts = SimOptions { cycle_skip: skip };
+            match table {
+                Some(t) => {
+                    let mut src = StaticSpawnSource::new(t);
+                    try_simulate_opts(&prep, cfg, &mut src, &mut scratch, &mut NullSink, opts)
+                        .unwrap()
+                }
+                None => {
+                    try_simulate_opts(&prep, cfg, &mut NoSpawn, &mut scratch, &mut NullSink, opts)
+                        .unwrap()
+                }
+            }
+        };
+        let combos: Vec<(Trace, MachineConfig, Option<polyflow_core::SpawnTable>)> = vec![
+            (
+                execute_window(&counted_loop(200), 100_000).unwrap().trace,
+                MachineConfig::superscalar(),
+                None,
+            ),
+            (
+                execute_window(&memory_chained_loop(), 100_000)
+                    .unwrap()
+                    .trace,
+                MachineConfig {
+                    memory_dependence: crate::store_set::DependenceMode::StoreSet,
+                    profitability_feedback: false,
+                    ..MachineConfig::hpca07()
+                },
+                Some(ProgramAnalysis::analyze(&memory_chained_loop()).spawn_table(Policy::Loop)),
+            ),
+            (
+                execute_window(&hard_hammock_program(), 200_000)
+                    .unwrap()
+                    .trace,
+                MachineConfig::hpca07(),
+                Some(
+                    ProgramAnalysis::analyze(&hard_hammock_program()).spawn_table(Policy::Postdoms),
+                ),
+            ),
+        ];
+        let mut any_skipped = false;
+        for (trace, cfg, table) in combos {
+            let (on, t_on) = run_opts(&trace, &cfg, table.clone(), true);
+            let (off, t_off) = run_opts(&trace, &cfg, table, false);
+            assert_eq!(on, off, "cycle skipping changed the result");
+            assert_eq!(t_off.skipped_cycles, 0);
+            assert_eq!(t_off.fast_forwards, 0);
+            assert_eq!(
+                t_on.executed_cycles + t_on.skipped_cycles,
+                t_off.executed_cycles,
+                "every skipped cycle is a cycle the stepped run executed"
+            );
+            assert_eq!(t_on.executed_cycles + t_on.skipped_cycles, on.cycles);
+            any_skipped |= t_on.skipped_cycles > 0;
+        }
+        assert!(
+            any_skipped,
+            "no combo ever fast-forwarded — test is vacuous"
+        );
+    }
+
+    /// The watchdogs observe fast-forwarded time: a livelock trips at the
+    /// same cycle, with the same post-mortem, whether or not the run
+    /// skipped its way there.
+    #[test]
+    fn cycle_skip_preserves_watchdog_cycles() {
+        let p = counted_loop(50);
+        let trace = execute_window(&p, 100_000).unwrap().trace;
+        let cfg = MachineConfig {
+            livelock_window: 2,
+            ..MachineConfig::superscalar()
+        };
+        let prep = PreparedTrace::new(&trace, &cfg);
+        let run = |skip: bool| {
+            let mut scratch = SimScratch::default();
+            try_simulate_opts(
+                &prep,
+                &cfg,
+                &mut NoSpawn,
+                &mut scratch,
+                &mut NullSink,
+                SimOptions { cycle_skip: skip },
+            )
+            .unwrap_err()
+        };
+        let (on, off) = (run(true), run(false));
+        assert_eq!(on.to_string(), off.to_string());
+        match (on, off) {
+            (
+                SimError::Livelock {
+                    cycle: c1,
+                    detail: d1,
+                    ..
+                },
+                SimError::Livelock {
+                    cycle: c2,
+                    detail: d2,
+                    ..
+                },
+            ) => {
+                assert_eq!(c1, c2);
+                assert_eq!(d1, d2);
+            }
+            (a, b) => panic!("expected two Livelocks, got {a} / {b}"),
+        }
     }
 }

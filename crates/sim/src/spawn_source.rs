@@ -23,6 +23,13 @@ pub trait SpawnSource {
     fn on_retire(&mut self, entry: &TraceEntry) {
         let _ = entry;
     }
+
+    /// True when this source observes the retirement stream. The machine
+    /// asks once per run and skips the per-retire virtual call entirely
+    /// when the answer is `false` (static and no-spawn sources).
+    fn wants_retire(&self) -> bool {
+        false
+    }
 }
 
 /// A compiler-driven source: spawn points come from a static
@@ -30,12 +37,27 @@ pub trait SpawnSource {
 #[derive(Debug, Clone)]
 pub struct StaticSpawnSource {
     table: SpawnTable,
+    /// Dense trigger membership keyed by [`Pc::index`]: the Task Spawn
+    /// Unit probes every instruction the tail task fetches, and almost
+    /// none are triggers, so the hash-map lookup hides behind one load.
+    is_trigger: Vec<bool>,
 }
 
 impl StaticSpawnSource {
     /// Wraps a spawn table.
     pub fn new(table: SpawnTable) -> StaticSpawnSource {
-        StaticSpawnSource { table }
+        let max = table
+            .points()
+            .iter()
+            .map(|sp| sp.trigger.index())
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        let mut is_trigger = vec![false; max];
+        for sp in table.points() {
+            is_trigger[sp.trigger.index()] = true;
+        }
+        StaticSpawnSource { table, is_trigger }
     }
 
     /// The underlying table.
@@ -46,6 +68,14 @@ impl StaticSpawnSource {
 
 impl SpawnSource for StaticSpawnSource {
     fn spawn_at(&mut self, entry: &TraceEntry) -> Option<(Pc, SpawnKind)> {
+        if !self
+            .is_trigger
+            .get(entry.pc.index())
+            .copied()
+            .unwrap_or(false)
+        {
+            return None;
+        }
         self.table
             .lookup(entry.pc)
             .next()
@@ -126,6 +156,10 @@ impl SpawnSource for ReconvSpawnSource {
     fn on_retire(&mut self, entry: &TraceEntry) {
         self.predictor.observe(entry);
     }
+
+    fn wants_retire(&self) -> bool {
+        true
+    }
 }
 
 /// A finite, set-associative spawn hint cache in front of another source.
@@ -187,6 +221,10 @@ impl<S: SpawnSource> SpawnSource for HintCacheSource<S> {
 
     fn on_retire(&mut self, entry: &TraceEntry) {
         self.inner.on_retire(entry);
+    }
+
+    fn wants_retire(&self) -> bool {
+        self.inner.wants_retire()
     }
 }
 

@@ -6,8 +6,9 @@
 use polyflow_core::{Policy, ProgramAnalysis};
 use polyflow_isa::{execute_window, AluOp, Cond, Program, ProgramBuilder, Reg};
 use polyflow_sim::{
-    simulate, simulate_traced, timeline, Bucket, JsonlSink, MachineConfig, NoSpawn, NullSink,
-    PreparedTrace, RingSink, SimEvent, SimResult, SimScratch, StaticSpawnSource,
+    simulate, simulate_traced, timeline, try_simulate_opts, Bucket, JsonlSink, MachineConfig,
+    NoSpawn, NullSink, PreparedTrace, RingSink, SimEvent, SimOptions, SimResult, SimScratch,
+    StaticSpawnSource,
 };
 
 /// A hammock-rich loop with data dependences: exercises spawns,
@@ -200,6 +201,52 @@ fn results_are_bit_identical_across_sinks() {
     assert_eq!(with_null, with_jsonl);
     assert!(ring.total_seen() > 0);
     assert!(jsonl.written() > 0);
+}
+
+/// Cycle skipping must be invisible to observers: the JSONL event stream
+/// it emits is byte-for-byte the stream of the stepped run, on a workload
+/// that actually fast-forwards.
+#[test]
+fn skipped_cycle_fast_path_emits_identical_events() {
+    let p = memory_program();
+    let cfg = MachineConfig {
+        memory_dependence: polyflow_sim::DependenceMode::StoreSet,
+        profitability_feedback: false,
+        ..MachineConfig::hpca07()
+    };
+    let trace = execute_window(&p, 200_000).unwrap().trace;
+    let prepared = PreparedTrace::new(&trace, &cfg);
+    let analysis = ProgramAnalysis::analyze(&p);
+    let table = analysis.spawn_table(Policy::Loop);
+
+    let run = |skip: bool| {
+        let mut scratch = SimScratch::default();
+        let mut source = StaticSpawnSource::new(table.clone());
+        let mut sink = JsonlSink::new(Vec::new());
+        let (result, telemetry) = try_simulate_opts(
+            &prepared,
+            &cfg,
+            &mut source,
+            &mut scratch,
+            &mut sink,
+            SimOptions { cycle_skip: skip },
+        )
+        .unwrap();
+        (result, telemetry, sink.into_inner())
+    };
+    let (on, t_on, bytes_on) = run(true);
+    let (off, t_off, bytes_off) = run(false);
+    assert!(
+        t_on.skipped_cycles > 0,
+        "workload never fast-forwarded — parity test is vacuous"
+    );
+    assert_eq!(t_off.skipped_cycles, 0);
+    assert_eq!(on, off, "cycle skipping changed the result");
+    assert!(!bytes_on.is_empty());
+    assert_eq!(
+        bytes_on, bytes_off,
+        "cycle skipping changed the emitted event stream"
+    );
 }
 
 #[test]

@@ -49,18 +49,22 @@ const SPEC: polyflow_bench::cli::Spec = polyflow_bench::cli::Spec {
     name: "ablations",
     about: "Ablation studies of the design choices DESIGN.md calls out, \
             as average postdoms speedup over the unchanged superscalar",
-    flags: &[polyflow_bench::cli::JOBS, polyflow_bench::cli::MAX_CYCLES],
+    flags: &[
+        polyflow_bench::cli::JOBS,
+        polyflow_bench::cli::MAX_CYCLES,
+        polyflow_bench::cli::ASM,
+    ],
     takes_workloads: true,
 };
 
 fn main() {
-    let mut filter = polyflow_bench::cli::parse(&SPEC).filter;
-    if filter.is_empty() {
-        filter = ["mcf", "vortex", "twolf", "crafty"]
+    let mut args = polyflow_bench::cli::parse(&SPEC);
+    if args.filter.is_empty() && args.asm.is_empty() {
+        args.filter = ["mcf", "vortex", "twolf", "crafty"]
             .map(String::from)
             .to_vec();
     }
-    let workloads = polyflow_bench::prepare_all(&filter);
+    let workloads = polyflow_bench::prepare_selection(&args);
     let base_cfg = MachineConfig::hpca07();
 
     // Build the full variant list up front (labels carry the exact column

@@ -2,7 +2,8 @@
 //! task, and where the speedup over the superscalar baseline came from.
 //!
 //! Usage: `explain <workload> [policy] [--json] [--events <path>]
-//! [--top N] [--width N]`
+//! [--top N] [--width N]`, or `explain --asm <path> [policy] ...` to
+//! explain a runtime-loaded `.asm` workload instead of a bundled name.
 //!
 //! * `policy` — any of `superscalar`, `loop`, `loopFT`, `procFT`,
 //!   `hammock`, `other`, `postdoms` (default `postdoms`).
@@ -24,6 +25,7 @@ use polyflow_sim::{timeline, Bucket, JsonlSink, NullSink, SimResult};
 
 struct Options {
     workload: String,
+    asm: Option<String>,
     policy: Policy,
     json: bool,
     events: Option<String>,
@@ -34,6 +36,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         workload: String::new(),
+        asm: None,
         policy: Policy::Postdoms,
         json: false,
         events: None,
@@ -48,13 +51,16 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "explain — per-bucket cycle accounting for one run\n\n\
-                     Usage: explain <workload> [policy] [--json] [--events <path>] \
-                     [--top N] [--width N]\n\n\
+                     Usage: explain <workload|--asm path> [policy] [--json] \
+                     [--events <path>] [--top N] [--width N]\n\n\
                      Policies: {POLICY_NAMES:?} (default postdoms)"
                 );
                 std::process::exit(0);
             }
             "--json" => opts.json = true,
+            "--asm" => {
+                opts.asm = Some(args.next().ok_or("--asm requires a path")?);
+            }
             "--events" => {
                 opts.events = Some(args.next().ok_or("--events requires a path")?);
             }
@@ -71,7 +77,9 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     let mut positional = positional.into_iter();
-    opts.workload = positional.next().ok_or("missing <workload>")?;
+    if opts.asm.is_none() {
+        opts.workload = positional.next().ok_or("missing <workload>")?;
+    }
     if let Some(p) = positional.next() {
         opts.policy = parse_policy(&p)
             .ok_or_else(|| format!("unknown policy `{p}`; one of {POLICY_NAMES:?}"))?;
@@ -80,7 +88,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn main() {
-    let opts = match parse_args() {
+    let mut opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("explain: {e}");
@@ -91,15 +99,34 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let Some(w) = polyflow_workloads::by_name(&opts.workload) else {
-        eprintln!(
-            "unknown workload `{}`; one of {:?}",
-            opts.workload,
-            polyflow_workloads::NAMES
-        );
-        std::process::exit(1);
+    let w = match &opts.asm {
+        Some(path) => match polyflow_workloads::from_asm_file(path) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("explain: cannot load workload `{path}`: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => match polyflow_workloads::by_name(&opts.workload) {
+            Some(w) => w,
+            None => {
+                eprintln!(
+                    "unknown workload `{}`; one of {:?}",
+                    opts.workload,
+                    polyflow_workloads::NAMES
+                );
+                std::process::exit(1);
+            }
+        },
     };
-    let pw = PreparedWorkload::prepare(w);
+    let pw = match PreparedWorkload::try_prepare(w) {
+        Ok(pw) => pw,
+        Err(e) => {
+            eprintln!("explain: {e}");
+            std::process::exit(1);
+        }
+    };
+    opts.workload = pw.name.clone();
     let baseline = pw.run_traced(Policy::None, &mut NullSink);
     let run = match &opts.events {
         Some(path) => {

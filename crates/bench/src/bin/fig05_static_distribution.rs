@@ -4,19 +4,19 @@
 //!
 //! Usage: `fig05_static_distribution [workload ...]` (default: all 12).
 
-use polyflow_bench::{cli, prepare_all};
+use polyflow_bench::{cli, prepare_selection};
 use polyflow_core::SpawnKind;
 
 const SPEC: cli::Spec = cli::Spec {
     name: "fig05_static_distribution",
     about: "Regenerates Figure 5: the static distribution of \
             control-equivalent task types per benchmark",
-    flags: &[cli::JOBS],
+    flags: &[cli::JOBS, cli::ASM],
     takes_workloads: true,
 };
 
 fn main() {
-    let workloads = prepare_all(&cli::parse(&SPEC).filter);
+    let workloads = prepare_selection(&cli::parse(&SPEC));
     println!("== Figure 5: static distribution of control-equivalent task types ==");
     println!(
         "{:<12} {:>8} {:>8} {:>9} {:>7} {:>7}",

@@ -7,20 +7,20 @@
 //! (default: all 12 workloads, one worker per available CPU).
 
 use polyflow_bench::sweep::{figure9_cells, sweep};
-use polyflow_bench::{cli, prepare_all, print_speedup_csv, print_speedup_table};
+use polyflow_bench::{cli, prepare_selection, print_speedup_csv, print_speedup_table};
 use polyflow_core::Policy;
 
 const SPEC: cli::Spec = cli::Spec {
     name: "fig09_individual_heuristics",
     about: "Regenerates Figure 9: speedup of each individual heuristic \
             spawn policy over the equivalent-resource superscalar",
-    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::CSV],
+    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::ASM, cli::CSV],
     takes_workloads: true,
 };
 
 fn main() {
     let args = cli::parse(&SPEC);
-    let workloads = prepare_all(&args.filter);
+    let workloads = prepare_selection(&args);
     let columns: Vec<String> = Policy::figure9().iter().map(|p| p.name()).collect();
 
     let cells = figure9_cells();

@@ -7,20 +7,20 @@
 //! (default: all 12).
 
 use polyflow_bench::sweep::{sweep, Cell};
-use polyflow_bench::{cli, prepare_all, print_speedup_csv, print_speedup_table};
+use polyflow_bench::{cli, prepare_selection, print_speedup_csv, print_speedup_table};
 use polyflow_core::Policy;
 
 const SPEC: cli::Spec = cli::Spec {
     name: "fig10_combinations",
     about: "Regenerates Figure 10: combinations of heuristics versus full \
             postdominator spawning, as speedup over the superscalar",
-    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::CSV],
+    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::ASM, cli::CSV],
     takes_workloads: true,
 };
 
 fn main() {
     let args = cli::parse(&SPEC);
-    let workloads = prepare_all(&args.filter);
+    let workloads = prepare_selection(&args);
     let policies = Policy::figure10();
     let columns: Vec<String> = policies.iter().map(|p| p.name()).collect();
 

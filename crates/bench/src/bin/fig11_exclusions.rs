@@ -6,19 +6,19 @@
 //! (default: all 12).
 
 use polyflow_bench::sweep::{sweep, Cell};
-use polyflow_bench::{cli, prepare_all};
+use polyflow_bench::{cli, prepare_selection};
 use polyflow_core::Policy;
 
 const SPEC: cli::Spec = cli::Spec {
     name: "fig11_exclusions",
     about: "Regenerates Figure 11: the loss in percent speedup when one \
             spawn category is excluded from the full postdominator set",
-    flags: &[cli::JOBS, cli::MAX_CYCLES],
+    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::ASM],
     takes_workloads: true,
 };
 
 fn main() {
-    let workloads = prepare_all(&cli::parse(&SPEC).filter);
+    let workloads = prepare_selection(&cli::parse(&SPEC));
     let policies = Policy::figure11();
 
     let cells: Vec<Cell> = [Cell::Baseline, Cell::Static(Policy::Postdoms)]

@@ -7,20 +7,20 @@
 //! (default: all 12).
 
 use polyflow_bench::sweep::{sweep, Cell};
-use polyflow_bench::{cli, prepare_all, print_speedup_csv, print_speedup_table};
+use polyflow_bench::{cli, prepare_selection, print_speedup_csv, print_speedup_table};
 use polyflow_core::Policy;
 
 const SPEC: cli::Spec = cli::Spec {
     name: "fig12_reconvergence",
     about: "Regenerates Figure 12: spawning from the dynamic reconvergence \
             predictor versus compiler-generated immediate postdominators",
-    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::CSV],
+    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::ASM, cli::CSV],
     takes_workloads: true,
 };
 
 fn main() {
     let args = cli::parse(&SPEC);
-    let workloads = prepare_all(&args.filter);
+    let workloads = prepare_selection(&args);
     let columns = vec!["rec_pred".to_string(), "postdoms".to_string()];
 
     let cells = [Cell::Baseline, Cell::Reconv, Cell::Static(Policy::Postdoms)];

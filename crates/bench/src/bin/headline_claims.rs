@@ -9,19 +9,19 @@
 //!    best individual heuristic on each benchmark (§4.1).
 
 use polyflow_bench::sweep::{sweep, Cell};
-use polyflow_bench::{cli, prepare_all};
+use polyflow_bench::{cli, prepare_selection};
 use polyflow_core::Policy;
 
 const SPEC: cli::Spec = cli::Spec {
     name: "headline_claims",
     about: "Checks the paper's headline claims (§1/§6) against this \
             reproduction's measurements",
-    flags: &[cli::JOBS, cli::MAX_CYCLES],
+    flags: &[cli::JOBS, cli::MAX_CYCLES, cli::ASM],
     takes_workloads: true,
 };
 
 fn main() {
-    let workloads = prepare_all(&cli::parse(&SPEC).filter);
+    let workloads = prepare_selection(&cli::parse(&SPEC));
     let individual = Policy::figure9();
     let combos = Policy::figure10();
 

@@ -31,17 +31,30 @@ const SPEC: polyflow_bench::cli::Spec = polyflow_bench::cli::Spec {
     name: "lint",
     about: "Static verifier over the bundled workloads (exit 0 iff no \
             diagnostics), with a hint-capacity pressure report",
-    flags: &[polyflow_bench::cli::JOBS],
+    flags: &[polyflow_bench::cli::JOBS, polyflow_bench::cli::ASM],
     takes_workloads: true,
 };
 
 fn main() {
-    let filter = polyflow_bench::cli::parse(&SPEC).filter;
+    let args = polyflow_bench::cli::parse(&SPEC);
     let jobs = polyflow_bench::pool::resolve_jobs();
-    let workloads: Vec<_> = polyflow_workloads::all()
-        .into_iter()
-        .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
-        .collect();
+    let mut workloads: Vec<_> = if args.asm.is_empty() || !args.filter.is_empty() {
+        polyflow_workloads::all()
+            .into_iter()
+            .filter(|w| args.filter.is_empty() || args.filter.contains(&w.name))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for path in &args.asm {
+        match polyflow_workloads::from_asm_file(path) {
+            Ok(w) => workloads.push(w),
+            Err(e) => {
+                eprintln!("cannot load workload `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let opts = VerifyOptions {
         hint_register_slots: MachineConfig::hpca07().hint_register_slots,

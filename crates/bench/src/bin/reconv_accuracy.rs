@@ -7,7 +7,7 @@
 //!
 //! Usage: `reconv_accuracy [--jobs N] [workload ...]` (default: all 12).
 
-use polyflow_bench::{cli, pool, prepare_all, PreparedWorkload};
+use polyflow_bench::{cli, pool, prepare_selection, PreparedWorkload};
 use polyflow_core::SpawnKind;
 use polyflow_reconv::{train_on_trace, ReconvConfig};
 use std::collections::HashMap;
@@ -61,10 +61,10 @@ fn main() {
         name: "reconv_accuracy",
         about: "Measures how well the dynamic reconvergence predictor \
                 reconstructs compiler-computed immediate postdominators",
-        flags: &[cli::JOBS],
+        flags: &[cli::JOBS, cli::ASM],
         takes_workloads: true,
     };
-    let workloads = prepare_all(&cli::parse(&SPEC).filter);
+    let workloads = prepare_selection(&cli::parse(&SPEC));
     println!("== Reconvergence-predictor accuracy vs immediate postdominators ==");
     println!(
         "{:<12} {:>7} {:>7} {:>7} {:>9} {:>14}",

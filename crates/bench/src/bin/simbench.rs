@@ -9,10 +9,10 @@
 //! two such files only loosely — this report carries per-workload rows,
 //! `BENCH_sweep.json` carries per-cell rows).
 //!
-//! Usage: `simbench [--repeat N] [--max-cycles N] [--json] [workload ...]`
+//! Usage: `simbench [--repeat N] [--max-cycles N] [--asm PATH] [--json] [workload ...]`
 
 use polyflow_bench::sweep::{run_cell_with_config_opts, Cell};
-use polyflow_bench::{cli, polyflow_config, prepare_all, resolve_max_cycles};
+use polyflow_bench::{cli, polyflow_config, prepare_selection, resolve_max_cycles};
 use polyflow_core::Policy;
 use polyflow_sim::{MachineConfig, SimOptions, SimScratch};
 use std::time::Instant;
@@ -33,7 +33,7 @@ const SPEC: cli::Spec = cli::Spec {
     name: "simbench",
     about: "Per-workload simulator throughput (cells/sec) with cycle-skip \
             telemetry",
-    flags: &[REPEAT, cli::MAX_CYCLES, JSON],
+    flags: &[REPEAT, cli::MAX_CYCLES, cli::ASM, JSON],
     takes_workloads: true,
 };
 
@@ -58,7 +58,7 @@ fn scan_args() -> (u32, bool) {
 }
 
 struct Row {
-    workload: &'static str,
+    workload: String,
     cells: usize,
     best_seconds: f64,
     executed_cycles: u64,
@@ -83,7 +83,7 @@ impl Row {
 fn main() {
     let args = cli::parse(&SPEC);
     let (repeat, json) = scan_args();
-    let workloads = prepare_all(&args.filter);
+    let workloads = prepare_selection(&args);
 
     let mut ss_cfg = MachineConfig::superscalar();
     ss_cfg.max_cycles = resolve_max_cycles();
@@ -125,7 +125,7 @@ fn main() {
             best = best.min(t0.elapsed().as_secs_f64());
         }
         rows.push(Row {
-            workload: w.name,
+            workload: w.name.clone(),
             cells: cells.len(),
             best_seconds: best,
             executed_cycles: executed,

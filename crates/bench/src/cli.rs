@@ -56,6 +56,14 @@ pub const CSV: Flag = Flag {
     help: "emit CSV instead of the aligned table",
 };
 
+/// `--asm PATH`: load a runtime `.asm` workload (repeatable).
+pub const ASM: Flag = Flag {
+    name: "--asm",
+    value: Some("PATH"),
+    help: "run PATH as a workload (repeatable; with no bundled names \
+           listed, only --asm workloads run)",
+};
+
 /// A binary's command-line grammar.
 #[derive(Debug, Clone, Copy)]
 pub struct Spec {
@@ -76,6 +84,8 @@ pub struct Args {
     pub filter: Vec<String>,
     /// True if `--csv` was passed (and accepted by the spec).
     pub csv: bool,
+    /// `--asm PATH` runtime-workload files, in command-line order.
+    pub asm: Vec<String>,
 }
 
 /// Renders the usage page for `spec`.
@@ -193,7 +203,10 @@ pub fn try_parse(spec: &Spec, args: impl Iterator<Item = String>) -> Result<Pars
                             .next()
                             .ok_or_else(|| format!("flag `{name}` requires a {placeholder}"))?,
                     };
-                    if v.parse::<u64>().is_err() {
+                    if flag.name == "--asm" {
+                        // Path-valued: carried for `prepare_selection`.
+                        out.asm.push(v);
+                    } else if v.parse::<u64>().is_err() {
                         return Err(format!("flag `{name}` requires a number, got `{v}`"));
                     }
                 }
@@ -268,6 +281,23 @@ mod tests {
         assert!(e.contains("requires a number"), "{e}");
         let e = try_parse(&SPEC, args(&["--csv=1"])).unwrap_err();
         assert!(e.contains("takes no value"), "{e}");
+    }
+
+    #[test]
+    fn asm_flag_carries_paths_in_order() {
+        let spec = Spec {
+            flags: &[JOBS, ASM],
+            ..SPEC
+        };
+        let Parsed::Args(a) =
+            try_parse(&spec, args(&["--asm", "a.asm", "twolf", "--asm=dir/b.asm"])).unwrap()
+        else {
+            panic!("not a help request")
+        };
+        assert_eq!(a.asm, vec!["a.asm", "dir/b.asm"]);
+        assert_eq!(a.filter, vec!["twolf"]);
+        // Paths are not subject to the numeric-value check.
+        assert!(try_parse(&spec, args(&["--asm", "not-a-number.asm"])).is_ok());
     }
 
     #[test]

@@ -53,49 +53,236 @@ pub const WINDOW: u64 = 120_000;
 /// program.
 pub const FUZZ_MAX_CYCLES: u64 = 4_000_000;
 
+/// Distribution knobs for the structured-program generator: relative
+/// statement weights plus structural bounds. [`random_program`] draws
+/// from [`GenDist::mixed`]; the `wsweep` mode sweeps every named bucket
+/// in [`GenDist::BUCKETS`] to measure how speedup and
+/// reconvergence-predictor accuracy respond to control-flow character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenDist {
+    /// Weight of straight-line ALU runs.
+    pub work: u32,
+    /// Weight of data-dependent if-else hammocks (branch density).
+    pub hammock: u32,
+    /// Weight of counted inner loops.
+    pub looped: u32,
+    /// Of 16 generated loops, how many carry a second nested level
+    /// (loop depth 2).
+    pub nest_rate: u32,
+    /// Weight of call sites (fanned out across `callees` leaves).
+    pub call: u32,
+    /// Distinct leaf callees call sites target (1..=4).
+    pub callees: u32,
+    /// Weight of bounded two-entry loop regions — cycles a forward pass
+    /// can enter at either of two blocks, i.e. irreducible control flow.
+    pub irreducible: u32,
+    /// Weight of memory statements: shared read-modify-write and
+    /// unrolled array-walk reductions.
+    pub memory: u32,
+    /// Statement-list length bounds (min, max) past the fixed prologue.
+    pub stmts: (u32, u32),
+}
+
+impl GenDist {
+    /// A bit of everything — the default differential-fuzzing diet.
+    /// Irreducible regions are excluded here: the fuzz harness demands
+    /// verify-clean programs and the verifier (correctly) diagnoses
+    /// irreducible loops. The dedicated [`GenDist::irreducible`] bucket
+    /// stresses the simulator with them instead.
+    pub const fn mixed() -> GenDist {
+        GenDist {
+            work: 3,
+            hammock: 3,
+            looped: 2,
+            nest_rate: 4,
+            call: 2,
+            callees: 2,
+            irreducible: 0,
+            memory: 3,
+            stmts: (1, 6),
+        }
+    }
+
+    /// Dense data-dependent branching (crafty-like).
+    pub const fn branchy() -> GenDist {
+        GenDist {
+            work: 1,
+            hammock: 8,
+            looped: 1,
+            nest_rate: 0,
+            call: 1,
+            callees: 1,
+            irreducible: 0,
+            memory: 1,
+            stmts: (4, 10),
+        }
+    }
+
+    /// Deep counted loops with frequent nesting (gzip/bzip2-like).
+    pub const fn loopy() -> GenDist {
+        GenDist {
+            work: 1,
+            hammock: 1,
+            looped: 8,
+            nest_rate: 10,
+            call: 0,
+            callees: 1,
+            irreducible: 0,
+            memory: 1,
+            stmts: (3, 8),
+        }
+    }
+
+    /// Call-heavy with wide leaf fan-out (vortex/gap-like).
+    pub const fn calls() -> GenDist {
+        GenDist {
+            work: 1,
+            hammock: 1,
+            looped: 1,
+            nest_rate: 0,
+            call: 8,
+            callees: 4,
+            irreducible: 0,
+            memory: 1,
+            stmts: (4, 10),
+        }
+    }
+
+    /// Irreducible-region-heavy: stresses every analysis that assumes
+    /// reducible loops.
+    pub const fn irreducible() -> GenDist {
+        GenDist {
+            work: 1,
+            hammock: 1,
+            looped: 1,
+            nest_rate: 0,
+            call: 0,
+            callees: 1,
+            irreducible: 6,
+            memory: 1,
+            stmts: (2, 6),
+        }
+    }
+
+    /// Memory-op-dominated: shared traffic plus array reductions
+    /// (mcf-like).
+    pub const fn memory() -> GenDist {
+        GenDist {
+            work: 1,
+            hammock: 1,
+            looped: 1,
+            nest_rate: 0,
+            call: 0,
+            callees: 1,
+            irreducible: 0,
+            memory: 8,
+            stmts: (4, 10),
+        }
+    }
+
+    /// The named distribution buckets the `wsweep` mode reports by.
+    pub const BUCKETS: [(&'static str, GenDist); 6] = [
+        ("branchy", GenDist::branchy()),
+        ("loopy", GenDist::loopy()),
+        ("calls", GenDist::calls()),
+        ("irreducible", GenDist::irreducible()),
+        ("memory", GenDist::memory()),
+        ("mixed", GenDist::mixed()),
+    ];
+}
+
 /// One structured statement of a generated program (mirrors the shapes
 /// the paper's heuristics target: straight-line work, hammocks, counted
-/// loops, calls, and shared-memory traffic).
+/// loops, calls, irreducible regions, and memory traffic).
 #[derive(Debug, Clone, Copy)]
 enum Stmt {
     Work(u8),
     Hammock(u8, u8),
-    Loop(u8, u8),
-    Call,
+    Loop { iters: u8, body: u8, nested: bool },
+    Call(u8),
     Shared,
+    ArrayWalk(u8),
+    TwoEntryLoop { iters: u8 },
 }
 
-fn random_stmt(rng: &mut SplitMix64) -> Stmt {
-    match rng.below(5) {
-        0 => Stmt::Work(1 + rng.below(7) as u8),
-        1 => Stmt::Hammock(1 + rng.below(5) as u8, 1 + rng.below(5) as u8),
-        2 => Stmt::Loop(1 + rng.below(4) as u8, 1 + rng.below(4) as u8),
-        3 => Stmt::Call,
-        _ => Stmt::Shared,
+fn random_stmt(rng: &mut SplitMix64, d: &GenDist) -> Stmt {
+    let total = d.work + d.hammock + d.looped + d.call + d.irreducible + d.memory;
+    if total == 0 {
+        return Stmt::Work(1 + rng.below(7) as u8);
+    }
+    let mut roll = rng.below(total as u64) as u32;
+    let mut take = |w: u32| {
+        if roll < w {
+            true
+        } else {
+            roll -= w;
+            false
+        }
+    };
+    if take(d.work) {
+        Stmt::Work(1 + rng.below(7) as u8)
+    } else if take(d.hammock) {
+        Stmt::Hammock(1 + rng.below(5) as u8, 1 + rng.below(5) as u8)
+    } else if take(d.looped) {
+        Stmt::Loop {
+            iters: 1 + rng.below(4) as u8,
+            body: 1 + rng.below(4) as u8,
+            nested: rng.below(16) < d.nest_rate as u64,
+        }
+    } else if take(d.call) {
+        Stmt::Call(rng.below(d.callees.clamp(1, 4) as u64) as u8)
+    } else if take(d.irreducible) {
+        Stmt::TwoEntryLoop {
+            iters: 2 + rng.below(5) as u8,
+        }
+    } else if rng.below(2) == 0 {
+        Stmt::Shared
+    } else {
+        Stmt::ArrayWalk(1 + rng.below(7) as u8)
     }
 }
 
-/// Generates the seed's program: a bounded outer loop around a statement
-/// list that always contains at least one hammock (an unconditional
-/// `jmp`), one call/return pair, and one load/store pair — so every
-/// fault-injection operator has an applicable site — plus a random tail.
+/// [`random_program_with`] under the [`GenDist::mixed`] distribution —
+/// the seed-only entry point the differential corpus replays.
 pub fn random_program(seed: u64) -> Program {
+    random_program_with(seed, &GenDist::mixed())
+}
+
+/// Generates the seed's program under `dist`: a bounded outer loop
+/// around a weighted statement list whose fixed prologue always contains
+/// one load/store pair, one hammock (an unconditional `jmp`), and one
+/// call/return pair — so every fault-injection operator has an
+/// applicable site no matter how the weights are skewed.
+pub fn random_program_with(seed: u64, dist: &GenDist) -> Program {
     let mut rng = SplitMix64::new(seed);
-    let mut stmts = vec![Stmt::Shared, Stmt::Hammock(2, 3), Stmt::Call];
-    let extra = rng.index(6);
+    let mut stmts = vec![Stmt::Shared, Stmt::Hammock(2, 3), Stmt::Call(0)];
+    let (lo, hi) = dist.stmts;
+    let extra = lo + rng.index((hi.max(lo) - lo + 1) as usize) as u32;
     for _ in 0..extra {
-        stmts.push(random_stmt(&mut rng));
+        stmts.push(random_stmt(&mut rng, dist));
     }
     let outer = rng.range_i64(4, 24);
+    let callees = dist.callees.clamp(1, 4) as usize;
+    // Only leaves with a call site are emitted (a function nothing calls
+    // would be dead code, which the verifier rightly rejects).
+    let mut used = [false; 4];
+    for s in &stmts {
+        if let Stmt::Call(k) = *s {
+            used[k as usize % callees] = true;
+        }
+    }
 
     let mut b = ProgramBuilder::new();
     let data = b.alloc_data(&[0xABCD_1234_5678_9EFF]);
     let shared = b.alloc_data(&[1]);
+    let array: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+    let array = b.alloc_data(&array);
     b.begin_function("main");
     let top = b.fresh_label("outer");
     b.li(Reg::R9, 0);
     b.li(Reg::R20, data as i64);
     b.li(Reg::R21, shared as i64);
+    b.li(Reg::R22, array as i64);
     b.bind_label(top);
     b.load(Reg::R11, Reg::R20, 0);
     b.alu(AluOp::Xor, Reg::R11, Reg::R11, Reg::R9);
@@ -122,20 +309,32 @@ pub fn random_program(seed: u64) -> Program {
                 }
                 b.bind_label(join);
             }
-            Stmt::Loop(iters, body) => {
+            Stmt::Loop {
+                iters,
+                body,
+                nested,
+            } => {
                 let ltop = b.fresh_label("ltop");
                 b.li(Reg::R5, 0);
                 b.bind_label(ltop);
                 for _ in 0..body {
                     b.alui(AluOp::Add, Reg::R6, Reg::R6, 1);
                 }
+                if nested {
+                    let itop = b.fresh_label("itop");
+                    b.li(Reg::R14, 0);
+                    b.bind_label(itop);
+                    b.alui(AluOp::Add, Reg::R15, Reg::R15, 1);
+                    b.alui(AluOp::Add, Reg::R14, Reg::R14, 1);
+                    b.br_imm(Cond::Lt, Reg::R14, body as i64, itop);
+                }
                 b.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
                 b.br_imm(Cond::Lt, Reg::R5, iters as i64, ltop);
             }
-            Stmt::Call => {
+            Stmt::Call(k) => {
                 b.alui(AluOp::Add, Reg::SP, Reg::SP, -8);
                 b.store(Reg::RA, Reg::SP, 0);
-                b.call("leaf");
+                b.call(&leaf_name(k as usize % callees));
                 b.load(Reg::RA, Reg::SP, 0);
                 b.alui(AluOp::Add, Reg::SP, Reg::SP, 8);
             }
@@ -144,18 +343,53 @@ pub fn random_program(seed: u64) -> Program {
                 b.alui(AluOp::Mul, Reg::R7, Reg::R7, 3);
                 b.store(Reg::R7, Reg::R21, 0);
             }
+            Stmt::ArrayWalk(n) => {
+                for i in 0..n.min(8) {
+                    b.load(Reg::R17, Reg::R22, 8 * i as i64);
+                    b.alu(AluOp::Add, Reg::R18, Reg::R18, Reg::R17);
+                }
+                b.store(Reg::R18, Reg::R22, 0);
+            }
+            Stmt::TwoEntryLoop { iters } => {
+                // A cycle with two entries: the fall-through edge enters
+                // at `l1`, the branch enters mid-cycle at `l2`, and the
+                // counted back edge returns to `l1` — irreducible, but
+                // bounded by the counter either way.
+                let l1 = b.fresh_label("ie1");
+                let l2 = b.fresh_label("ie2");
+                b.li(Reg::R23, 0);
+                b.alui(AluOp::Srl, Reg::R13, Reg::R11, (si % 48) as i64);
+                b.alui(AluOp::And, Reg::R13, Reg::R13, 1);
+                b.br_imm(Cond::Eq, Reg::R13, 0, l2);
+                b.bind_label(l1);
+                b.alui(AluOp::Add, Reg::R24, Reg::R24, 1);
+                b.bind_label(l2);
+                b.alui(AluOp::Add, Reg::R25, Reg::R25, 1);
+                b.alui(AluOp::Add, Reg::R23, Reg::R23, 1);
+                b.br_imm(Cond::Lt, Reg::R23, iters as i64, l1);
+            }
         }
     }
     b.alui(AluOp::Add, Reg::R9, Reg::R9, 1);
     b.br_imm(Cond::Lt, Reg::R9, outer, top);
     b.halt();
     b.end_function();
-    b.begin_function("leaf");
-    b.alui(AluOp::Add, Reg::R26, Reg::R26, 1);
-    b.alui(AluOp::Mul, Reg::R26, Reg::R26, 5);
-    b.ret();
-    b.end_function();
+    for (k, _) in used.iter().enumerate().filter(|(_, u)| **u) {
+        b.begin_function(&leaf_name(k));
+        b.alui(AluOp::Add, Reg::R26, Reg::R26, 1);
+        b.alui(AluOp::Mul, Reg::R26, Reg::R26, 5 + 2 * k as i64);
+        b.ret();
+        b.end_function();
+    }
     b.build().expect("generated program is structurally valid")
+}
+
+fn leaf_name(k: usize) -> String {
+    if k == 0 {
+        "leaf".to_string()
+    } else {
+        format!("leaf{k}")
+    }
 }
 
 /// One trace-corruption operator, one per [`TraceError`] class.
@@ -504,9 +738,14 @@ fn fuzz_one_inner(seed: u64, faults: bool) -> Result<(), String> {
         }
     }
 
-    // Differential 2: assembler round-trip preserves execution exactly.
+    // Differential 2: the assembler round-trip is a byte-identical
+    // *program* identity (every instruction, function, jump table, data
+    // word, and the name), not merely trace-preserving.
     let text = to_asm(&program);
     let reparsed = parse_program(&text).map_err(|e| format!("round-trip parse failed: {e}"))?;
+    if reparsed != program {
+        return Err("assembler round-trip changed the program".to_string());
+    }
     let rerun = execute_window(&reparsed, WINDOW)
         .map_err(|e| format!("round-tripped program failed: {e}"))?;
     if rerun.trace.entries() != run.trace.entries() {
@@ -717,6 +956,65 @@ mod tests {
             inject_and_check(&program, &run.trace, fault, &mut rng)
                 .unwrap_or_else(|e| panic!("{fault:?}: {e}"));
         }
+    }
+
+    /// Every distribution bucket generates programs that halt inside the
+    /// window, round-trip byte-identically through the assembler, and
+    /// (for the irreducible bucket) actually contain an irreducible
+    /// region often enough to matter.
+    #[test]
+    fn every_bucket_generates_runnable_programs() {
+        for (name, dist) in GenDist::BUCKETS {
+            for seed in 0..8u64 {
+                let p = random_program_with(seed, &dist);
+                let run = execute_window(&p, WINDOW)
+                    .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+                assert!(run.halted, "{name} seed {seed} did not halt");
+                let p2 = parse_program(&to_asm(&p))
+                    .unwrap_or_else(|e| panic!("{name} seed {seed}: reparse: {e}"));
+                assert_eq!(p, p2, "{name} seed {seed} drifted through the text format");
+            }
+        }
+    }
+
+    /// The knobs bite: the branchy bucket generates more conditional
+    /// branches than the loopy bucket generates on the same seeds, and
+    /// the calls bucket reaches more callees than mixed.
+    #[test]
+    fn distribution_knobs_shift_the_instruction_mix() {
+        let count = |dist: &GenDist, pred: &dyn Fn(InstClass) -> bool| -> usize {
+            (0..16u64)
+                .map(|seed| {
+                    let p = random_program_with(seed, dist);
+                    p.insts().iter().filter(|i| pred(i.class())).count()
+                })
+                .sum()
+        };
+        // Hammocks are the only statements that emit an unconditional
+        // `jmp` to a join, so the jump count isolates branch density
+        // from loop back-edges (which are also conditional branches).
+        let is_join_jump = |c: InstClass| c == InstClass::Jump;
+        let branchy = count(&GenDist::branchy(), &is_join_jump);
+        let loopy_joins = count(&GenDist::loopy(), &is_join_jump);
+        assert!(
+            branchy > loopy_joins,
+            "branchy bucket must out-hammock loopy ({branchy} vs {loopy_joins})"
+        );
+        let is_mem = |c: InstClass| matches!(c, InstClass::Load | InstClass::Store);
+        let memory = count(&GenDist::memory(), &is_mem);
+        let branchy_mem = count(&GenDist::branchy(), &is_mem);
+        assert!(
+            memory > branchy_mem,
+            "memory bucket must out-load branchy ({memory} vs {branchy_mem})"
+        );
+        let call_fanout = (0..16u64)
+            .map(|s| random_program_with(s, &GenDist::calls()).functions().len())
+            .max()
+            .unwrap();
+        assert!(
+            call_fanout >= 3,
+            "calls bucket reaches several leaves (saw {call_fanout} functions)"
+        );
     }
 
     #[test]

@@ -37,8 +37,9 @@ type PredictorKey = (usize, usize, usize);
 /// rebuilt all of it on every `run_*` call).
 #[derive(Debug)]
 pub struct PreparedWorkload {
-    /// Benchmark name (paper x-axis label).
-    pub name: &'static str,
+    /// Workload name (a bundled benchmark's paper x-axis label, or a
+    /// runtime-loaded program's name).
+    pub name: String,
     /// The program.
     pub program: Program,
     /// The static spawn-point analysis.
@@ -51,15 +52,31 @@ pub struct PreparedWorkload {
 
 impl PreparedWorkload {
     /// Executes and analyzes one workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program faults or fails to halt within its window
+    /// — bundled workloads are tested to halt; for runtime-loaded
+    /// programs prefer [`Self::try_prepare`].
     pub fn prepare(w: Workload) -> PreparedWorkload {
+        Self::try_prepare(w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::prepare`]: interpreter faults and
+    /// non-termination come back as an error message instead of a panic,
+    /// so untrusted runtime workloads (uploads, `--asm` files) degrade
+    /// to a diagnostic.
+    pub fn try_prepare(w: Workload) -> Result<PreparedWorkload, String> {
         let result = execute_window(&w.program, w.window)
-            .unwrap_or_else(|e| panic!("{} failed to execute: {e}", w.name));
-        assert!(result.halted, "{} did not halt in its window", w.name);
+            .map_err(|e| format!("{} failed to execute: {e}", w.name))?;
+        if !result.halted {
+            return Err(format!("{} did not halt in its window", w.name));
+        }
         let analysis = ProgramAnalysis::analyze(&w.program);
         let trace = Arc::new(result.trace);
         let dataflow = Arc::new(trace.dataflow());
         let pc_index = Arc::new(trace.pc_index());
-        PreparedWorkload {
+        Ok(PreparedWorkload {
             name: w.name,
             program: w.program,
             analysis,
@@ -67,7 +84,7 @@ impl PreparedWorkload {
             dataflow,
             pc_index,
             preps: Mutex::new(Vec::new()),
-        }
+        })
     }
 
     /// The retired-instruction trace.
@@ -250,9 +267,39 @@ pub fn prepare_all(filter: &[String]) -> Vec<PreparedWorkload> {
 pub fn prepare_all_jobs(filter: &[String], jobs: usize) -> Vec<PreparedWorkload> {
     let selected: Vec<Workload> = polyflow_workloads::all()
         .into_iter()
-        .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
+        .filter(|w| filter.is_empty() || filter.contains(&w.name))
         .collect();
     pool::parallel_map(selected, jobs, |_, w| PreparedWorkload::prepare(w))
+}
+
+/// Resolves a figure bin's full workload selection: bundled workloads
+/// matching the positional filter, plus every `--asm <path>` runtime
+/// workload, in command-line order after the bundled set.
+///
+/// When `--asm` files are given and no bundled names are listed, only
+/// the files run (bring-your-own-workload mode); listing names alongside
+/// `--asm` runs both.
+///
+/// Exits with status 2 (like other CLI errors) when a file cannot be
+/// read, fails to assemble, or does not halt within its window.
+pub fn prepare_selection(args: &cli::Args) -> Vec<PreparedWorkload> {
+    let mut prepared = if args.asm.is_empty() || !args.filter.is_empty() {
+        prepare_all(&args.filter)
+    } else {
+        Vec::new()
+    };
+    for path in &args.asm {
+        let w = polyflow_workloads::from_asm_file(path).unwrap_or_else(|e| {
+            eprintln!("cannot load workload `{path}`: {e}");
+            std::process::exit(2);
+        });
+        let pw = PreparedWorkload::try_prepare(w).unwrap_or_else(|e| {
+            eprintln!("cannot prepare workload `{path}`: {e}");
+            std::process::exit(2);
+        });
+        prepared.push(pw);
+    }
+    prepared
 }
 
 /// Parses a policy by its display name ([`Policy::name`]), as used on the

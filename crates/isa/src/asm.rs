@@ -101,6 +101,50 @@ fn err_tok(line: usize, raw: &str, tok: &str, message: impl Into<String>) -> Asm
     }
 }
 
+/// A recorded source position of a token (for deferred diagnostics:
+/// unbound labels and undefined callees surface at builder finalization,
+/// but should point at the line that referenced them).
+struct Pos {
+    line: usize,
+    column: usize,
+    token: String,
+}
+
+impl Pos {
+    fn of(line: usize, raw: &str, tok: &str) -> Pos {
+        Pos {
+            line,
+            column: raw.find(tok).map_or(0, |i| i + 1),
+            token: tok.to_string(),
+        }
+    }
+
+    fn to_error(&self, message: String) -> AsmError {
+        AsmError {
+            line: self.line,
+            column: self.column,
+            token: self.token.clone(),
+            message,
+        }
+    }
+}
+
+/// A named label's state during parsing: the builder label plus the line
+/// that bound it (for duplicate-binding diagnostics).
+struct LabelEntry {
+    label: Label,
+    bound_at: Option<usize>,
+}
+
+/// Parses an unsigned 64-bit word (decimal or `0x` hex).
+fn parse_u64(tok: &str) -> Option<u64> {
+    if let Some(h) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
 fn parse_reg(tok: &str, line: usize, raw: &str) -> Result<Reg, AsmError> {
     let idx: usize = tok
         .strip_prefix('r')
@@ -166,17 +210,33 @@ fn cond(m: &str) -> Option<Cond> {
 /// any [`BuildError`] the underlying builder reports at finalization.
 pub fn parse_program(src: &str) -> Result<Program, AsmError> {
     let mut b = ProgramBuilder::new();
-    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut labels: HashMap<String, LabelEntry> = HashMap::new();
+    // First reference position per label / function name, so builder
+    // finalization errors (unbound label, undefined callee) can point at
+    // the referencing token instead of line 0.
+    let mut label_uses: HashMap<String, Pos> = HashMap::new();
+    let mut fn_uses: HashMap<String, Pos> = HashMap::new();
     let mut data_blocks: HashMap<String, u64> = HashMap::new();
     let mut in_fn = false;
 
     // First pass for named data sizes is unnecessary: data lines must
     // precede their first use, which the format requires by convention;
     // we simply process in order and resolve names as we go.
-    let get_label = |b: &mut ProgramBuilder, labels: &mut HashMap<String, Label>, name: &str| {
-        *labels
+    let use_label = |b: &mut ProgramBuilder,
+                     labels: &mut HashMap<String, LabelEntry>,
+                     uses: &mut HashMap<String, Pos>,
+                     name: &str,
+                     line_no: usize,
+                     raw: &str| {
+        uses.entry(name.to_string())
+            .or_insert_with(|| Pos::of(line_no, raw, name));
+        labels
             .entry(name.to_string())
-            .or_insert_with(|| b.fresh_label(name))
+            .or_insert_with(|| LabelEntry {
+                label: b.fresh_label(name),
+                bound_at: None,
+            })
+            .label
     };
 
     for (ln, raw) in src.lines().enumerate() {
@@ -186,11 +246,32 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
             continue;
         }
 
-        // Data: `.data name = [w, w, ...]`
+        // Program name: `.program name`
+        if let Some(rest) = line.strip_prefix(".program") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(err(line_no, ".program needs a name"));
+            }
+            b.set_name(name);
+            continue;
+        }
+
+        // Data: `.data name = [w, w, ...]`, optionally placed at an
+        // absolute byte address: `.data name @ 0xADDR = [w, ...]`.
         if let Some(rest) = line.strip_prefix(".data") {
             let (name, list) = rest
                 .split_once('=')
                 .ok_or_else(|| err(line_no, ".data needs `name = [..]`"))?;
+            let (name, at_addr) = match name.split_once('@') {
+                Some((n, a)) => {
+                    let a = a.trim();
+                    let addr = parse_u64(a).ok_or_else(|| {
+                        err_tok(line_no, raw, a, format!("expected data address, got `{a}`"))
+                    })?;
+                    (n, Some(addr))
+                }
+                None => (name, None),
+            };
             let name = name.trim();
             let list = list.trim();
             let inner = list
@@ -200,17 +281,15 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
             let mut words = Vec::new();
             for tok in inner.split(',').map(str::trim).filter(|t| !t.is_empty()) {
                 // Data words are full u64s; also accept negative i64s.
-                let w = if let Some(h) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
-                    u64::from_str_radix(h, 16).ok()
-                } else {
-                    tok.parse::<u64>().ok()
-                };
-                match w {
+                match parse_u64(tok) {
                     Some(w) => words.push(w),
                     None => words.push(parse_imm(tok, line_no, raw)? as u64),
                 }
             }
-            let addr = b.alloc_data(&words);
+            let addr = match at_addr {
+                Some(a) => b.alloc_data_at(a, &words),
+                None => b.alloc_data(&words),
+            };
             data_blocks.insert(name.to_string(), addr);
             continue;
         }
@@ -239,8 +318,23 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
 
         // Label binding.
         if let Some(name) = line.strip_suffix(':') {
-            let l = get_label(&mut b, &mut labels, name.trim());
-            b.bind_label(l);
+            let name = name.trim();
+            let entry = labels
+                .entry(name.to_string())
+                .or_insert_with(|| LabelEntry {
+                    label: b.fresh_label(name),
+                    bound_at: None,
+                });
+            if let Some(first) = entry.bound_at {
+                return Err(err_tok(
+                    line_no,
+                    raw,
+                    name,
+                    format!("label `{name}` bound twice (first bound at line {first})"),
+                ));
+            }
+            entry.bound_at = Some(line_no);
+            b.bind_label(entry.label);
             continue;
         }
 
@@ -273,27 +367,51 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                 .map(String::as_str)
                 .ok_or_else(|| err(line_no, format!("`{mnemonic}` missing operand {i}")))
         };
+        // Rejects trailing garbage: every mnemonic consumes a fixed operand
+        // count, and anything past it is an error at the extra token.
+        let expect_ops = |n: usize| -> Result<(), AsmError> {
+            match ops.get(n) {
+                Some(extra) => Err(err_tok(
+                    line_no,
+                    raw,
+                    extra,
+                    format!(
+                        "`{mnemonic}` takes {n} operand{}, found trailing `{extra}`",
+                        if n == 1 { "" } else { "s" }
+                    ),
+                )),
+                None => Ok(()),
+            }
+        };
 
         match mnemonic {
             "li" => {
+                expect_ops(2)?;
                 let rd = parse_reg(op(0)?, line_no, raw)?;
                 b.li(rd, parse_imm(op(1)?, line_no, raw)?);
             }
             "la" => {
+                expect_ops(2)?;
                 let rd = parse_reg(op(0)?, line_no, raw)?;
                 let name = op(1)?;
                 if let Some(&addr) = data_blocks.get(name) {
                     b.li(rd, addr as i64);
                 } else {
-                    let l = get_label(&mut b, &mut labels, name);
+                    let l = use_label(&mut b, &mut labels, &mut label_uses, name, line_no, raw);
                     b.li_label_addr(rd, l);
                 }
             }
             "lfa" => {
+                expect_ops(2)?;
                 let rd = parse_reg(op(0)?, line_no, raw)?;
-                b.li_fn_addr(rd, op(1)?);
+                let name = op(1)?;
+                fn_uses
+                    .entry(name.to_string())
+                    .or_insert_with(|| Pos::of(line_no, raw, name));
+                b.li_fn_addr(rd, name);
             }
             "ld" | "sd" => {
+                expect_ops(2)?;
                 let r = parse_reg(op(0)?, line_no, raw)?;
                 let mem = op(1)?;
                 let (off, base) = mem
@@ -313,10 +431,12 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                 }
             }
             "j" => {
-                let l = get_label(&mut b, &mut labels, op(0)?);
+                expect_ops(1)?;
+                let l = use_label(&mut b, &mut labels, &mut label_uses, op(0)?, line_no, raw);
                 b.jmp(l);
             }
             "jr" => {
+                expect_ops(2)?;
                 let rs = parse_reg(op(0)?, line_no, raw)?;
                 let table = op(1)?;
                 let inner = table
@@ -327,37 +447,49 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
                     .split(',')
                     .map(str::trim)
                     .filter(|t| !t.is_empty())
-                    .map(|t| get_label(&mut b, &mut labels, t))
+                    .map(|t| use_label(&mut b, &mut labels, &mut label_uses, t, line_no, raw))
                     .collect();
                 b.jr(rs, &targets);
             }
             "call" => {
-                b.call(op(0)?);
+                expect_ops(1)?;
+                let name = op(0)?;
+                fn_uses
+                    .entry(name.to_string())
+                    .or_insert_with(|| Pos::of(line_no, raw, name));
+                b.call(name);
             }
             "callr" => {
+                expect_ops(1)?;
                 let rs = parse_reg(op(0)?, line_no, raw)?;
                 b.callr(rs);
             }
             "ret" => {
+                expect_ops(0)?;
                 b.ret();
             }
             "halt" => {
+                expect_ops(0)?;
                 b.halt();
             }
             "nop" => {
+                expect_ops(0)?;
                 b.nop();
             }
             m => {
                 if let Some(c) = cond(m) {
+                    expect_ops(3)?;
                     let rs = parse_reg(op(0)?, line_no, raw)?;
                     let rt = parse_reg(op(1)?, line_no, raw)?;
-                    let l = get_label(&mut b, &mut labels, op(2)?);
+                    let l = use_label(&mut b, &mut labels, &mut label_uses, op(2)?, line_no, raw);
                     b.br(c, rs, rt, l);
                 } else if let Some(base) = m.strip_suffix('i').and_then(alu_op) {
+                    expect_ops(3)?;
                     let rd = parse_reg(op(0)?, line_no, raw)?;
                     let rs = parse_reg(op(1)?, line_no, raw)?;
                     b.alui(base, rd, rs, parse_imm(op(2)?, line_no, raw)?);
                 } else if let Some(a) = alu_op(m) {
+                    expect_ops(3)?;
                     let rd = parse_reg(op(0)?, line_no, raw)?;
                     let rs = parse_reg(op(1)?, line_no, raw)?;
                     let rt = parse_reg(op(2)?, line_no, raw)?;
@@ -371,24 +503,46 @@ pub fn parse_program(src: &str) -> Result<Program, AsmError> {
     if in_fn {
         return Err(err(src.lines().count(), "unclosed `fn`"));
     }
-    b.build().map_err(AsmError::from)
+    b.build().map_err(|e| {
+        // Point unbound-name errors at the token that referenced the name;
+        // the builder only knows it at finalization, far from the use site.
+        if let BuildError::UnboundLabel { name } = &e {
+            let pos = name
+                .strip_prefix("function `")
+                .and_then(|s| s.strip_suffix('`'))
+                .and_then(|f| fn_uses.get(f))
+                .or_else(|| label_uses.get(name.as_str()));
+            if let Some(p) = pos {
+                return p.to_error(e.to_string());
+            }
+        }
+        AsmError::from(e)
+    })
 }
 
 /// Renders `program` as assembly text accepted by [`parse_program`].
 ///
-/// Control-flow targets become `L<index>` labels; initialized data is
-/// emitted as one `.data` block per contiguous run, named `d<base>` —
-/// instruction operands that referenced data addresses are emitted as raw
-/// immediates (`li`), which round-trips exactly because the builder's
-/// data layout is deterministic.
+/// The rendering is a *round-trip identity*: reparsing the text yields a
+/// `Program` equal to the input (see the round-trip tests). Control-flow
+/// targets become `L<index>` labels; the name is carried by a `.program`
+/// directive; initialized data is emitted as one `.data` block per
+/// contiguous run, named `d<base>` and pinned to its absolute address
+/// with the `@` form — instruction operands that referenced data
+/// addresses are emitted as raw immediates (`li`), which round-trips
+/// exactly because the addresses are explicit in the text.
 pub fn to_asm(program: &Program) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
 
-    // Data: contiguous runs as .data blocks (names unused by the emitted
-    // code — immediates carry addresses — but make the text greppable).
-    let mut data = program.initial_data().to_vec();
-    data.sort_by_key(|&(a, _)| a);
+    if program.name() != "program" {
+        let _ = writeln!(out, ".program {}", program.name());
+        out.push('\n');
+    }
+
+    // Data: contiguous runs as .data blocks, pinned to their addresses
+    // (the builder canonicalizes data to address order, so emitting in
+    // that order reparses to the identical data segment).
+    let data = program.initial_data().to_vec();
     let mut i = 0;
     while i < data.len() {
         let base = data[i].0;
@@ -403,7 +557,7 @@ pub fn to_asm(program: &Program) -> String {
             .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join(", ");
-        let _ = writeln!(out, ".data d{base:x} = [{list}]");
+        let _ = writeln!(out, ".data d{base:x} @ {base:#x} = [{list}]");
         i = j;
     }
     if !data.is_empty() {
@@ -587,9 +741,107 @@ case1:
         let p1 = parse_program(DEMO).unwrap();
         let text = to_asm(&p1);
         let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse: {e}\n{text}"));
-        assert_eq!(p1.insts(), p2.insts());
-        assert_eq!(p1.initial_data(), p2.initial_data());
-        assert_eq!(p1.functions().len(), p2.functions().len());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_program_name() {
+        // Regression: `to_asm` used to drop the program name, so any
+        // named program reparsed as `"program"`.
+        let mut b = ProgramBuilder::named("twolf");
+        b.begin_function("main");
+        b.halt();
+        b.end_function();
+        let p1 = b.build().unwrap();
+        let text = to_asm(&p1);
+        assert!(text.starts_with(".program twolf\n"), "{text}");
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p2.name(), "twolf");
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_gapped_data_addresses() {
+        // Regression: `to_asm` emitted data blocks without addresses and
+        // `parse_program` re-allocated them sequentially from the data
+        // base, so any gap (zeroed scratch between initialized runs, or
+        // an absolute `push_initialized_word`) shifted every later block
+        // while the code still referenced the original addresses.
+        let mut b = ProgramBuilder::new();
+        let tbl = b.alloc_data(&[3, 5]);
+        let _scratch = b.alloc_zeroed(4); // uninitialized gap
+        let far = b.alloc_data(&[7]);
+        b.push_initialized_word(0x20_000, 99); // out-of-order absolute word
+        b.begin_function("main");
+        b.li(Reg::R1, tbl as i64);
+        b.li(Reg::R2, far as i64);
+        b.halt();
+        b.end_function();
+        let p1 = b.build().unwrap();
+        let text = to_asm(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse: {e}\n{text}"));
+        assert_eq!(p1, p2);
+        // The far block really is beyond the gap, not re-packed.
+        assert!(p2.initial_data().iter().any(|&(a, v)| a == far && v == 7));
+        assert!(p2.initial_data().contains(&(0x20_000, 99)));
+    }
+
+    #[test]
+    fn explicit_data_address_reserves_the_range() {
+        // A later address-less `.data` must not overlap an explicitly
+        // placed block.
+        let src = "\
+.data a @ 0x10020 = [1, 2]
+.data b = [3]
+
+fn main {
+    halt
+}
+";
+        let p = parse_program(src).unwrap();
+        let b_addr = p
+            .initial_data()
+            .iter()
+            .find(|&&(_, v)| v == 3)
+            .map(|&(a, _)| a)
+            .unwrap();
+        assert!(b_addr >= 0x10020 + 16, "b at {b_addr:#x} overlaps a");
+    }
+
+    #[test]
+    fn duplicate_label_is_a_positioned_error_not_a_panic() {
+        // Regression: a duplicate binding hit the builder's
+        // `bind_label` assertion and panicked instead of erroring.
+        let e = parse_program("fn main {\nloop:\n    nop\nloop:\n    halt\n}").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.column, 1);
+        assert_eq!(e.token, "loop");
+        assert!(e.message.contains("bound twice"), "{e}");
+        assert!(e.message.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn unbound_label_error_points_at_the_reference() {
+        // Regression: unbound labels surfaced at builder finalization as
+        // `line 0` errors with no token.
+        let e = parse_program("fn main {\n    j nowhere\n    halt\n}").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 7));
+        assert_eq!(e.token, "nowhere");
+        let e = parse_program("fn main {\n    call missing\n    halt\n}").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 10));
+        assert_eq!(e.token, "missing");
+    }
+
+    #[test]
+    fn trailing_operands_are_rejected_at_the_extra_token() {
+        // Regression: extra operands after a complete instruction were
+        // silently ignored.
+        let e = parse_program("fn main {\n    li r1, 5, r9\n    halt\n}").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 15));
+        assert_eq!(e.token, "r9");
+        assert!(e.message.contains("trailing"), "{e}");
+        let e = parse_program("fn main {\n    halt r1\n}").unwrap_err();
+        assert_eq!(e.token, "r1");
     }
 
     #[test]
@@ -626,6 +878,6 @@ case1:
 
         let text = to_asm(&p1);
         let p2 = parse_program(&text).unwrap_or_else(|e| panic!("reparse: {e}\n{text}"));
-        assert_eq!(p1.insts(), p2.insts());
+        assert_eq!(p1, p2);
     }
 }

@@ -112,6 +112,11 @@ impl ProgramBuilder {
         Pc::new(self.insts.len() as u32)
     }
 
+    /// Renames the program (the assembler's `.program` directive).
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
     // ---- functions --------------------------------------------------------
 
     /// Opens a new function. The next instruction is its entry point.
@@ -207,6 +212,21 @@ impl ProgramBuilder {
         let base = self.data_cursor;
         self.data_cursor += 8 * nwords.max(1) as u64;
         base
+    }
+
+    /// Initializes a run of 64-bit data words at an absolute byte address
+    /// (the assembler's `.data name @ addr = [..]` form) and returns it.
+    ///
+    /// The allocation cursor advances past the run if it previously sat
+    /// inside or before it, so later [`Self::alloc_data`] calls never
+    /// overlap an explicitly placed block.
+    pub fn alloc_data_at(&mut self, addr: u64, words: &[u64]) -> u64 {
+        for (i, &w) in words.iter().enumerate() {
+            self.data.push((addr + 8 * i as u64, w));
+        }
+        let end = addr + 8 * words.len().max(1) as u64;
+        self.data_cursor = self.data_cursor.max(end);
+        addr
     }
 
     /// Records an initialized data word at an absolute byte address.
@@ -531,11 +551,18 @@ impl ProgramBuilder {
         let mut functions = self.functions;
         functions.sort_by_key(|f| f.range.start);
 
+        // Canonicalize data to address order (stable, so duplicate-address
+        // writes keep their relative order and the last one still wins when
+        // memory is seeded). This makes `Program` equality and the
+        // assembler round-trip independent of allocation order.
+        let mut data = self.data;
+        data.sort_by_key(|&(a, _)| a);
+
         Ok(Program {
             insts: self.insts,
             functions,
             jump_targets,
-            data: self.data,
+            data,
             name: self.name,
         })
     }

@@ -91,7 +91,11 @@ impl Function {
 ///
 /// Construct programs with [`crate::ProgramBuilder`]; the builder validates
 /// label resolution, function boundaries and jump-table sanity.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is structural over every field (instructions, functions, jump
+/// tables, initial data, name) — two equal programs assemble to the same
+/// text and simulate identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     pub(crate) insts: Vec<Inst>,
     pub(crate) functions: Vec<Function>,

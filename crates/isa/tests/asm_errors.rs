@@ -1,0 +1,157 @@
+//! Table-driven `AsmError` position tests: every diagnostic must point
+//! at the offending token (1-based line and column), not line 0/1 or the
+//! end of the file. Each row is `(source, line, column, token, message
+//! fragment)`.
+
+use polyflow_isa::parse_program;
+
+struct Case {
+    name: &'static str,
+    src: &'static str,
+    line: usize,
+    column: usize,
+    token: &'static str,
+    fragment: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "duplicate label points at the second binding",
+        src: "fn main {\nloop:\n    nop\nloop:\n    halt\n}",
+        line: 4,
+        column: 1,
+        token: "loop",
+        fragment: "bound twice",
+    },
+    Case {
+        name: "duplicate label reports the first binding line",
+        src: "fn main {\n    nop\nagain:\n    nop\nagain:\n    halt\n}",
+        line: 5,
+        column: 1,
+        token: "again",
+        fragment: "line 3",
+    },
+    Case {
+        name: "indented duplicate label keeps its column",
+        src: "fn main {\n  top:\n    nop\n  top:\n    halt\n}",
+        line: 4,
+        column: 3,
+        token: "top",
+        fragment: "bound twice",
+    },
+    Case {
+        name: "forward reference to a never-bound label points at the jump",
+        src: "fn main {\n    j nowhere\n    halt\n}",
+        line: 2,
+        column: 7,
+        token: "nowhere",
+        fragment: "nowhere",
+    },
+    Case {
+        name: "unbound branch target points at the branch operand",
+        src: "fn main {\n    nop\n    beq r1, r2, missing\n    halt\n}",
+        line: 3,
+        column: 17,
+        token: "missing",
+        fragment: "missing",
+    },
+    Case {
+        name: "unbound jump-table entry points at the jr line",
+        src: "fn main {\n    jr r1, [gone]\n    halt\n}",
+        line: 2,
+        column: 13,
+        token: "gone",
+        fragment: "gone",
+    },
+    Case {
+        name: "call to an undefined function points at the call",
+        src: "fn main {\n    call helper\n    halt\n}",
+        line: 2,
+        column: 10,
+        token: "helper",
+        fragment: "helper",
+    },
+    Case {
+        name: "lfa of an undefined function points at the lfa",
+        src: "fn main {\n    lfa r4, ghost\n    halt\n}",
+        line: 2,
+        column: 13,
+        token: "ghost",
+        fragment: "ghost",
+    },
+    Case {
+        name: "trailing operand after li",
+        src: "fn main {\n    li r1, 5, r9\n    halt\n}",
+        line: 2,
+        column: 15,
+        token: "r9",
+        fragment: "trailing",
+    },
+    Case {
+        name: "trailing operand after halt",
+        src: "fn main {\n    halt r1\n}",
+        line: 2,
+        column: 10,
+        token: "r1",
+        fragment: "trailing",
+    },
+    Case {
+        name: "trailing operand after ret",
+        src: "fn f {\n    ret r2\n}\nfn main {\n    halt\n}",
+        line: 2,
+        column: 9,
+        token: "r2",
+        fragment: "trailing",
+    },
+    Case {
+        name: "trailing operand after a branch",
+        src: "fn main {\nl:\n    beq r1, r2, l, r3\n    halt\n}",
+        line: 3,
+        column: 20,
+        token: "r3",
+        fragment: "trailing",
+    },
+    Case {
+        name: "trailing operand after nop",
+        src: "fn main {\n    nop 3\n    halt\n}",
+        line: 2,
+        column: 9,
+        token: "3",
+        fragment: "trailing",
+    },
+    Case {
+        name: "unknown mnemonic keeps its position",
+        src: "fn main {\n    nop\n    frob r1, r2\n    halt\n}",
+        line: 3,
+        column: 5,
+        token: "frob",
+        fragment: "unknown mnemonic",
+    },
+    Case {
+        name: "bad data address token",
+        src: ".data x @ wat = [1]\n\nfn main {\n    halt\n}",
+        line: 1,
+        column: 11,
+        token: "wat",
+        fragment: "data address",
+    },
+];
+
+#[test]
+fn error_positions_point_at_the_offending_token() {
+    for c in CASES {
+        let e = parse_program(c.src)
+            .map(|_| ())
+            .expect_err(&format!("{}: expected an error", c.name));
+        assert_eq!(e.line, c.line, "{}: line ({e})", c.name);
+        assert_eq!(e.column, c.column, "{}: column ({e})", c.name);
+        assert_eq!(e.token, c.token, "{}: token ({e})", c.name);
+        assert!(
+            e.message.contains(c.fragment),
+            "{}: message `{}` lacks `{}`",
+            c.name,
+            e.message,
+            c.fragment
+        );
+    }
+}

@@ -56,15 +56,9 @@ fn assembly_roundtrip_is_identity() {
         let text = to_asm(&p1);
         let p2 = parse_program(&text)
             .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{text}"));
-        assert_eq!(p1.insts(), p2.insts(), "case {case}");
-        assert_eq!(p1.functions().len(), p2.functions().len(), "case {case}");
-        // Jump tables survive.
-        for (i, inst) in p1.insts().iter().enumerate() {
-            if matches!(inst, polyflow_isa::Inst::Jr { .. }) {
-                let pc = polyflow_isa::Pc::new(i as u32);
-                assert_eq!(p1.jump_targets(pc), p2.jump_targets(pc), "case {case}");
-            }
-        }
+        // Byte-identical program: every field (instructions, functions,
+        // jump tables, data, name) survives the text round trip.
+        assert_eq!(p1, p2, "case {case}:\n{text}");
     }
 }
 
@@ -81,6 +75,53 @@ fn data_blocks_roundtrip() {
         b.end_function();
         let p1 = b.build().unwrap();
         let p2 = parse_program(&to_asm(&p1)).unwrap();
-        assert_eq!(p1.initial_data(), p2.initial_data(), "case {case}");
+        assert_eq!(p1, p2, "case {case}");
+    }
+}
+
+/// Randomized data *layouts*: interleave sequential allocations, zeroed
+/// gaps, absolute placements and label/function tables, then require the
+/// byte-identical round trip. This is the generative form of the gap
+/// regression — the old address-less `.data` emission only survived the
+/// trivially contiguous layouts above.
+#[test]
+fn gapped_data_layouts_roundtrip() {
+    let mut rng = SplitMix64::new(0x6a9);
+    for case in 0..128 {
+        let mut b = ProgramBuilder::named("layout");
+        b.begin_function("main");
+        let l = b.fresh_label("top");
+        b.bind_label(l);
+        b.nop();
+        b.halt();
+        b.end_function();
+        for _ in 0..1 + rng.index(6) {
+            match rng.below(5) {
+                0 => {
+                    let words: Vec<u64> = (0..1 + rng.index(4)).map(|_| rng.next_u64()).collect();
+                    b.alloc_data(&words);
+                }
+                1 => {
+                    b.alloc_zeroed(1 + rng.index(4));
+                }
+                2 => {
+                    // An absolute word far from the cursor, possibly
+                    // colliding with an earlier one.
+                    let addr = 0x40_000 + 8 * rng.below(8);
+                    b.push_initialized_word(addr, rng.next_u64());
+                }
+                3 => {
+                    b.alloc_label_table(&[l]);
+                }
+                _ => {
+                    b.alloc_fn_table(&["main"]);
+                }
+            }
+        }
+        let p1 = b.build().unwrap();
+        let text = to_asm(&p1);
+        let p2 = parse_program(&text)
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{text}"));
+        assert_eq!(p1, p2, "case {case}:\n{text}");
     }
 }

@@ -432,12 +432,12 @@ fn run_verify(cfg: &Config) -> ! {
             };
             let w = prepared
                 .iter()
-                .find(|p| p.name == req.workload)
+                .find(|p| p.name == req.workload_label())
                 .expect("workload was prepared");
             let mut scratch = polyflow_sim::SimScratch::default();
             match run_cell_with_config(w, req.cell, &req.config, &mut scratch) {
                 Ok(result) => ok_response(
-                    req.workload,
+                    req.workload_label(),
                     &req.policy_label(),
                     &json::compact(&result.to_json()),
                 ),

@@ -34,7 +34,7 @@ pub mod signal;
 pub mod verify;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use protocol::{ErrorKind, Request, ServeError, SimRequest};
+pub use protocol::{ErrorKind, Request, ServeError, SimRequest, SimSource};
 pub use server::Server;
 pub use service::{Service, ServiceConfig, ServiceStats, Ticket};
 pub use verify::VerifyRequest;

@@ -15,13 +15,21 @@
 //! {"workload": "twolf", "policy": "postdoms", "config": {"max_cycles": 200000}}
 //! ```
 //!
-//! * `workload` — required; one of [`polyflow_workloads::names`].
+//! * `workload` — a bundled benchmark, one of
+//!   [`polyflow_workloads::names`]; **or** `program` — assembly text
+//!   (the [`polyflow_isa::parse_program`] grammar) uploaded for
+//!   simulation, exactly one of the two.
 //! * `policy` — optional (default `postdoms`); any Figure 9 policy name,
 //!   `superscalar`/`baseline`/`none` for the no-spawn baseline, or
 //!   `rec_pred` for the dynamic reconvergence predictor (§4.4).
 //! * `config` — optional overrides on the policy's base configuration
 //!   (Figure 8 for spawn policies, the equivalent-resource superscalar
 //!   for the baseline). See [`CONFIG_KEYS`].
+//!
+//! Uploaded programs share the result cache with bundled workloads
+//! through the same content fingerprint the `verify` verb uses
+//! ([`crate::verify::fingerprint`]): uploading a bundled benchmark's
+//! canonical assembly lands on the very cache entry its name does.
 //!
 //! Every response is one line. Success:
 //!
@@ -129,12 +137,23 @@ pub enum Request {
     Shutdown,
 }
 
+/// Where a simulation request's program comes from.
+#[derive(Debug, Clone)]
+pub enum SimSource {
+    /// A bundled benchmark (validated against
+    /// [`polyflow_workloads::names`]).
+    Bundled(&'static str),
+    /// A program uploaded as assembly text, already parsed into a
+    /// runtime workload (boxed — a parsed program is large next to the
+    /// rest of the request).
+    Uploaded(Box<polyflow_workloads::Workload>),
+}
+
 /// A validated simulation request.
 #[derive(Debug, Clone)]
 pub struct SimRequest {
-    /// The bundled workload (validated against
-    /// [`polyflow_workloads::names`]).
-    pub workload: &'static str,
+    /// The program to simulate.
+    pub source: SimSource,
     /// What to run on it.
     pub cell: Cell,
     /// The effective machine configuration (base + request overrides).
@@ -149,6 +168,44 @@ impl SimRequest {
     pub fn policy_label(&self) -> String {
         self.cell.label()
     }
+
+    /// The `workload` label echoed in responses: the bundled name, or an
+    /// upload's `.program` name (`program` when it has none).
+    pub fn workload_label(&self) -> &str {
+        match &self.source {
+            SimSource::Bundled(name) => name,
+            SimSource::Uploaded(w) => &w.name,
+        }
+    }
+
+    /// The program's content fingerprint ([`crate::verify::fingerprint`])
+    /// — the workload component of the result-cache key, shared between
+    /// bundled-by-name and uploaded-by-content requests for the same
+    /// program.
+    pub fn fingerprint(&self) -> String {
+        match &self.source {
+            SimSource::Bundled(name) => bundled_fingerprint(name),
+            SimSource::Uploaded(w) => crate::verify::fingerprint(&w.program),
+        }
+    }
+}
+
+/// Fingerprints of the bundled workloads, computed once on first touch
+/// (each one is a program build plus a canonical rendering — too much
+/// work to repeat on every request).
+fn bundled_fingerprint(name: &str) -> String {
+    use std::sync::OnceLock;
+    static MAP: OnceLock<std::collections::HashMap<&'static str, String>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        polyflow_workloads::names()
+            .iter()
+            .map(|n| {
+                let w = polyflow_workloads::by_name(n).expect("bundled name");
+                (*n, crate::verify::fingerprint(&w.program))
+            })
+            .collect()
+    })[name]
+        .clone()
 }
 
 /// The `config` override keys a request may carry, with the field each
@@ -200,9 +257,9 @@ pub fn parse_request(line: &str, default_max_cycles: u64) -> Result<Request, Ser
     let v = json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
     if let Some(verb) = v.get("verb") {
         return match verb.as_str() {
-            Some("ping") => Ok(Request::Ping),
-            Some("stats") => Ok(Request::Stats),
-            Some("shutdown") => Ok(Request::Shutdown),
+            Some("ping") => bare_verb(&v, "ping").map(|()| Request::Ping),
+            Some("stats") => bare_verb(&v, "stats").map(|()| Request::Stats),
+            Some("shutdown") => bare_verb(&v, "shutdown").map(|()| Request::Shutdown),
             Some("simulate") => parse_simulate(&v, default_max_cycles),
             Some("verify") => parse_verify(&v),
             _ => Err(bad(
@@ -213,32 +270,68 @@ pub fn parse_request(line: &str, default_max_cycles: u64) -> Result<Request, Ser
     parse_simulate(&v, default_max_cycles)
 }
 
+/// A bare verb in JSON form carries no other fields — the object form
+/// must be exactly as strict as the bare line, so a misspelled or
+/// misplaced field is a typed rejection, not silently dropped intent.
+fn bare_verb(v: &Json, verb: &str) -> Result<(), ServeError> {
+    let obj = v.as_obj().ok_or_else(|| bad("request must be an object"))?;
+    for key in obj.keys() {
+        if key != "verb" {
+            return Err(bad(format!("`{verb}` takes no field `{key}`")));
+        }
+    }
+    Ok(())
+}
+
 fn parse_simulate(v: &Json, default_max_cycles: u64) -> Result<Request, ServeError> {
     let obj = v.as_obj().ok_or_else(|| bad("request must be an object"))?;
     for key in obj.keys() {
-        if !matches!(key.as_str(), "verb" | "workload" | "policy" | "config") {
+        if !matches!(
+            key.as_str(),
+            "verb" | "workload" | "program" | "policy" | "config"
+        ) {
             return Err(bad(format!(
-                "unknown request field `{key}` (workload, policy, config)"
+                "unknown request field `{key}` (workload, program, policy, config)"
             )));
         }
     }
-    let workload_name = v
-        .get("workload")
-        .and_then(Json::as_str)
-        .ok_or_else(|| bad("missing required string field `workload`"))?;
-    let workload = polyflow_workloads::names()
-        .iter()
-        .find(|n| **n == workload_name)
-        .copied()
-        .ok_or_else(|| {
-            ServeError::new(
-                ErrorKind::UnknownWorkload,
-                format!(
-                    "unknown workload `{workload_name}` (one of: {})",
-                    polyflow_workloads::names().join(", ")
-                ),
-            )
-        })?;
+    let source = match (v.get("workload"), v.get("program")) {
+        (Some(_), Some(_)) => {
+            return Err(bad("simulate takes `workload` or `program`, not both"));
+        }
+        (None, None) => {
+            return Err(bad(
+                "missing required string field `workload` (or a `program` upload)",
+            ));
+        }
+        (Some(w), None) => {
+            let name = w
+                .as_str()
+                .ok_or_else(|| bad("`workload` must be a string"))?;
+            let name = polyflow_workloads::names()
+                .iter()
+                .find(|n| **n == name)
+                .copied()
+                .ok_or_else(|| {
+                    ServeError::new(
+                        ErrorKind::UnknownWorkload,
+                        format!(
+                            "unknown workload `{name}` (one of: {})",
+                            polyflow_workloads::names().join(", ")
+                        ),
+                    )
+                })?;
+            SimSource::Bundled(name)
+        }
+        (None, Some(p)) => {
+            let asm = p
+                .as_str()
+                .ok_or_else(|| bad("`program` must be a string"))?;
+            let workload = polyflow_workloads::from_asm_str(asm, "program")
+                .map_err(|e| bad(format!("program does not assemble: {e}")))?;
+            SimSource::Uploaded(Box::new(workload))
+        }
+    };
 
     let policy_name = match v.get("policy") {
         None => "postdoms",
@@ -255,7 +348,7 @@ fn parse_simulate(v: &Json, default_max_cycles: u64) -> Result<Request, ServeErr
         apply_overrides(&mut config, overrides)?;
     }
     Ok(Request::Simulate(Box::new(SimRequest {
-        workload,
+        source,
         cell,
         config,
     })))
@@ -456,7 +549,7 @@ mod tests {
         else {
             panic!("not a simulate")
         };
-        assert_eq!(r.workload, "twolf");
+        assert_eq!(r.workload_label(), "twolf");
         assert_eq!(r.policy_label(), "postdoms");
         assert_eq!(r.config.max_tasks, MachineConfig::hpca07().max_tasks);
 
@@ -475,6 +568,55 @@ mod tests {
             panic!("not a simulate")
         };
         assert!(matches!(r.cell, Cell::Reconv));
+    }
+
+    #[test]
+    fn simulate_accepts_an_uploaded_program() {
+        let twolf = polyflow_workloads::by_name("twolf").unwrap().program;
+        let asm = polyflow_isa::to_asm(&twolf);
+        let line = format!(
+            "{{\"program\":\"{}\",\"policy\":\"loop\"}}",
+            crate::json::escape(&asm)
+        );
+        let Request::Simulate(up) = parse_request(&line, BUDGET).unwrap() else {
+            panic!("not a simulate")
+        };
+        assert_eq!(up.workload_label(), "twolf", "label from `.program`");
+        assert_eq!(up.policy_label(), "loop");
+
+        // The canonical upload shares its cache identity with the
+        // bundled name — one entry either way.
+        let Request::Simulate(named) = parse_request("{\"workload\":\"twolf\"}", BUDGET).unwrap()
+        else {
+            panic!("not a simulate")
+        };
+        assert_eq!(up.fingerprint(), named.fingerprint());
+
+        // An upload without a `.program` directive falls back to the
+        // generic label and a distinct fingerprint.
+        let line = "{\"verb\":\"simulate\",\"program\":\"fn main {\\n halt\\n}\"}";
+        let Request::Simulate(r) = parse_request(line, BUDGET).unwrap() else {
+            panic!("not a simulate")
+        };
+        assert_eq!(r.workload_label(), "program");
+        assert_ne!(r.fingerprint(), named.fingerprint());
+    }
+
+    #[test]
+    fn bare_verbs_reject_unknown_fields() {
+        // The JSON form of ping/stats/shutdown is exactly as strict as
+        // the bare line: any extra field is a typed rejection.
+        let cases = [
+            "{\"verb\":\"ping\",\"workload\":\"twolf\"}",
+            "{\"verb\":\"stats\",\"detail\":true}",
+            "{\"verb\":\"shutdown\",\"force\":1}",
+            "{\"verb\":\"ping\",\"verb2\":\"ping\"}",
+        ];
+        for line in cases {
+            let e = parse_request(line, BUDGET).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "`{line}` → {e}");
+            assert!(e.message.contains("takes no field"), "`{line}` → {e}");
+        }
     }
 
     #[test]
@@ -527,6 +669,15 @@ mod tests {
             ),
             (
                 "{\"workload\":\"twolf\",\"config\":{\"max_cycles\":true}}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"workload\":\"twolf\",\"program\":\"fn main { halt }\"}",
+                ErrorKind::BadRequest,
+            ),
+            ("{\"program\":42}", ErrorKind::BadRequest),
+            (
+                "{\"program\":\"fn main { frobnicate r1 }\"}",
                 ErrorKind::BadRequest,
             ),
         ];

@@ -32,7 +32,7 @@
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::json;
-use crate::protocol::{ErrorKind, ServeError, SimRequest};
+use crate::protocol::{ErrorKind, ServeError, SimRequest, SimSource};
 use polyflow_bench::sweep::{self, CellOutcome};
 use polyflow_bench::{pool, PreparedWorkload};
 use polyflow_sim::{Bucket, MachineConfig};
@@ -171,7 +171,7 @@ pub struct Service {
     config: ServiceConfig,
     jobs: usize,
     cache: ResultCache,
-    registry: Mutex<HashMap<&'static str, Arc<PreparedWorkload>>>,
+    registry: Mutex<HashMap<String, Arc<PreparedWorkload>>>,
     queue: Mutex<VecDeque<Pending>>,
     notify: Condvar,
     shutdown: AtomicBool,
@@ -244,8 +244,11 @@ impl Service {
             ));
         }
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        // The workload component is the program's content fingerprint,
+        // not its name: a bundled benchmark requested by name and the
+        // same program uploaded as assembly share one cache entry.
         let key = CacheKey {
-            workload: req.workload.to_string(),
+            workload: req.fingerprint(),
             policy: req.policy_label(),
             config: req.config.fingerprint(),
         };
@@ -445,7 +448,7 @@ impl Service {
         let mut items: Vec<(Arc<PreparedWorkload>, (sweep::Cell, MachineConfig))> = Vec::new();
         let mut runnable: Vec<(CacheKey, SimRequest, Vec<Sender<Reply>>)> = Vec::new();
         for (key, req, waiters) in work {
-            match self.prepared_workload(req.workload) {
+            match self.prepared_workload(&key.workload, &req.source) {
                 Ok(w) => {
                     items.push((w, (req.cell, req.config.clone())));
                     runnable.push((key, req, waiters));
@@ -480,7 +483,7 @@ impl Service {
                         }
                     }
                     let line = crate::protocol::ok_response(
-                        req.workload,
+                        req.workload_label(),
                         &req.policy_label(),
                         &json::compact(&result.to_json()),
                     );
@@ -510,26 +513,38 @@ impl Service {
         }
     }
 
-    fn prepared_workload(&self, name: &'static str) -> Result<Arc<PreparedWorkload>, ServeError> {
+    /// Resolves a request's program to a prepared workload, keyed by the
+    /// program fingerprint — so an uploaded copy of a bundled benchmark
+    /// reuses the trace and analysis prepared for the name (and vice
+    /// versa). An uploaded program that faults or never halts is the
+    /// client's mistake ([`ErrorKind::SimFailed`]); a bundled one that
+    /// does is ours ([`ErrorKind::Internal`]).
+    fn prepared_workload(
+        &self,
+        fingerprint: &str,
+        source: &SimSource,
+    ) -> Result<Arc<PreparedWorkload>, ServeError> {
         let mut reg = self.registry.lock().unwrap();
-        if let Some(w) = reg.get(name) {
+        if let Some(w) = reg.get(fingerprint) {
             return Ok(Arc::clone(w));
         }
-        let workload = polyflow_workloads::by_name(name).ok_or_else(|| {
-            ServeError::new(
-                ErrorKind::Internal,
-                format!("workload `{name}` vanished from the bundle"),
-            )
-        })?;
-        let prepared = catch_unwind(AssertUnwindSafe(|| PreparedWorkload::prepare(workload)))
-            .map_err(|_| {
-                ServeError::new(
-                    ErrorKind::Internal,
-                    format!("workload `{name}` failed to prepare"),
-                )
-            })?;
+        let (workload, fail_kind) = match source {
+            SimSource::Bundled(name) => {
+                let w = polyflow_workloads::by_name(name).ok_or_else(|| {
+                    ServeError::new(
+                        ErrorKind::Internal,
+                        format!("workload `{name}` vanished from the bundle"),
+                    )
+                })?;
+                (w, ErrorKind::Internal)
+            }
+            SimSource::Uploaded(w) => ((**w).clone(), ErrorKind::SimFailed),
+        };
+        let prepared = catch_unwind(AssertUnwindSafe(|| PreparedWorkload::try_prepare(workload)))
+            .unwrap_or_else(|_| Err("workload panicked during preparation".to_string()))
+            .map_err(|e| ServeError::new(fail_kind, e))?;
         let arc = Arc::new(prepared);
-        reg.insert(name, Arc::clone(&arc));
+        reg.insert(fingerprint.to_string(), Arc::clone(&arc));
         Ok(arc)
     }
 }
@@ -596,6 +611,28 @@ mod tests {
             .enqueue(sim_request("gzip", "postdoms", 1000))
             .expect_err("draining service takes no new work");
         assert_eq!(e.kind, ErrorKind::ShuttingDown);
+    }
+
+    /// An uploaded program that never halts within its window is the
+    /// client's mistake: a typed `sim_failed` reply, not a dead batcher.
+    /// (The tiny `window` pragma keeps the preparation attempt cheap.)
+    #[test]
+    fn non_halting_upload_is_a_typed_sim_failure() {
+        let asm = "; window: 10_000\nfn main {\nspin:\n    j spin\n}";
+        let line = format!(
+            "{{\"program\":\"{}\",\"config\":{{\"max_cycles\":1000}}}}",
+            crate::json::escape(asm)
+        );
+        let req = match parse_request(&line, u64::MAX).expect("valid request") {
+            Request::Simulate(r) => *r,
+            _ => unreachable!(),
+        };
+        let svc = Service::new(ServiceConfig::default());
+        svc.start();
+        let e = svc.submit(req).expect_err("spin loop cannot prepare");
+        assert_eq!(e.kind, ErrorKind::SimFailed);
+        assert!(e.message.contains("did not halt"), "{e}");
+        svc.shutdown_and_join();
     }
 
     #[test]

@@ -46,14 +46,19 @@ fn sim_request(line: &str) -> polyflow_serve::SimRequest {
 /// byte-level ground truth for every served response.
 fn offline_expected(line: &str) -> String {
     let req = sim_request(line);
-    let workload = polyflow_workloads::by_name(req.workload).expect("bundled workload");
+    let workload = match &req.source {
+        polyflow_serve::SimSource::Bundled(name) => {
+            polyflow_workloads::by_name(name).expect("bundled workload")
+        }
+        polyflow_serve::SimSource::Uploaded(w) => (**w).clone(),
+    };
     let prepared = polyflow_bench::PreparedWorkload::prepare(workload);
     let mut scratch = polyflow_sim::SimScratch::default();
     let result =
         polyflow_bench::sweep::run_cell_with_config(&prepared, req.cell, &req.config, &mut scratch)
             .expect("test cell simulates cleanly");
     ok_response(
-        req.workload,
+        req.workload_label(),
         &req.policy_label(),
         &json::compact(&result.to_json()),
     )
@@ -451,6 +456,63 @@ fn verify_verb_round_trips_and_caches_by_fingerprint() {
     );
 
     server.shutdown();
+}
+
+/// The simulate-upload differential: serving a workload by bundled name
+/// and by uploading its canonical assembly must return byte-identical
+/// response lines *and* share one cache entry — the fingerprint keying
+/// makes name and content the same identity. The hit counter proves the
+/// sharing; the insert counter proves the upload simulated nothing.
+#[test]
+fn simulate_upload_matches_bundled_by_name_and_shares_cache() {
+    let mut server = Server::spawn("127.0.0.1:0", test_config()).expect("bind");
+    let mut c = Client::connect(&server);
+
+    let named_line = sim_line("twolf", "postdoms");
+    let named = c.exchange(&named_line);
+    assert!(named.starts_with("{\"ok\":true"), "{named}");
+    assert!(named.contains("\"workload\":\"twolf\""), "{named}");
+
+    let hits_before = cache_hits(&mut c);
+    let inserts_before = cache_inserts(&mut c);
+    let asm = polyflow_isa::to_asm(&polyflow_workloads::by_name("twolf").unwrap().program);
+    let upload = format!(
+        "{{\"program\":\"{}\",\"policy\":\"postdoms\",\
+         \"config\":{{\"max_cycles\":{BUDGET}}}}}",
+        json::escape(&asm)
+    );
+    let uploaded = c.exchange(&upload);
+    assert_eq!(
+        uploaded, named,
+        "uploading the canonical assembly replays the bundled bytes"
+    );
+    assert!(
+        cache_hits(&mut c) > hits_before,
+        "the upload landed on the named request's cache entry"
+    );
+    assert_eq!(
+        cache_inserts(&mut c),
+        inserts_before,
+        "the upload inserted nothing — one entry serves both"
+    );
+
+    // And the shared bytes are the offline ground truth for both forms.
+    assert_eq!(named, offline_expected(&upload));
+
+    server.shutdown();
+}
+
+fn cache_inserts(c: &mut Client) -> u64 {
+    let stats = json::parse(&c.exchange("stats")).expect("stats parse");
+    stats
+        .get("stats")
+        .unwrap()
+        .get("cache")
+        .unwrap()
+        .get("inserts")
+        .unwrap()
+        .as_u64()
+        .unwrap()
 }
 
 fn cache_hits(c: &mut Client) -> u64 {

@@ -38,18 +38,117 @@ pub mod dsl;
 mod programs;
 pub mod synth;
 
-use polyflow_isa::Program;
+use polyflow_isa::{AsmError, Program};
+use std::fmt;
+use std::path::Path;
 
 /// A benchmark stand-in: a program plus its simulation window.
+///
+/// Workloads come from two sources: the 12 bundled synthetic SPEC
+/// stand-ins ([`by_name`]/[`all`]), and runtime-loaded `.asm` files
+/// ([`from_asm_str`]/[`from_asm_file`]).
 #[derive(Debug, Clone)]
 pub struct Workload {
-    /// The benchmark name (matches the paper's x-axis labels).
-    pub name: &'static str,
+    /// The workload name (a bundled benchmark name matching the paper's
+    /// x-axis labels, or a runtime-loaded program's `.program` name /
+    /// file stem).
+    pub name: String,
     /// The program.
     pub program: Program,
     /// Instructions to simulate (the paper fast-forwards and runs 100M;
     /// our kernels have no init phase and use smaller windows).
     pub window: u64,
+}
+
+/// Default simulation window for runtime-loaded workloads without a
+/// `; window: N` pragma. Generous on purpose: a program that halts
+/// earlier produces the identical trace under any window at least as
+/// long as its run, so over-sizing costs nothing but interpreter time.
+pub const DEFAULT_ASM_WINDOW: u64 = 2_000_000;
+
+/// An error loading a runtime `.asm` workload.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The assembly failed to parse or validate.
+    Parse(AsmError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Io(e) => write!(f, "{e}"),
+            WorkloadError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<AsmError> for WorkloadError {
+    fn from(e: AsmError) -> WorkloadError {
+        WorkloadError::Parse(e)
+    }
+}
+
+/// Parses assembly text into a runtime [`Workload`].
+///
+/// The workload name is the program's `.program` directive when present,
+/// else `fallback_name` (callers pass the file stem). The simulation
+/// window comes from a `; window: N` pragma comment anywhere in the
+/// source, else [`DEFAULT_ASM_WINDOW`].
+///
+/// # Errors
+///
+/// Returns the assembler's [`AsmError`] (with source position) when the
+/// text fails to parse or validate.
+pub fn from_asm_str(src: &str, fallback_name: &str) -> Result<Workload, AsmError> {
+    let program = polyflow_isa::parse_program(src)?;
+    let name = if program.name() == "program" {
+        fallback_name.to_string()
+    } else {
+        program.name().to_string()
+    };
+    Ok(Workload {
+        name,
+        program,
+        window: window_pragma(src).unwrap_or(DEFAULT_ASM_WINDOW),
+    })
+}
+
+/// Loads a runtime [`Workload`] from an `.asm` file (see
+/// [`from_asm_str`]; the fallback name is the file stem).
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::Io`] when the file cannot be read and
+/// [`WorkloadError::Parse`] when the assembly is invalid.
+pub fn from_asm_file(path: impl AsRef<Path>) -> Result<Workload, WorkloadError> {
+    let path = path.as_ref();
+    let src = std::fs::read_to_string(path).map_err(WorkloadError::Io)?;
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program");
+    Ok(from_asm_str(&src, stem)?)
+}
+
+/// Extracts a `; window: N` (or `# window: N`) pragma from assembly
+/// comment lines. `N` accepts `_` separators.
+fn window_pragma(src: &str) -> Option<u64> {
+    for line in src.lines() {
+        let line = line.trim();
+        let Some(comment) = line.strip_prefix(';').or_else(|| line.strip_prefix('#')) else {
+            continue;
+        };
+        if let Some(v) = comment.trim().strip_prefix("window:") {
+            if let Ok(n) = v.trim().replace('_', "").parse() {
+                return Some(n);
+            }
+        }
+    }
+    None
 }
 
 /// The benchmark names, in the paper's plotting order.
@@ -102,7 +201,7 @@ pub fn by_name(name: &str) -> Option<Workload> {
         _ => return None,
     };
     Some(Workload {
-        name: NAMES.iter().find(|n| **n == name)?,
+        name: name.to_string(),
         program,
         window,
     })
@@ -117,8 +216,52 @@ mod tests {
     fn all_has_twelve_in_paper_order() {
         let ws = all();
         assert_eq!(ws.len(), 12);
-        let names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        let names: Vec<_> = ws.iter().map(|w| w.name.as_str()).collect();
         assert_eq!(names, NAMES.to_vec());
+    }
+
+    #[test]
+    fn every_bundled_workload_roundtrips_byte_identically() {
+        // Satellite of the runtime-workload work: `to_asm` →
+        // `parse_program` must reproduce each bundled program exactly
+        // (name, data addresses, jump tables and all), otherwise an
+        // uploaded canonical rendering would not share a cache identity
+        // with the bundled build.
+        for w in all() {
+            let text = polyflow_isa::to_asm(&w.program);
+            let p2 = polyflow_isa::parse_program(&text)
+                .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", w.name));
+            assert_eq!(w.program, p2, "{} drifted through the text format", w.name);
+        }
+    }
+
+    #[test]
+    fn from_asm_str_reads_name_and_window_pragma() {
+        let src = "\
+; window: 250_000
+.program demo
+
+fn main {
+    halt
+}
+";
+        let w = from_asm_str(src, "fallback").unwrap();
+        assert_eq!(w.name, "demo");
+        assert_eq!(w.window, 250_000);
+        // Without directive or pragma: fallback name, default window.
+        let w = from_asm_str("fn main {\n halt\n}", "mine").unwrap();
+        assert_eq!(w.name, "mine");
+        assert_eq!(w.window, DEFAULT_ASM_WINDOW);
+    }
+
+    #[test]
+    fn bundled_workloads_reload_from_their_canonical_asm() {
+        // The full loop: render twolf, load it back as a *runtime*
+        // workload, and get the same name and program.
+        let twolf = by_name("twolf").unwrap();
+        let w = from_asm_str(&polyflow_isa::to_asm(&twolf.program), "upload").unwrap();
+        assert_eq!(w.name, "twolf");
+        assert_eq!(w.program, twolf.program);
     }
 
     #[test]

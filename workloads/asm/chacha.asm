@@ -1,0 +1,67 @@
+; chacha — ChaCha20-style ARX core: 512 quarter-rounds of
+; add / xor / rotate-left over a 4-word state, with a data-dependent
+; hammock (odd mixer values fold in the round counter) so the spawn
+; policies have reconvergence points to find inside the hot loop.
+; Rotations are built from slli/srli/or since the ISA has no rotate.
+; window: 60_000
+.program chacha
+
+.data state @ 0x10000 = [1634760805, 857760878, 2036477234, 1797285236]
+.data out @ 0x20000 = [0]
+
+fn main {
+    la r20, state
+    ld r1, 0(r20)
+    ld r2, 8(r20)
+    ld r3, 16(r20)
+    ld r4, 24(r20)
+    li r5, 0
+    li r6, 0
+    li r9, 0
+    li r10, 512
+round:
+    ; a += b; d ^= a; d = rotl(d, 16)
+    add r1, r1, r2
+    xor r4, r4, r1
+    slli r11, r4, 16
+    srli r12, r4, 48
+    or r4, r11, r12
+    ; c += d; b ^= c; b = rotl(b, 12)
+    add r3, r3, r4
+    xor r2, r2, r3
+    slli r11, r2, 12
+    srli r12, r2, 52
+    or r2, r11, r12
+    ; a += b; d ^= a; d = rotl(d, 8)
+    add r1, r1, r2
+    xor r4, r4, r1
+    slli r11, r4, 8
+    srli r12, r4, 56
+    or r4, r11, r12
+    ; c += d; b ^= c; b = rotl(b, 7)
+    add r3, r3, r4
+    xor r2, r2, r3
+    slli r11, r2, 7
+    srli r12, r2, 57
+    or r2, r11, r12
+    ; data-dependent tweak: odd mixer folds the round counter in,
+    ; even mixer stirs the rotated word instead
+    andi r13, r1, 1
+    beq r13, r0, even
+    add r5, r5, r9
+    j join
+even:
+    xor r6, r6, r2
+join:
+    addi r9, r9, 1
+    blt r9, r10, round
+    ; fold the state and both tweak accumulators into one checksum
+    xor r7, r1, r2
+    xor r8, r3, r4
+    add r7, r7, r8
+    add r7, r7, r5
+    add r7, r7, r6
+    la r21, out
+    sd r7, 0(r21)
+    halt
+}

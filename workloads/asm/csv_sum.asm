@@ -1,0 +1,69 @@
+; csv_sum — byte-at-a-time CSV scanner: classifies each character of a
+; three-row, four-column table (digit / comma / newline), accumulates
+; numbers positionally, and calls a leaf mixer at every row boundary.
+; Character classification makes the branching data-dependent the way
+; real parsers are — the branch *pattern* is decided by the input
+; bytes, not the loop structure. The outer counted loop re-scans the
+; buffer 120 times to give the trace some weight.
+; window: 120_000
+.program csv_sum
+
+; "107,35,9,214\n3,118,42,77\n256,1,99,8\n" — one word per character.
+.data text @ 0x10000 = [49, 48, 55, 44, 51, 53, 44, 57, 44, 50, 49, 52, 10, 51, 44, 49, 49, 56, 44, 52, 50, 44, 55, 55, 10, 50, 53, 54, 44, 49, 44, 57, 57, 44, 56, 10, 0]
+.data out @ 0x20000 = [0, 0, 0]
+
+fn main {
+    li r2, 0
+    li r3, 0
+    li r6, 0
+    li r9, 0
+    li r10, 120
+pass:
+    la r20, text
+    li r1, 0
+scan:
+    ld r4, 0(r20)
+    beq r4, r0, eof
+    li r28, 48
+    blt r4, r28, sep
+    ; digit: value = value * 10 + (c - '0')
+    li r28, 10
+    mul r1, r1, r28
+    addi r4, r4, -48
+    add r1, r1, r4
+    j advance
+sep:
+    ; field boundary (',' = 44 or '\n' = 10): bank the number
+    add r2, r2, r1
+    li r1, 0
+    addi r3, r3, 1
+    li r28, 10
+    bne r4, r28, advance
+    ; row boundary: stir the running sum through the leaf mixer
+    addi r29, r29, -8
+    sd r31, 0(r29)
+    call mix
+    ld r31, 0(r29)
+    addi r29, r29, 8
+advance:
+    addi r20, r20, 8
+    j scan
+eof:
+    addi r9, r9, 1
+    blt r9, r10, pass
+    la r21, out
+    sd r2, 0(r21)
+    sd r3, 8(r21)
+    sd r6, 16(r21)
+    halt
+}
+
+fn mix {
+    ; r6 = rotl(r6 ^ sum, 13) + fields — a cheap row fingerprint
+    xor r6, r6, r2
+    slli r11, r6, 13
+    srli r12, r6, 51
+    or r6, r11, r12
+    add r6, r6, r3
+    ret
+}

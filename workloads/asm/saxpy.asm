@@ -1,0 +1,49 @@
+; saxpy — the classic streaming array kernel: y[i] = a*x[i] + y[i]
+; over 16-element arrays, followed by a sum-reduction over y, repeated
+; 100 times. Address arithmetic (shift + add per element) and the
+; load/multiply/store chain make this the memory-bound counterpart to
+; chacha's pure-ALU mix; the two counted inner loops give the loop
+; spawn heuristics consecutive iterations to overlap.
+; window: 80_000
+.program saxpy
+
+.data x @ 0x10000 = [12, 7, 93, 31, 4, 68, 25, 50, 81, 2, 46, 77, 19, 38, 64, 9]
+.data y @ 0x11000 = [5, 14, 3, 27, 91, 6, 42, 13, 70, 58, 21, 34, 88, 47, 16, 29]
+.data out @ 0x12000 = [0]
+
+fn main {
+    li r3, 3
+    li r9, 0
+    li r28, 100
+outer:
+    la r20, x
+    la r21, y
+    li r1, 0
+    li r2, 16
+axpy:
+    slli r4, r1, 3
+    add r5, r20, r4
+    add r6, r21, r4
+    ld r7, 0(r5)
+    ld r8, 0(r6)
+    mul r7, r7, r3
+    add r8, r8, r7
+    sd r8, 0(r6)
+    addi r1, r1, 1
+    blt r1, r2, axpy
+    ; reduce y into r10
+    li r1, 0
+    li r10, 0
+reduce:
+    slli r4, r1, 3
+    add r6, r21, r4
+    ld r7, 0(r6)
+    add r10, r10, r7
+    addi r1, r1, 1
+    blt r1, r2, reduce
+    addi r9, r9, 1
+    blt r9, r28, outer
+    la r22, out
+    sd r10, 0(r22)
+    halt
+}

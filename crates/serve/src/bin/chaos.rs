@@ -1,0 +1,177 @@
+//! The PolyFlow chaos proxy.
+//!
+//! A seeded fault-injection TCP proxy (see `polyflow_serve::chaos`)
+//! interposed between clients and a running `serve`:
+//!
+//! ```text
+//! serve --addr 127.0.0.1:7199 &
+//! chaos --listen 127.0.0.1:7190 --upstream 127.0.0.1:7199 \
+//!       --seed 42 --reset-pct 8 --truncate-pct 8 --bitflip-pct 8 \
+//!       --delay-pct 10 --blackhole-pct 4
+//! loadgen --addr 127.0.0.1:7190 --retries 16 --integrity ...
+//! ```
+//!
+//! Runs until SIGINT/SIGTERM, then prints per-operator fault counts to
+//! stderr and exits 0.
+
+use polyflow_serve::chaos::{ChaosConfig, ChaosProxy};
+use polyflow_serve::signal;
+use std::process::exit;
+use std::time::Duration;
+
+struct Opt {
+    name: &'static str,
+    value: &'static str,
+    help: &'static str,
+}
+
+const OPTS: &[Opt] = &[
+    Opt {
+        name: "--listen",
+        value: "HOST:PORT",
+        help: "address clients connect to (default 127.0.0.1:7190; port 0 = ephemeral)",
+    },
+    Opt {
+        name: "--upstream",
+        value: "HOST:PORT",
+        help: "the real server (default 127.0.0.1:7199)",
+    },
+    Opt {
+        name: "--seed",
+        value: "N",
+        help: "fault-schedule seed (default 42)",
+    },
+    Opt {
+        name: "--delay-pct",
+        value: "N",
+        help: "percent of exchanges delayed (default 0)",
+    },
+    Opt {
+        name: "--reset-pct",
+        value: "N",
+        help: "percent of exchanges reset mid-response (default 0)",
+    },
+    Opt {
+        name: "--truncate-pct",
+        value: "N",
+        help: "percent of exchanges with a byte-truncated response (default 0)",
+    },
+    Opt {
+        name: "--bitflip-pct",
+        value: "N",
+        help: "percent of exchanges with one payload bit flipped (default 0)",
+    },
+    Opt {
+        name: "--blackhole-pct",
+        value: "N",
+        help: "percent of exchanges accepted but never answered (default 0)",
+    },
+    Opt {
+        name: "--delay-ms",
+        value: "N",
+        help: "hold time for delayed/black-holed exchanges (default 20)",
+    },
+];
+
+fn usage() -> String {
+    let mut out = String::from(
+        "chaos — seeded fault-injection TCP proxy for the PolyFlow server\n\n\
+         Usage: chaos [flags]\n\nFlags:\n",
+    );
+    let width = OPTS
+        .iter()
+        .map(|o| o.name.len() + 1 + o.value.len())
+        .max()
+        .unwrap_or(0);
+    for o in OPTS {
+        let lhs = format!("{} {}", o.name, o.value);
+        out.push_str(&format!("  {lhs:<width$}  {}\n", o.help));
+    }
+    out.push_str(&format!(
+        "  {:<width$}  print this help and exit\n",
+        "--help"
+    ));
+    out.push_str(
+        "\nOperators: delay, conn-reset mid-line, byte-truncated response,\n\
+         payload bit-flip (caught by the client's integrity trailer), and\n\
+         black-holed accepts. The remainder of the distribution passes\n\
+         exchanges through untouched. Percentages must sum to at most 100.\n",
+    );
+    out
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chaos: {msg}\n\n{}", usage());
+    exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:7190".to_string();
+    let mut config = ChaosConfig::clean("127.0.0.1:7199", 42);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--help" || a == "-h" {
+            print!("{}", usage());
+            return;
+        }
+        let (name, inline) = match a.split_once('=') {
+            Some((n, v)) => (n.to_string(), Some(v.to_string())),
+            None => (a, None),
+        };
+        if !OPTS.iter().any(|o| o.name == name) {
+            fail(&format!("unknown flag `{name}`"));
+        }
+        let value = inline
+            .or_else(|| args.next())
+            .unwrap_or_else(|| fail(&format!("flag `{name}` requires a value")));
+        let num = || -> u64 {
+            value.parse().unwrap_or_else(|_| {
+                fail(&format!("flag `{name}` requires a number, got `{value}`"))
+            })
+        };
+        match name.as_str() {
+            "--listen" => listen = value.clone(),
+            "--upstream" => config.upstream = value.clone(),
+            "--seed" => config.seed = num(),
+            "--delay-pct" => config.delay_pct = num() as u32,
+            "--reset-pct" => config.reset_pct = num() as u32,
+            "--truncate-pct" => config.truncate_pct = num() as u32,
+            "--bitflip-pct" => config.bitflip_pct = num() as u32,
+            "--blackhole-pct" => config.blackhole_pct = num() as u32,
+            "--delay-ms" => config.delay = Duration::from_millis(num()),
+            _ => unreachable!("flag table covers all names"),
+        }
+    }
+    let total = config.delay_pct
+        + config.reset_pct
+        + config.truncate_pct
+        + config.bitflip_pct
+        + config.blackhole_pct;
+    if total > 100 {
+        fail(&format!("fault percentages sum to {total} (> 100)"));
+    }
+
+    signal::install();
+    let upstream = config.upstream.clone();
+    let mut proxy = match ChaosProxy::spawn(&listen, config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("chaos: cannot bind {listen}: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "[chaos] listening on {} -> upstream {upstream}",
+        proxy.addr()
+    );
+    while !signal::requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let counts = proxy.counts();
+    proxy.shutdown();
+    let (clean, delay, reset, truncate, bitflip, blackhole) = counts.snapshot();
+    eprintln!(
+        "[chaos] exchanges: {clean} clean, {delay} delayed, {reset} reset, \
+         {truncate} truncated, {bitflip} bit-flipped, {blackhole} black-holed"
+    );
+}

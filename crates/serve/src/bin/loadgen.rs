@@ -23,8 +23,10 @@
 use polyflow_bench::stopwatch::percentile;
 use polyflow_bench::sweep::{figure9_cells, run_cell_with_config};
 use polyflow_isa::rng::SplitMix64;
+use polyflow_serve::client::{Client, ClientConfig, Outcome};
 use polyflow_serve::json;
 use polyflow_serve::protocol::{ok_response, parse_request, Request};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::exit;
@@ -75,6 +77,26 @@ const OPTS: &[Opt] = &[
         help: "offline worker threads for --verify-fig09 (default: available CPUs)",
     },
     Opt {
+        name: "--retries",
+        value: Some("N"),
+        help: "retries per request on transport failures / retryable errors (default 0)",
+    },
+    Opt {
+        name: "--retry-budget",
+        value: Some("N"),
+        help: "total retries allowed across the whole run per client thread (default: unlimited)",
+    },
+    Opt {
+        name: "--deadline-ms",
+        value: Some("N"),
+        help: "per-request deadline sent to the server (default: none)",
+    },
+    Opt {
+        name: "--integrity",
+        value: None,
+        help: "request and verify the FNV-1a integrity trailer on every reply",
+    },
+    Opt {
         name: "--verify-fig09",
         value: None,
         help: "verify every Figure 9 cell byte-for-byte against an offline run",
@@ -118,6 +140,10 @@ struct Config {
     seed: u64,
     max_cycles: u64,
     jobs: usize,
+    retries: u32,
+    retry_budget: Option<u64>,
+    deadline_ms: Option<u64>,
+    integrity: bool,
     verify: bool,
 }
 
@@ -130,6 +156,10 @@ fn parse_args() -> Config {
         seed: 42,
         max_cycles: 1_000_000_000,
         jobs: 0,
+        retries: 0,
+        retry_budget: None,
+        deadline_ms: None,
+        integrity: false,
         verify: false,
     };
     let mut args = std::env::args().skip(1);
@@ -149,7 +179,11 @@ fn parse_args() -> Config {
             if inline.is_some() {
                 fail(&format!("flag `{name}` takes no value"));
             }
-            cfg.verify = true; // --verify-fig09 is the only boolean flag
+            match name.as_str() {
+                "--integrity" => cfg.integrity = true,
+                "--verify-fig09" => cfg.verify = true,
+                _ => unreachable!("flag table covers all booleans"),
+            }
             continue;
         }
         let value = inline
@@ -168,6 +202,9 @@ fn parse_args() -> Config {
             "--seed" => cfg.seed = num(),
             "--max-cycles" => cfg.max_cycles = num().max(1),
             "--jobs" => cfg.jobs = num() as usize,
+            "--retries" => cfg.retries = num() as u32,
+            "--retry-budget" => cfg.retry_budget = Some(num()),
+            "--deadline-ms" => cfg.deadline_ms = Some(num().max(1)),
             _ => unreachable!("flag table covers all names"),
         }
     }
@@ -209,107 +246,187 @@ fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
 const HOT_WORKLOADS: &[&str] = &["mcf", "vortex", "twolf", "crafty"];
 const HOT_POLICIES: &[&str] = &["postdoms", "baseline"];
 
-fn hot_line(n: usize, max_cycles: u64) -> String {
+fn hot_line(n: usize, max_cycles: u64, extra: &str) -> String {
     let w = HOT_WORKLOADS[(n / HOT_POLICIES.len()) % HOT_WORKLOADS.len()];
     let p = HOT_POLICIES[n % HOT_POLICIES.len()];
     format!(
-        "{{\"workload\":\"{w}\",\"policy\":\"{p}\",\"config\":{{\"max_cycles\":{max_cycles}}}}}"
+        "{{\"workload\":\"{w}\",\"policy\":\"{p}\",\"config\":{{\"max_cycles\":{max_cycles}}}{extra}}}"
     )
 }
 
-fn cold_line(counter: u64, max_cycles: u64, rng: &mut SplitMix64) -> String {
+fn cold_line(counter: u64, max_cycles: u64, extra: &str, rng: &mut SplitMix64) -> String {
     let w = HOT_WORKLOADS[rng.index(HOT_WORKLOADS.len())];
     // A unique max_cycles value: a fresh cache key, the same result.
     let budget = max_cycles + 1 + counter;
     format!(
-        "{{\"workload\":\"{w}\",\"policy\":\"postdoms\",\"config\":{{\"max_cycles\":{budget}}}}}"
+        "{{\"workload\":\"{w}\",\"policy\":\"postdoms\",\"config\":{{\"max_cycles\":{budget}}}{extra}}}"
     )
 }
 
-fn is_ok(reply: &str) -> bool {
-    reply.starts_with("{\"ok\":true")
+/// The retry client policy for one loadgen thread.
+fn client_config(cfg: &Config, salt: u64) -> ClientConfig {
+    ClientConfig {
+        max_retries: cfg.retries,
+        retry_budget: cfg.retry_budget,
+        io_timeout: Duration::from_secs(5),
+        require_integrity: cfg.integrity,
+        seed: cfg.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ..ClientConfig::new(cfg.addr.clone())
+    }
+}
+
+/// Request fields beyond workload/policy/config, shared by every line.
+fn extra_fields(cfg: &Config) -> String {
+    match cfg.deadline_ms {
+        Some(ms) => format!(",\"deadline_ms\":{ms}"),
+        None => String::new(),
+    }
+}
+
+/// What one loadgen thread brings home.
+struct ThreadTally {
+    latencies: Vec<Duration>,
+    ok: u64,
+    typed: u64,
+    transport: u64,
+    corrupt: u64,
+    retries: u64,
+    /// Replies under its own consistency check failed: two accepted
+    /// `ok` replies for the same request line disagreed.
+    wrong: u64,
+    /// line → first accepted reply, for the cross-thread check.
+    accepted: HashMap<String, String>,
+    first_error: Option<String>,
 }
 
 fn run_load(cfg: &Config) -> ! {
     let hot_keys = HOT_WORKLOADS.len() * HOT_POLICIES.len();
+    let extra = extra_fields(cfg);
 
     // Warm the cache so a high hit ratio measures the cache, not the
-    // first-touch simulations.
-    let (mut w, mut r) = connect(&cfg.addr);
-    for n in 0..hot_keys {
-        let line = hot_line(n, cfg.max_cycles);
-        if let Err(e) = exchange(&mut w, &mut r, &line) {
-            eprintln!("loadgen: warm-up failed: {e}");
-            exit(1);
-        }
+    // first-touch simulations. Best-effort: under chaos a warm-up line
+    // may exhaust its retries, which only lowers the measured hit rate.
+    let mut warm = Client::new(client_config(cfg, u64::MAX));
+    let warmed = (0..hot_keys)
+        .filter(|&n| {
+            warm.request(&hot_line(n, cfg.max_cycles, &extra))
+                .ok()
+                .is_some()
+        })
+        .count();
+    if warmed < hot_keys {
+        eprintln!("[loadgen] warm-up incomplete: {warmed}/{hot_keys} hot keys cached");
     }
 
     let cold_counter = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
     let deadline = started + cfg.duration;
     let mut handles = Vec::new();
-    for client in 0..cfg.clients {
-        let addr = cfg.addr.clone();
+    for client_index in 0..cfg.clients {
+        let config = client_config(cfg, client_index as u64);
         let hit_ratio = cfg.hit_ratio;
         let max_cycles = cfg.max_cycles;
         let seed = cfg.seed;
+        let extra = extra.clone();
         let cold_counter = Arc::clone(&cold_counter);
         handles.push(std::thread::spawn(move || {
-            let mut rng = SplitMix64::new(seed ^ (client as u64).wrapping_mul(0x9e37));
-            let (mut w, mut r) = connect(&addr);
-            let mut latencies: Vec<Duration> = Vec::new();
-            let mut ok = 0u64;
-            let mut errors = 0u64;
-            let mut first_error: Option<String> = None;
+            let mut rng = SplitMix64::new(seed ^ (client_index as u64).wrapping_mul(0x9e37));
+            let mut client = Client::new(config);
+            let mut tally = ThreadTally {
+                latencies: Vec::new(),
+                ok: 0,
+                typed: 0,
+                transport: 0,
+                corrupt: 0,
+                retries: 0,
+                wrong: 0,
+                accepted: HashMap::new(),
+                first_error: None,
+            };
             while Instant::now() < deadline {
                 let line = if rng.below(100) < hit_ratio {
-                    hot_line(rng.index(hot_keys), max_cycles)
+                    hot_line(rng.index(hot_keys), max_cycles, &extra)
                 } else {
                     let n = cold_counter.fetch_add(1, Ordering::Relaxed);
-                    cold_line(n, max_cycles, &mut rng)
+                    cold_line(n, max_cycles, &extra, &mut rng)
                 };
                 let t0 = Instant::now();
-                match exchange(&mut w, &mut r, &line) {
-                    Ok(reply) if is_ok(&reply) => {
-                        ok += 1;
-                        latencies.push(t0.elapsed());
+                match client.request(&line) {
+                    Outcome::Ok(reply) => {
+                        tally.ok += 1;
+                        tally.latencies.push(t0.elapsed());
+                        match tally.accepted.get(&line) {
+                            Some(prev) if prev != &reply => tally.wrong += 1,
+                            Some(_) => {}
+                            None => {
+                                tally.accepted.insert(line, reply);
+                            }
+                        }
                     }
-                    Ok(reply) => {
-                        errors += 1;
-                        first_error.get_or_insert(reply);
+                    Outcome::ServerError { kind, message } => {
+                        tally.typed += 1;
+                        tally
+                            .first_error
+                            .get_or_insert(format!("{kind}: {message}"));
                     }
-                    Err(e) => {
-                        errors += 1;
-                        first_error.get_or_insert(e);
-                        break; // connection is gone
+                    Outcome::Transport { last_error } => {
+                        tally.transport += 1;
+                        tally.first_error.get_or_insert(last_error);
                     }
                 }
             }
-            (latencies, ok, errors, first_error)
+            let s = client.stats();
+            tally.corrupt = s.corrupt;
+            tally.retries = s.retries;
+            tally
         }));
     }
 
     let mut latencies: Vec<Duration> = Vec::new();
-    let mut ok = 0u64;
-    let mut errors = 0u64;
+    let (mut ok, mut typed, mut transport, mut corrupt, mut retries, mut wrong) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
     let mut first_error: Option<String> = None;
+    // The cross-thread consistency check: every thread that accepted a
+    // reply for the same request line must have accepted the same bytes.
+    let mut accepted: HashMap<String, String> = HashMap::new();
     for h in handles {
-        let (l, o, e, fe) = h.join().expect("client thread");
-        latencies.extend(l);
-        ok += o;
-        errors += e;
+        let t = h.join().expect("client thread");
+        latencies.extend(t.latencies);
+        ok += t.ok;
+        typed += t.typed;
+        transport += t.transport;
+        corrupt += t.corrupt;
+        retries += t.retries;
+        wrong += t.wrong;
         if first_error.is_none() {
-            first_error = fe;
+            first_error = t.first_error;
+        }
+        for (line, reply) in t.accepted {
+            match accepted.get(&line) {
+                Some(prev) if prev != &reply => wrong += 1,
+                Some(_) => {}
+                None => {
+                    accepted.insert(line, reply);
+                }
+            }
         }
     }
     let wall = started.elapsed();
 
-    // The server's own counters, over the same connection family.
-    let (mut w, mut r) = connect(&cfg.addr);
-    let stats_line = exchange(&mut w, &mut r, "stats").unwrap_or_else(|e| {
-        eprintln!("loadgen: stats fetch failed: {e}");
-        exit(1);
+    // The server's own counters — via a plain (trailer-less) client, as
+    // the `stats` verb does not carry the integrity trailer.
+    let mut stats_client = Client::new(ClientConfig {
+        require_integrity: false,
+        max_retries: cfg.retries.max(4),
+        ..client_config(cfg, u64::MAX - 1)
     });
+    let stats_line = match stats_client.request("stats") {
+        Outcome::Ok(line) => line,
+        other => {
+            eprintln!("loadgen: stats fetch failed: {other:?}");
+            exit(1);
+        }
+    };
     let stats = json::parse(&stats_line).unwrap_or_else(|e| {
         eprintln!("loadgen: stats response unparsable: {e}");
         exit(1);
@@ -328,12 +445,16 @@ fn run_load(cfg: &Config) -> ! {
     let p50 = percentile(&mut latencies, 50.0);
     let p90 = percentile(&mut latencies, 90.0);
     let p99 = percentile(&mut latencies, 99.0);
+    let errors = typed + transport;
     let total = ok + errors;
     let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
 
     println!(
         "{{\"name\":\"loadgen\",\"jobs\":{},\"cells\":{},\"wall_seconds\":{:.6},\
-         \"cells_per_second\":{:.3},\"ok\":{},\"errors\":{},\"hit_ratio_pct\":{},\
+         \"cells_per_second\":{:.3},\"ok\":{},\
+         \"errors\":{{\"total\":{errors},\"typed\":{typed},\"transport\":{transport},\
+         \"corrupt\":{corrupt}}},\
+         \"retries\":{retries},\"wrong\":{wrong},\"hit_ratio_pct\":{},\
          \"latency_ms\":{{\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3}}},\
          \"cache\":{cache},\"queue\":{queue}}}",
         cfg.clients,
@@ -341,15 +462,15 @@ fn run_load(cfg: &Config) -> ! {
         wall.as_secs_f64(),
         throughput,
         ok,
-        errors,
         cfg.hit_ratio,
         p50.as_secs_f64() * 1e3,
         p90.as_secs_f64() * 1e3,
         p99.as_secs_f64() * 1e3,
     );
     eprintln!(
-        "[loadgen] {ok} ok / {errors} errors in {:.2}s with {} clients \
-         ({throughput:.1} req/s; p50 {:.2}ms p99 {:.2}ms)",
+        "[loadgen] {ok} ok / {typed} typed + {transport} transport errors \
+         ({retries} retries, {corrupt} corrupt replies rejected, {wrong} wrong answers) \
+         in {:.2}s with {} clients ({throughput:.1} req/s; p50 {:.2}ms p99 {:.2}ms)",
         wall.as_secs_f64(),
         cfg.clients,
         p50.as_secs_f64() * 1e3,
@@ -358,7 +479,7 @@ fn run_load(cfg: &Config) -> ! {
     if let Some(e) = first_error {
         eprintln!("[loadgen] first error: {e}");
     }
-    exit(if ok > 0 { 0 } else { 1 });
+    exit(if ok > 0 && wrong == 0 { 0 } else { 1 });
 }
 
 /// Requests every (workload × Figure 9 cell) over the wire — spread

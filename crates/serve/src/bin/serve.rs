@@ -56,6 +56,26 @@ const OPTS: &[Opt] = &[
         value: "N",
         help: "result-cache entries; 0 disables caching (default 1024)",
     },
+    Opt {
+        name: "--cache-dir",
+        value: "PATH",
+        help: "persist the cache to a crash-safe journal here; warm-starts on boot",
+    },
+    Opt {
+        name: "--max-deadline",
+        value: "MS",
+        help: "cap on per-request deadline_ms (default 60000)",
+    },
+    Opt {
+        name: "--write-timeout-ms",
+        value: "N",
+        help: "slow-client write watchdog; a blocked response write drops the connection (default 10000)",
+    },
+    Opt {
+        name: "--max-line",
+        value: "BYTES",
+        help: "longest accepted request line; longer gets a typed bad_request (default 1048576)",
+    },
 ];
 
 fn usage() -> String {
@@ -121,6 +141,10 @@ fn main() {
             "--batch-window-ms" => config.batch_window = Duration::from_millis(num()),
             "--max-cycles" => config.default_max_cycles = num().max(1),
             "--cache-capacity" => config.cache_capacity = num() as usize,
+            "--cache-dir" => config.cache_dir = Some(value.clone().into()),
+            "--max-deadline" => config.max_deadline = Duration::from_millis(num().max(1)),
+            "--write-timeout-ms" => config.write_timeout = Duration::from_millis(num().max(1)),
+            "--max-line" => config.max_request_line = num().max(64) as usize,
             _ => unreachable!("flag table covers all names"),
         }
     }
@@ -143,4 +167,10 @@ fn main() {
         "[serve] drained: {} completed, {} failed, {} shed; cache {} hits / {} misses",
         stats.completed, stats.failed, stats.shed, stats.cache.hits, stats.cache.misses
     );
+    if stats.journal_bytes > 0 || stats.warm_start > 0 {
+        eprintln!(
+            "[serve] journal: {} bytes on disk, {} entries warm-started this boot",
+            stats.journal_bytes, stats.warm_start
+        );
+    }
 }

@@ -147,6 +147,26 @@ impl ResultCache {
         value
     }
 
+    /// The live entries, least-recently-used first within each shard
+    /// (shards in index order). This is the compaction snapshot: writing
+    /// it back to the journal in this order makes a warm start replay
+    /// recency-faithfully per shard. Deterministic for a given cache
+    /// state.
+    pub fn snapshot(&self) -> Vec<(CacheKey, Arc<str>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            let mut entries: Vec<(&CacheKey, &(Arc<str>, u64))> = shard.entries.iter().collect();
+            entries.sort_by_key(|(_, (_, used))| *used);
+            out.extend(
+                entries
+                    .into_iter()
+                    .map(|(k, (v, _))| (k.clone(), Arc::clone(v))),
+            );
+        }
+        out
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -227,6 +247,19 @@ mod tests {
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.get(&key(1)).as_deref(), Some("a2"));
         assert!(c.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn snapshot_orders_lru_first() {
+        let c = single_shard(8);
+        for n in [1, 2, 3] {
+            c.insert(key(n), Arc::from(format!("r{n}").as_str()));
+        }
+        c.get(&key(1)); // 1 becomes most recent
+        let snap = c.snapshot();
+        let order: Vec<String> = snap.iter().map(|(k, _)| k.workload.clone()).collect();
+        assert_eq!(order, ["w2", "w3", "w1"]);
+        assert_eq!(&*snap[2].1, "r1");
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! A retrying, backoff-disciplined protocol client.
+//!
+//! `loadgen`, the e2e tests, and the chaos suite all speak to the
+//! server through this module so they share one recovery policy. The
+//! client's job is to turn a hostile transport into a clean trichotomy
+//! for its caller:
+//!
+//! - [`Outcome::Ok`] — a complete, parseable, `"ok":true` response line
+//!   (integrity-checked when the trailer was requested);
+//! - [`Outcome::ServerError`] — the server answered with a typed error
+//!   that is not worth retrying (`bad_request`, `sim_failed`, …);
+//! - [`Outcome::Transport`] — the request could not be completed within
+//!   the retry budget (connection failures, corrupt replies, and
+//!   retryable typed errors such as `overloaded` all end here once the
+//!   budget runs out).
+//!
+//! Nothing else escapes. In particular a corrupt-but-parseable reply is
+//! **never** handed to the caller as success: a reply only counts as
+//! [`Outcome::Ok`] if it is newline-terminated, passes the integrity
+//! trailer check (when enabled), parses as JSON, and carries
+//! `"ok":true`.
+//!
+//! # Retry policy
+//!
+//! Retries use decorrelated-jitter exponential backoff
+//! (`sleep = min(cap, uniform[base, 3·prev])`), seeded through
+//! [`SplitMix64`] so tests are deterministic, with two independent
+//! bounds: a per-request attempt cap ([`ClientConfig::max_retries`]) and
+//! a per-client retry *budget* ([`ClientConfig::retry_budget`]) that
+//! stops a fleet of failing requests from amplifying an outage with
+//! coordinated retry storms. Every retry is counted separately from
+//! successes ([`ClientStats::retries`]) — a request that succeeded on
+//! attempt three reports one success and two retries, never three
+//! successes.
+//!
+//! [`SplitMix64`]: polyflow_isa::rng::SplitMix64
+
+use crate::json;
+use crate::protocol::{self, ErrorKind};
+use polyflow_isa::rng::SplitMix64;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Tunables for one [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server (or chaos proxy) address, `host:port`.
+    pub addr: String,
+    /// Attempts beyond the first allowed per request.
+    pub max_retries: u32,
+    /// Total retries allowed across the client's lifetime; `None` is
+    /// unlimited. When the budget is exhausted, requests get exactly one
+    /// attempt.
+    pub retry_budget: Option<u64>,
+    /// Backoff floor (first retry sleeps at least this long).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Read/write timeout on the socket. A reply that does not complete
+    /// within this window is a transport failure (and a retry), never a
+    /// hang.
+    pub io_timeout: Duration,
+    /// Ask the server for the FNV-1a integrity trailer and verify it on
+    /// every reply; a mismatch is treated as a corrupt reply (retry),
+    /// not a response.
+    pub require_integrity: bool,
+    /// Seed for the backoff jitter (deterministic in tests).
+    pub seed: u64,
+}
+
+impl ClientConfig {
+    /// A sensible default policy against `addr`.
+    pub fn new(addr: impl Into<String>) -> ClientConfig {
+        ClientConfig {
+            addr: addr.into(),
+            max_retries: 3,
+            retry_budget: None,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(5),
+            require_integrity: false,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// How one request ended, after retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A complete, verified, `"ok":true` response line (newline
+    /// stripped).
+    Ok(String),
+    /// A typed, non-retryable server error.
+    ServerError {
+        /// The protocol error label (`bad_request`, `sim_failed`, …).
+        kind: String,
+        /// The server's message.
+        message: String,
+    },
+    /// The retry budget ran out without a usable reply.
+    Transport {
+        /// What the last attempt died of.
+        last_error: String,
+    },
+}
+
+impl Outcome {
+    /// The response line, if this outcome is a success.
+    pub fn ok(&self) -> Option<&str> {
+        match self {
+            Outcome::Ok(line) => Some(line),
+            _ => None,
+        }
+    }
+}
+
+/// Counters a [`Client`] keeps about its own honesty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests issued through [`Client::request`].
+    pub requests: u64,
+    /// Requests that ended in [`Outcome::Ok`].
+    pub ok: u64,
+    /// Requests that ended in a typed, non-retryable server error.
+    pub server_errors: u64,
+    /// Requests that exhausted their retry budget.
+    pub transport_errors: u64,
+    /// Replies discarded as corrupt (truncated, unparseable, or failing
+    /// the integrity trailer) — each also caused a retry or a transport
+    /// error.
+    pub corrupt: u64,
+    /// Retry attempts performed (attempts beyond each request's first).
+    pub retries: u64,
+    /// Retryable typed errors observed (`overloaded`, `shutting_down`).
+    pub retry_after: u64,
+}
+
+/// What one attempt produced, before retry policy is applied.
+enum Attempt {
+    Ok(String),
+    /// Typed error, with its kind label and message.
+    Typed(ErrorKind, String, String),
+    /// Connection-level or corruption failure, with a description.
+    Broken(String),
+}
+
+/// A retrying protocol client. Not `Sync`: each thread owns one (the
+/// jitter RNG is per-client state).
+#[derive(Debug)]
+pub struct Client {
+    config: ClientConfig,
+    rng: SplitMix64,
+    prev_backoff: Duration,
+    budget_spent: u64,
+    stats: ClientStats,
+}
+
+impl Client {
+    /// A client with the given policy.
+    pub fn new(config: ClientConfig) -> Client {
+        let rng = SplitMix64::new(config.seed);
+        let prev_backoff = config.backoff_base;
+        Client {
+            config,
+            rng,
+            prev_backoff,
+            budget_spent: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Sends one request line (no trailing newline) and drives it to a
+    /// final [`Outcome`], retrying transport failures, corrupt replies,
+    /// and retryable typed errors within the configured bounds.
+    ///
+    /// When [`ClientConfig::require_integrity`] is set, `line` must be a
+    /// `simulate` request object — the client injects `"integrity":true`
+    /// into it and verifies the trailer on every reply.
+    pub fn request(&mut self, line: &str) -> Outcome {
+        self.stats.requests += 1;
+        let line = if self.config.require_integrity {
+            match inject_integrity(line) {
+                Some(l) => l,
+                None => {
+                    // Not an object we can annotate; send as-is (the
+                    // reply then must simply parse, without a trailer).
+                    line.to_string()
+                }
+            }
+        } else {
+            line.to_string()
+        };
+        let mut last_error = String::new();
+        for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                if !self.spend_retry() {
+                    break;
+                }
+                std::thread::sleep(self.next_backoff());
+            }
+            match self.attempt(&line) {
+                Attempt::Ok(reply) => {
+                    self.stats.ok += 1;
+                    self.prev_backoff = self.config.backoff_base;
+                    return Outcome::Ok(reply);
+                }
+                Attempt::Typed(kind, label, message) => {
+                    if matches!(kind, ErrorKind::Overloaded | ErrorKind::ShuttingDown) {
+                        self.stats.retry_after += 1;
+                        last_error = format!("{label}: {message}");
+                        continue;
+                    }
+                    self.stats.server_errors += 1;
+                    return Outcome::ServerError {
+                        kind: label,
+                        message,
+                    };
+                }
+                Attempt::Broken(why) => {
+                    last_error = why;
+                    continue;
+                }
+            }
+        }
+        self.stats.transport_errors += 1;
+        Outcome::Transport { last_error }
+    }
+
+    /// One wire exchange: connect, send, read one line, validate.
+    fn attempt(&mut self, line: &str) -> Attempt {
+        let reply = match self.exchange(line) {
+            Ok(r) => r,
+            Err(e) => return Attempt::Broken(format!("io: {e}")),
+        };
+        // Validation order matters: the trailer covers the raw line, so
+        // check (and strip) it before parsing.
+        let body = if self.config.require_integrity {
+            match protocol::check_integrity_trailer(&reply) {
+                (body, Some(true)) => body,
+                (_, Some(false)) => {
+                    self.stats.corrupt += 1;
+                    return Attempt::Broken("integrity trailer mismatch".to_string());
+                }
+                (_, None) => {
+                    self.stats.corrupt += 1;
+                    return Attempt::Broken("integrity trailer missing".to_string());
+                }
+            }
+        } else {
+            reply.as_str()
+        };
+        let v = match json::parse(body) {
+            Ok(v) => v,
+            Err(e) => {
+                self.stats.corrupt += 1;
+                return Attempt::Broken(format!("unparseable reply: {e}"));
+            }
+        };
+        match v.get("ok").and_then(|o| o.as_bool()) {
+            Some(true) => Attempt::Ok(body.to_string()),
+            Some(false) => {
+                let err = v.get("error");
+                let label = err
+                    .and_then(|e| e.get("kind"))
+                    .and_then(|k| k.as_str())
+                    .unwrap_or("internal")
+                    .to_string();
+                let message = err
+                    .and_then(|e| e.get("message"))
+                    .and_then(|m| m.as_str())
+                    .unwrap_or_default()
+                    .to_string();
+                Attempt::Typed(kind_of(&label), label, message)
+            }
+            None => {
+                self.stats.corrupt += 1;
+                Attempt::Broken("reply has no `ok` field".to_string())
+            }
+        }
+    }
+
+    /// Connect, write `line`, read exactly one newline-terminated reply.
+    fn exchange(&self, line: &str) -> std::io::Result<String> {
+        let stream = TcpStream::connect(&self.config.addr)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        let mut writer = stream.try_clone()?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply)?;
+        match reply.pop() {
+            Some('\n') => Ok(reply),
+            _ => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "reply truncated before newline",
+            )),
+        }
+    }
+
+    /// Accounts one retry against the budget; false means stop retrying.
+    fn spend_retry(&mut self) -> bool {
+        if let Some(budget) = self.config.retry_budget {
+            if self.budget_spent >= budget {
+                return false;
+            }
+        }
+        self.budget_spent += 1;
+        self.stats.retries += 1;
+        true
+    }
+
+    /// Decorrelated jitter: `min(cap, uniform[base, 3·prev])`.
+    fn next_backoff(&mut self) -> Duration {
+        let base = self.config.backoff_base.as_micros() as u64;
+        let hi = (self.prev_backoff.as_micros() as u64)
+            .saturating_mul(3)
+            .max(base + 1);
+        let sleep = base + self.rng.below(hi - base);
+        let sleep = Duration::from_micros(sleep).min(self.config.backoff_cap);
+        self.prev_backoff = sleep;
+        sleep
+    }
+}
+
+/// Maps a wire error label back to its [`ErrorKind`] (unknown labels
+/// conservatively map to `Internal`, which is non-retryable).
+fn kind_of(label: &str) -> ErrorKind {
+    match label {
+        "bad_request" => ErrorKind::BadRequest,
+        "unknown_workload" => ErrorKind::UnknownWorkload,
+        "unknown_policy" => ErrorKind::UnknownPolicy,
+        "overloaded" => ErrorKind::Overloaded,
+        "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+        "sim_failed" => ErrorKind::SimFailed,
+        "shutting_down" => ErrorKind::ShuttingDown,
+        _ => ErrorKind::Internal,
+    }
+}
+
+/// Rewrites a `simulate` request object to carry `"integrity":true`.
+/// Returns `None` when `line` is not a JSON object (nothing to inject
+/// into).
+fn inject_integrity(line: &str) -> Option<String> {
+    let trimmed = line.trim_end();
+    let body = trimmed.strip_suffix('}')?;
+    if !body.trim_start().starts_with('{') {
+        return None;
+    }
+    if body.trim_end().ends_with('{') {
+        Some(format!("{body}\"integrity\":true}}"))
+    } else {
+        Some(format!("{body},\"integrity\":true}}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    /// A tiny scripted server: each accepted connection reads one line
+    /// and plays the next canned action.
+    enum Action {
+        Reply(&'static str),
+        /// Reply without the terminating newline, then close.
+        Truncate(&'static str),
+        /// Close without replying.
+        Hangup,
+    }
+
+    fn scripted(actions: Vec<Action>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for action in actions {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 4096];
+                let mut line = Vec::new();
+                loop {
+                    let n = stream.read(&mut buf).unwrap_or(0);
+                    if n == 0 {
+                        break;
+                    }
+                    line.extend_from_slice(&buf[..n]);
+                    if line.contains(&b'\n') {
+                        break;
+                    }
+                }
+                match action {
+                    Action::Reply(r) => {
+                        let _ = stream.write_all(r.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                    }
+                    Action::Truncate(r) => {
+                        let _ = stream.write_all(r.as_bytes());
+                    }
+                    Action::Hangup => {}
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn fast(addr: String) -> ClientConfig {
+        ClientConfig {
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(2),
+            io_timeout: Duration::from_secs(2),
+            seed: 7,
+            ..ClientConfig::new(addr)
+        }
+    }
+
+    #[test]
+    fn retries_transport_failures_then_succeeds() {
+        let (addr, h) = scripted(vec![
+            Action::Hangup,
+            Action::Truncate("{\"ok\":true"),
+            Action::Reply("{\"ok\":true,\"workload\":\"gzip\"}"),
+        ]);
+        let mut c = Client::new(fast(addr));
+        let out = c.request("{\"workload\":\"gzip\"}");
+        assert_eq!(out.ok(), Some("{\"ok\":true,\"workload\":\"gzip\"}"));
+        let s = c.stats();
+        assert_eq!((s.requests, s.ok, s.retries), (1, 1, 2));
+        assert_eq!(s.transport_errors, 0);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn typed_errors_do_not_retry() {
+        let (addr, h) = scripted(vec![Action::Reply(
+            "{\"ok\":false,\"error\":{\"kind\":\"bad_request\",\"message\":\"nope\"}}",
+        )]);
+        let mut c = Client::new(fast(addr));
+        match c.request("{}") {
+            Outcome::ServerError { kind, message } => {
+                assert_eq!(kind, "bad_request");
+                assert_eq!(message, "nope");
+            }
+            other => panic!("expected typed error, got {other:?}"),
+        }
+        let s = c.stats();
+        assert_eq!((s.server_errors, s.retries), (1, 0));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn overloaded_is_retried_and_counted() {
+        let (addr, h) = scripted(vec![
+            Action::Reply(
+                "{\"ok\":false,\"error\":{\"kind\":\"overloaded\",\"message\":\"full\"}}",
+            ),
+            Action::Reply("{\"ok\":true}"),
+        ]);
+        let mut c = Client::new(fast(addr));
+        assert!(matches!(c.request("{}"), Outcome::Ok(_)));
+        let s = c.stats();
+        assert_eq!((s.retry_after, s.retries, s.ok), (1, 1, 1));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_retrying() {
+        let (addr, h) = scripted(vec![Action::Hangup, Action::Hangup]);
+        let mut c = Client::new(ClientConfig {
+            max_retries: 10,
+            retry_budget: Some(1),
+            ..fast(addr)
+        });
+        match c.request("{}") {
+            Outcome::Transport { .. } => {}
+            other => panic!("expected transport failure, got {other:?}"),
+        }
+        assert_eq!(c.stats().retries, 1, "budget capped retries below max");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_reply_is_never_success() {
+        // A bit-flipped but still newline-terminated reply with a bad
+        // trailer must be rejected by the integrity check.
+        let good = "{\"ok\":true,\"workload\":\"gzip\"}";
+        let trailed = crate::protocol::with_integrity_trailer(good);
+        let mut flipped = trailed.into_bytes();
+        flipped[2] ^= 0x01; // corrupt the body, keep the trailer
+        let corrupted: &'static str =
+            Box::leak(String::from_utf8(flipped).unwrap().into_boxed_str());
+        let (addr, h) = scripted(vec![Action::Reply(corrupted), Action::Hangup]);
+        let mut c = Client::new(ClientConfig {
+            require_integrity: true,
+            max_retries: 1,
+            ..fast(addr)
+        });
+        match c.request("{\"workload\":\"gzip\"}") {
+            Outcome::Transport { last_error } => {
+                assert!(last_error.contains("io:"), "{last_error}")
+            }
+            other => panic!("corrupt reply must not become {other:?}"),
+        }
+        assert!(c.stats().corrupt >= 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_jittered() {
+        let seq = |seed| {
+            let mut c = Client::new(ClientConfig {
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(50),
+                seed,
+                ..ClientConfig::new("unused:0")
+            });
+            (0..8).map(|_| c.next_backoff()).collect::<Vec<_>>()
+        };
+        let a = seq(42);
+        assert_eq!(a, seq(42), "same seed, same schedule");
+        assert_ne!(a, seq(43), "different seed, different schedule");
+        for d in &a {
+            assert!(*d >= Duration::from_millis(1) && *d <= Duration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn integrity_injection_rewrites_the_object() {
+        assert_eq!(
+            inject_integrity("{\"workload\":\"gzip\"}").as_deref(),
+            Some("{\"workload\":\"gzip\",\"integrity\":true}")
+        );
+        assert_eq!(
+            inject_integrity("{}").as_deref(),
+            Some("{\"integrity\":true}")
+        );
+        assert_eq!(inject_integrity("not json"), None);
+    }
+}

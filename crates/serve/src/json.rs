@@ -315,13 +315,22 @@ impl<'a> Parser<'a> {
                 }
                 0x00..=0x1F => return Err(self.err("raw control character in string")),
                 _ => {
-                    // Re-walk UTF-8: step back and take the full scalar.
+                    // Bulk-consume the plain run (no quote, backslash, or
+                    // control byte — UTF-8 continuation bytes are all
+                    // ≥ 0x80 and pass through). Validating only the run,
+                    // not the whole remaining input, keeps string parsing
+                    // linear; a half-megabyte response line is parsed in
+                    // milliseconds instead of seconds.
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    while let Some(&nb) = self.bytes.get(self.pos) {
+                        if nb == b'"' || nb == b'\\' || nb < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos = start + c.len_utf8();
+                    out.push_str(s);
                 }
             }
         }
@@ -494,6 +503,29 @@ mod tests {
         // A string ending in an escaped backslash must close correctly.
         let tricky = "{\"p\": \"c:\\\\\" , \"q\": 1}";
         assert_eq!(compact(tricky), "{\"p\":\"c:\\\\\",\"q\":1}");
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        // Regression: the string scanner used to re-validate the entire
+        // remaining input for every character, turning large response
+        // lines quadratic. A ~1 MB payload must parse comfortably within
+        // a debug-build test's patience, with mixed escapes and
+        // multibyte characters landing intact.
+        let chunk = "abcdefgh π→λ \\\"quoted\\\" \\n ij";
+        let big = chunk.repeat(20_000);
+        let wire = format!("{{\"blob\":\"{big}\",\"n\":7}}");
+        let t0 = std::time::Instant::now();
+        let v = parse(&wire).unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "1 MB string took {:?} — the parser has gone quadratic again",
+            t0.elapsed()
+        );
+        let blob = v.get("blob").unwrap().as_str().unwrap();
+        assert_eq!(blob.len(), "abcdefgh π→λ \"quoted\" \n ij".len() * 20_000);
+        assert!(blob.starts_with("abcdefgh π→λ \"quoted\" \n ij"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
     }
 
     #[test]

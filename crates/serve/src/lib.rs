@@ -17,15 +17,26 @@
 //! worker count, batch composition, or whether the cache answered. See
 //! DESIGN.md §11 for the full argument.
 //!
-//! Binaries: `serve` (the server) and `loadgen` (closed-loop load
+//! The fault-survival layer hardens the service against the failure
+//! modes a long-running deployment actually sees: a crash-safe on-disk
+//! cache journal for warm restarts ([`journal`]), per-request deadlines
+//! propagated into the batcher ([`service`]), a retrying client with
+//! decorrelated-jitter backoff ([`client`]), and a seeded
+//! fault-injection TCP proxy that proves the whole stack never serves a
+//! wrong answer under network chaos ([`chaos`]).
+//!
+//! Binaries: `serve` (the server), `loadgen` (closed-loop load
 //! generator reporting throughput, latency percentiles, and cache
-//! counters).
+//! counters), and `chaos` (the fault-injection proxy).
 //!
 //! [`run_cell_with_config`]: polyflow_bench::sweep::run_cell_with_config
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
+pub mod client;
+pub mod journal;
 pub mod json;
 pub mod protocol;
 pub mod server;
@@ -34,6 +45,9 @@ pub mod signal;
 pub mod verify;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use chaos::{ChaosConfig, ChaosProxy, FaultCounts};
+pub use client::{Client as RetryClient, ClientConfig, ClientStats, Outcome};
+pub use journal::{Journal, RecoveryReport};
 pub use protocol::{ErrorKind, Request, ServeError, SimRequest, SimSource};
 pub use server::Server;
 pub use service::{Service, ServiceConfig, ServiceStats, Ticket};

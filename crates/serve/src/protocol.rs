@@ -68,6 +68,9 @@ pub enum ErrorKind {
     UnknownPolicy,
     /// Admission control shed the request: the queue was full.
     Overloaded,
+    /// The request's `deadline_ms` elapsed before its result was ready
+    /// (dropped in the queue, or timed out waiting on the batch).
+    DeadlineExceeded,
     /// The simulator returned a typed [`SimError`]
     /// (watchdog trip, malformed trace, …).
     ///
@@ -87,6 +90,7 @@ impl ErrorKind {
             ErrorKind::UnknownWorkload => "unknown_workload",
             ErrorKind::UnknownPolicy => "unknown_policy",
             ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::SimFailed => "sim_failed",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Internal => "internal",
@@ -158,6 +162,17 @@ pub struct SimRequest {
     pub cell: Cell,
     /// The effective machine configuration (base + request overrides).
     pub config: MachineConfig,
+    /// The client's `deadline_ms` (capped server-side by
+    /// `--max-deadline` at admission). Deliberately **not** part of the
+    /// cache key: a deadline changes when a request gives up, never what
+    /// its answer is.
+    pub deadline_ms: Option<u64>,
+    /// True when the client asked for the integrity trailer: the
+    /// response line is followed by `\t` + 16 hex digits of FNV-1a over
+    /// the line, so transport-level corruption (a flipped bit in a proxy
+    /// or cable) is detectable. Not part of the cache key or the cached
+    /// bytes — the trailer is computed at write time.
+    pub integrity: bool,
 }
 
 impl SimRequest {
@@ -288,10 +303,11 @@ fn parse_simulate(v: &Json, default_max_cycles: u64) -> Result<Request, ServeErr
     for key in obj.keys() {
         if !matches!(
             key.as_str(),
-            "verb" | "workload" | "program" | "policy" | "config"
+            "verb" | "workload" | "program" | "policy" | "config" | "deadline_ms" | "integrity"
         ) {
             return Err(bad(format!(
-                "unknown request field `{key}` (workload, program, policy, config)"
+                "unknown request field `{key}` \
+                 (workload, program, policy, config, deadline_ms, integrity)"
             )));
         }
     }
@@ -347,10 +363,31 @@ fn parse_simulate(v: &Json, default_max_cycles: u64) -> Result<Request, ServeErr
     if let Some(overrides) = v.get("config") {
         apply_overrides(&mut config, overrides)?;
     }
+
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(d) => {
+            let ms = d
+                .as_u64()
+                .ok_or_else(|| bad("`deadline_ms` must be a non-negative integer"))?;
+            if ms == 0 {
+                return Err(bad("`deadline_ms` must be positive"));
+            }
+            Some(ms)
+        }
+    };
+    let integrity = match v.get("integrity") {
+        None => false,
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| bad("`integrity` must be a boolean"))?,
+    };
     Ok(Request::Simulate(Box::new(SimRequest {
         source,
         cell,
         config,
+        deadline_ms,
+        integrity,
     })))
 }
 
@@ -513,6 +550,27 @@ pub fn ok_response(workload: &str, policy_label: &str, result: &str) -> String {
         json::escape(workload),
         json::escape(policy_label),
     )
+}
+
+/// Appends the integrity trailer to a response line: `\t` + 16 hex
+/// digits of FNV-1a over the line's bytes. Sent only to requests that
+/// set `"integrity":true`, so the cached/offline bytes never change.
+pub fn with_integrity_trailer(line: &str) -> String {
+    format!("{line}\t{:016x}", crate::journal::fnv1a(line.as_bytes()))
+}
+
+/// Splits a received line into `(body, trailer_state)`:
+/// `None` = no trailer present, `Some(true)` = trailer verified,
+/// `Some(false)` = trailer present but wrong (the line was corrupted in
+/// flight — discard and retry, never trust the body).
+pub fn check_integrity_trailer(line: &str) -> (&str, Option<bool>) {
+    match line.rsplit_once('\t') {
+        Some((body, trailer)) if trailer.len() == 16 => {
+            let expect = format!("{:016x}", crate::journal::fnv1a(body.as_bytes()));
+            (body, Some(trailer == expect))
+        }
+        _ => (line, None),
+    }
 }
 
 /// Renders the error response line for `e`.
@@ -746,6 +804,54 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.message.contains("does not assemble"), "{}", e.message);
+    }
+
+    #[test]
+    fn deadline_and_integrity_fields_parse_and_reject() {
+        let line = "{\"workload\":\"twolf\",\"deadline_ms\":250,\"integrity\":true}";
+        let Request::Simulate(r) = parse_request(line, BUDGET).unwrap() else {
+            panic!("not a simulate")
+        };
+        assert_eq!(r.deadline_ms, Some(250));
+        assert!(r.integrity);
+
+        let Request::Simulate(r) = parse_request("{\"workload\":\"twolf\"}", BUDGET).unwrap()
+        else {
+            panic!("not a simulate")
+        };
+        assert_eq!(r.deadline_ms, None);
+        assert!(!r.integrity);
+
+        for bad_line in [
+            "{\"workload\":\"twolf\",\"deadline_ms\":0}",
+            "{\"workload\":\"twolf\",\"deadline_ms\":\"soon\"}",
+            "{\"workload\":\"twolf\",\"integrity\":1}",
+        ] {
+            let e = parse_request(bad_line, BUDGET).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::BadRequest, "`{bad_line}` → {e}");
+        }
+    }
+
+    #[test]
+    fn integrity_trailer_round_trips_and_catches_corruption() {
+        let line = "{\"ok\":true,\"pong\":true}";
+        let framed = with_integrity_trailer(line);
+        let (body, state) = check_integrity_trailer(&framed);
+        assert_eq!(body, line);
+        assert_eq!(state, Some(true));
+
+        // Flip one bit anywhere in the framed line: the check fails.
+        for i in 0..framed.len() {
+            let mut bytes = framed.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            if let Ok(corrupt) = String::from_utf8(bytes) {
+                let (_, state) = check_integrity_trailer(&corrupt);
+                assert_ne!(state, Some(true), "bit flip at {i} must not verify");
+            }
+        }
+
+        // No trailer: body passes through, state is None.
+        assert_eq!(check_integrity_trailer(line), (line, None));
     }
 
     #[test]

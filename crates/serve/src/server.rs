@@ -16,7 +16,7 @@
 use crate::protocol::{self, Request};
 use crate::service::{Service, ServiceConfig};
 use crate::signal;
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -147,7 +147,18 @@ impl Drop for Server {
 }
 
 /// Serves one connection until EOF, error, or drain.
+///
+/// Two protections bound what a single peer can cost us: request lines
+/// are read through a [`std::io::Take`] capped at
+/// [`ServiceConfig::max_request_line`] (+1 for the newline) so a client
+/// that never sends a newline cannot grow the buffer without bound —
+/// the oversized line gets a typed `bad_request` and is discarded up to
+/// its eventual newline, keeping the connection usable; and the writer
+/// carries [`ServiceConfig::write_timeout`] so a peer that stops
+/// reading forfeits the connection instead of wedging the handler (and
+/// with it, the drain).
 fn handle_connection(stream: TcpStream, service: &Arc<Service>, stop: &AtomicBool) {
+    let max_line = service.config().max_request_line;
     let peer_writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -155,24 +166,52 @@ fn handle_connection(stream: TcpStream, service: &Arc<Service>, stop: &AtomicBoo
     if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
         return;
     }
+    if peer_writer
+        .set_write_timeout(Some(service.config().write_timeout))
+        .is_err()
+    {
+        return;
+    }
     let mut reader = BufReader::new(stream);
     let mut writer = peer_writer;
     let mut buf: Vec<u8> = Vec::new();
+    // True while discarding the tail of an already-rejected oversized
+    // line (everything up to its newline).
+    let mut skipping = false;
     loop {
-        match reader.read_until(b'\n', &mut buf) {
+        let allowance = ((max_line + 1).saturating_sub(buf.len()).max(1)) as u64;
+        match (&mut reader).take(allowance).read_until(b'\n', &mut buf) {
             Ok(0) => {
                 // EOF; answer a final unterminated line if there is one.
-                if !buf.is_empty() {
+                if !buf.is_empty() && !skipping {
                     let _ = respond(&mut writer, service, stop, &buf);
                 }
                 return;
             }
-            Ok(_) => {
-                let done = respond(&mut writer, service, stop, &buf).is_err();
-                buf.clear();
-                if done {
+            Ok(_) if buf.ends_with(b"\n") => {
+                if skipping {
+                    skipping = false; // oversized line fully discarded
+                } else if respond(&mut writer, service, stop, &buf).is_err() {
                     return;
                 }
+                buf.clear();
+            }
+            Ok(_) => {
+                // Progress but no newline yet.
+                if skipping {
+                    buf.clear();
+                } else if buf.len() > max_line {
+                    let e = protocol::ServeError::new(
+                        protocol::ErrorKind::BadRequest,
+                        format!("request line exceeds {max_line} bytes"),
+                    );
+                    if write_line(&mut writer, &protocol::error_response(&e)).is_err() {
+                        return;
+                    }
+                    skipping = true;
+                    buf.clear();
+                }
+                // Otherwise: a partial line mid-read; keep accumulating.
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 // Idle (a partial line, if any, stays in `buf`). Hang up
@@ -223,15 +262,41 @@ fn respond(
             service.begin_shutdown();
             return Err(());
         }
-        Ok(Request::Simulate(req)) => match service.submit(*req) {
-            Ok(body) => body.to_string(),
-            Err(e) => protocol::error_response(&e),
-        },
+        Ok(Request::Simulate(req)) => {
+            // The trailer is appended at write time, over the reply the
+            // client will parse — typed errors included, so a bit-flipped
+            // error cannot masquerade as a genuine one either. Cached
+            // bytes are never altered: the same entry serves trailered
+            // and untrailered requests alike.
+            let integrity = req.integrity;
+            let body = match service.submit(*req) {
+                Ok(body) => body.to_string(),
+                Err(e) => protocol::error_response(&e),
+            };
+            if integrity {
+                protocol::with_integrity_trailer(&body)
+            } else {
+                body
+            }
+        }
         Ok(Request::Verify(req)) => match service.verify_program(*req) {
             Ok(body) => body.to_string(),
             Err(e) => protocol::error_response(&e),
         },
-        Err(e) => protocol::error_response(&e),
+        Err(e) => {
+            // The parse failed before the `integrity` flag could be
+            // decoded, so honor it best-effort from the raw line (this
+            // is the exact token a trailer-checking client injects) —
+            // otherwise its typed parse error would look like a
+            // stripped-trailer corruption and be retried into a
+            // transport failure.
+            let body = protocol::error_response(&e);
+            if line.contains("\"integrity\":true") {
+                protocol::with_integrity_trailer(&body)
+            } else {
+                body
+            }
+        }
     };
     write_line(writer, &reply)
 }

@@ -31,6 +31,7 @@
 //! waiter receives a clone of the same `Arc<str>`.
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::journal::Journal;
 use crate::json;
 use crate::protocol::{ErrorKind, ServeError, SimRequest, SimSource};
 use polyflow_bench::sweep::{self, CellOutcome};
@@ -38,8 +39,9 @@ use polyflow_bench::{pool, PreparedWorkload};
 use polyflow_sim::{Bucket, MachineConfig};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -62,6 +64,22 @@ pub struct ServiceConfig {
     pub default_max_cycles: u64,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Persistent cache tier: the journal directory (`--cache-dir`).
+    /// `None` keeps the cache purely in memory (the pre-journal
+    /// behavior).
+    pub cache_dir: Option<PathBuf>,
+    /// Journal compaction threshold in bytes (see [`Journal`]).
+    pub journal_rotate_bytes: u64,
+    /// Upper bound on a request's `deadline_ms` — longer asks are
+    /// silently capped here (`--max-deadline`).
+    pub max_deadline: Duration,
+    /// Slow-client write watchdog: a response write that cannot make
+    /// progress for this long forfeits the connection, so one stuck
+    /// reader cannot wedge a handler (or the drain).
+    pub write_timeout: Duration,
+    /// Longest accepted request line in bytes; longer lines get a typed
+    /// `bad_request` instead of an unbounded buffer.
+    pub max_request_line: usize,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +91,11 @@ impl Default for ServiceConfig {
             batch_window: Duration::from_millis(2),
             default_max_cycles: 50_000_000,
             cache_capacity: 1024,
+            cache_dir: None,
+            journal_rotate_bytes: 8 << 20,
+            max_deadline: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_request_line: 1 << 20,
         }
     }
 }
@@ -95,6 +118,10 @@ struct Pending {
     key: CacheKey,
     req: SimRequest,
     reply: Sender<Reply>,
+    /// Absolute expiry, when the request asked for one. The batcher
+    /// drops expired entries before dedup so a dead request never burns
+    /// pool time.
+    deadline: Option<Instant>,
 }
 
 /// Snapshot of the service's observability counters.
@@ -112,10 +139,23 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Requests answered with a simulation failure.
     pub failed: u64,
+    /// Requests that expired before a result could be delivered
+    /// (dropped in the queue or timed out while waiting).
+    pub deadline_exceeded: u64,
+    /// Typed retry-worthy rejections handed out (`overloaded` +
+    /// `shutting_down`) — the server-side mirror of client retries.
+    pub retry_after: u64,
     /// Batches executed.
     pub batches: u64,
     /// Unique cells simulated across all batches.
     pub batched_cells: u64,
+    /// Milliseconds since the service was built.
+    pub uptime_ms: u64,
+    /// Cache entries replayed from the journal at boot.
+    pub warm_start: u64,
+    /// Current on-disk size of the cache journal in bytes (0 when the
+    /// persistent tier is disabled).
+    pub journal_bytes: u64,
     /// Result-cache counters.
     pub cache: CacheStats,
     /// Successful cells contributing to `account_totals`.
@@ -137,18 +177,24 @@ impl ServiceStats {
         account.push('}');
         format!(
             "{{\"ok\":true,\"stats\":{{\
+             \"uptime_ms\":{},\
              \"queue\":{{\"depth\":{},\"capacity\":{},\"shed\":{}}},\
-             \"requests\":{{\"submitted\":{},\"completed\":{},\"failed\":{}}},\
+             \"requests\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\
+             \"deadline_exceeded\":{},\"retry_after\":{}}},\
              \"batches\":{{\"count\":{},\"cells\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
-             \"inserts\":{},\"entries\":{}}},\
+             \"inserts\":{},\"entries\":{},\
+             \"warm_start\":{},\"journal_bytes\":{}}},\
              \"account\":{account}}}}}",
+            self.uptime_ms,
             self.queue_depth,
             self.queue_capacity,
             self.shed,
             self.submitted,
             self.completed,
             self.failed,
+            self.deadline_exceeded,
+            self.retry_after,
             self.batches,
             self.batched_cells,
             self.cache.hits,
@@ -156,6 +202,8 @@ impl ServiceStats {
             self.cache.evictions,
             self.cache.inserts,
             self.cache.entries,
+            self.warm_start,
+            self.journal_bytes,
         )
     }
 }
@@ -171,6 +219,13 @@ pub struct Service {
     config: ServiceConfig,
     jobs: usize,
     cache: ResultCache,
+    /// The persistent tier, when `cache_dir` is set and the journal
+    /// opened cleanly. A journal that cannot open degrades the service
+    /// to memory-only (logged to stderr) rather than refusing to boot:
+    /// losing warmth is survivable, refusing traffic is not.
+    journal: Option<Journal>,
+    started: Instant,
+    warm_start: u64,
     registry: Mutex<HashMap<String, Arc<PreparedWorkload>>>,
     queue: Mutex<VecDeque<Pending>>,
     notify: Condvar,
@@ -179,6 +234,8 @@ pub struct Service {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    deadlines: AtomicU64,
+    retry_after: AtomicU64,
     batches: AtomicU64,
     batched_cells: AtomicU64,
     account: Mutex<AccountAgg>,
@@ -196,9 +253,39 @@ impl Service {
             config.jobs
         };
         let cache = ResultCache::new(config.cache_capacity);
+        let mut warm_start = 0u64;
+        let journal = match &config.cache_dir {
+            None => None,
+            Some(dir) => match Journal::open(dir, config.journal_rotate_bytes) {
+                Ok((journal, entries, report)) => {
+                    for (key, value) in entries {
+                        cache.insert(key, Arc::from(value.as_str()));
+                        warm_start += 1;
+                    }
+                    if report.torn_tails > 0 || report.incompatible > 0 {
+                        eprintln!(
+                            "[serve] cache journal recovered with {} torn tail(s), \
+                             {} incompatible segment(s) skipped",
+                            report.torn_tails, report.incompatible
+                        );
+                    }
+                    Some(journal)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[serve] cache journal disabled: cannot open {}: {e}",
+                        dir.display()
+                    );
+                    None
+                }
+            },
+        };
         Arc::new(Service {
             jobs,
             cache,
+            journal,
+            started: Instant::now(),
+            warm_start,
             config,
             registry: Mutex::new(HashMap::new()),
             queue: Mutex::new(VecDeque::new()),
@@ -208,6 +295,8 @@ impl Service {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            deadlines: AtomicU64::new(0),
+            retry_after: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_cells: AtomicU64::new(0),
             account: Mutex::new(AccountAgg::default()),
@@ -234,10 +323,26 @@ impl Service {
         self.config.default_max_cycles
     }
 
+    /// The tunables this service was built with (transports read the
+    /// line bound and write watchdog from here).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The request's effective absolute deadline: its `deadline_ms`
+    /// capped by the server-side [`ServiceConfig::max_deadline`].
+    fn deadline_of(&self, req: &SimRequest) -> Option<Instant> {
+        req.deadline_ms.map(|ms| {
+            let asked = Duration::from_millis(ms);
+            Instant::now() + asked.min(self.config.max_deadline)
+        })
+    }
+
     /// Validates admission for one request: cache first, then the
     /// bounded queue. Never blocks on simulation work.
     pub fn enqueue(&self, req: SimRequest) -> Result<Ticket, ServeError> {
         if self.shutdown.load(Ordering::SeqCst) {
+            self.retry_after.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::new(
                 ErrorKind::ShuttingDown,
                 "server is draining; no new work accepted",
@@ -256,11 +361,13 @@ impl Service {
             self.completed.fetch_add(1, Ordering::Relaxed);
             return Ok(Ticket::Ready(hit));
         }
+        let deadline = self.deadline_of(&req);
         let (tx, rx) = channel();
         {
             let mut q = self.queue.lock().unwrap();
             if q.len() >= self.config.queue_capacity {
                 self.shed.fetch_add(1, Ordering::Relaxed);
+                self.retry_after.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::new(
                     ErrorKind::Overloaded,
                     format!("admission queue full ({} pending); retry later", q.len()),
@@ -270,22 +377,43 @@ impl Service {
                 key,
                 req,
                 reply: tx,
+                deadline,
             });
         }
         self.notify.notify_all();
         Ok(Ticket::Admitted(rx))
     }
 
-    /// [`enqueue`](Service::enqueue) and wait for the reply.
+    /// [`enqueue`](Service::enqueue) and wait for the reply. A request
+    /// carrying a deadline waits at most that long: the caller gets a
+    /// typed [`ErrorKind::DeadlineExceeded`] the moment the deadline
+    /// passes, even if the cell is still grinding in the pool (the
+    /// result, if it ever lands, still populates the cache — only the
+    /// waiter gives up).
     pub fn submit(&self, req: SimRequest) -> Reply {
+        let deadline = self.deadline_of(&req);
         match self.enqueue(req)? {
             Ticket::Ready(line) => Ok(line),
-            Ticket::Admitted(rx) => rx.recv().unwrap_or_else(|_| {
-                Err(ServeError::new(
-                    ErrorKind::Internal,
-                    "service stopped before replying",
-                ))
-            }),
+            Ticket::Admitted(rx) => {
+                let recv = match deadline {
+                    None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                    Some(d) => rx.recv_timeout(d.saturating_duration_since(Instant::now())),
+                };
+                match recv {
+                    Ok(reply) => reply,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.deadlines.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::new(
+                            ErrorKind::DeadlineExceeded,
+                            "deadline expired before the result was ready",
+                        ))
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err(ServeError::new(
+                        ErrorKind::Internal,
+                        "service stopped before replying",
+                    )),
+                }
+            }
         }
     }
 
@@ -326,9 +454,26 @@ impl Service {
             self.failed.fetch_add(1, Ordering::Relaxed);
             ServeError::new(ErrorKind::Internal, "lint pass died on this program")
         })?;
-        let line = self.cache.insert(key, Arc::from(line.as_str()));
+        let line = self.store(key, Arc::from(line.as_str()));
         self.completed.fetch_add(1, Ordering::Relaxed);
         Ok(line)
+    }
+
+    /// Inserts a rendered response into the cache and, when the
+    /// persistent tier is on, appends it to the journal (compacting when
+    /// the journal has grown past its threshold). Journal I/O errors are
+    /// counted inside [`Journal`] and never fail the request — the
+    /// in-memory cache remains authoritative for this process's
+    /// lifetime.
+    fn store(&self, key: CacheKey, line: Arc<str>) -> Arc<str> {
+        let line = self.cache.insert(key.clone(), line);
+        if let Some(j) = &self.journal {
+            let _ = j.append(&key, &line);
+            if j.wants_compaction() {
+                let _ = j.compact(&self.cache.snapshot());
+            }
+        }
+        line
     }
 
     /// Counter snapshot.
@@ -341,8 +486,13 @@ impl Service {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadlines.load(Ordering::Relaxed),
+            retry_after: self.retry_after.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_cells: self.batched_cells.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            warm_start: self.warm_start,
+            journal_bytes: self.journal.as_ref().map_or(0, |j| j.size_bytes()),
             cache: self.cache.stats(),
             account_cells: account.cells,
             account_totals: account.totals,
@@ -367,6 +517,12 @@ impl Service {
         self.begin_shutdown();
         if let Some(handle) = self.batcher.lock().unwrap().take() {
             let _ = handle.join();
+        }
+        // Flush the journal so everything computed during the drain
+        // (including the batch that was in flight when SIGTERM landed)
+        // survives the restart.
+        if let Some(j) = &self.journal {
+            j.sync();
         }
     }
 
@@ -414,6 +570,31 @@ impl Service {
             return;
         }
         self.batches.fetch_add(1, Ordering::Relaxed);
+
+        // Expired requests are dropped here, before dedup and before any
+        // pool time is spent on them: the waiter has already (or will
+        // momentarily) time out in `submit`, so simulating the cell for
+        // it alone would be pure waste. (A cell that also has live
+        // waiters still runs — under dedup the expired waiter rides
+        // along for free.)
+        let now = Instant::now();
+        let batch: Vec<Pending> = batch
+            .into_iter()
+            .filter(|p| match p.deadline {
+                Some(d) if now >= d => {
+                    self.deadlines.fetch_add(1, Ordering::Relaxed);
+                    let _ = p.reply.send(Err(ServeError::new(
+                        ErrorKind::DeadlineExceeded,
+                        "deadline expired while queued",
+                    )));
+                    false
+                }
+                _ => true,
+            })
+            .collect();
+        if batch.is_empty() {
+            return;
+        }
 
         // Group waiters by cell, preserving first-seen order.
         let mut order: Vec<(CacheKey, SimRequest, Vec<Sender<Reply>>)> = Vec::new();
@@ -487,7 +668,7 @@ impl Service {
                         &req.policy_label(),
                         &json::compact(&result.to_json()),
                     );
-                    let line = self.cache.insert(key, Arc::from(line.as_str()));
+                    let line = self.store(key, Arc::from(line.as_str()));
                     self.reply_ok(&waiters, line);
                 }
                 CellOutcome::Failed { payload, .. } => {
@@ -633,6 +814,127 @@ mod tests {
         assert_eq!(e.kind, ErrorKind::SimFailed);
         assert!(e.message.contains("did not halt"), "{e}");
         svc.shutdown_and_join();
+    }
+
+    fn sim_request_with(workload: &str, policy: &str, max_cycles: u64, extra: &str) -> SimRequest {
+        let line = format!(
+            "{{\"workload\":\"{workload}\",\"policy\":\"{policy}\",\
+             \"config\":{{\"max_cycles\":{max_cycles}}}{extra}}}"
+        );
+        match parse_request(&line, u64::MAX).expect("valid request") {
+            Request::Simulate(r) => *r,
+            _ => unreachable!(),
+        }
+    }
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            use std::sync::atomic::AtomicU32;
+            static NONCE: AtomicU32 = AtomicU32::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "polyflow-svc-{tag}-{}-{}",
+                std::process::id(),
+                NONCE.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A queued request whose deadline passes before the batcher gets to
+    /// it is answered with a typed `deadline_exceeded`, and the batcher
+    /// never burns a cell on it. The batcher is started only *after* the
+    /// deadline has already expired, so the drop-in-queue path (not the
+    /// submit timeout) is what fires first on the batcher side.
+    #[test]
+    fn expired_request_is_dropped_before_the_pool() {
+        let svc = Service::new(ServiceConfig::default());
+        let req = sim_request_with("gzip", "postdoms", 100_000, ",\"deadline_ms\":1");
+        let rx = match svc.enqueue(req).expect("admitted") {
+            Ticket::Admitted(rx) => rx,
+            Ticket::Ready(_) => panic!("cold cache cannot be ready"),
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        svc.start();
+        let reply = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("batcher answers expired requests");
+        let e = reply.expect_err("expired request gets a typed error");
+        assert_eq!(e.kind, ErrorKind::DeadlineExceeded);
+        svc.shutdown_and_join();
+        let s = svc.stats();
+        assert_eq!(s.batched_cells, 0, "no pool time for a dead request");
+        assert!(s.deadline_exceeded >= 1);
+    }
+
+    /// `submit` with a deadline gives up waiting when the deadline
+    /// passes — here the batcher is simply never started, the bluntest
+    /// possible stall.
+    #[test]
+    fn submit_times_out_at_its_deadline() {
+        let svc = Service::new(ServiceConfig::default());
+        let req = sim_request_with("gzip", "postdoms", 100_000, ",\"deadline_ms\":30");
+        let t0 = Instant::now();
+        let e = svc.submit(req).expect_err("no batcher, must time out");
+        assert_eq!(e.kind, ErrorKind::DeadlineExceeded);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "timed out promptly, not hung"
+        );
+        assert!(svc.stats().deadline_exceeded >= 1);
+    }
+
+    /// Typed retry-worthy rejections are counted: shedding and draining
+    /// both bump `retry_after`.
+    #[test]
+    fn retry_after_counts_shed_and_draining() {
+        let svc = Service::new(ServiceConfig {
+            queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        assert!(svc.enqueue(sim_request("gzip", "postdoms", 1000)).is_ok());
+        let _ = svc.enqueue(sim_request("gzip", "postdoms", 2000));
+        svc.begin_shutdown();
+        let _ = svc.enqueue(sim_request("gzip", "postdoms", 3000));
+        assert_eq!(svc.stats().retry_after, 2);
+    }
+
+    /// Populate through one service, reopen a second on the same
+    /// `cache_dir`: the second boots warm and serves the very same
+    /// bytes without batching anything.
+    #[test]
+    fn warm_start_replays_the_journal() {
+        let dir = TempDir::new("warm");
+        let config = ServiceConfig {
+            cache_dir: Some(dir.0.clone()),
+            ..ServiceConfig::default()
+        };
+        let first = Service::new(config.clone());
+        first.start();
+        let line = first
+            .submit(sim_request("gzip", "postdoms", 200_000))
+            .expect("cold run succeeds");
+        first.shutdown_and_join();
+        drop(first);
+
+        let second = Service::new(config);
+        assert_eq!(second.stats().warm_start, 1, "one entry replayed");
+        assert!(second.stats().journal_bytes > 0);
+        // No batcher started: only the cache can answer.
+        match second
+            .enqueue(sim_request("gzip", "postdoms", 200_000))
+            .expect("admitted or ready")
+        {
+            Ticket::Ready(warm) => assert_eq!(&*warm, &*line, "byte-identical"),
+            Ticket::Admitted(_) => panic!("warm entry must be served from cache"),
+        }
+        assert_eq!(second.stats().batched_cells, 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn test_config() -> ServiceConfig {
         batch_window: Duration::from_millis(1),
         default_max_cycles: BUDGET,
         cache_capacity: 64,
+        ..ServiceConfig::default()
     }
 }
 
@@ -500,6 +501,168 @@ fn simulate_upload_matches_bundled_by_name_and_shares_cache() {
     assert_eq!(named, offline_expected(&upload));
 
     server.shutdown();
+}
+
+/// An oversized request line gets a typed `bad_request` — and the
+/// connection survives to serve the next, correctly sized request.
+#[test]
+fn oversized_line_is_rejected_typed_and_connection_survives() {
+    let mut server = Server::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            max_request_line: 256,
+            ..test_config()
+        },
+    )
+    .expect("bind");
+    let mut c = Client::connect(&server);
+
+    let huge = format!("{{\"workload\":\"{}\"}}", "x".repeat(4096));
+    let reply = c.exchange(&huge);
+    assert_eq!(error_kind(&reply), "bad_request");
+    assert!(reply.contains("exceeds 256 bytes"), "{reply}");
+
+    // The oversized line was discarded up to its newline; the connection
+    // still works, including for real simulations.
+    assert_eq!(c.exchange("ping"), "{\"ok\":true,\"pong\":true}");
+    let line = sim_line("gzip", "baseline");
+    assert_eq!(c.exchange(&line), offline_expected(&line));
+
+    server.shutdown();
+}
+
+/// A request that asks for the integrity trailer gets one — over ok and
+/// typed-error replies alike — and the cached bytes themselves stay
+/// trailer-free (a plain request for the same cell sees unchanged
+/// bytes).
+#[test]
+fn integrity_trailer_round_trips_over_the_wire() {
+    use polyflow_serve::protocol::check_integrity_trailer;
+
+    let mut server = Server::spawn("127.0.0.1:0", test_config()).expect("bind");
+    let mut c = Client::connect(&server);
+
+    let plain = sim_line("bzip2", "postdoms");
+    let trailered = format!(
+        "{{\"workload\":\"bzip2\",\"policy\":\"postdoms\",\
+         \"config\":{{\"max_cycles\":{BUDGET}}},\"integrity\":true}}"
+    );
+    let with_trailer = c.exchange(&trailered);
+    let (body, verified) = check_integrity_trailer(&with_trailer);
+    assert_eq!(verified, Some(true), "trailer verifies: {with_trailer}");
+    assert_eq!(body, offline_expected(&plain), "body is the offline bytes");
+
+    // Same cell without the trailer: the untouched cached bytes.
+    assert_eq!(c.exchange(&plain), body, "cache entry is trailer-free");
+
+    // Typed errors are trailered too when asked.
+    let bad = "{\"workload\":\"eon\",\"integrity\":true}";
+    let err_reply = c.exchange(bad);
+    let (err_body, err_verified) = check_integrity_trailer(&err_reply);
+    assert_eq!(err_verified, Some(true));
+    assert_eq!(error_kind(err_body), "unknown_workload");
+
+    server.shutdown();
+}
+
+/// A wire request with a deadline too short for its queue wait gets a
+/// typed `deadline_exceeded`, and the stats counter records it.
+#[test]
+fn wire_deadline_exceeded_is_typed_and_counted() {
+    // A long batch window holds the request in the queue well past its
+    // 25ms deadline.
+    let mut server = Server::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            batch_window: Duration::from_millis(400),
+            ..test_config()
+        },
+    )
+    .expect("bind");
+    let mut c = Client::connect(&server);
+    let line = format!(
+        "{{\"workload\":\"gzip\",\"policy\":\"postdoms\",\
+         \"config\":{{\"max_cycles\":{BUDGET}}},\"deadline_ms\":25}}"
+    );
+    let reply = c.exchange(&line);
+    assert_eq!(error_kind(&reply), "deadline_exceeded");
+    let stats = json::parse(&c.exchange("stats")).expect("stats parse");
+    let requests = stats.get("stats").unwrap().get("requests").unwrap();
+    assert!(requests.get("deadline_exceeded").unwrap().as_u64().unwrap() >= 1);
+    server.shutdown();
+}
+
+/// The persistent tier end to end, in process: populate → drain →
+/// reopen the same `cache_dir` → the warm service answers with the very
+/// same bytes without simulating anything.
+#[test]
+fn warm_start_serves_identical_bytes_without_resimulating() {
+    let dir = std::env::temp_dir().join(format!("polyflow-e2e-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        ..test_config()
+    };
+
+    let mut server = Server::spawn("127.0.0.1:0", config.clone()).expect("bind");
+    let mut c = Client::connect(&server);
+    let lines = [sim_line("bzip2", "baseline"), sim_line("gzip", "postdoms")];
+    let cold: Vec<String> = lines.iter().map(|l| c.exchange(l)).collect();
+    for (l, r) in lines.iter().zip(&cold) {
+        assert_eq!(r, &offline_expected(l));
+    }
+    server.shutdown();
+    drop(server);
+
+    let mut server = Server::spawn("127.0.0.1:0", config).expect("bind");
+    let mut c = Client::connect(&server);
+    let warm: Vec<String> = lines.iter().map(|l| c.exchange(l)).collect();
+    assert_eq!(warm, cold, "warm-start replies are byte-identical");
+
+    let stats = json::parse(&c.exchange("stats")).expect("stats parse");
+    let cache = stats.get("stats").unwrap().get("cache").unwrap();
+    assert!(cache.get("warm_start").unwrap().as_u64().unwrap() >= 2);
+    assert!(cache.get("journal_bytes").unwrap().as_u64().unwrap() > 0);
+    let s = server.service().stats();
+    assert_eq!(s.batched_cells, 0, "warm requests never re-simulate");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A peer that sends requests but never reads replies cannot wedge the
+/// drain: the write watchdog forfeits the connection and `shutdown`
+/// completes promptly.
+#[test]
+fn stuck_reader_cannot_wedge_the_drain() {
+    let mut server = Server::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            write_timeout: Duration::from_millis(300),
+            ..test_config()
+        },
+    )
+    .expect("bind");
+
+    // Flood stats requests without ever reading a byte back: the
+    // handler's replies fill the socket buffers until a write blocks.
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    let req = "stats\n".repeat(512);
+    for _ in 0..64 {
+        if w.write_all(req.as_bytes()).is_err() {
+            break; // handler already gave up on us — fine
+        }
+    }
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(20))
+        .expect("drain must finish despite the stuck reader");
+    drop(stream);
 }
 
 fn cache_inserts(c: &mut Client) -> u64 {

@@ -28,7 +28,7 @@ use polyflow_serve::json;
 use polyflow_serve::protocol::{ok_response, parse_request, Request};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::process::exit;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,9 +47,19 @@ const OPTS: &[Opt] = &[
         help: "server address (default 127.0.0.1:7199)",
     },
     Opt {
+        name: "--targets",
+        value: Some("H:P,H:P,..."),
+        help: "fan clients out across several servers round-robin; adds per-backend latency and error splits to the report",
+    },
+    Opt {
         name: "--clients",
         value: Some("N"),
         help: "concurrent closed-loop connections (default 4)",
+    },
+    Opt {
+        name: "--open",
+        value: Some("N"),
+        help: "connection-capacity probe: open N concurrent idle connections (ping each) and report the sustained count",
     },
     Opt {
         name: "--duration-ms",
@@ -134,7 +144,9 @@ fn fail(msg: &str) -> ! {
 
 struct Config {
     addr: String,
+    targets: Vec<String>,
     clients: usize,
+    open: Option<u64>,
     duration: Duration,
     hit_ratio: u64,
     seed: u64,
@@ -150,7 +162,9 @@ struct Config {
 fn parse_args() -> Config {
     let mut cfg = Config {
         addr: "127.0.0.1:7199".to_string(),
+        targets: Vec::new(),
         clients: 4,
+        open: None,
         duration: Duration::from_millis(2000),
         hit_ratio: 90,
         seed: 42,
@@ -196,7 +210,16 @@ fn parse_args() -> Config {
         };
         match name.as_str() {
             "--addr" => cfg.addr = value.clone(),
+            "--targets" => {
+                cfg.targets = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
             "--clients" => cfg.clients = num().max(1) as usize,
+            "--open" => cfg.open = Some(num().max(1)),
             "--duration-ms" => cfg.duration = Duration::from_millis(num()),
             "--hit-ratio" => cfg.hit_ratio = num().min(100),
             "--seed" => cfg.seed = num(),
@@ -263,15 +286,25 @@ fn cold_line(counter: u64, max_cycles: u64, extra: &str, rng: &mut SplitMix64) -
     )
 }
 
+/// The servers this run drives: `--targets` when given, `--addr` alone
+/// otherwise. Client threads are dealt across them round-robin.
+fn resolve_targets(cfg: &Config) -> Vec<String> {
+    if cfg.targets.is_empty() {
+        vec![cfg.addr.clone()]
+    } else {
+        cfg.targets.clone()
+    }
+}
+
 /// The retry client policy for one loadgen thread.
-fn client_config(cfg: &Config, salt: u64) -> ClientConfig {
+fn client_config(cfg: &Config, addr: &str, salt: u64) -> ClientConfig {
     ClientConfig {
         max_retries: cfg.retries,
         retry_budget: cfg.retry_budget,
         io_timeout: Duration::from_secs(5),
         require_integrity: cfg.integrity,
         seed: cfg.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        ..ClientConfig::new(cfg.addr.clone())
+        ..ClientConfig::new(addr.to_string())
     }
 }
 
@@ -297,25 +330,42 @@ struct ThreadTally {
     /// line → first accepted reply, for the cross-thread check.
     accepted: HashMap<String, String>,
     first_error: Option<String>,
+    /// Index into the target list this thread was dealt.
+    target: usize,
+}
+
+/// Per-backend aggregate, reported when `--targets` names several.
+struct BackendTally {
+    addr: String,
+    latencies: Vec<Duration>,
+    ok: u64,
+    typed: u64,
+    transport: u64,
 }
 
 fn run_load(cfg: &Config) -> ! {
     let hot_keys = HOT_WORKLOADS.len() * HOT_POLICIES.len();
     let extra = extra_fields(cfg);
+    let targets = resolve_targets(cfg);
 
-    // Warm the cache so a high hit ratio measures the cache, not the
-    // first-touch simulations. Best-effort: under chaos a warm-up line
-    // may exhaust its retries, which only lowers the measured hit rate.
-    let mut warm = Client::new(client_config(cfg, u64::MAX));
-    let warmed = (0..hot_keys)
-        .filter(|&n| {
-            warm.request(&hot_line(n, cfg.max_cycles, &extra))
-                .ok()
-                .is_some()
-        })
-        .count();
-    if warmed < hot_keys {
-        eprintln!("[loadgen] warm-up incomplete: {warmed}/{hot_keys} hot keys cached");
+    // Warm every backend's cache so a high hit ratio measures the
+    // cache, not the first-touch simulations. Best-effort: under chaos
+    // a warm-up line may exhaust its retries, which only lowers the
+    // measured hit rate.
+    for target in &targets {
+        let mut warm = Client::new(client_config(cfg, target, u64::MAX));
+        let warmed = (0..hot_keys)
+            .filter(|&n| {
+                warm.request(&hot_line(n, cfg.max_cycles, &extra))
+                    .ok()
+                    .is_some()
+            })
+            .count();
+        if warmed < hot_keys {
+            eprintln!(
+                "[loadgen] warm-up incomplete on {target}: {warmed}/{hot_keys} hot keys cached"
+            );
+        }
     }
 
     let cold_counter = Arc::new(AtomicU64::new(0));
@@ -323,7 +373,8 @@ fn run_load(cfg: &Config) -> ! {
     let deadline = started + cfg.duration;
     let mut handles = Vec::new();
     for client_index in 0..cfg.clients {
-        let config = client_config(cfg, client_index as u64);
+        let target = client_index % targets.len();
+        let config = client_config(cfg, &targets[target], client_index as u64);
         let hit_ratio = cfg.hit_ratio;
         let max_cycles = cfg.max_cycles;
         let seed = cfg.seed;
@@ -342,6 +393,7 @@ fn run_load(cfg: &Config) -> ! {
                 wrong: 0,
                 accepted: HashMap::new(),
                 first_error: None,
+                target,
             };
             while Instant::now() < deadline {
                 let line = if rng.below(100) < hit_ratio {
@@ -388,9 +440,26 @@ fn run_load(cfg: &Config) -> ! {
     let mut first_error: Option<String> = None;
     // The cross-thread consistency check: every thread that accepted a
     // reply for the same request line must have accepted the same bytes.
+    // With `--targets` this spans backends, so it is also the
+    // cross-shard byte-identity check.
     let mut accepted: HashMap<String, String> = HashMap::new();
+    let mut backends: Vec<BackendTally> = targets
+        .iter()
+        .map(|a| BackendTally {
+            addr: a.clone(),
+            latencies: Vec::new(),
+            ok: 0,
+            typed: 0,
+            transport: 0,
+        })
+        .collect();
     for h in handles {
         let t = h.join().expect("client thread");
+        let b = &mut backends[t.target];
+        b.ok += t.ok;
+        b.typed += t.typed;
+        b.transport += t.transport;
+        b.latencies.extend(t.latencies.iter().copied());
         latencies.extend(t.latencies);
         ok += t.ok;
         typed += t.typed;
@@ -414,33 +483,63 @@ fn run_load(cfg: &Config) -> ! {
     let wall = started.elapsed();
 
     // The server's own counters — via a plain (trailer-less) client, as
-    // the `stats` verb does not carry the integrity trailer.
-    let mut stats_client = Client::new(ClientConfig {
-        require_integrity: false,
-        max_retries: cfg.retries.max(4),
-        ..client_config(cfg, u64::MAX - 1)
-    });
-    let stats_line = match stats_client.request("stats") {
-        Outcome::Ok(line) => line,
-        other => {
-            eprintln!("loadgen: stats fetch failed: {other:?}");
+    // the `stats` verb does not carry the integrity trailer. With one
+    // target they land in the top-level `cache`/`queue` fields as
+    // always; with several, each backend entry carries its own and the
+    // top-level fields are null (an aggregate would be misleading).
+    let multi = targets.len() > 1;
+    let (cache, queue) = if multi {
+        ("null".to_string(), "null".to_string())
+    } else {
+        let stats_line = match fetch_stats(cfg, &targets[0]) {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("loadgen: stats fetch failed: {e}");
+                exit(1);
+            }
+        };
+        let stats = json::parse(&stats_line).unwrap_or_else(|e| {
+            eprintln!("loadgen: stats response unparsable: {e}");
             exit(1);
-        }
+        });
+        (
+            render_stats_field(&stats, "cache"),
+            render_stats_field(&stats, "queue"),
+        )
     };
-    let stats = json::parse(&stats_line).unwrap_or_else(|e| {
-        eprintln!("loadgen: stats response unparsable: {e}");
-        exit(1);
-    });
-    let cache = stats
-        .get("stats")
-        .and_then(|s| s.get("cache"))
-        .map(polyflow_serve::json::Json::render)
-        .unwrap_or_else(|| "null".to_string());
-    let queue = stats
-        .get("stats")
-        .and_then(|s| s.get("queue"))
-        .map(polyflow_serve::json::Json::render)
-        .unwrap_or_else(|| "null".to_string());
+
+    // Per-backend splice for the JSON line, plus stderr detail lines.
+    let mut backend_json = String::new();
+    let mut backend_human = Vec::new();
+    if multi {
+        backend_json.push_str(",\"backends\":[");
+        for (i, b) in backends.iter_mut().enumerate() {
+            if i > 0 {
+                backend_json.push(',');
+            }
+            let bp50 = percentile(&mut b.latencies, 50.0).as_secs_f64() * 1e3;
+            let bp90 = percentile(&mut b.latencies, 90.0).as_secs_f64() * 1e3;
+            let bp99 = percentile(&mut b.latencies, 99.0).as_secs_f64() * 1e3;
+            let bcache = fetch_stats(cfg, &b.addr)
+                .ok()
+                .and_then(|line| json::parse(&line).ok())
+                .map(|stats| render_stats_field(&stats, "cache"))
+                .unwrap_or_else(|| "null".to_string());
+            backend_json.push_str(&format!(
+                "{{\"addr\":\"{}\",\"ok\":{},\
+                 \"errors\":{{\"typed\":{},\"transport\":{}}},\
+                 \"latency_ms\":{{\"p50\":{bp50:.3},\"p90\":{bp90:.3},\"p99\":{bp99:.3}}},\
+                 \"cache\":{bcache}}}",
+                b.addr, b.ok, b.typed, b.transport,
+            ));
+            backend_human.push(format!(
+                "[loadgen]   {}: {} ok / {} typed + {} transport \
+                 (p50 {bp50:.2}ms p90 {bp90:.2}ms p99 {bp99:.2}ms)",
+                b.addr, b.ok, b.typed, b.transport,
+            ));
+        }
+        backend_json.push(']');
+    }
 
     let p50 = percentile(&mut latencies, 50.0);
     let p90 = percentile(&mut latencies, 90.0);
@@ -456,7 +555,7 @@ fn run_load(cfg: &Config) -> ! {
          \"corrupt\":{corrupt}}},\
          \"retries\":{retries},\"wrong\":{wrong},\"hit_ratio_pct\":{},\
          \"latency_ms\":{{\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3}}},\
-         \"cache\":{cache},\"queue\":{queue}}}",
+         \"cache\":{cache},\"queue\":{queue}{backend_json}}}",
         cfg.clients,
         total,
         wall.as_secs_f64(),
@@ -476,10 +575,35 @@ fn run_load(cfg: &Config) -> ! {
         p50.as_secs_f64() * 1e3,
         p99.as_secs_f64() * 1e3,
     );
+    for line in &backend_human {
+        eprintln!("{line}");
+    }
     if let Some(e) = first_error {
         eprintln!("[loadgen] first error: {e}");
     }
     exit(if ok > 0 && wrong == 0 { 0 } else { 1 });
+}
+
+/// One `stats` exchange against `addr` through the retry client.
+fn fetch_stats(cfg: &Config, addr: &str) -> Result<String, String> {
+    let mut client = Client::new(ClientConfig {
+        require_integrity: false,
+        max_retries: cfg.retries.max(4),
+        ..client_config(cfg, addr, u64::MAX - 1)
+    });
+    match client.request("stats") {
+        Outcome::Ok(line) => Ok(line),
+        other => Err(format!("{other:?}")),
+    }
+}
+
+/// Renders `stats.<field>` from a parsed stats reply, or `null`.
+fn render_stats_field(stats: &json::Json, field: &str) -> String {
+    stats
+        .get("stats")
+        .and_then(|s| s.get(field))
+        .map(polyflow_serve::json::Json::render)
+        .unwrap_or_else(|| "null".to_string())
 }
 
 /// Requests every (workload × Figure 9 cell) over the wire — spread
@@ -501,11 +625,13 @@ fn run_verify(cfg: &Config) -> ! {
         }
     }
 
-    // Served bytes, `--clients` ways round-robin.
+    // Served bytes, `--clients` ways round-robin (and across
+    // `--targets` backends, when several are named).
+    let targets = resolve_targets(cfg);
     let started = Instant::now();
     let mut handles = Vec::new();
     for client in 0..cfg.clients {
-        let addr = cfg.addr.clone();
+        let addr = targets[client % targets.len()].clone();
         let mine: Vec<(usize, String)> = lines
             .iter()
             .enumerate()
@@ -595,8 +721,106 @@ fn run_verify(cfg: &Config) -> ! {
     exit(1);
 }
 
+/// Connection-capacity probe: opens up to `target` concurrent
+/// connections against one server, pinging each as it opens, then
+/// re-pings every held connection to prove the server still answers on
+/// all of them. A connect failure, a hangup, or an unanswered ping ends
+/// the climb. Run it against two server builds and compare the plateau
+/// — this is the apples-to-apples concurrency measurement.
+fn run_open(cfg: &Config, target: u64) -> ! {
+    let addr_str = resolve_targets(cfg).remove(0);
+    let addr = addr_str
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| fail(&format!("cannot resolve `{addr_str}`")));
+    let started = Instant::now();
+    let mut held: Vec<TcpStream> = Vec::with_capacity(target.min(1 << 20) as usize);
+    let mut failure: Option<String> = None;
+    while (held.len() as u64) < target {
+        match probe_connect(&addr) {
+            Ok(s) => held.push(s),
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+        if held.len().is_multiple_of(2000) {
+            eprintln!("[loadgen] {} connections open…", held.len());
+        }
+    }
+    let opened = held.len();
+    // Every held connection must still answer — an accepted-then-
+    // dropped connection does not count as sustained.
+    let mut alive = 0usize;
+    for s in &mut held {
+        if ping_once(s).is_ok() {
+            alive += 1;
+        }
+    }
+    let wall = started.elapsed();
+    println!(
+        "{{\"name\":\"loadgen-open\",\"jobs\":1,\"cells\":{target},\
+         \"wall_seconds\":{:.6},\"cells_per_second\":{:.3},\
+         \"target\":{target},\"opened\":{opened},\"alive\":{alive}}}",
+        wall.as_secs_f64(),
+        alive as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    eprintln!(
+        "[loadgen] open probe against {addr_str}: {opened}/{target} opened, \
+         {alive} still answering after {:.2}s",
+        wall.as_secs_f64()
+    );
+    if let Some(e) = failure {
+        eprintln!("[loadgen] climb ended by: {e}");
+    }
+    exit(if alive as u64 == target { 0 } else { 1 });
+}
+
+/// One probe connection: connect with a bounded timeout and require a
+/// pong before it counts.
+fn probe_connect(addr: &std::net::SocketAddr) -> Result<TcpStream, String> {
+    let mut s = TcpStream::connect_timeout(addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    s.set_write_timeout(Some(Duration::from_secs(5))).ok();
+    ping_once(&mut s)?;
+    Ok(s)
+}
+
+/// A single ping/pong on an established connection, without the fd
+/// overhead of a cloned reader (the probe holds thousands open).
+fn ping_once(s: &mut TcpStream) -> Result<(), String> {
+    use std::io::Read;
+    s.write_all(b"ping\n").map_err(|e| format!("write: {e}"))?;
+    let mut got = Vec::with_capacity(64);
+    let mut buf = [0u8; 256];
+    loop {
+        let n = s.read(&mut buf).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("server hung up".to_string());
+        }
+        got.extend_from_slice(&buf[..n]);
+        if got.contains(&b'\n') {
+            break;
+        }
+        if got.len() > 4096 {
+            return Err("oversized ping reply".to_string());
+        }
+    }
+    let line = String::from_utf8_lossy(&got);
+    if line.contains("\"pong\"") {
+        Ok(())
+    } else {
+        Err(format!("unexpected ping reply: {}", line.trim()))
+    }
+}
+
 fn main() {
     let cfg = parse_args();
+    if let Some(n) = cfg.open {
+        run_open(&cfg, n);
+    }
     if cfg.verify {
         run_verify(&cfg);
     }

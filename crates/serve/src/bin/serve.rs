@@ -160,6 +160,13 @@ fn main() {
             exit(1);
         }
     };
+    // Machine-parseable first line on stdout: scripts asking for an
+    // ephemeral port (`--addr host:0`) read the actually-bound address
+    // here instead of scraping stderr (which still carries the human
+    // line below, unchanged for existing tooling).
+    println!("SERVE_ADDR={}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
     eprintln!("[serve] listening on {}", server.addr());
     server.wait_for_shutdown();
     let stats = server.service().stats();

@@ -79,6 +79,14 @@ impl Json {
         }
     }
 
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The object's members, if it is one.
     pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
         match self {

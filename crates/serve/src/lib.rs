@@ -39,6 +39,8 @@ pub mod client;
 pub mod journal;
 pub mod json;
 pub mod protocol;
+pub mod reactor;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod signal;

@@ -1,0 +1,833 @@
+//! The readiness-based connection core: one thread, `poll(2)`, and a
+//! per-connection state machine.
+//!
+//! The original transport spawned one thread per connection, which made
+//! connection count the service's scaling ceiling: N open connections
+//! cost N stacks plus N wakeups per read-timeout tick, and the process
+//! thread limit becomes the shed point long before the simulator does.
+//! This module replaces that with a single reactor thread driving every
+//! connection through nonblocking sockets:
+//!
+//! ```text
+//!              ┌────────────────────────────────────────────┐
+//!              │                 reactor loop               │
+//!              │  poll(listener, waker, conns…)             │
+//!              │    ├─ accept  → new Conn (nonblocking)     │
+//!              │    ├─ readable→ read → split lines → inbox │
+//!              │    ├─ inbox   → parse → execute            │
+//!              │    │     verbs: answered inline            │
+//!              │    │     simulate: Service::enqueue        │
+//!              │    │       cache hit → zero-copy reply     │
+//!              │    │       admitted  → pending (rx)        │
+//!              │    ├─ pending → try_recv → queue reply     │
+//!              │    └─ writable→ flush out (partial-write   │
+//!              │                 aware, stall watchdog)     │
+//!              └────────────────────────────────────────────┘
+//! ```
+//!
+//! # The per-connection state machine
+//!
+//! Each [`Conn`] moves bytes through four stages. **Read**: nonblocking
+//! reads accumulate into a line buffer, bounded by the configured
+//! `max_request_line` with the same typed-reject-then-discard behavior
+//! the threaded transport had (an oversized line costs one
+//! `bad_request`, never the connection). **Execute**: complete lines
+//! run through [`crate::protocol::parse_request`]; verbs answer inline,
+//! simulations go through [`Service::enqueue`] so the reactor never
+//! blocks on the pool. **Pending**: at most one in-flight simulation
+//! per connection — pipelined lines wait in the connection's inbox so
+//! replies stay in request order, exactly like the threaded handler.
+//! **Write**: a queue of output chunks flushed as far as the socket
+//! allows; a cached response is written straight from the shared
+//! `Arc<str>` bytes, no copy.
+//!
+//! # Why the loop can sleep
+//!
+//! `poll(2)` wakes the loop for socket readiness, but batch completions
+//! happen on the batcher thread. The service's completion notifier
+//! (see [`Service::set_notifier`]) writes one byte into a self-pipe (a
+//! `UnixStream` pair) registered with `poll`, so a finished batch wakes
+//! the reactor immediately — the loop needs no short tick to deliver
+//! replies, and an idle server parks in the kernel.
+//!
+//! # Bounds
+//!
+//! A connection may hold at most [`PIPELINE_MAX`] parsed-but-unexecuted
+//! lines and [`OUT_HIGH_WATER`] bytes of unflushed output; beyond
+//! either, the reactor stops reading from (or executing for) that
+//! connection, which backpressures through TCP. A peer that stops
+//! reading forfeits the connection after the configured `write_timeout`
+//! without write progress — one stuck reader cannot wedge the drain.
+
+use crate::protocol::{self, Request};
+use crate::service::{Reply, Service, Ticket};
+use crate::signal;
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Most parsed lines a connection may hold waiting for execution; past
+/// this the reactor stops reading the socket (TCP backpressure).
+const PIPELINE_MAX: usize = 32;
+
+/// Most unflushed output bytes per connection before the reactor stops
+/// executing new requests for it.
+const OUT_HIGH_WATER: usize = 4 << 20;
+
+/// Poll timeout when nothing else bounds the sleep: the cadence at
+/// which the loop re-checks the drain flag.
+const IDLE_TICK: Duration = Duration::from_millis(25);
+
+/// Counters the reactor keeps about itself, surfaced as the `transport`
+/// object of the `stats` verb.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Currently open connections (gauge).
+    pub open_connections: AtomicU64,
+    /// Connections accepted since boot.
+    pub accepted: AtomicU64,
+    /// Times the poll loop woke (readiness, waker, or tick).
+    pub reactor_wakeups: AtomicU64,
+    /// Nonblocking reads that found the socket dry (`EWOULDBLOCK`).
+    pub read_stalls: AtomicU64,
+}
+
+/// Point-in-time copy of [`TransportStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Currently open connections.
+    pub open_connections: u64,
+    /// Connections accepted since boot.
+    pub accepted: u64,
+    /// Poll-loop wakeups.
+    pub reactor_wakeups: u64,
+    /// Reads that returned would-block.
+    pub read_stalls: u64,
+}
+
+impl TransportStats {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            read_stalls: self.read_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Splices the reactor's counters into a rendered `stats` response as
+/// the `transport` member of the `stats` object (the service renders
+/// `{"ok":true,"stats":{...}}`; this rewrites the tail).
+pub fn stats_with_transport(service_stats_json: &str, t: TransportSnapshot) -> String {
+    let body = service_stats_json
+        .strip_suffix("}}")
+        .unwrap_or(service_stats_json);
+    let mut out = String::with_capacity(body.len() + 96);
+    out.push_str(body);
+    out.push_str(&format!(
+        ",\"transport\":{{\"open_connections\":{},\"accepted\":{},\
+         \"reactor_wakeups\":{},\"read_stalls\":{}}}",
+        t.open_connections, t.accepted, t.reactor_wakeups, t.read_stalls
+    ));
+    out.push_str("}}");
+    out
+}
+
+/// One chunk of queued output. Cached responses are written straight
+/// from the shared `Arc<str>` (zero-copy); everything else is owned.
+enum Chunk {
+    Shared(Arc<str>),
+    Owned(Vec<u8>),
+    Newline,
+}
+
+impl Chunk {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Chunk::Shared(s) => s.as_bytes(),
+            Chunk::Owned(v) => v,
+            Chunk::Newline => b"\n",
+        }
+    }
+}
+
+/// A simulation whose reply the reactor is waiting on.
+struct PendingReply {
+    rx: Receiver<Reply>,
+    integrity: bool,
+    deadline: Option<Instant>,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Partial request line under accumulation.
+    buf: Vec<u8>,
+    /// Discarding the tail of an already-rejected oversized line.
+    skipping: bool,
+    /// Complete lines parsed off the socket, waiting for execution
+    /// (kept in arrival order — replies must match request order).
+    inbox: VecDeque<Vec<u8>>,
+    /// Queued output chunks; `out_pos` indexes into the front chunk.
+    out: VecDeque<Chunk>,
+    out_pos: usize,
+    out_bytes: usize,
+    /// The in-flight simulation, if any (at most one per connection).
+    pending: Option<PendingReply>,
+    /// When the current write stall began (output queued, socket full).
+    write_stall_since: Option<Instant>,
+    /// Peer half-closed its read side (EOF seen).
+    read_closed: bool,
+    /// Close once the output queue drains (`shutdown` verb ack).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            skipping: false,
+            inbox: VecDeque::new(),
+            out: VecDeque::new(),
+            out_pos: 0,
+            out_bytes: 0,
+            pending: None,
+            write_stall_since: None,
+            read_closed: false,
+            close_after_flush: false,
+        }
+    }
+
+    fn wants_read(&self) -> bool {
+        !self.read_closed
+            && !self.close_after_flush
+            && self.inbox.len() < PIPELINE_MAX
+            && self.out_bytes < OUT_HIGH_WATER
+    }
+
+    fn wants_write(&self) -> bool {
+        !self.out.is_empty()
+    }
+
+    /// True while the connection still owes someone bytes: queued
+    /// lines, an in-flight simulation, or unflushed output. A drain
+    /// waits for busy connections and hangs up on the rest (a partial
+    /// line in `buf` does not count — the threaded transport dropped
+    /// those on drain too).
+    fn busy(&self) -> bool {
+        !self.inbox.is_empty() || !self.out.is_empty() || self.pending.is_some()
+    }
+
+    /// True when the connection has delivered everything it owes.
+    fn finished(&self) -> bool {
+        (self.close_after_flush && self.out.is_empty())
+            || (self.read_closed && !self.busy() && self.buf.is_empty())
+    }
+
+    fn push_owned(&mut self, line: String) {
+        let mut bytes = line.into_bytes();
+        bytes.push(b'\n');
+        self.out_bytes += bytes.len();
+        self.out.push_back(Chunk::Owned(bytes));
+    }
+
+    /// Queues a shared response line without copying its body.
+    fn push_shared(&mut self, line: Arc<str>) {
+        self.out_bytes += line.len() + 1;
+        self.out.push_back(Chunk::Shared(line));
+        self.out.push_back(Chunk::Newline);
+    }
+}
+
+/// The handle the reactor leaves behind for wakeups: writing one byte
+/// interrupts a parked `poll`. Cheap to clone; safe to call from any
+/// thread (the service's batcher calls it on batch completion, the
+/// server wrapper calls it to begin a drain).
+#[cfg(unix)]
+#[derive(Clone)]
+pub struct Waker(Arc<std::os::unix::net::UnixStream>);
+
+#[cfg(unix)]
+impl Waker {
+    /// Wakes the reactor. Best-effort: a full pipe already guarantees a
+    /// pending wakeup, so the would-block case needs no handling.
+    pub fn wake(&self) {
+        let _ = (&*self.0).write(&[1]);
+    }
+}
+
+/// No-op waker for the portable fallback loop (which ticks on a short
+/// sleep instead of parking in `poll`).
+#[cfg(not(unix))]
+#[derive(Clone)]
+pub struct Waker;
+
+#[cfg(not(unix))]
+impl Waker {
+    /// No-op: the fallback loop wakes itself.
+    pub fn wake(&self) {}
+}
+
+/// The reactor: owns the listener, the waker pipe, and every
+/// connection.
+pub struct Reactor {
+    listener: TcpListener,
+    service: Arc<Service>,
+    stats: Arc<TransportStats>,
+    stop: Arc<AtomicBool>,
+    conns: Vec<Conn>,
+    waker: Waker,
+    #[cfg(unix)]
+    waker_rx: std::os::unix::net::UnixStream,
+}
+
+impl Reactor {
+    /// Builds a reactor on an already-bound listener and registers the
+    /// service completion notifier so batch results wake the loop.
+    #[cfg(unix)]
+    pub fn new(
+        listener: TcpListener,
+        service: Arc<Service>,
+        stats: Arc<TransportStats>,
+        stop: Arc<AtomicBool>,
+    ) -> io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        let (waker_tx, waker_rx) = std::os::unix::net::UnixStream::pair()?;
+        waker_tx.set_nonblocking(true)?;
+        waker_rx.set_nonblocking(true)?;
+        let waker = Waker(Arc::new(waker_tx));
+        let hook = waker.clone();
+        service.set_notifier(move || hook.wake());
+        Ok(Reactor {
+            listener,
+            service,
+            stats,
+            stop,
+            conns: Vec::new(),
+            waker,
+            waker_rx,
+        })
+    }
+
+    /// Portable fallback constructor: same loop, driven by a short
+    /// sleep instead of `poll(2)`.
+    #[cfg(not(unix))]
+    pub fn new(
+        listener: TcpListener,
+        service: Arc<Service>,
+        stats: Arc<TransportStats>,
+        stop: Arc<AtomicBool>,
+    ) -> io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        Ok(Reactor {
+            listener,
+            service,
+            stats,
+            stop,
+            conns: Vec::new(),
+            waker: Waker,
+        })
+    }
+
+    /// A handle that wakes the loop from another thread.
+    pub fn waker(&self) -> Waker {
+        self.waker.clone()
+    }
+
+    fn draining(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    /// Runs the loop until a drain completes: stop accepting, let every
+    /// connection with queued or in-flight work deliver it, hang up on
+    /// the idle rest, then return. The caller joins the batcher.
+    pub fn run(mut self) {
+        loop {
+            let draining = self.draining();
+            if draining {
+                let before = self.conns.len();
+                self.conns.retain(Conn::busy);
+                let dropped = (before - self.conns.len()) as u64;
+                self.stats
+                    .open_connections
+                    .fetch_sub(dropped, Ordering::Relaxed);
+                if self.conns.is_empty() {
+                    return;
+                }
+            }
+
+            let ready = self.wait_for_readiness(draining);
+            self.stats.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+
+            if !draining {
+                self.accept_new();
+            }
+
+            // Drive every connection through its stages. Order matters
+            // only within a connection, so index order is fine.
+            let mut closed: Vec<usize> = Vec::new();
+            for i in 0..self.conns.len() {
+                // Connections accepted this very pass have no readiness
+                // entry yet; probe them optimistically (a dry read is
+                // one cheap would-block).
+                let readable = ready.get(i).is_none_or(|r| r.0);
+                if self.step_conn(i, readable).is_err() || self.conns[i].finished() {
+                    closed.push(i);
+                }
+            }
+            for &i in closed.iter().rev() {
+                self.conns.swap_remove(i);
+                self.stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Parks in `poll(2)` until a socket is ready, the waker fires, or
+    /// the tick elapses. Registers the listener (accepts), the waker
+    /// pipe (batch completions), and every connection. Returns one
+    /// `(readable,)` flag per connection, index-aligned with `conns`.
+    #[cfg(unix)]
+    fn wait_for_readiness(&mut self, draining: bool) -> Vec<(bool,)> {
+        use std::os::unix::io::AsRawFd;
+
+        let mut fds: Vec<sys::PollFd> = Vec::with_capacity(self.conns.len() + 2);
+        if !draining {
+            fds.push(sys::PollFd::new(self.listener.as_raw_fd(), sys::POLLIN));
+        }
+        fds.push(sys::PollFd::new(self.waker_rx.as_raw_fd(), sys::POLLIN));
+        let base = fds.len();
+        for c in &self.conns {
+            let mut events = 0i16;
+            if c.wants_read() {
+                events |= sys::POLLIN;
+            }
+            if c.wants_write() {
+                events |= sys::POLLOUT;
+            }
+            // Register even with no interest: errors and hangups
+            // surface in `revents` regardless of `events`.
+            fds.push(sys::PollFd::new(c.stream.as_raw_fd(), events));
+        }
+
+        // Sleep no longer than the nearest deadline among in-flight
+        // requests; a write-stalled connection keeps a short tick so
+        // its watchdog fires on time.
+        let now = Instant::now();
+        let mut timeout = IDLE_TICK;
+        for c in &self.conns {
+            if let Some(d) = c.pending.as_ref().and_then(|p| p.deadline) {
+                timeout = timeout.min(d.saturating_duration_since(now));
+            }
+            if c.write_stall_since.is_some() {
+                timeout = timeout.min(Duration::from_millis(10));
+            }
+        }
+        sys::poll(&mut fds, timeout);
+
+        // Drain the waker pipe (it is level-triggered: leftover bytes
+        // would spin the loop).
+        let mut sink = [0u8; 64];
+        while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n > 0) {}
+
+        fds[base..].iter().map(|fd| (fd.readable(),)).collect()
+    }
+
+    /// Portable fallback: a short sleep, then optimistic progress on
+    /// every connection (a dry read just reports would-block).
+    #[cfg(not(unix))]
+    fn wait_for_readiness(&mut self, _draining: bool) -> Vec<(bool,)> {
+        std::thread::sleep(Duration::from_millis(2));
+        vec![(true,); self.conns.len()]
+    }
+
+    fn accept_new(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.conns.push(Conn::new(stream));
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.stats.open_connections.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// One pass over a connection's state machine; `Err(())` closes it.
+    fn step_conn(&mut self, i: usize, readable: bool) -> Result<(), ()> {
+        if readable {
+            self.read_conn(i)?;
+        }
+        self.deliver_pending(i);
+        self.execute_inbox(i);
+        // Always attempt the flush when output is queued (not just on
+        // POLLOUT): fresh output this pass flushes immediately, and the
+        // write-stall watchdog re-arms even when the socket never
+        // becomes writable again.
+        if self.conns[i].wants_write() {
+            self.flush_conn(i)?;
+        }
+        Ok(())
+    }
+
+    /// Nonblocking read: accumulate bytes, split complete lines into
+    /// the inbox, enforce the line-length bound.
+    fn read_conn(&mut self, i: usize) -> Result<(), ()> {
+        let max_line = self.service.config().max_request_line;
+        let mut scratch = [0u8; 16 * 1024];
+        while self.conns[i].wants_read() {
+            match self.conns[i].stream.read(&mut scratch) {
+                Ok(0) => {
+                    let conn = &mut self.conns[i];
+                    conn.read_closed = true;
+                    // Answer a final unterminated line, as the threaded
+                    // transport did.
+                    if !conn.buf.is_empty() && !conn.skipping {
+                        let line = std::mem::take(&mut conn.buf);
+                        conn.inbox.push_back(line);
+                    }
+                    conn.buf.clear();
+                    return Ok(());
+                }
+                Ok(n) => self.ingest(i, &scratch[..n], max_line),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.stats.read_stalls.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Err(()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits freshly read bytes into lines, applying the
+    /// oversized-line protocol: one typed `bad_request`, then discard
+    /// through the eventual newline, connection intact.
+    fn ingest(&mut self, i: usize, mut bytes: &[u8], max_line: usize) {
+        while !bytes.is_empty() {
+            let conn = &mut self.conns[i];
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    if conn.skipping {
+                        conn.skipping = false; // oversized tail discarded
+                    } else {
+                        let mut line = std::mem::take(&mut conn.buf);
+                        line.extend_from_slice(&bytes[..nl]);
+                        if line.len() > max_line {
+                            self.reject_oversized(i, max_line, false);
+                        } else {
+                            self.conns[i].inbox.push_back(line);
+                        }
+                    }
+                    bytes = &bytes[nl + 1..];
+                }
+                None => {
+                    if conn.skipping {
+                        return; // keep discarding
+                    }
+                    conn.buf.extend_from_slice(bytes);
+                    if conn.buf.len() > max_line {
+                        self.reject_oversized(i, max_line, true);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn reject_oversized(&mut self, i: usize, max_line: usize, keep_skipping: bool) {
+        let e = protocol::ServeError::new(
+            protocol::ErrorKind::BadRequest,
+            format!("request line exceeds {max_line} bytes"),
+        );
+        let conn = &mut self.conns[i];
+        conn.buf.clear();
+        conn.skipping = keep_skipping;
+        conn.push_owned(protocol::error_response(&e));
+    }
+
+    /// Checks the connection's in-flight simulation: deliver a landed
+    /// reply, or time it out at its deadline (the reactor-side mirror
+    /// of `Service::submit`'s `recv_timeout`).
+    fn deliver_pending(&mut self, i: usize) {
+        let Some(p) = &self.conns[i].pending else {
+            return;
+        };
+        let integrity = p.integrity;
+        match p.rx.try_recv() {
+            Ok(reply) => {
+                self.conns[i].pending = None;
+                self.queue_reply(i, reply, integrity);
+            }
+            Err(TryRecvError::Empty) => {
+                let expired = matches!(p.deadline, Some(d) if Instant::now() >= d);
+                if expired {
+                    self.conns[i].pending = None;
+                    self.service.record_deadline_exceeded();
+                    self.queue_reply(
+                        i,
+                        Err(protocol::ServeError::new(
+                            protocol::ErrorKind::DeadlineExceeded,
+                            "deadline expired before the result was ready",
+                        )),
+                        integrity,
+                    );
+                }
+            }
+            Err(TryRecvError::Disconnected) => {
+                self.conns[i].pending = None;
+                self.queue_reply(
+                    i,
+                    Err(protocol::ServeError::new(
+                        protocol::ErrorKind::Internal,
+                        "service stopped before replying",
+                    )),
+                    integrity,
+                );
+            }
+        }
+    }
+
+    fn queue_reply(&mut self, i: usize, reply: Reply, integrity: bool) {
+        let conn = &mut self.conns[i];
+        match reply {
+            Ok(line) if integrity => {
+                conn.push_owned(protocol::with_integrity_trailer(&line));
+            }
+            Ok(line) => conn.push_shared(line),
+            Err(e) => {
+                let body = protocol::error_response(&e);
+                if integrity {
+                    conn.push_owned(protocol::with_integrity_trailer(&body));
+                } else {
+                    conn.push_owned(body);
+                }
+            }
+        }
+    }
+
+    /// Executes queued lines until one goes in-flight (replies must
+    /// stay in request order, so one pending simulation parks the
+    /// rest) or the output queue is over its high-water mark.
+    fn execute_inbox(&mut self, i: usize) {
+        while self.conns[i].pending.is_none()
+            && !self.conns[i].close_after_flush
+            && self.conns[i].out_bytes < OUT_HIGH_WATER
+        {
+            let Some(raw) = self.conns[i].inbox.pop_front() else {
+                return;
+            };
+            self.execute_line(i, &raw);
+        }
+    }
+
+    /// Handles one request line — the reactor-side equivalent of the
+    /// threaded transport's `respond`.
+    fn execute_line(&mut self, i: usize, raw: &[u8]) {
+        let line = match std::str::from_utf8(raw) {
+            Ok(s) => s,
+            Err(_) => {
+                let e = protocol::ServeError::new(
+                    protocol::ErrorKind::BadRequest,
+                    "request is not valid UTF-8",
+                );
+                self.conns[i].push_owned(protocol::error_response(&e));
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            return; // blank keep-alive line
+        }
+        match protocol::parse_request(line, self.service.default_max_cycles()) {
+            Ok(Request::Ping) => {
+                self.conns[i].push_owned("{\"ok\":true,\"pong\":true}".to_string());
+            }
+            Ok(Request::Stats) => {
+                let body =
+                    stats_with_transport(&self.service.stats().to_json(), self.stats.snapshot());
+                self.conns[i].push_owned(body);
+            }
+            Ok(Request::Shutdown) => {
+                // Acknowledge, then trip this reactor's stop flag (not
+                // the process-global signal flag — in-process test
+                // servers must not drain each other).
+                self.conns[i].push_owned("{\"ok\":true,\"draining\":true}".to_string());
+                self.conns[i].close_after_flush = true;
+                self.stop.store(true, Ordering::SeqCst);
+                self.service.begin_shutdown();
+            }
+            Ok(Request::Simulate(req)) => {
+                let integrity = req.integrity;
+                // Same clamp `Service::submit` applies to its wait.
+                let deadline = req.deadline_ms.map(|ms| {
+                    Instant::now()
+                        + Duration::from_millis(ms).min(self.service.config().max_deadline)
+                });
+                match self.service.enqueue(*req) {
+                    Ok(Ticket::Ready(hit)) => self.queue_reply(i, Ok(hit), integrity),
+                    Ok(Ticket::Admitted(rx)) => {
+                        self.conns[i].pending = Some(PendingReply {
+                            rx,
+                            integrity,
+                            deadline,
+                        });
+                    }
+                    Err(e) => self.queue_reply(i, Err(e), integrity),
+                }
+            }
+            Ok(Request::Verify(req)) => {
+                // Lint is milliseconds of dataflow solving; running it
+                // inline matches the service's synchronous verify path.
+                let reply = self.service.verify_program(*req);
+                self.queue_reply(i, reply, false);
+            }
+            Err(e) => {
+                // The parse failed before the `integrity` flag could be
+                // decoded, so honor it best-effort from the raw line
+                // (the exact token a trailer-checking client injects) —
+                // otherwise its typed parse error would look like a
+                // stripped-trailer corruption.
+                let body = protocol::error_response(&e);
+                if line.contains("\"integrity\":true") {
+                    self.conns[i].push_owned(protocol::with_integrity_trailer(&body));
+                } else {
+                    self.conns[i].push_owned(body);
+                }
+            }
+        }
+    }
+
+    /// Flushes queued output as far as the socket allows; a partial
+    /// write leaves `out_pos` mid-chunk. A stall longer than the
+    /// configured write timeout forfeits the connection.
+    fn flush_conn(&mut self, i: usize) -> Result<(), ()> {
+        let write_timeout = self.service.config().write_timeout;
+        let conn = &mut self.conns[i];
+        while let Some(chunk) = conn.out.front() {
+            let bytes = chunk.bytes();
+            match conn.stream.write(&bytes[conn.out_pos..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.out_bytes -= n;
+                    conn.write_stall_since = None;
+                    if conn.out_pos == bytes.len() {
+                        conn.out.pop_front();
+                        conn.out_pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    match conn.write_stall_since {
+                        None => conn.write_stall_since = Some(Instant::now()),
+                        Some(t0) if t0.elapsed() >= write_timeout => return Err(()),
+                        Some(_) => {}
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Err(()),
+            }
+        }
+        conn.write_stall_since = None;
+        Ok(())
+    }
+}
+
+/// Raw `poll(2)` plumbing, declared directly against libc — the
+/// workspace takes no external crates, the same approach
+/// [`crate::signal`] uses for `signal(2)`.
+#[cfg(unix)]
+mod sys {
+    use std::time::Duration;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    /// POSIX `nfds_t`: `unsigned long` on Linux, `unsigned int` on the
+    /// BSDs and macOS.
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    type NfdsT = u64;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    type NfdsT = u32;
+
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    pub struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    impl PollFd {
+        pub fn new(fd: i32, events: i16) -> PollFd {
+            PollFd {
+                fd,
+                events,
+                revents: 0,
+            }
+        }
+
+        /// Data waiting, or an error/hangup the next read will surface.
+        pub fn readable(&self) -> bool {
+            self.revents & (POLLIN | POLLERR | POLLHUP) != 0
+        }
+    }
+
+    extern "C" {
+        #[link_name = "poll"]
+        fn c_poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+    }
+
+    /// Polls `fds` for at most `timeout` (clamped to i32 millis). The
+    /// caller re-derives progress from nonblocking I/O, so an error
+    /// return (e.g. `EINTR`) just means "check everything again".
+    pub fn poll(fds: &mut [PollFd], timeout: Duration) -> i32 {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        unsafe { c_poll(fds.as_mut_ptr(), fds.len() as NfdsT, ms) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_splice_keeps_stats_parseable() {
+        let svc = crate::service::Service::new(crate::service::ServiceConfig::default());
+        let spliced = stats_with_transport(
+            &svc.stats().to_json(),
+            TransportSnapshot {
+                open_connections: 3,
+                accepted: 9,
+                reactor_wakeups: 120,
+                read_stalls: 7,
+            },
+        );
+        assert!(!spliced.contains('\n'));
+        let v = crate::json::parse(&spliced).expect("spliced stats JSON parses");
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let t = v.get("stats").unwrap().get("transport").unwrap();
+        assert_eq!(t.get("open_connections").unwrap().as_u64(), Some(3));
+        assert_eq!(t.get("reactor_wakeups").unwrap().as_u64(), Some(120));
+        assert_eq!(t.get("read_stalls").unwrap().as_u64(), Some(7));
+        // The pre-existing members survived the splice.
+        assert!(v.get("stats").unwrap().get("queue").is_some());
+        assert!(v.get("stats").unwrap().get("account").is_some());
+    }
+}

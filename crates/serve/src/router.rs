@@ -1,0 +1,943 @@
+//! The sharding router: a consistent-hash ring over N serve backends,
+//! with health checks, automatic ejection/readmission, failover, and
+//! graceful draining.
+//!
+//! ```text
+//!   clients ──► router ──(hash of cache key)──► backend #k
+//!                 │                              ▲
+//!                 ├── health checker (ping) ─────┘
+//!                 └── stats: per-backend health + ring ownership
+//! ```
+//!
+//! # Why hash the cache key
+//!
+//! Each backend keeps its own result cache keyed by
+//! `(program fingerprint, policy, config fingerprint)` — see
+//! [`crate::cache::CacheKey`]. The router hashes **exactly that tuple**
+//! (rendered canonically by [`routing_key`]) onto the ring, so a given
+//! cell always lands on the shard that already has it cached, no matter
+//! which client asks, in which order, or through which router process.
+//! Cache affinity is a routing concern only: correctness never depends
+//! on it, because every backend computes byte-identical results for the
+//! same cell (the standing served ≡ offline invariant). That is what
+//! makes failover safe — a request re-routed to a non-owner backend
+//! gets the same bytes, just colder.
+//!
+//! # The ring
+//!
+//! [`Ring`] places [`Ring::replicas`] virtual points per backend at
+//! `fnv1a("{addr}#{i}")` on the u64 circle; a key is owned by the first
+//! point clockwise from `fnv1a(key)`. Ejecting a backend removes only
+//! its points, so keys owned by healthy backends never move (minimal
+//! remapping), and readmission restores exactly the old assignment —
+//! the map is a pure function of the live backend set.
+//!
+//! # Health
+//!
+//! An active checker pings every backend on a fixed cadence; a backend
+//! is ejected after [`RouterConfig::eject_after`] consecutive failures
+//! and readmitted after [`RouterConfig::readmit_after`] consecutive
+//! successes. Forwarding failures also count toward ejection (passive
+//! detection), so a SIGKILLed backend stops receiving traffic after at
+//! most a couple of failed forwards, not a full check cycle.
+//!
+//! # Forwarding
+//!
+//! Replies are relayed **verbatim** — the router never re-renders a
+//! backend's bytes, so the byte-identity invariant survives the extra
+//! hop (integrity trailers included). A forward that fails (connection
+//! error, or a retryable `overloaded`/`shutting_down` answer) fails
+//! over around the ring to the next live backend; only when every
+//! backend has been tried does the client get a router-local typed
+//! `overloaded` error, which retrying clients handle.
+
+use crate::journal::fnv1a;
+use crate::protocol::{self, ErrorKind, Request, ServeError};
+use crate::signal;
+use std::io::{self, BufRead, BufReader, ErrorKind as IoKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Accept-loop poll interval.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Per-connection read timeout: how often an idle handler re-checks
+/// the drain flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Tunables for one [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Backend addresses, `host:port` each.
+    pub backends: Vec<String>,
+    /// Virtual points per backend on the ring.
+    pub replicas: usize,
+    /// Health-check cadence.
+    pub check_interval: Duration,
+    /// Consecutive failures (checks or forwards) before ejection.
+    pub eject_after: u32,
+    /// Consecutive successful checks before readmission.
+    pub readmit_after: u32,
+    /// Per-hop socket timeout for forwards and health checks.
+    pub io_timeout: Duration,
+    /// Must match the backends' `--max-cycles` default: the router
+    /// parses requests with it to derive the same config fingerprint
+    /// the backend will cache under.
+    pub default_max_cycles: u64,
+    /// Longest accepted request line (mirrors serve's `--max-line`).
+    pub max_request_line: usize,
+}
+
+impl RouterConfig {
+    /// Default policy over `backends`.
+    pub fn new(backends: Vec<String>) -> RouterConfig {
+        RouterConfig {
+            backends,
+            replicas: 100,
+            check_interval: Duration::from_millis(250),
+            eject_after: 2,
+            readmit_after: 2,
+            io_timeout: Duration::from_secs(30),
+            default_max_cycles: 50_000_000,
+            max_request_line: 1 << 20,
+        }
+    }
+}
+
+/// A consistent-hash ring: virtual points for each backend on the u64
+/// circle. Construction is a pure function of the backend list, so
+/// every router process (and every restart) builds the same map.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, backend index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+    /// Virtual points per backend.
+    pub replicas: usize,
+}
+
+/// Disperses an FNV-1a hash across the circle (the SplitMix64
+/// finalizer). FNV alone has weak avalanche on near-identical inputs —
+/// `host:7199#0` vs `host:7200#0` land close together, which skews
+/// ownership badly at small replica counts.
+fn spread(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Ring {
+    /// Places `replicas` points per backend.
+    pub fn new(backends: &[String], replicas: usize) -> Ring {
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(backends.len() * replicas);
+        for (idx, addr) in backends.iter().enumerate() {
+            for r in 0..replicas {
+                points.push((spread(fnv1a(format!("{addr}#{r}").as_bytes())), idx));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            backends: backends.len(),
+            replicas,
+        }
+    }
+
+    /// The backend owning `key` among those with `alive[idx]` true:
+    /// the first live point clockwise from the key's hash. `None` when
+    /// nothing is alive.
+    pub fn shard_of(&self, key: &str, alive: &[bool]) -> Option<usize> {
+        self.walk(key, alive).next()
+    }
+
+    /// Failover order for `key`: every live backend, starting at the
+    /// owner and continuing clockwise, each backend once.
+    pub fn walk<'a>(&'a self, key: &str, alive: &'a [bool]) -> impl Iterator<Item = usize> + 'a {
+        let h = spread(fnv1a(key.as_bytes()));
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let n = self.points.len();
+        let mut seen = vec![false; self.backends];
+        (0..n).filter_map(move |off| {
+            let (_, idx) = self.points[(start + off) % n];
+            if alive.get(idx).copied().unwrap_or(false) && !seen[idx] {
+                seen[idx] = true;
+                Some(idx)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Share of the hash space each live backend owns, in permille
+    /// (sums to ~1000). Ejected backends own zero; their arcs accrue
+    /// to their clockwise successors.
+    pub fn ownership_permille(&self, alive: &[bool]) -> Vec<u64> {
+        let mut owned = vec![0u128; self.backends];
+        let live: Vec<&(u64, usize)> = self
+            .points
+            .iter()
+            .filter(|&&(_, idx)| alive.get(idx).copied().unwrap_or(false))
+            .collect();
+        if live.is_empty() {
+            return vec![0; self.backends];
+        }
+        // Each point owns the arc from its predecessor (exclusive) to
+        // itself (inclusive); the first point also owns the wrap.
+        for (i, &&(p, idx)) in live.iter().enumerate() {
+            let prev = if i == 0 {
+                live[live.len() - 1].0
+            } else {
+                live[i - 1].0
+            };
+            let arc = p.wrapping_sub(prev);
+            // A single live backend owns the whole circle (arc == 0
+            // only in the one-point degenerate case).
+            let arc = if live.len() == 1 { u64::MAX } else { arc };
+            owned[idx] += arc as u128;
+        }
+        owned
+            .into_iter()
+            .map(|o| ((o * 1000) / (u64::MAX as u128)) as u64)
+            .collect()
+    }
+}
+
+/// The canonical routing key for a parsed request: exactly the tuple
+/// the backend caches under, rendered as
+/// `"{workload fingerprint}|{policy}|{config fingerprint}"` (verify
+/// requests use the `verify` policy namespace and an empty config,
+/// mirroring [`crate::service::Service::verify_program`]).
+pub fn routing_key(req: &Request) -> Option<String> {
+    match req {
+        Request::Simulate(r) => Some(format!(
+            "{}|{}|{}",
+            r.fingerprint(),
+            r.policy_label(),
+            r.config.fingerprint()
+        )),
+        Request::Verify(r) => Some(format!("{}|verify|", r.fingerprint)),
+        _ => None,
+    }
+}
+
+/// Live state the router keeps per backend.
+#[derive(Debug, Default)]
+struct BackendState {
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    consecutive_successes: AtomicU32,
+    forwarded: AtomicU64,
+    failures: AtomicU64,
+}
+
+/// Router-wide counters.
+#[derive(Debug, Default)]
+struct RouterCounters {
+    requests: AtomicU64,
+    forwarded: AtomicU64,
+    failovers: AtomicU64,
+    exhausted: AtomicU64,
+    local_errors: AtomicU64,
+    ejections: AtomicU64,
+    readmissions: AtomicU64,
+}
+
+/// The shared routing core: ring, health table, counters. The TCP
+/// front end and the health checker both hold an `Arc` of this.
+pub struct Core {
+    config: RouterConfig,
+    ring: Ring,
+    backends: Vec<BackendState>,
+    counters: RouterCounters,
+    started: Instant,
+}
+
+impl Core {
+    /// Builds the core; all backends start healthy (the first check
+    /// cycle corrects optimism within one interval).
+    pub fn new(config: RouterConfig) -> Arc<Core> {
+        let ring = Ring::new(&config.backends, config.replicas);
+        let backends = config
+            .backends
+            .iter()
+            .map(|_| {
+                let b = BackendState::default();
+                b.healthy.store(true, Ordering::SeqCst);
+                b
+            })
+            .collect();
+        Arc::new(Core {
+            ring,
+            backends,
+            counters: RouterCounters::default(),
+            started: Instant::now(),
+            config,
+        })
+    }
+
+    fn alive(&self) -> Vec<bool> {
+        self.backends
+            .iter()
+            .map(|b| b.healthy.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Times the router ejected a backend (CI asserts this moves when
+    /// a backend is killed mid-run).
+    pub fn ejections(&self) -> u64 {
+        self.counters.ejections.load(Ordering::Relaxed)
+    }
+
+    fn record_failure(&self, idx: usize) {
+        let b = &self.backends[idx];
+        b.failures.fetch_add(1, Ordering::Relaxed);
+        b.consecutive_successes.store(0, Ordering::SeqCst);
+        let fails = b.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if fails >= self.config.eject_after && b.healthy.swap(false, Ordering::SeqCst) {
+            self.counters.ejections.fetch_add(1, Ordering::Relaxed);
+            eprintln!("[router] ejected {}", self.config.backends[idx]);
+        }
+    }
+
+    fn record_success(&self, idx: usize) {
+        let b = &self.backends[idx];
+        b.consecutive_failures.store(0, Ordering::SeqCst);
+        let okays = b.consecutive_successes.fetch_add(1, Ordering::SeqCst) + 1;
+        if !b.healthy.load(Ordering::SeqCst)
+            && okays >= self.config.readmit_after
+            && !b.healthy.swap(true, Ordering::SeqCst)
+        {
+            self.counters.readmissions.fetch_add(1, Ordering::Relaxed);
+            eprintln!("[router] readmitted {}", self.config.backends[idx]);
+        }
+    }
+
+    /// One wire exchange with backend `idx`: connect, send `line`,
+    /// read one newline-terminated reply (returned without the
+    /// newline, otherwise verbatim).
+    fn exchange(&self, idx: usize, line: &str) -> io::Result<String> {
+        let stream = TcpStream::connect(&self.config.backends[idx])?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        let mut writer = stream.try_clone()?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut reply = String::new();
+        BufReader::new(stream).read_line(&mut reply)?;
+        match reply.pop() {
+            Some('\n') => Ok(reply),
+            _ => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "reply truncated before newline",
+            )),
+        }
+    }
+
+    /// True when the reply is a typed error worth failing over for
+    /// (the backend is full or draining; another shard can answer).
+    /// The trailer, when present, is stripped before parsing — our
+    /// JSON parser rejects trailing bytes by design.
+    fn is_retryable_reply(reply: &str) -> bool {
+        let (body, _) = protocol::check_integrity_trailer(reply);
+        let Ok(v) = crate::json::parse(body) else {
+            return false;
+        };
+        if v.get("ok").and_then(|o| o.as_bool()) != Some(false) {
+            return false;
+        }
+        matches!(
+            v.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(|k| k.as_str()),
+            Some("overloaded") | Some("shutting_down")
+        )
+    }
+
+    /// Routes one raw request line: pick the owner shard, forward, and
+    /// on failure walk the ring. Returns the reply line to send to the
+    /// client, always exactly one line.
+    pub fn route(&self, raw: &str) -> String {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let parsed = protocol::parse_request(raw, self.config.default_max_cycles);
+        let key = match &parsed {
+            Ok(Request::Ping) => {
+                return "{\"ok\":true,\"pong\":true}".to_string();
+            }
+            Ok(Request::Stats) => return self.stats_json(),
+            // `shutdown` is handled by the connection layer (it drains
+            // the router, not the backends); `route` never sees it.
+            Ok(Request::Shutdown) => {
+                return "{\"ok\":true,\"draining\":true}".to_string();
+            }
+            Ok(req) => routing_key(req).expect("simulate/verify requests always have a key"),
+            Err(e) => {
+                self.counters.local_errors.fetch_add(1, Ordering::Relaxed);
+                return local_error(raw, e);
+            }
+        };
+
+        let alive = self.alive();
+        let mut attempts = 0u32;
+        for idx in self.ring.walk(&key, &alive) {
+            if attempts > 0 {
+                self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            attempts += 1;
+            match self.exchange(idx, raw) {
+                Ok(reply) if Core::is_retryable_reply(&reply) => {
+                    // The backend is up but shedding or draining; its
+                    // health state is its own business — try the next
+                    // shard without marking it down.
+                    continue;
+                }
+                Ok(reply) => {
+                    self.record_success(idx);
+                    self.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                    self.backends[idx].forwarded.fetch_add(1, Ordering::Relaxed);
+                    return reply;
+                }
+                Err(_) => {
+                    self.record_failure(idx);
+                    continue;
+                }
+            }
+        }
+        self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+        let e = ServeError::new(
+            ErrorKind::Overloaded,
+            format!("no backend could answer ({attempts} tried); retry"),
+        );
+        local_error(raw, &e)
+    }
+
+    /// The router's `stats` reply: router counters, per-backend
+    /// health + ring ownership, each live backend's own `stats`
+    /// spliced in, and cross-backend totals.
+    fn stats_json(&self) -> String {
+        let alive = self.alive();
+        let ownership = self.ring.ownership_permille(&alive);
+        let c = &self.counters;
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"ok\":true,\"router\":{{\"uptime_ms\":{},\
+             \"requests\":{},\"forwarded\":{},\"failovers\":{},\
+             \"exhausted\":{},\"local_errors\":{},\
+             \"ejections\":{},\"readmissions\":{},\"backends\":[",
+            self.started.elapsed().as_millis(),
+            c.requests.load(Ordering::Relaxed),
+            c.forwarded.load(Ordering::Relaxed),
+            c.failovers.load(Ordering::Relaxed),
+            c.exhausted.load(Ordering::Relaxed),
+            c.local_errors.load(Ordering::Relaxed),
+            c.ejections.load(Ordering::Relaxed),
+            c.readmissions.load(Ordering::Relaxed),
+        ));
+        let mut total_completed = 0u64;
+        let mut total_cache_hits = 0u64;
+        let mut healthy_count = 0u64;
+        for (idx, addr) in self.config.backends.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            let b = &self.backends[idx];
+            let healthy = alive[idx];
+            healthy_count += healthy as u64;
+            // Fetch the backend's own stats (best-effort; an ejected
+            // or unreachable backend reports null).
+            let inner = if healthy {
+                self.exchange(idx, "{\"verb\":\"stats\"}")
+                    .ok()
+                    .and_then(|r| extract_stats_object(&r))
+            } else {
+                None
+            };
+            if let Some(stats) = &inner {
+                if let Ok(v) = crate::json::parse(stats) {
+                    let req = v.get("requests");
+                    total_completed += req
+                        .and_then(|r| r.get("completed"))
+                        .and_then(|x| x.as_u64())
+                        .unwrap_or(0);
+                    total_cache_hits += v
+                        .get("cache")
+                        .and_then(|ch| ch.get("hits"))
+                        .and_then(|x| x.as_u64())
+                        .unwrap_or(0);
+                }
+            }
+            out.push_str(&format!(
+                "{{\"addr\":\"{}\",\"healthy\":{},\
+                 \"ownership_permille\":{},\"forwarded\":{},\"failures\":{},\
+                 \"stats\":{}}}",
+                crate::json::escape(addr),
+                healthy,
+                ownership[idx],
+                b.forwarded.load(Ordering::Relaxed),
+                b.failures.load(Ordering::Relaxed),
+                inner.as_deref().unwrap_or("null"),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"totals\":{{\"healthy\":{healthy_count},\
+             \"completed\":{total_completed},\"cache_hits\":{total_cache_hits}}}}}}}"
+        ));
+        out
+    }
+
+    /// One health-check pass over every backend.
+    fn check_backends(&self) {
+        for idx in 0..self.backends.len() {
+            match self.check_one(idx) {
+                true => self.record_success(idx),
+                false => self.record_failure(idx),
+            }
+        }
+    }
+
+    fn check_one(&self, idx: usize) -> bool {
+        let ping = "{\"verb\":\"ping\"}";
+        match self.exchange(idx, ping) {
+            Ok(reply) => {
+                let (body, _) = protocol::check_integrity_trailer(&reply);
+                crate::json::parse(body)
+                    .ok()
+                    .and_then(|v| v.get("ok").and_then(|o| o.as_bool()))
+                    == Some(true)
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Renders a router-local typed error, honoring the request's
+/// `integrity` flag best-effort from the raw text (same rule the serve
+/// transport applies to unparseable requests).
+fn local_error(raw: &str, e: &ServeError) -> String {
+    let body = protocol::error_response(e);
+    if raw.contains("\"integrity\":true") {
+        protocol::with_integrity_trailer(&body)
+    } else {
+        body
+    }
+}
+
+/// Extracts the `stats` object from a backend's
+/// `{"ok":true,"stats":{...}}` reply (our own renderer's exact shape;
+/// anything else reports `None`).
+fn extract_stats_object(reply: &str) -> Option<String> {
+    let (body, _) = protocol::check_integrity_trailer(reply);
+    let inner = body
+        .strip_prefix("{\"ok\":true,\"stats\":")?
+        .strip_suffix('}')?;
+    crate::json::parse(inner).ok()?;
+    Some(inner.to_string())
+}
+
+/// A running router: the core plus its TCP front end and health
+/// checker. Connection handling is thread-per-connection — the router
+/// holds no per-request simulation state, and its connection counts
+/// are client-sized, not fleet-sized.
+pub struct Router {
+    core: Arc<Core>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicU64>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    checker_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `addr`, starts the accept loop and the health checker.
+    pub fn spawn(addr: &str, config: RouterConfig) -> io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let core = Core::new(config);
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicU64::new(0));
+
+        let checker_handle = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("router-health".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) && !signal::requested() {
+                        core.check_backends();
+                        // Sleep in small slices so a drain is noticed
+                        // promptly even with long check intervals.
+                        let deadline = Instant::now() + core.config.check_interval;
+                        while Instant::now() < deadline {
+                            if stop.load(Ordering::SeqCst) || signal::requested() {
+                                return;
+                            }
+                            thread::sleep(ACCEPT_POLL);
+                        }
+                    }
+                })
+                .expect("spawn health checker")
+        };
+
+        let accept_handle = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            let active = Arc::clone(&active);
+            thread::Builder::new()
+                .name("router-accept".into())
+                .spawn(move || loop {
+                    if stop.load(Ordering::SeqCst) || signal::requested() {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let core = Arc::clone(&core);
+                            let stop = Arc::clone(&stop);
+                            let conn_active = Arc::clone(&active);
+                            active.fetch_add(1, Ordering::SeqCst);
+                            let spawned = thread::Builder::new().name("router-conn".into()).spawn(
+                                move || {
+                                    handle_connection(stream, &core, &stop);
+                                    conn_active.fetch_sub(1, Ordering::SeqCst);
+                                },
+                            );
+                            if spawned.is_err() {
+                                active.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        Err(e) if e.kind() == IoKind::WouldBlock => {
+                            thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(e) if e.kind() == IoKind::Interrupted => {}
+                        Err(_) => thread::sleep(ACCEPT_POLL),
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(Router {
+            core,
+            addr: bound,
+            stop,
+            active,
+            accept_handle: Some(accept_handle),
+            checker_handle: Some(checker_handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The routing core (tests inspect ejection counters directly).
+    pub fn core(&self) -> &Arc<Core> {
+        &self.core
+    }
+
+    /// True once a drain was requested.
+    pub fn draining(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signal::requested()
+    }
+
+    /// Graceful drain: stop accepting, let handlers finish their
+    /// in-flight request, stop the checker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        while self.active.load(Ordering::SeqCst) > 0 {
+            thread::sleep(ACCEPT_POLL);
+        }
+        if let Some(h) = self.checker_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until a drain is requested (SIGTERM/SIGINT or the
+    /// `shutdown` verb), then drains. The `router` binary parks here.
+    pub fn wait_for_shutdown(&mut self) {
+        while !self.draining() {
+            thread::sleep(ACCEPT_POLL);
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one client connection until EOF, error, or drain — the same
+/// line discipline as the serve transport (blank lines keep alive,
+/// oversized lines get a typed reject-and-discard).
+fn handle_connection(stream: TcpStream, core: &Arc<Core>, stop: &AtomicBool) {
+    let max_line = core.config.max_request_line;
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let _ = writer.set_write_timeout(Some(core.config.io_timeout));
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut skipping = false;
+    loop {
+        let allowance = ((max_line + 1).saturating_sub(buf.len()).max(1)) as u64;
+        match (&mut reader).take(allowance).read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                if !buf.is_empty() && !skipping {
+                    let _ = respond(&mut writer, core, stop, &buf);
+                }
+                return;
+            }
+            Ok(_) if buf.ends_with(b"\n") => {
+                if skipping {
+                    skipping = false;
+                } else if respond(&mut writer, core, stop, &buf).is_err() {
+                    return;
+                }
+                buf.clear();
+            }
+            Ok(_) => {
+                if skipping {
+                    buf.clear();
+                } else if buf.len() > max_line {
+                    let e = ServeError::new(
+                        ErrorKind::BadRequest,
+                        format!("request line exceeds {max_line} bytes"),
+                    );
+                    if write_line(&mut writer, &protocol::error_response(&e)).is_err() {
+                        return;
+                    }
+                    skipping = true;
+                    buf.clear();
+                }
+            }
+            Err(e) if e.kind() == IoKind::WouldBlock || e.kind() == IoKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) || signal::requested() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == IoKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line; `Err(())` closes the connection.
+fn respond(
+    writer: &mut TcpStream,
+    core: &Arc<Core>,
+    stop: &AtomicBool,
+    raw: &[u8],
+) -> Result<(), ()> {
+    let line = match std::str::from_utf8(raw) {
+        Ok(s) => s,
+        Err(_) => {
+            let e = ServeError::new(ErrorKind::BadRequest, "request is not valid UTF-8");
+            return write_line(writer, &protocol::error_response(&e));
+        }
+    };
+    if line.trim().is_empty() {
+        return Ok(());
+    }
+    // `shutdown` drains the *router* (backends keep serving other
+    // routers); intercepted before routing.
+    if matches!(
+        protocol::parse_request(line, core.config.default_max_cycles),
+        Ok(Request::Shutdown)
+    ) {
+        let _ = write_line(writer, "{\"ok\":true,\"draining\":true}");
+        stop.store(true, Ordering::SeqCst);
+        return Err(());
+    }
+    write_line(writer, &core.route(line))
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> Result<(), ()> {
+    let mut bytes = Vec::with_capacity(line.len() + 1);
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+    writer.write_all(&bytes).map_err(|_| ())?;
+    writer.flush().map_err(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{}:7199", i + 1)).collect()
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        // Shaped like real routing keys: fingerprint|policy|config.
+        (0..n)
+            .map(|i| {
+                let i = i as u64;
+                format!(
+                    "prog{:04x}|postdoms|cfg{:02x}",
+                    i * 2654435761 % 65536,
+                    i % 7
+                )
+            })
+            .collect()
+    }
+
+    /// Key→shard share stays bounded across 2, 3, and 8 backends: no
+    /// backend owns more than 2× its fair share, none less than a
+    /// third of it.
+    #[test]
+    fn distribution_is_balanced() {
+        for n in [2usize, 3, 8] {
+            let backends = addrs(n);
+            let ring = Ring::new(&backends, 100);
+            let alive = vec![true; n];
+            let mut counts = vec![0u64; n];
+            let keys = keys(4000);
+            for k in &keys {
+                counts[ring.shard_of(k, &alive).unwrap()] += 1;
+            }
+            let fair = keys.len() as u64 / n as u64;
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(
+                    c <= fair * 2 && c >= fair / 3,
+                    "{n} backends: backend {i} holds {c} of {} keys (fair {fair})",
+                    keys.len()
+                );
+            }
+        }
+    }
+
+    /// Ejecting one backend moves only that backend's keys; everything
+    /// owned by a survivor keeps its shard.
+    #[test]
+    fn ejection_remaps_minimally() {
+        let backends = addrs(5);
+        let ring = Ring::new(&backends, 100);
+        let all = vec![true; 5];
+        let mut without2 = all.clone();
+        without2[2] = false;
+        let keys = keys(3000);
+        let mut moved_from_survivor = 0;
+        let mut reassigned = 0;
+        for k in &keys {
+            let before = ring.shard_of(k, &all).unwrap();
+            let after = ring.shard_of(k, &without2).unwrap();
+            if before == 2 {
+                reassigned += 1;
+                assert_ne!(after, 2, "ejected backend must not receive keys");
+            } else if before != after {
+                moved_from_survivor += 1;
+            }
+        }
+        assert_eq!(
+            moved_from_survivor, 0,
+            "keys owned by live backends must not move on ejection"
+        );
+        assert!(reassigned > 0, "the ejected backend owned something");
+        // Readmission restores the exact original map.
+        for k in &keys {
+            assert_eq!(
+                ring.shard_of(k, &all),
+                Ring::new(&backends, 100).shard_of(k, &all)
+            );
+        }
+    }
+
+    /// The key→shard map is a pure function of the backend list: a
+    /// rebuilt ring (a restarted router) assigns every key the same
+    /// shard, and an independently built ring from the same list too.
+    #[test]
+    fn assignment_is_deterministic_across_restarts() {
+        let backends = addrs(4);
+        let a = Ring::new(&backends, 100);
+        let b = Ring::new(&backends, 100);
+        let alive = vec![true; 4];
+        for k in keys(2000) {
+            assert_eq!(a.shard_of(&k, &alive), b.shard_of(&k, &alive), "key {k}");
+        }
+    }
+
+    /// The failover walk visits every live backend exactly once,
+    /// starting at the owner.
+    #[test]
+    fn walk_covers_all_live_backends_once() {
+        let backends = addrs(4);
+        let ring = Ring::new(&backends, 50);
+        let mut alive = vec![true; 4];
+        alive[1] = false;
+        let order: Vec<usize> = ring.walk("somekey|postdoms|cfg", &alive).collect();
+        assert_eq!(order.len(), 3, "every live backend appears");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "no backend repeats");
+        assert!(!order.contains(&1), "dead backend is skipped");
+        assert_eq!(
+            order[0],
+            ring.shard_of("somekey|postdoms|cfg", &alive).unwrap(),
+            "walk starts at the owner"
+        );
+    }
+
+    /// Ownership shares sum to the whole circle and track liveness.
+    #[test]
+    fn ownership_shares_are_sane() {
+        let backends = addrs(3);
+        let ring = Ring::new(&backends, 100);
+        let shares = ring.ownership_permille(&[true, true, true]);
+        let total: u64 = shares.iter().sum();
+        assert!(
+            (995..=1001).contains(&total),
+            "shares sum to ~1000: {shares:?}"
+        );
+        for (i, &s) in shares.iter().enumerate() {
+            assert!(s > 100, "backend {i} owns a visible share: {shares:?}");
+        }
+        let one_down = ring.ownership_permille(&[true, false, true]);
+        assert_eq!(one_down[1], 0, "ejected backend owns nothing");
+        let total: u64 = one_down.iter().sum();
+        assert!((995..=1001).contains(&total), "survivors absorb the arc");
+    }
+
+    /// Router-local errors honor the request's integrity flag.
+    #[test]
+    fn local_errors_carry_the_trailer_when_asked() {
+        let e = ServeError::new(ErrorKind::Overloaded, "no backend");
+        let plain = local_error("{\"workload\":\"gzip\"}", &e);
+        assert!(!plain.contains('\t'));
+        let trailered = local_error("{\"workload\":\"gzip\",\"integrity\":true}", &e);
+        let (_, ok) = protocol::check_integrity_trailer(&trailered);
+        assert_eq!(ok, Some(true));
+    }
+
+    #[test]
+    fn stats_object_extraction_round_trips() {
+        let svc = crate::service::Service::new(crate::service::ServiceConfig::default());
+        let reply = svc.stats().to_json();
+        let inner = extract_stats_object(&reply).expect("extracts");
+        let v = crate::json::parse(&inner).expect("inner object parses");
+        assert!(v.get("queue").is_some());
+        assert_eq!(extract_stats_object("{\"ok\":false}"), None);
+    }
+}

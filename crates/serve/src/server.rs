@@ -1,101 +1,74 @@
-//! The TCP transport: accept loop, per-connection handlers, graceful
-//! drain.
+//! The TCP front end: a thin wrapper that binds, starts the service,
+//! and hands the socket to the readiness-based [`Reactor`].
 //!
 //! Each connection speaks the newline-delimited protocol of
-//! [`crate::protocol`]. Connections are handled by one thread each,
-//! reading with a short timeout so every handler notices a drain
-//! promptly; requests on one connection are processed in order. Malformed
-//! input gets a typed error response — a protocol mistake never costs the
-//! client its connection, and never kills the server.
+//! [`crate::protocol`]. All connections are driven by one reactor
+//! thread (see [`crate::reactor`] for the state machine); simulation
+//! work still executes on the pool via the service's micro-batcher, so
+//! the reactor never blocks on a cell. Malformed input gets a typed
+//! error response — a protocol mistake never costs the client its
+//! connection, and never kills the server.
 //!
-//! Shutdown (a signal, or the `shutdown` verb) proceeds in order: stop
-//! accepting, let handlers finish their in-flight request and close, then
-//! drain the admission queue and join the batcher. Clients that were
-//! admitted before the drain began still receive their replies.
+//! Shutdown (a signal, the `shutdown` verb, or [`Server::shutdown`])
+//! proceeds in order: stop accepting, let connections with queued or
+//! in-flight work deliver it and hang up on the idle rest, then drain
+//! the admission queue and join the batcher. Clients that were admitted
+//! before the drain began still receive their replies.
 
-use crate::protocol::{self, Request};
+use crate::reactor::{Reactor, TransportSnapshot, TransportStats, Waker};
 use crate::service::{Service, ServiceConfig};
 use crate::signal;
-use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-/// Accept-loop poll interval (nonblocking accept + sleep keeps the loop
-/// responsive to the stop flag without a dependency on `mio`).
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-
-/// Per-connection read timeout: how often an idle handler re-checks the
-/// drain flag.
-const READ_TIMEOUT: Duration = Duration::from_millis(250);
+/// How often [`Server::wait_for_shutdown`] re-checks the drain flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(10);
 
 /// A running server: the service plus its TCP front end.
 pub struct Server {
     service: Arc<Service>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    active: Arc<AtomicU64>,
-    accept_handle: Option<thread::JoinHandle<()>>,
+    stats: Arc<TransportStats>,
+    waker: Waker,
+    reactor_handle: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0`), starts the service batcher and
-    /// the accept loop, and returns. Use [`Server::addr`] to learn the
-    /// bound port when asking for an ephemeral one.
+    /// Binds `addr` (e.g. `127.0.0.1:0`), starts the service batcher
+    /// and the reactor thread, and returns. Use [`Server::addr`] to
+    /// learn the bound port when asking for an ephemeral one.
     pub fn spawn(addr: &str, config: ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let service = Service::new(config);
         service.start();
         let stop = Arc::new(AtomicBool::new(false));
-        let active = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(TransportStats::default());
 
-        let accept_handle = {
-            let service = Arc::clone(&service);
-            let stop = Arc::clone(&stop);
-            let active = Arc::clone(&active);
-            thread::Builder::new()
-                .name("serve-accept".into())
-                .spawn(move || loop {
-                    if stop.load(Ordering::SeqCst) || signal::requested() {
-                        return;
-                    }
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let service = Arc::clone(&service);
-                            let stop = Arc::clone(&stop);
-                            let conn_active = Arc::clone(&active);
-                            active.fetch_add(1, Ordering::SeqCst);
-                            let spawned =
-                                thread::Builder::new()
-                                    .name("serve-conn".into())
-                                    .spawn(move || {
-                                        handle_connection(stream, &service, &stop);
-                                        conn_active.fetch_sub(1, Ordering::SeqCst);
-                                    });
-                            if spawned.is_err() {
-                                active.fetch_sub(1, Ordering::SeqCst);
-                            }
-                        }
-                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                            thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                        Err(_) => thread::sleep(ACCEPT_POLL),
-                    }
-                })
-                .expect("spawn accept loop")
-        };
+        let reactor = Reactor::new(
+            listener,
+            Arc::clone(&service),
+            Arc::clone(&stats),
+            Arc::clone(&stop),
+        )?;
+        let waker = reactor.waker();
+        let reactor_handle = thread::Builder::new()
+            .name("serve-reactor".into())
+            .spawn(move || reactor.run())
+            .expect("spawn reactor");
 
         Ok(Server {
             service,
             addr: bound,
             stop,
-            active,
-            accept_handle: Some(accept_handle),
+            stats,
+            waker,
+            reactor_handle: Some(reactor_handle),
         })
     }
 
@@ -109,23 +82,27 @@ impl Server {
         &self.service
     }
 
+    /// Snapshot of the reactor's transport counters.
+    pub fn transport(&self) -> TransportSnapshot {
+        self.stats.snapshot()
+    }
+
     /// True once a drain was requested (signal, `shutdown` verb, or
     /// [`Server::shutdown`]).
     pub fn draining(&self) -> bool {
         self.stop.load(Ordering::SeqCst) || signal::requested() || self.service.is_shutting_down()
     }
 
-    /// Graceful drain: stop accepting, let connection handlers finish
-    /// their in-flight work and hang up, drain the admission queue, join
-    /// the batcher. Idempotent; called by `Drop` as a backstop.
+    /// Graceful drain: stop accepting, let connections finish their
+    /// queued and in-flight work and hang up, drain the admission
+    /// queue, join the batcher. Idempotent; called by `Drop` as a
+    /// backstop.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         self.service.begin_shutdown();
-        if let Some(h) = self.accept_handle.take() {
+        self.waker.wake();
+        if let Some(h) = self.reactor_handle.take() {
             let _ = h.join();
-        }
-        while self.active.load(Ordering::SeqCst) > 0 {
-            thread::sleep(ACCEPT_POLL);
         }
         self.service.shutdown_and_join();
     }
@@ -134,7 +111,7 @@ impl Server {
     /// `serve` binary parks its main thread here.
     pub fn wait_for_shutdown(&mut self) {
         while !self.draining() {
-            thread::sleep(ACCEPT_POLL);
+            thread::sleep(SHUTDOWN_POLL);
         }
         self.shutdown();
     }
@@ -144,167 +121,4 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
-}
-
-/// Serves one connection until EOF, error, or drain.
-///
-/// Two protections bound what a single peer can cost us: request lines
-/// are read through a [`std::io::Take`] capped at
-/// [`ServiceConfig::max_request_line`] (+1 for the newline) so a client
-/// that never sends a newline cannot grow the buffer without bound —
-/// the oversized line gets a typed `bad_request` and is discarded up to
-/// its eventual newline, keeping the connection usable; and the writer
-/// carries [`ServiceConfig::write_timeout`] so a peer that stops
-/// reading forfeits the connection instead of wedging the handler (and
-/// with it, the drain).
-fn handle_connection(stream: TcpStream, service: &Arc<Service>, stop: &AtomicBool) {
-    let max_line = service.config().max_request_line;
-    let peer_writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
-        return;
-    }
-    if peer_writer
-        .set_write_timeout(Some(service.config().write_timeout))
-        .is_err()
-    {
-        return;
-    }
-    let mut reader = BufReader::new(stream);
-    let mut writer = peer_writer;
-    let mut buf: Vec<u8> = Vec::new();
-    // True while discarding the tail of an already-rejected oversized
-    // line (everything up to its newline).
-    let mut skipping = false;
-    loop {
-        let allowance = ((max_line + 1).saturating_sub(buf.len()).max(1)) as u64;
-        match (&mut reader).take(allowance).read_until(b'\n', &mut buf) {
-            Ok(0) => {
-                // EOF; answer a final unterminated line if there is one.
-                if !buf.is_empty() && !skipping {
-                    let _ = respond(&mut writer, service, stop, &buf);
-                }
-                return;
-            }
-            Ok(_) if buf.ends_with(b"\n") => {
-                if skipping {
-                    skipping = false; // oversized line fully discarded
-                } else if respond(&mut writer, service, stop, &buf).is_err() {
-                    return;
-                }
-                buf.clear();
-            }
-            Ok(_) => {
-                // Progress but no newline yet.
-                if skipping {
-                    buf.clear();
-                } else if buf.len() > max_line {
-                    let e = protocol::ServeError::new(
-                        protocol::ErrorKind::BadRequest,
-                        format!("request line exceeds {max_line} bytes"),
-                    );
-                    if write_line(&mut writer, &protocol::error_response(&e)).is_err() {
-                        return;
-                    }
-                    skipping = true;
-                    buf.clear();
-                }
-                // Otherwise: a partial line mid-read; keep accumulating.
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                // Idle (a partial line, if any, stays in `buf`). Hang up
-                // idle connections once a drain begins.
-                if stop.load(Ordering::SeqCst) || signal::requested() {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-}
-
-/// Handles one request line; `Err(())` means the connection should close
-/// (the `shutdown` verb, or the peer vanished).
-fn respond(
-    writer: &mut TcpStream,
-    service: &Arc<Service>,
-    stop: &AtomicBool,
-    raw: &[u8],
-) -> Result<(), ()> {
-    let line = match std::str::from_utf8(raw) {
-        Ok(s) => s,
-        Err(_) => {
-            return write_line(
-                writer,
-                &protocol::error_response(&protocol::ServeError::new(
-                    protocol::ErrorKind::BadRequest,
-                    "request is not valid UTF-8",
-                )),
-            );
-        }
-    };
-    if line.trim().is_empty() {
-        return Ok(()); // blank keep-alive line
-    }
-    let reply = match protocol::parse_request(line, service.default_max_cycles()) {
-        Ok(Request::Ping) => "{\"ok\":true,\"pong\":true}".to_string(),
-        Ok(Request::Stats) => service.stats().to_json(),
-        Ok(Request::Shutdown) => {
-            // Acknowledge, then trip this server's stop flag (not the
-            // process-global signal flag — in-process test servers must
-            // not drain each other); the accept loop and every handler
-            // notice within one poll.
-            let _ = write_line(writer, "{\"ok\":true,\"draining\":true}");
-            stop.store(true, Ordering::SeqCst);
-            service.begin_shutdown();
-            return Err(());
-        }
-        Ok(Request::Simulate(req)) => {
-            // The trailer is appended at write time, over the reply the
-            // client will parse — typed errors included, so a bit-flipped
-            // error cannot masquerade as a genuine one either. Cached
-            // bytes are never altered: the same entry serves trailered
-            // and untrailered requests alike.
-            let integrity = req.integrity;
-            let body = match service.submit(*req) {
-                Ok(body) => body.to_string(),
-                Err(e) => protocol::error_response(&e),
-            };
-            if integrity {
-                protocol::with_integrity_trailer(&body)
-            } else {
-                body
-            }
-        }
-        Ok(Request::Verify(req)) => match service.verify_program(*req) {
-            Ok(body) => body.to_string(),
-            Err(e) => protocol::error_response(&e),
-        },
-        Err(e) => {
-            // The parse failed before the `integrity` flag could be
-            // decoded, so honor it best-effort from the raw line (this
-            // is the exact token a trailer-checking client injects) —
-            // otherwise its typed parse error would look like a
-            // stripped-trailer corruption and be retried into a
-            // transport failure.
-            let body = protocol::error_response(&e);
-            if line.contains("\"integrity\":true") {
-                protocol::with_integrity_trailer(&body)
-            } else {
-                body
-            }
-        }
-    };
-    write_line(writer, &reply)
-}
-
-fn write_line(writer: &mut TcpStream, line: &str) -> Result<(), ()> {
-    let mut bytes = Vec::with_capacity(line.len() + 1);
-    bytes.extend_from_slice(line.as_bytes());
-    bytes.push(b'\n');
-    writer.write_all(&bytes).map_err(|_| ())?;
-    writer.flush().map_err(|_| ())
 }

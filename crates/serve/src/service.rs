@@ -240,6 +240,11 @@ pub struct Service {
     batched_cells: AtomicU64,
     account: Mutex<AccountAgg>,
     batcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Transport completion hook: called after every batch so a parked
+    /// reactor wakes and delivers the replies (see
+    /// [`crate::reactor::Reactor`]). `None` for transports that block
+    /// per-request.
+    notifier: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl Service {
@@ -301,6 +306,7 @@ impl Service {
             batched_cells: AtomicU64::new(0),
             account: Mutex::new(AccountAgg::default()),
             batcher: Mutex::new(None),
+            notifier: Mutex::new(None),
         })
     }
 
@@ -316,6 +322,28 @@ impl Service {
                     .expect("spawn batcher"),
             );
         }
+    }
+
+    /// Registers the transport completion hook (replacing any previous
+    /// one): it runs after every executed batch and when the batcher
+    /// exits, so an event-driven transport learns "replies may be
+    /// waiting" without polling.
+    pub fn set_notifier(&self, f: impl Fn() + Send + Sync + 'static) {
+        *self.notifier.lock().unwrap() = Some(Box::new(f));
+    }
+
+    fn notify_transport(&self) {
+        if let Some(f) = &*self.notifier.lock().unwrap() {
+            f();
+        }
+    }
+
+    /// Counts a request whose deadline expired while its reply was in
+    /// flight. `submit` counts its own timeouts; transports that wait
+    /// via [`Ticket::Admitted`] report theirs here so the
+    /// `deadline_exceeded` stat stays complete.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadlines.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The per-request default cycle budget (for request parsing).
@@ -535,7 +563,11 @@ impl Service {
                         break;
                     }
                     if self.shutdown.load(Ordering::SeqCst) {
-                        return; // queue drained and no new work: done
+                        // Queue drained and no new work: done. One last
+                        // notify so a reactor waiting on in-flight
+                        // replies sees the hangup promptly.
+                        self.notify_transport();
+                        return;
                     }
                     q = self.notify.wait(q).unwrap();
                 }
@@ -559,6 +591,9 @@ impl Service {
                 q.drain(..take).collect::<Vec<Pending>>()
             };
             self.execute_batch(batch);
+            // Replies (including expired-drop and shed paths) landed on
+            // their channels; wake the transport to deliver them.
+            self.notify_transport();
         }
     }
 
